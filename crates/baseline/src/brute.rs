@@ -1,0 +1,47 @@
+//! Exhaustive correctness oracle: scan the whole output space.
+
+use crate::JoinSpec;
+use dyadic::Space;
+
+/// Enumerate the join output by testing every point of the output space.
+///
+/// Only viable for tiny domains; used as the ground truth in
+/// differential tests.
+///
+/// # Panics
+/// If the space exceeds `2^24` points.
+pub fn brute_force_join(spec: &JoinSpec<'_>) -> Vec<Vec<u64>> {
+    let space = Space::from_widths(spec.widths());
+    let mut out = Vec::new();
+    space.for_each_point(|t| {
+        if spec.tuple_joins(t) {
+            out.push(t.to_vec());
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Relation, Schema};
+
+    #[test]
+    fn matches_hand_computed_join() {
+        let r = Relation::new(
+            Schema::uniform(&["X", "Y"], 1),
+            vec![vec![0, 0], vec![1, 1]],
+        );
+        let s = Relation::new(Schema::uniform(&["Y", "Z"], 1), vec![vec![0, 1]]);
+        let spec = JoinSpec::new(&["A", "B", "C"], &[1, 1, 1])
+            .atom("R", &r, &["A", "B"])
+            .atom("S", &s, &["B", "C"]);
+        assert_eq!(brute_force_join(&spec), vec![vec![0, 0, 1]]);
+    }
+
+    #[test]
+    fn no_atoms_means_full_space() {
+        let spec = JoinSpec::new(&["A"], &[2]);
+        assert_eq!(brute_force_join(&spec).len(), 4);
+    }
+}

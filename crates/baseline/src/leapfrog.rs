@@ -1,0 +1,293 @@
+//! A worst-case-optimal generic join in the Leapfrog-Triejoin style
+//! (Veldhuizen 2014; the generic-join skeleton of Ngo–Ré–Rudra 2013).
+//!
+//! Attributes are processed one at a time in a global order. At depth
+//! `k`, every atom containing attribute `k` proposes the sorted distinct
+//! values compatible with the current partial assignment; a **leapfrog
+//! intersection** (galloping over sorted runs) enumerates the common
+//! values. The runtime matches the AGM bound `Õ(N^{ρ*})`.
+
+use crate::JoinSpec;
+
+/// Execution counters of a leapfrog run.
+#[derive(Clone, Debug, Default)]
+pub struct LeapfrogStats {
+    /// Galloping seek operations performed.
+    pub seeks: u64,
+    /// Recursive extension calls.
+    pub expansions: u64,
+}
+
+/// Per-atom state: tuples sorted in the induced attribute order, plus the
+/// current consistent range per depth.
+struct AtomState {
+    /// Tuples reordered so column `j` is the atom's `j`-th bound attribute
+    /// *in global order*, sorted lexicographically.
+    tuples: Vec<Vec<u64>>,
+    /// For each global depth at which this atom participates, the column
+    /// index within `tuples`.
+    col_of_depth: Vec<Option<usize>>,
+}
+
+/// Evaluate the join by leapfrog triejoin over the spec's attribute order.
+/// Returns tuples sorted lexicographically plus counters.
+pub fn leapfrog_join(spec: &JoinSpec<'_>) -> (Vec<Vec<u64>>, LeapfrogStats) {
+    let n = spec.n();
+    let mut states: Vec<AtomState> = Vec::with_capacity(spec.atoms().len());
+    for atom in spec.atoms() {
+        // The atom's bound attributes sorted by global position.
+        let mut bound: Vec<(usize, usize)> =
+            atom.dims.iter().enumerate().map(|(col, &d)| (d, col)).collect();
+        bound.sort_unstable();
+        let order: Vec<usize> = bound.iter().map(|&(_, col)| col).collect();
+        let tuples = atom.rel.tuples_in_order(&order);
+        let mut col_of_depth = vec![None; n];
+        for (j, &(d, _)) in bound.iter().enumerate() {
+            col_of_depth[d] = Some(j);
+        }
+        states.push(AtomState { tuples, col_of_depth });
+    }
+
+    let mut out = Vec::new();
+    let mut stats = LeapfrogStats::default();
+    let mut assignment = vec![0u64; n];
+    // Current tuple range per atom (refined as attributes bind).
+    let mut ranges: Vec<(usize, usize)> =
+        states.iter().map(|s| (0, s.tuples.len())).collect();
+    // Any empty relation ⇒ empty output.
+    if ranges.iter().any(|&(lo, hi)| lo == hi) {
+        return (out, stats);
+    }
+    extend(spec, &states, &mut ranges, 0, &mut assignment, &mut out, &mut stats);
+    (out, stats)
+}
+
+fn extend(
+    spec: &JoinSpec<'_>,
+    states: &[AtomState],
+    ranges: &mut Vec<(usize, usize)>,
+    depth: usize,
+    assignment: &mut Vec<u64>,
+    out: &mut Vec<Vec<u64>>,
+    stats: &mut LeapfrogStats,
+) {
+    stats.expansions += 1;
+    if depth == spec.n() {
+        out.push(assignment.clone());
+        return;
+    }
+    // Atoms participating at this depth.
+    let participants: Vec<usize> = (0..states.len())
+        .filter(|&i| states[i].col_of_depth[depth].is_some())
+        .collect();
+    if participants.is_empty() {
+        // Attribute unconstrained: enumerate its whole domain.
+        let width = spec.widths()[depth];
+        for v in 0..(1u64 << width) {
+            assignment[depth] = v;
+            extend(spec, states, ranges, depth + 1, assignment, out, stats);
+        }
+        return;
+    }
+
+    // Leapfrog over the participants' sorted value runs.
+    let saved: Vec<(usize, usize)> = participants.iter().map(|&i| ranges[i]).collect();
+    let mut cursor: Vec<usize> = participants.iter().map(|&i| ranges[i].0).collect();
+    'leapfrog: loop {
+        // Propose the max of the participants' current values.
+        let mut v = 0u64;
+        for (k, &i) in participants.iter().enumerate() {
+            let col = states[i].col_of_depth[depth].unwrap();
+            if cursor[k] >= ranges[i].1 {
+                break 'leapfrog;
+            }
+            v = v.max(states[i].tuples[cursor[k]][col]);
+        }
+        // Seek every participant to ≥ v; if any overshoots, re-propose.
+        let mut all_equal = true;
+        for (k, &i) in participants.iter().enumerate() {
+            let col = states[i].col_of_depth[depth].unwrap();
+            let (_, hi) = ranges[i];
+            cursor[k] = gallop(&states[i].tuples, cursor[k], hi, col, v, stats);
+            if cursor[k] >= hi {
+                break 'leapfrog;
+            }
+            if states[i].tuples[cursor[k]][col] != v {
+                all_equal = false;
+            }
+        }
+        if !all_equal {
+            continue;
+        }
+        // Found a common value: refine each participant's range to it.
+        assignment[depth] = v;
+        for (k, &i) in participants.iter().enumerate() {
+            let col = states[i].col_of_depth[depth].unwrap();
+            let (_, hi) = ranges[i];
+            let start = cursor[k];
+            let end = gallop(&states[i].tuples, start, hi, col, v + 1, stats);
+            ranges[i] = (start, end);
+        }
+        extend(spec, states, ranges, depth + 1, assignment, out, stats);
+        // Restore ranges and advance past v.
+        for (k, &i) in participants.iter().enumerate() {
+            let col = states[i].col_of_depth[depth].unwrap();
+            let hi = saved[k].1;
+            ranges[i] = (saved[k].0, hi);
+            cursor[k] = gallop(&states[i].tuples, cursor[k], hi, col, v + 1, stats);
+            if cursor[k] >= hi {
+                break 'leapfrog;
+            }
+        }
+    }
+    for (k, &i) in participants.iter().enumerate() {
+        ranges[i] = saved[k];
+    }
+}
+
+/// Exponential search for the first row in `[lo, hi)` whose `col` value is
+/// `≥ target` (rows are sorted lexicographically and all rows in the range
+/// agree on columns before `col`).
+fn gallop(
+    tuples: &[Vec<u64>],
+    lo: usize,
+    hi: usize,
+    col: usize,
+    target: u64,
+    stats: &mut LeapfrogStats,
+) -> usize {
+    stats.seeks += 1;
+    if lo >= hi || tuples[lo][col] >= target {
+        return lo;
+    }
+    let mut step = 1usize;
+    let mut prev = lo;
+    let mut cur = lo + 1;
+    while cur < hi && tuples[cur][col] < target {
+        prev = cur;
+        step <<= 1;
+        cur = (cur + step).min(hi);
+        if cur >= hi {
+            break;
+        }
+    }
+    // Binary search in (prev, min(cur, hi)].
+    let mut a = prev + 1;
+    let mut b = cur.min(hi);
+    while a < b {
+        let mid = a + (b - a) / 2;
+        if tuples[mid][col] < target {
+            a = mid + 1;
+        } else {
+            b = mid;
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Relation, Schema};
+
+    fn rel(attrs: &[&str], width: u8, tuples: &[&[u64]]) -> Relation {
+        Relation::new(
+            Schema::uniform(attrs, width),
+            tuples.iter().map(|t| t.to_vec()).collect(),
+        )
+    }
+
+    #[test]
+    fn two_way_join() {
+        let r = rel(&["X", "Y"], 2, &[&[0, 1], &[1, 1], &[2, 3]]);
+        let s = rel(&["Y", "Z"], 2, &[&[1, 0], &[1, 3], &[3, 2]]);
+        let spec = JoinSpec::new(&["A", "B", "C"], &[2, 2, 2])
+            .atom("R", &r, &["A", "B"])
+            .atom("S", &s, &["B", "C"]);
+        let (out, _) = leapfrog_join(&spec);
+        assert_eq!(
+            out,
+            vec![
+                vec![0, 1, 0],
+                vec![0, 1, 3],
+                vec![1, 1, 0],
+                vec![1, 1, 3],
+                vec![2, 3, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn triangle_join() {
+        // Triangles in a small graph given as three binary relations.
+        let edges: &[&[u64]] = &[&[0, 1], &[1, 2], &[0, 2], &[2, 3], &[1, 3]];
+        let r = rel(&["X", "Y"], 2, edges);
+        let s = rel(&["X", "Y"], 2, edges);
+        let t = rel(&["X", "Y"], 2, edges);
+        let spec = JoinSpec::new(&["A", "B", "C"], &[2, 2, 2])
+            .atom("R", &r, &["A", "B"])
+            .atom("S", &s, &["B", "C"])
+            .atom("T", &t, &["A", "C"]);
+        let (out, _) = leapfrog_join(&spec);
+        // Directed triangles: (0,1,2), (0,1,3)? (1,3)∈E,(0,3)∉E… check:
+        // (0,1,2): R(0,1)✓ S(1,2)✓ T(0,2)✓ ⇒ yes. (1,2,3): S(2,3)✓ T(1,3)✓ ⇒ yes.
+        assert_eq!(out, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn empty_relation_empty_output() {
+        let r = rel(&["X", "Y"], 2, &[&[0, 1]]);
+        let s = Relation::empty(Schema::uniform(&["Y", "Z"], 2));
+        let spec = JoinSpec::new(&["A", "B", "C"], &[2, 2, 2])
+            .atom("R", &r, &["A", "B"])
+            .atom("S", &s, &["B", "C"]);
+        let (out, _) = leapfrog_join(&spec);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn repeated_relation_self_join() {
+        // Paths of length 2: R(A,B) ⋈ R(B,C) on the same instance.
+        let r = rel(&["X", "Y"], 2, &[&[0, 1], &[1, 2], &[2, 0]]);
+        let spec = JoinSpec::new(&["A", "B", "C"], &[2, 2, 2])
+            .atom("R1", &r, &["A", "B"])
+            .atom("R2", &r, &["B", "C"]);
+        let (out, _) = leapfrog_join(&spec);
+        assert_eq!(out, vec![vec![0, 1, 2], vec![1, 2, 0], vec![2, 0, 1]]);
+    }
+
+    #[test]
+    fn unconstrained_attribute_enumerates_domain() {
+        // Cross product with a free attribute (1-bit to keep it tiny).
+        let r = rel(&["X"], 1, &[&[1]]);
+        let spec = JoinSpec::new(&["A", "B"], &[1, 1]).atom("R", &r, &["A"]);
+        let (out, _) = leapfrog_join(&spec);
+        assert_eq!(out, vec![vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn matches_brute_force_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..25 {
+            let d = 2u8;
+            let mk = |rng: &mut rand::rngs::StdRng, names: [&str; 2]| {
+                let cnt = rng.gen_range(0..12);
+                let tuples: Vec<Vec<u64>> = (0..cnt)
+                    .map(|_| vec![rng.gen_range(0..4), rng.gen_range(0..4)])
+                    .collect();
+                Relation::new(Schema::uniform(&names, d), tuples)
+            };
+            let r = mk(&mut rng, ["X", "Y"]);
+            let s = mk(&mut rng, ["X", "Y"]);
+            let t = mk(&mut rng, ["X", "Y"]);
+            let spec = JoinSpec::new(&["A", "B", "C"], &[d, d, d])
+                .atom("R", &r, &["A", "B"])
+                .atom("S", &s, &["B", "C"])
+                .atom("T", &t, &["A", "C"]);
+            let (out, _) = leapfrog_join(&spec);
+            let brute = crate::brute::brute_force_join(&spec);
+            assert_eq!(out, brute);
+        }
+    }
+}

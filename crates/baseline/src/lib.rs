@@ -1,0 +1,32 @@
+//! Comparison join algorithms for benchmarking Tetris against.
+//!
+//! The paper's evaluation positions Tetris relative to three families of
+//! algorithms, all of which this crate implements from scratch:
+//!
+//! * [`leapfrog`] — a worst-case-optimal **Leapfrog-Triejoin-style**
+//!   generic join (attribute-at-a-time, galloping intersection over
+//!   sorted tries) — the AGM-bound comparator of [51, 72];
+//! * [`pairwise`] — traditional binary join plans (hash join and
+//!   sort-merge join over a left-deep atom order) whose intermediate
+//!   results blow up on cyclic/skewed inputs — the "commercial engine"
+//!   stand-in;
+//! * [`yannakakis`] — the classic `O(N + Z)` algorithm for α-acyclic
+//!   queries [73]: full semijoin reduction along a join tree, then
+//!   bottom-up join;
+//! * [`brute`] — an exhaustive output-space scan used as the correctness
+//!   oracle in differential tests.
+//!
+//! All entry points take a [`JoinSpec`] (relations + attribute bindings)
+//! and return output tuples **sorted lexicographically** in the spec's
+//! attribute order, so results are directly comparable across algorithms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod leapfrog;
+pub mod pairwise;
+mod spec;
+pub mod yannakakis;
+
+pub use spec::JoinSpec;

@@ -1,0 +1,328 @@
+//! Traditional binary join plans: hash join and sort-merge join over a
+//! left-deep atom order.
+//!
+//! These are the engines the paper's motivation targets: on cyclic or
+//! skewed inputs their intermediate results can be polynomially larger
+//! than both the input and the output (the classic `Ω(N²)` blowup on the
+//! skewed triangle), which is exactly the shape our benchmarks reproduce.
+
+use crate::JoinSpec;
+use std::collections::HashMap;
+
+/// Which algorithm evaluates each binary step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepAlgo {
+    /// Build a hash table on the shared attributes of the right input.
+    Hash,
+    /// Sort both inputs on the shared attributes and merge.
+    SortMerge,
+}
+
+/// Counters for a plan execution.
+#[derive(Clone, Debug, Default)]
+pub struct PlanStats {
+    /// The largest intermediate relation materialized (in tuples) —
+    /// the quantity that blows up on worst-case-optimal-favoring inputs.
+    pub max_intermediate: usize,
+    /// Total tuples materialized across all steps.
+    pub total_materialized: usize,
+}
+
+/// An intermediate relation: attribute indices (into the spec's output
+/// attributes) plus rows.
+struct Intermediate {
+    attrs: Vec<usize>,
+    rows: Vec<Vec<u64>>,
+}
+
+/// Evaluate a left-deep binary plan joining atoms in the given order.
+/// Returns output tuples sorted in spec attribute order, plus counters.
+///
+/// Attributes that appear in no atom are not supported (binary plans
+/// cannot invent domains); the spec must be fully covered.
+///
+/// # Panics
+/// If `order` is not a permutation of the atom indices, or the atoms do
+/// not cover all attributes.
+pub fn pairwise_join(
+    spec: &JoinSpec<'_>,
+    order: &[usize],
+    algo: StepAlgo,
+) -> (Vec<Vec<u64>>, PlanStats) {
+    let m = spec.atoms().len();
+    assert_eq!(order.len(), m, "plan order must cover all atoms");
+    let mut seen = vec![false; m];
+    for &i in order {
+        assert!(i < m && !seen[i], "plan order must be a permutation");
+        seen[i] = true;
+    }
+    let covered: u32 = spec
+        .atoms()
+        .iter()
+        .flat_map(|a| a.dims.iter())
+        .fold(0u32, |acc, &d| acc | (1 << d));
+    assert_eq!(
+        covered.count_ones() as usize,
+        spec.n(),
+        "binary plans require every attribute to appear in some atom"
+    );
+
+    let mut stats = PlanStats::default();
+    let mut acc = atom_to_intermediate(spec, order[0]);
+    stats.max_intermediate = acc.rows.len();
+    stats.total_materialized = acc.rows.len();
+    for &i in &order[1..] {
+        let right = atom_to_intermediate(spec, i);
+        acc = match algo {
+            StepAlgo::Hash => hash_step(acc, right),
+            StepAlgo::SortMerge => merge_step(acc, right),
+        };
+        stats.max_intermediate = stats.max_intermediate.max(acc.rows.len());
+        stats.total_materialized += acc.rows.len();
+    }
+    // Project/reorder to the spec's attribute order.
+    let pos: Vec<usize> = (0..spec.n())
+        .map(|d| {
+            acc.attrs
+                .iter()
+                .position(|&a| a == d)
+                .expect("all attributes covered after the last step")
+        })
+        .collect();
+    let mut out: Vec<Vec<u64>> = acc
+        .rows
+        .iter()
+        .map(|r| pos.iter().map(|&p| r[p]).collect())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    (out, stats)
+}
+
+fn atom_to_intermediate(spec: &JoinSpec<'_>, i: usize) -> Intermediate {
+    let atom = &spec.atoms()[i];
+    // Deduplicate repeated attributes within an atom (e.g. R(A,A)) by
+    // filtering rows where the duplicated columns disagree.
+    let mut attrs: Vec<usize> = Vec::new();
+    let mut keep_cols: Vec<usize> = Vec::new();
+    for (col, &d) in atom.dims.iter().enumerate() {
+        if !attrs.contains(&d) {
+            attrs.push(d);
+            keep_cols.push(col);
+        }
+    }
+    let rows = atom
+        .rel
+        .tuples()
+        .iter()
+        .filter(|t| {
+            atom.dims
+                .iter()
+                .enumerate()
+                .all(|(col, &d)| t[col] == t[keep_cols[attrs.iter().position(|&a| a == d).unwrap()]]
+                    || atom.dims[col] != d)
+        })
+        .map(|t| keep_cols.iter().map(|&c| t[c]).collect())
+        .collect();
+    Intermediate { attrs, rows }
+}
+
+/// Shared attribute positions: `(left_pos, right_pos)` pairs plus the
+/// right columns that are new.
+fn split_columns(l: &Intermediate, r: &Intermediate) -> (Vec<(usize, usize)>, Vec<usize>) {
+    let mut shared = Vec::new();
+    let mut new_cols = Vec::new();
+    for (rp, &ra) in r.attrs.iter().enumerate() {
+        match l.attrs.iter().position(|&la| la == ra) {
+            Some(lp) => shared.push((lp, rp)),
+            None => new_cols.push(rp),
+        }
+    }
+    (shared, new_cols)
+}
+
+fn hash_step(l: Intermediate, r: Intermediate) -> Intermediate {
+    let (shared, new_cols) = split_columns(&l, &r);
+    let mut table: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+    for (idx, row) in r.rows.iter().enumerate() {
+        let key: Vec<u64> = shared.iter().map(|&(_, rp)| row[rp]).collect();
+        table.entry(key).or_default().push(idx);
+    }
+    let mut attrs = l.attrs.clone();
+    attrs.extend(new_cols.iter().map(|&rp| r.attrs[rp]));
+    let mut rows = Vec::new();
+    for lrow in &l.rows {
+        let key: Vec<u64> = shared.iter().map(|&(lp, _)| lrow[lp]).collect();
+        if let Some(matches) = table.get(&key) {
+            for &ri in matches {
+                let mut row = lrow.clone();
+                row.extend(new_cols.iter().map(|&rp| r.rows[ri][rp]));
+                rows.push(row);
+            }
+        }
+    }
+    Intermediate { attrs, rows }
+}
+
+fn merge_step(l: Intermediate, r: Intermediate) -> Intermediate {
+    let (shared, new_cols) = split_columns(&l, &r);
+    // Sort both sides by the shared key.
+    let key_of = |row: &Vec<u64>, side: &[usize]| -> Vec<u64> {
+        side.iter().map(|&p| row[p]).collect()
+    };
+    let lkey: Vec<usize> = shared.iter().map(|&(lp, _)| lp).collect();
+    let rkey: Vec<usize> = shared.iter().map(|&(_, rp)| rp).collect();
+    let mut lrows = l.rows;
+    let mut rrows = r.rows;
+    lrows.sort_by_key(|row| key_of(row, &lkey));
+    rrows.sort_by_key(|row| key_of(row, &rkey));
+
+    let mut attrs = l.attrs.clone();
+    attrs.extend(new_cols.iter().map(|&rp| r.attrs[rp]));
+    let mut rows = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lrows.len() && j < rrows.len() {
+        let kl = key_of(&lrows[i], &lkey);
+        let kr = key_of(&rrows[j], &rkey);
+        match kl.cmp(&kr) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the cross product of the equal-key runs.
+                let i_end = (i..lrows.len())
+                    .take_while(|&x| key_of(&lrows[x], &lkey) == kl)
+                    .last()
+                    .unwrap()
+                    + 1;
+                let j_end = (j..rrows.len())
+                    .take_while(|&x| key_of(&rrows[x], &rkey) == kr)
+                    .last()
+                    .unwrap()
+                    + 1;
+                for lrow in &lrows[i..i_end] {
+                    for rrow in &rrows[j..j_end] {
+                        let mut row = lrow.clone();
+                        row.extend(new_cols.iter().map(|&rp| rrow[rp]));
+                        rows.push(row);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    Intermediate { attrs, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Relation, Schema};
+
+    fn rel(attrs: &[&str], width: u8, tuples: &[&[u64]]) -> Relation {
+        Relation::new(
+            Schema::uniform(attrs, width),
+            tuples.iter().map(|t| t.to_vec()).collect(),
+        )
+    }
+
+    fn triangle_spec<'a>(
+        r: &'a Relation,
+        s: &'a Relation,
+        t: &'a Relation,
+    ) -> JoinSpec<'a> {
+        JoinSpec::new(&["A", "B", "C"], &[2, 2, 2])
+            .atom("R", r, &["A", "B"])
+            .atom("S", s, &["B", "C"])
+            .atom("T", t, &["A", "C"])
+    }
+
+    #[test]
+    fn both_algorithms_agree_with_leapfrog() {
+        let edges: &[&[u64]] = &[&[0, 1], &[1, 2], &[0, 2], &[2, 3], &[1, 3]];
+        let r = rel(&["X", "Y"], 2, edges);
+        let s = rel(&["X", "Y"], 2, edges);
+        let t = rel(&["X", "Y"], 2, edges);
+        let spec = triangle_spec(&r, &s, &t);
+        let (expect, _) = crate::leapfrog::leapfrog_join(&spec);
+        for algo in [StepAlgo::Hash, StepAlgo::SortMerge] {
+            let (got, stats) = pairwise_join(&spec, &[0, 1, 2], algo);
+            assert_eq!(got, expect, "{algo:?}");
+            assert!(stats.max_intermediate >= expect.len());
+        }
+    }
+
+    #[test]
+    fn skew_blows_up_intermediates() {
+        // The flare instance: R = S = T = {0}×[m] ∪ [m]×{0}. The binary
+        // plan R ⋈ S materializes Ω(m²) tuples while the output is Θ(m).
+        let m = 15u64;
+        let mut edges: Vec<Vec<u64>> = Vec::new();
+        for v in 0..=m {
+            edges.push(vec![0, v]);
+            edges.push(vec![v, 0]);
+        }
+        let r = Relation::new(Schema::uniform(&["X", "Y"], 4), edges.clone());
+        let s = Relation::new(Schema::uniform(&["X", "Y"], 4), edges.clone());
+        let t = Relation::new(Schema::uniform(&["X", "Y"], 4), edges);
+        let spec = JoinSpec::new(&["A", "B", "C"], &[4, 4, 4])
+            .atom("R", &r, &["A", "B"])
+            .atom("S", &s, &["B", "C"])
+            .atom("T", &t, &["A", "C"]);
+        let (out, stats) = pairwise_join(&spec, &[0, 1, 2], StepAlgo::Hash);
+        // Output is the three axes: (0,0,c), (0,b,0), (a,0,0).
+        assert_eq!(out.len() as u64, 3 * m + 1);
+        assert!(
+            stats.max_intermediate as u64 >= m * m,
+            "expected quadratic intermediate, got {}",
+            stats.max_intermediate
+        );
+    }
+
+    #[test]
+    fn plan_order_changes_intermediates_not_output() {
+        let edges: &[&[u64]] = &[&[0, 1], &[1, 2], &[0, 2]];
+        let r = rel(&["X", "Y"], 2, edges);
+        let s = rel(&["X", "Y"], 2, edges);
+        let t = rel(&["X", "Y"], 2, edges);
+        let spec = triangle_spec(&r, &s, &t);
+        let (a, _) = pairwise_join(&spec, &[0, 1, 2], StepAlgo::Hash);
+        let (b, _) = pairwise_join(&spec, &[2, 0, 1], StepAlgo::Hash);
+        let (c, _) = pairwise_join(&spec, &[1, 2, 0], StepAlgo::SortMerge);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn randomized_agreement() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            let mk = |rng: &mut rand::rngs::StdRng| {
+                let cnt = rng.gen_range(0..10);
+                let tuples: Vec<Vec<u64>> = (0..cnt)
+                    .map(|_| vec![rng.gen_range(0..4), rng.gen_range(0..4)])
+                    .collect();
+                Relation::new(Schema::uniform(&["X", "Y"], 2), tuples)
+            };
+            let r = mk(&mut rng);
+            let s = mk(&mut rng);
+            let spec = JoinSpec::new(&["A", "B", "C"], &[2, 2, 2])
+                .atom("R", &r, &["A", "B"])
+                .atom("S", &s, &["B", "C"]);
+            let expect = crate::brute::brute_force_join(&spec);
+            for algo in [StepAlgo::Hash, StepAlgo::SortMerge] {
+                let (got, _) = pairwise_join(&spec, &[0, 1], algo);
+                assert_eq!(got, expect);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every attribute")]
+    fn uncovered_attribute_rejected() {
+        let r = rel(&["X"], 2, &[&[1]]);
+        let spec = JoinSpec::new(&["A", "B"], &[2, 2]).atom("R", &r, &["A"]);
+        let _ = pairwise_join(&spec, &[0], StepAlgo::Hash);
+    }
+}

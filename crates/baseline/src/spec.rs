@@ -1,0 +1,132 @@
+//! Query specification shared by all baseline algorithms.
+
+use relation::Relation;
+
+/// A natural-join query over plain [`Relation`]s: output attributes (with
+/// bit widths) plus atoms binding each relation's columns to attributes.
+pub struct JoinSpec<'a> {
+    attrs: Vec<String>,
+    widths: Vec<u8>,
+    atoms: Vec<SpecAtom<'a>>,
+}
+
+/// One bound atom.
+pub struct SpecAtom<'a> {
+    /// The relation instance.
+    pub rel: &'a Relation,
+    /// `dims[j]` = output-attribute index of the relation's column `j`.
+    pub dims: Vec<usize>,
+    /// Display name.
+    pub name: String,
+}
+
+impl<'a> JoinSpec<'a> {
+    /// Start a spec over the given output attribute order.
+    pub fn new(attrs: &[&str], widths: &[u8]) -> Self {
+        assert_eq!(attrs.len(), widths.len());
+        let names: Vec<String> = attrs.iter().map(|s| s.to_string()).collect();
+        for (i, a) in names.iter().enumerate() {
+            assert!(!names[..i].contains(a), "duplicate attribute {a:?}");
+        }
+        JoinSpec { attrs: names, widths: widths.to_vec(), atoms: Vec::new() }
+    }
+
+    /// Bind an atom (builder style).
+    ///
+    /// # Panics
+    /// On unknown attributes, arity mismatch, or width mismatch.
+    pub fn atom(mut self, name: &str, rel: &'a Relation, attrs: &[&str]) -> Self {
+        assert_eq!(attrs.len(), rel.arity(), "atom {name}: arity mismatch");
+        let dims: Vec<usize> = attrs
+            .iter()
+            .map(|a| {
+                self.attrs
+                    .iter()
+                    .position(|x| x == a)
+                    .unwrap_or_else(|| panic!("atom {name}: unknown attribute {a:?}"))
+            })
+            .collect();
+        for (j, &d) in dims.iter().enumerate() {
+            assert_eq!(
+                rel.schema().width(j),
+                self.widths[d],
+                "atom {name}: width mismatch at {:?}",
+                attrs[j]
+            );
+        }
+        self.atoms.push(SpecAtom { rel, dims, name: name.to_string() });
+        self
+    }
+
+    /// Output attributes.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Attribute widths.
+    pub fn widths(&self) -> &[u8] {
+        &self.widths
+    }
+
+    /// Number of output attributes.
+    pub fn n(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The bound atoms.
+    pub fn atoms(&self) -> &[SpecAtom<'a>] {
+        &self.atoms
+    }
+
+    /// Total input tuple count `N`.
+    pub fn input_size(&self) -> usize {
+        self.atoms.iter().map(|a| a.rel.len()).sum()
+    }
+
+    /// The query hypergraph (vertices = attributes, edges = atom scopes).
+    pub fn hypergraph(&self) -> query::Hypergraph {
+        let masks: Vec<u32> = self
+            .atoms
+            .iter()
+            .map(|a| a.dims.iter().fold(0u32, |m, &d| m | (1 << d)))
+            .collect();
+        query::Hypergraph::from_masks(self.n(), &masks)
+    }
+
+    /// Whether an output-space tuple satisfies every atom.
+    pub fn tuple_joins(&self, t: &[u64]) -> bool {
+        self.atoms.iter().all(|a| {
+            let sub: Vec<u64> = a.dims.iter().map(|&d| t[d]).collect();
+            a.rel.contains(&sub)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::Schema;
+
+    #[test]
+    fn build_and_inspect() {
+        let r = Relation::new(Schema::uniform(&["X", "Y"], 2), vec![vec![1, 2]]);
+        let s = Relation::new(Schema::uniform(&["Y", "Z"], 2), vec![vec![2, 3]]);
+        let q = JoinSpec::new(&["A", "B", "C"], &[2, 2, 2])
+            .atom("R", &r, &["A", "B"])
+            .atom("S", &s, &["B", "C"]);
+        assert_eq!(q.n(), 3);
+        assert_eq!(q.input_size(), 2);
+        assert!(q.tuple_joins(&[1, 2, 3]));
+        assert!(!q.tuple_joins(&[1, 2, 2]));
+        let h = q.hypergraph();
+        assert_eq!(h.edges(), &[0b011, 0b110]);
+        assert!(h.is_alpha_acyclic());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let r = Relation::new(Schema::uniform(&["X", "Y"], 2), vec![vec![1, 2]]);
+        let _ = JoinSpec::new(&["A"], &[2]).atom("R", &r, &["A"]);
+    }
+}

@@ -1,0 +1,374 @@
+//! Yannakakis' algorithm for α-acyclic queries (VLDB 1981): full semijoin
+//! reduction along a join tree, then a bottom-up join whose intermediates
+//! never exceed the final output — `O(N + Z)` up to log factors.
+
+use crate::JoinSpec;
+use std::collections::HashSet;
+
+/// Evaluate an α-acyclic join with Yannakakis' algorithm.
+///
+/// Returns output tuples sorted in spec attribute order, or `None` when
+/// the query hypergraph is cyclic (no join tree exists).
+pub fn yannakakis_join(spec: &JoinSpec<'_>) -> Option<Vec<Vec<u64>>> {
+    let m = spec.atoms().len();
+    if m == 0 {
+        return Some(crate::brute::brute_force_join(spec));
+    }
+    let masks: Vec<u32> = spec
+        .atoms()
+        .iter()
+        .map(|a| a.dims.iter().fold(0u32, |acc, &d| acc | (1 << d)))
+        .collect();
+    let covered = masks.iter().fold(0u32, |a, &e| a | e);
+    if covered.count_ones() as usize != spec.n() {
+        // Attributes outside every atom: fall back (acyclic join trees
+        // cannot produce unconstrained attributes).
+        return None;
+    }
+    let parent = join_tree(&masks)?;
+
+    // Materialize each atom as (attrs, rows) with duplicate columns
+    // resolved (attr list in ascending attribute index).
+    let mut nodes: Vec<(Vec<usize>, Vec<Vec<u64>>)> = Vec::with_capacity(m);
+    for atom in spec.atoms() {
+        let mut attrs: Vec<usize> = atom.dims.clone();
+        attrs.sort_unstable();
+        attrs.dedup();
+        let rows: Vec<Vec<u64>> = atom
+            .rel
+            .tuples()
+            .iter()
+            .filter_map(|t| {
+                // Consistent on duplicated attributes?
+                let mut vals = vec![None; spec.n()];
+                for (col, &d) in atom.dims.iter().enumerate() {
+                    match vals[d] {
+                        None => vals[d] = Some(t[col]),
+                        Some(v) if v == t[col] => {}
+                        Some(_) => return None,
+                    }
+                }
+                Some(attrs.iter().map(|&d| vals[d].unwrap()).collect())
+            })
+            .collect();
+        nodes.push((attrs, dedup(rows)));
+    }
+
+    // Process order: children before parents = reverse topological. Roots
+    // have parent == usize::MAX. Order by depth descending.
+    let depth: Vec<usize> = (0..m)
+        .map(|mut v| {
+            let mut d = 0;
+            while parent[v] != usize::MAX {
+                v = parent[v];
+                d += 1;
+            }
+            d
+        })
+        .collect();
+    let mut up_order: Vec<usize> = (0..m).collect();
+    up_order.sort_by_key(|&v| std::cmp::Reverse(depth[v]));
+
+    // Pass 1 (leaves → root): parent ⋉ child.
+    for &v in &up_order {
+        let p = parent[v];
+        if p != usize::MAX {
+            let (pa, pr) = (nodes[p].0.clone(), std::mem::take(&mut nodes[p].1));
+            nodes[p].1 = semijoin(&pa, pr, &nodes[v].0, &nodes[v].1);
+        }
+    }
+    // Pass 2 (root → leaves): child ⋉ parent.
+    for &v in up_order.iter().rev() {
+        let p = parent[v];
+        if p != usize::MAX {
+            let (va, vr) = (nodes[v].0.clone(), std::mem::take(&mut nodes[v].1));
+            nodes[v].1 = semijoin(&va, vr, &nodes[p].0, &nodes[p].1);
+        }
+    }
+    // Pass 3: join children into parents, bottom-up.
+    for &v in &up_order {
+        let p = parent[v];
+        if p != usize::MAX {
+            let child = std::mem::take(&mut nodes[v]);
+            let par = std::mem::take(&mut nodes[p]);
+            nodes[p] = join(par, child);
+        }
+    }
+    // Join the roots (disconnected components) by cross product.
+    let mut acc: Option<(Vec<usize>, Vec<Vec<u64>>)> = None;
+    for v in 0..m {
+        if parent[v] == usize::MAX {
+            let node = std::mem::take(&mut nodes[v]);
+            acc = Some(match acc {
+                None => node,
+                Some(a) => join(a, node),
+            });
+        }
+    }
+    let (attrs, rows) = acc.expect("at least one root");
+    debug_assert_eq!(attrs.len(), spec.n());
+    let pos: Vec<usize> = (0..spec.n())
+        .map(|d| attrs.iter().position(|&a| a == d).expect("covered"))
+        .collect();
+    let mut out: Vec<Vec<u64>> = rows
+        .iter()
+        .map(|r| pos.iter().map(|&p| r[p]).collect())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+fn dedup(mut rows: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}
+
+/// Build a join tree via maximum-weight spanning tree on pairwise
+/// attribute-intersection sizes, then verify the running-intersection
+/// property (valid iff the hypergraph is α-acyclic).
+fn join_tree(masks: &[u32]) -> Option<Vec<usize>> {
+    let m = masks.len();
+    // Kruskal on weights |F ∩ F'| (only positive weights connect).
+    let mut edges: Vec<(u32, usize, usize)> = Vec::new();
+    for i in 0..m {
+        for j in i + 1..m {
+            let w = (masks[i] & masks[j]).count_ones();
+            if w > 0 {
+                edges.push((w, i, j));
+            }
+        }
+    }
+    edges.sort_by_key(|&(w, _, _)| std::cmp::Reverse(w));
+    let mut dsu: Vec<usize> = (0..m).collect();
+    fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+        if dsu[x] != x {
+            let r = find(dsu, dsu[x]);
+            dsu[x] = r;
+        }
+        dsu[x]
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (_, i, j) in edges {
+        let (ri, rj) = (find(&mut dsu, i), find(&mut dsu, j));
+        if ri != rj {
+            dsu[ri] = rj;
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+    }
+    // Root each component; compute parents by BFS.
+    let mut parent = vec![usize::MAX; m];
+    let mut visited = vec![false; m];
+    for root in 0..m {
+        if visited[root] {
+            continue;
+        }
+        visited[root] = true;
+        let mut queue = vec![root];
+        while let Some(v) = queue.pop() {
+            for &w in &adj[v] {
+                if !visited[w] {
+                    visited[w] = true;
+                    parent[w] = v;
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    // Verify the running-intersection property: for each pair (i, j), the
+    // shared attributes must appear in every bag on the tree path. It
+    // suffices to check each node against its parent chain: for each
+    // vertex a, the set of nodes containing a must be connected. Check
+    // directly per attribute.
+    let n_attrs = 32 - masks.iter().fold(0u32, |a, &e| a | e).leading_zeros();
+    for a in 0..n_attrs {
+        let holders: Vec<usize> =
+            (0..m).filter(|&i| masks[i] & (1 << a) != 0).collect();
+        if holders.is_empty() {
+            continue;
+        }
+        // Connected iff exactly one holder's parent is not a holder
+        // (within the same tree component the parent chain must stay in
+        // the holder set).
+        let holder_set: HashSet<usize> = holders.iter().copied().collect();
+        let mut roots = 0;
+        for &h in &holders {
+            if parent[h] == usize::MAX || !holder_set.contains(&parent[h]) {
+                roots += 1;
+            }
+        }
+        if roots != 1 {
+            return None; // cyclic
+        }
+    }
+    Some(parent)
+}
+
+/// `left ⋉ right`: keep left rows whose shared-attribute values appear in
+/// the right.
+fn semijoin(
+    left_attrs: &[usize],
+    left_rows: Vec<Vec<u64>>,
+    right_attrs: &[usize],
+    right_rows: &[Vec<u64>],
+) -> Vec<Vec<u64>> {
+    let shared: Vec<(usize, usize)> = left_attrs
+        .iter()
+        .enumerate()
+        .filter_map(|(lp, &a)| {
+            right_attrs.iter().position(|&b| b == a).map(|rp| (lp, rp))
+        })
+        .collect();
+    if shared.is_empty() {
+        return if right_rows.is_empty() { Vec::new() } else { left_rows };
+    }
+    let keys: HashSet<Vec<u64>> = right_rows
+        .iter()
+        .map(|r| shared.iter().map(|&(_, rp)| r[rp]).collect())
+        .collect();
+    left_rows
+        .into_iter()
+        .filter(|row| {
+            let k: Vec<u64> = shared.iter().map(|&(lp, _)| row[lp]).collect();
+            keys.contains(&k)
+        })
+        .collect()
+}
+
+/// Natural join of two materialized nodes (hash-based).
+fn join(
+    (la, lr): (Vec<usize>, Vec<Vec<u64>>),
+    (ra, rr): (Vec<usize>, Vec<Vec<u64>>),
+) -> (Vec<usize>, Vec<Vec<u64>>) {
+    let shared: Vec<(usize, usize)> = la
+        .iter()
+        .enumerate()
+        .filter_map(|(lp, &a)| ra.iter().position(|&b| b == a).map(|rp| (lp, rp)))
+        .collect();
+    let new_cols: Vec<usize> = (0..ra.len())
+        .filter(|rp| !shared.iter().any(|&(_, srp)| srp == *rp))
+        .collect();
+    let mut attrs = la.clone();
+    attrs.extend(new_cols.iter().map(|&rp| ra[rp]));
+    let mut table: std::collections::HashMap<Vec<u64>, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (idx, row) in rr.iter().enumerate() {
+        let key: Vec<u64> = shared.iter().map(|&(_, rp)| row[rp]).collect();
+        table.entry(key).or_default().push(idx);
+    }
+    let mut rows = Vec::new();
+    for lrow in &lr {
+        let key: Vec<u64> = shared.iter().map(|&(lp, _)| lrow[lp]).collect();
+        if let Some(ms) = table.get(&key) {
+            for &ri in ms {
+                let mut row = lrow.clone();
+                row.extend(new_cols.iter().map(|&rp| rr[ri][rp]));
+                rows.push(row);
+            }
+        }
+    }
+    (attrs, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Relation, Schema};
+
+    fn rel(attrs: &[&str], width: u8, tuples: &[&[u64]]) -> Relation {
+        Relation::new(
+            Schema::uniform(attrs, width),
+            tuples.iter().map(|t| t.to_vec()).collect(),
+        )
+    }
+
+    #[test]
+    fn path_query_matches_brute_force() {
+        let r = rel(&["X", "Y"], 2, &[&[0, 1], &[1, 1], &[2, 3]]);
+        let s = rel(&["Y", "Z"], 2, &[&[1, 0], &[1, 3], &[3, 2]]);
+        let t = rel(&["Z", "W"], 2, &[&[0, 0], &[2, 1], &[3, 3]]);
+        let spec = JoinSpec::new(&["A", "B", "C", "D"], &[2, 2, 2, 2])
+            .atom("R", &r, &["A", "B"])
+            .atom("S", &s, &["B", "C"])
+            .atom("T", &t, &["C", "D"]);
+        let got = yannakakis_join(&spec).expect("path is acyclic");
+        assert_eq!(got, crate::brute::brute_force_join(&spec));
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn cyclic_query_rejected() {
+        let e = rel(&["X", "Y"], 2, &[&[0, 1], &[1, 2], &[0, 2]]);
+        let spec = JoinSpec::new(&["A", "B", "C"], &[2, 2, 2])
+            .atom("R", &e, &["A", "B"])
+            .atom("S", &e, &["B", "C"])
+            .atom("T", &e, &["A", "C"]);
+        assert!(yannakakis_join(&spec).is_none());
+    }
+
+    #[test]
+    fn star_query() {
+        let r = rel(&["X", "Y"], 2, &[&[0, 1], &[0, 2]]);
+        let s = rel(&["X", "Y"], 2, &[&[0, 3]]);
+        let t = rel(&["X", "Y"], 2, &[&[0, 0], &[1, 1]]);
+        let spec = JoinSpec::new(&["H", "A", "B", "C"], &[2, 2, 2, 2])
+            .atom("R", &r, &["H", "A"])
+            .atom("S", &s, &["H", "B"])
+            .atom("T", &t, &["H", "C"]);
+        let got = yannakakis_join(&spec).expect("star is acyclic");
+        assert_eq!(got, crate::brute::brute_force_join(&spec));
+        assert_eq!(got.len(), 2); // H=0: A∈{1,2}, B=3, C=0.
+    }
+
+    #[test]
+    fn semijoin_reduction_filters_dangling_tuples() {
+        // S has a dangling tuple (B=3) that must be filtered.
+        let r = rel(&["X", "Y"], 2, &[&[0, 1]]);
+        let s = rel(&["Y", "Z"], 2, &[&[1, 2], &[3, 3]]);
+        let spec = JoinSpec::new(&["A", "B", "C"], &[2, 2, 2])
+            .atom("R", &r, &["A", "B"])
+            .atom("S", &s, &["B", "C"]);
+        let got = yannakakis_join(&spec).unwrap();
+        assert_eq!(got, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn bowtie_query_with_unary_relations() {
+        // Q = R(A) ⋈ S(A,B) ⋈ T(B) — the paper's Appendix B example.
+        let ra = rel(&["X"], 2, &[&[0], &[1]]);
+        let s = rel(&["X", "Y"], 2, &[&[0, 2], &[1, 3], &[2, 2]]);
+        let tb = rel(&["X"], 2, &[&[2]]);
+        let spec = JoinSpec::new(&["A", "B"], &[2, 2])
+            .atom("R", &ra, &["A"])
+            .atom("S", &s, &["A", "B"])
+            .atom("T", &tb, &["B"]);
+        let got = yannakakis_join(&spec).unwrap();
+        assert_eq!(got, vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn randomized_acyclic_agreement() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let mk = |rng: &mut rand::rngs::StdRng| {
+                let cnt = rng.gen_range(0..12);
+                let tuples: Vec<Vec<u64>> = (0..cnt)
+                    .map(|_| vec![rng.gen_range(0..4), rng.gen_range(0..4)])
+                    .collect();
+                Relation::new(Schema::uniform(&["X", "Y"], 2), tuples)
+            };
+            let r = mk(&mut rng);
+            let s = mk(&mut rng);
+            let t = mk(&mut rng);
+            let spec = JoinSpec::new(&["A", "B", "C", "D"], &[2, 2, 2, 2])
+                .atom("R", &r, &["A", "B"])
+                .atom("S", &s, &["B", "C"])
+                .atom("T", &t, &["B", "D"]);
+            let got = yannakakis_join(&spec).expect("tree query");
+            assert_eq!(got, crate::brute::brute_force_join(&spec));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! T1.1 — α-acyclic queries in Õ(N+Z): Tetris-Preloaded vs Yannakakis vs
+//! Leapfrog on random chain queries.
+
+use baseline::{leapfrog::leapfrog_join, yannakakis::yannakakis_join, JoinSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetris_core::Tetris;
+use tetris_join::prepared::PreparedJoin;
+use workload::paths;
+
+fn bench_acyclic(c: &mut Criterion) {
+    let width = 12u8;
+    let mut group = c.benchmark_group("acyclic_chain");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let chain = paths::random_chain(3, n, width, 7);
+        let join = PreparedJoin::builder(width)
+            .atom("R", &chain[0], &["A", "B"])
+            .atom("S", &chain[1], &["B", "C"])
+            .atom("T", &chain[2], &["C", "D"])
+            .build();
+        group.bench_with_input(BenchmarkId::new("tetris_preloaded", n), &n, |b, _| {
+            b.iter(|| {
+                let oracle = join.oracle();
+                Tetris::preloaded(&oracle).run().tuples.len()
+            })
+        });
+        let spec = || {
+            JoinSpec::new(&["A", "B", "C", "D"], &[width; 4])
+                .atom("R", &chain[0], &["A", "B"])
+                .atom("S", &chain[1], &["B", "C"])
+                .atom("T", &chain[2], &["C", "D"])
+        };
+        group.bench_with_input(BenchmarkId::new("yannakakis", n), &n, |b, _| {
+            b.iter(|| yannakakis_join(&spec()).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("leapfrog", n), &n, |b, _| {
+            b.iter(|| leapfrog_join(&spec()).0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acyclic);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! T1.4/T1.5 — beyond-worst-case: Tetris-Reloaded runtime tracks the
+//! certificate size |C|, not the input size N (comb instances).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetris_core::Tetris;
+use tetris_join::prepared::PreparedJoin;
+use workload::paths;
+
+fn bench_certificate(c: &mut Criterion) {
+    let width = 14u8;
+    let mut group = c.benchmark_group("certificate_tw1");
+    group.sample_size(10);
+    // Fixed |C| (k = 4), growing N: times should stay ~flat.
+    for &fanout in &[16usize, 256] {
+        let inst = paths::comb_path(4, 4, fanout, width);
+        let n = inst.r.len() + inst.s.len();
+        let join = PreparedJoin::builder(width)
+            .atom("R", &inst.r, &["A", "B"])
+            .atom("S", &inst.s, &["B", "C"])
+            .build();
+        group.bench_with_input(
+            BenchmarkId::new("tetris_reloaded_fixed_cert", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let oracle = join.oracle();
+                    Tetris::reloaded(&oracle).run().stats.resolutions
+                })
+            },
+        );
+    }
+    // Growing |C| at fixed fill: times ~linear in k.
+    for &k in &[4usize, 16] {
+        let inst = paths::comb_path(k, 4, 32, width);
+        let join = PreparedJoin::builder(width)
+            .atom("R", &inst.r, &["A", "B"])
+            .atom("S", &inst.s, &["B", "C"])
+            .build();
+        group.bench_with_input(BenchmarkId::new("tetris_reloaded_cert_k", k), &k, |b, _| {
+            b.iter(|| {
+                let oracle = join.oracle();
+                Tetris::reloaded(&oracle).run().stats.resolutions
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_certificate);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! T1.3 — the fractional-hypertree-width bound: two disjoint triangles
+//! (fhtw 3/2, ρ* 3) solved by Tetris-Preloaded in ≈ N^{3/2} while the
+//! AGM bound is N³.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relation::Relation;
+use tetris_core::Tetris;
+use tetris_join::prepared::PreparedJoin;
+use workload::triangle;
+
+fn planted(rel: &Relation) -> Relation {
+    let mut t = rel.tuples().to_vec();
+    t.push(vec![0, 0]);
+    Relation::new(rel.schema().clone(), t)
+}
+
+fn bench_fhtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjoint_triangles_fhtw");
+    group.sample_size(10);
+    for &k in &[2u32, 3] {
+        let s = 1u64 << k;
+        let width = k as u8 + 1;
+        let grid = triangle::agm_triangle(s, width);
+        let msb = triangle::msb_triangle_relations(width);
+        let (r2, s2, t2) = (planted(&msb.r), planted(&msb.s), planted(&msb.t));
+        let join = PreparedJoin::builder(width)
+            .atom("R1", &grid.r, &["A", "B"])
+            .atom("S1", &grid.s, &["B", "C"])
+            .atom("T1", &grid.t, &["A", "C"])
+            .atom("R2", &r2, &["D", "E"])
+            .atom("S2", &s2, &["E", "F"])
+            .atom("T2", &t2, &["D", "F"])
+            .build();
+        group.bench_with_input(BenchmarkId::new("tetris_preloaded", s), &s, |b, _| {
+            b.iter(|| {
+                let oracle = join.oracle();
+                Tetris::preloaded(&oracle).run().tuples.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fhtw);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Corollary F.8 — Boolean Klee's measure problem: the load-balanced
+//! solver (Õ(|C|^{n/2})) vs the plain ordered solver (Õ(|B|^{n−1})) on
+//! random 3-dimensional box unions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyadic::Space;
+use rand_boxes::random_int_boxes;
+use tetris_core::klee;
+
+mod rand_boxes {
+    use tetris_core::klee::IntBox;
+
+    /// Deterministic pseudo-random integer boxes via an xorshift stream.
+    pub fn random_int_boxes(n: usize, d: u8, count: usize, seed: u64) -> Vec<IntBox> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let dom = 1u64 << d;
+        (0..count)
+            .map(|_| {
+                let lo: Vec<u64> = (0..n).map(|_| next() % dom).collect();
+                let hi: Vec<u64> = lo.iter().map(|&l| l + next() % (dom - l)).collect();
+                IntBox::new(lo, hi)
+            })
+            .collect()
+    }
+}
+
+fn bench_klee(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boolean_klee_3d");
+    group.sample_size(10);
+    for &count in &[20usize, 60] {
+        let space = Space::uniform(3, 8);
+        let boxes = random_int_boxes(3, 8, count, 42);
+        group.bench_with_input(BenchmarkId::new("load_balanced", count), &count, |b, _| {
+            b.iter(|| klee::covers_space_lb(&boxes, &space).0)
+        });
+        group.bench_with_input(BenchmarkId::new("plain_ordered", count), &count, |b, _| {
+            b.iter(|| klee::covers_space_plain(&boxes, &space).0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_klee);
+criterion_main!(benches);

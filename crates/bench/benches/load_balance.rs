@@ -1,0 +1,27 @@
+//! F2.4 — the ordered-vs-general resolution separation of Example F.1:
+//! plain (ordered) Tetris needs ~|C|² resolutions, the Balance lift
+//! ~|C|^{3/2}.
+
+use boxstore::SetOracle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetris_core::{balance::TetrisLB, Tetris};
+use workload::bcp;
+
+fn bench_lb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("example_f1");
+    group.sample_size(10);
+    for d in [5u8, 7] {
+        let (space, boxes) = bcp::example_f1(d);
+        let oracle = SetOracle::new(space, boxes);
+        group.bench_with_input(BenchmarkId::new("ordered_preloaded", d), &d, |b, _| {
+            b.iter(|| Tetris::preloaded(&oracle).run().stats.resolutions)
+        });
+        group.bench_with_input(BenchmarkId::new("balanced_preloaded", d), &d, |b, _| {
+            b.iter(|| TetrisLB::preloaded(&oracle).run().stats.resolutions)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lb);
+criterion_main!(benches);

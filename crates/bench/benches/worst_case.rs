@@ -1,0 +1,47 @@
+//! T1.2 — AGM-bound worst-case behavior on the skew and grid triangles:
+//! Tetris and Leapfrog stay worst-case-optimal; the binary hash plan
+//! materializes a quadratic intermediate on the skew instance.
+
+use baseline::{leapfrog::leapfrog_join, pairwise, JoinSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetris_core::Tetris;
+use tetris_join::prepared::PreparedJoin;
+use workload::triangle::{agm_triangle, skew_triangle, TriangleInstance};
+
+fn run_all(c: &mut Criterion, name: &str, inst: &TriangleInstance, param: u64) {
+    let width = inst.width;
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    let join = PreparedJoin::builder(width)
+        .atom("R", &inst.r, &["A", "B"])
+        .atom("S", &inst.s, &["B", "C"])
+        .atom("T", &inst.t, &["A", "C"])
+        .build();
+    group.bench_with_input(BenchmarkId::new("tetris_preloaded", param), &param, |b, _| {
+        b.iter(|| {
+            let oracle = join.oracle();
+            Tetris::preloaded(&oracle).run().tuples.len()
+        })
+    });
+    let spec = || {
+        JoinSpec::new(&["A", "B", "C"], &[width; 3])
+            .atom("R", &inst.r, &["A", "B"])
+            .atom("S", &inst.s, &["B", "C"])
+            .atom("T", &inst.t, &["A", "C"])
+    };
+    group.bench_with_input(BenchmarkId::new("leapfrog", param), &param, |b, _| {
+        b.iter(|| leapfrog_join(&spec()).0.len())
+    });
+    group.bench_with_input(BenchmarkId::new("hash_plan", param), &param, |b, _| {
+        b.iter(|| pairwise::pairwise_join(&spec(), &[0, 1, 2], pairwise::StepAlgo::Hash).0.len())
+    });
+    group.finish();
+}
+
+fn bench_triangles(c: &mut Criterion) {
+    run_all(c, "skew_triangle", &skew_triangle(400, 12), 400);
+    run_all(c, "agm_grid_triangle", &agm_triangle(16, 6), 16);
+}
+
+criterion_group!(benches, bench_triangles);
+criterion_main!(benches);

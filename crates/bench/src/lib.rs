@@ -1,0 +1,216 @@
+//! Shared harness utilities for the table/figure binaries: timing,
+//! log-log growth-exponent fitting, and aligned table printing.
+//!
+//! The binaries (`table1`, `fig2`, `figures`) regenerate the paper's
+//! evaluation artifacts; see `EXPERIMENTS.md` at the workspace root for
+//! the paper-claim-vs-measured record, and `DESIGN.md` §3 for the
+//! experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical
+/// growth exponent of a parameter sweep. Points with non-positive values
+/// are skipped; returns `NaN` with fewer than two usable points.
+pub fn fit_exponent(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+        .map(|(&x, &y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// A minimal aligned-table printer for harness output, with JSON-lines
+/// export for downstream analysis (one object per row, keyed by header).
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Serialize as JSON lines: one object per row with header keys.
+    /// Numeric-looking cells become JSON numbers; others stay strings.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            let mut obj = serde_json::Map::new();
+            for (key, cell) in self.header.iter().zip(row) {
+                let value = if let Ok(i) = cell.parse::<i64>() {
+                    serde_json::Value::from(i)
+                } else if let Ok(f) = cell.parse::<f64>() {
+                    serde_json::Value::from(f)
+                } else {
+                    serde_json::Value::from(cell.clone())
+                };
+                obj.insert(key.clone(), value);
+            }
+            out.push_str(&serde_json::Value::Object(obj).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// If `TETRIS_BENCH_JSONL` is set, append this table's rows (tagged
+    /// with `experiment`) to that file. Harness binaries call this after
+    /// printing, so sweeps can be collected machine-readably.
+    pub fn export(&self, experiment: &str) {
+        let Ok(path) = std::env::var("TETRIS_BENCH_JSONL") else {
+            return;
+        };
+        use std::io::Write;
+        let mut tagged = Table::new(
+            &std::iter::once("experiment")
+                .chain(self.header.iter().map(|s| s.as_str()))
+                .collect::<Vec<_>>(),
+        );
+        for row in &self.rows {
+            let mut cells = vec![experiment.to_string()];
+            cells.extend(row.iter().cloned());
+            tagged.row(&cells);
+        }
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        {
+            let _ = f.write_all(tagged.to_jsonl().as_bytes());
+        }
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{:>w$}", s, w = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float compactly (3 significant-ish digits).
+pub fn fmt_f(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_of_perfect_power_law() {
+        let xs: [f64; 4] = [10.0, 20.0, 40.0, 80.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| 3.0 * x.powf(1.5)).collect();
+        let e = fit_exponent(&xs, &ys);
+        assert!((e - 1.5).abs() < 1e-9, "got {e}");
+    }
+
+    #[test]
+    fn exponent_skips_zeroes() {
+        let e = fit_exponent(&[1.0, 2.0, 4.0], &[0.0, 8.0, 64.0]);
+        assert!((e - 3.0).abs() < 1e-9);
+        assert!(fit_exponent(&[1.0], &[2.0]).is_nan());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["N", "time"]);
+        t.row(&["10".into(), "1.5".into()]);
+        t.row(&["1000".into(), "2.25".into()]);
+        let s = t.render();
+        assert!(s.contains("   N"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn jsonl_types_cells() {
+        let mut t = Table::new(&["N", "time", "label"]);
+        t.row(&["10".into(), "1.5".into(), "fast".into()]);
+        let line = t.to_jsonl();
+        let v: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(v["N"], 10);
+        assert_eq!(v["time"], 1.5);
+        assert_eq!(v["label"], "fast");
+    }
+
+    #[test]
+    fn export_writes_tagged_rows() {
+        let path = std::env::temp_dir().join("tetris_bench_jsonl_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("TETRIS_BENCH_JSONL", &path);
+        let mut t = Table::new(&["N"]);
+        t.row(&["7".into()]);
+        t.export("unit-test");
+        std::env::remove_var("TETRIS_BENCH_JSONL");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(v["experiment"], "unit-test");
+        assert_eq!(v["N"], 7);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn timing_returns_result() {
+        let (v, secs) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Brute-force coverage reference implementations and certificate
+//! estimation (test & bench support; Definition 3.4's `C(A)`).
+
+use dyadic::{DyadicBox, Space};
+
+/// All points of `space` not covered by any box — the reference BCP output
+/// (Definition 3.4), by exhaustive enumeration.
+///
+/// # Panics
+/// If the space has more than `2^24` points (see [`Space::for_each_point`]).
+pub fn uncovered_points(boxes: &[DyadicBox], space: &Space) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    space.for_each_point(|p| {
+        if !boxes.iter().any(|b| b.contains_point(p, space)) {
+            out.push(p.to_vec());
+        }
+    });
+    out
+}
+
+/// Whether the union of `boxes` covers the whole space (Boolean BCP,
+/// Definition 3.5), by exhaustive enumeration.
+pub fn covers_everything(boxes: &[DyadicBox], space: &Space) -> bool {
+    let mut all = true;
+    space.for_each_point(|p| {
+        if all && !boxes.iter().any(|b| b.contains_point(p, space)) {
+            all = false;
+        }
+    });
+    all
+}
+
+/// Drop boxes contained in another box of the set (cheap reduction that
+/// preserves the union; the survivors are the maximal boxes).
+pub fn remove_dominated(boxes: &[DyadicBox]) -> Vec<DyadicBox> {
+    let mut out: Vec<DyadicBox> = Vec::with_capacity(boxes.len());
+    'outer: for (i, b) in boxes.iter().enumerate() {
+        for (j, a) in boxes.iter().enumerate() {
+            if i != j && a.contains(b) && !(a == b && i < j) {
+                continue 'outer;
+            }
+        }
+        out.push(*b);
+    }
+    out
+}
+
+/// Greedy approximation of the minimum **box certificate** `C(A)`
+/// (Definition 3.4): the smallest subset of `boxes` with the same union.
+///
+/// Exhaustively enumerates the space, so only suitable for small test /
+/// bench instances; greedy set cover gives a `(1 + ln V)`-approximation.
+/// Returns the chosen subset.
+pub fn greedy_certificate(boxes: &[DyadicBox], space: &Space) -> Vec<DyadicBox> {
+    // Collect the covered points and which boxes cover each.
+    let mut points: Vec<Vec<u64>> = Vec::new();
+    space.for_each_point(|p| {
+        if boxes.iter().any(|b| b.contains_point(p, space)) {
+            points.push(p.to_vec());
+        }
+    });
+    let mut uncovered: Vec<bool> = vec![true; points.len()];
+    let mut remaining = points.len();
+    let mut chosen = Vec::new();
+    let mut used = vec![false; boxes.len()];
+    while remaining > 0 {
+        // Pick the box covering the most uncovered points.
+        let mut best = usize::MAX;
+        let mut best_gain = 0usize;
+        for (i, b) in boxes.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let gain = points
+                .iter()
+                .zip(&uncovered)
+                .filter(|(p, &u)| u && b.contains_point(p, space))
+                .count();
+            if gain > best_gain {
+                best_gain = gain;
+                best = i;
+            }
+        }
+        assert_ne!(best, usize::MAX, "internal: uncovered point with no covering box");
+        used[best] = true;
+        chosen.push(boxes[best]);
+        for (k, p) in points.iter().enumerate() {
+            if uncovered[k] && boxes[best].contains_point(p, space) {
+                uncovered[k] = false;
+                remaining -= 1;
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> DyadicBox {
+        DyadicBox::parse(s).unwrap()
+    }
+
+    #[test]
+    fn uncovered_points_small() {
+        // Figure 10 instance: output tuples ⟨01,10⟩ and ⟨11,10⟩.
+        let space = Space::uniform(2, 2);
+        let boxes = vec![b("λ,0"), b("00,λ"), b("λ,11"), b("10,1")];
+        let out = uncovered_points(&boxes, &space);
+        assert_eq!(out, vec![vec![1, 2], vec![3, 2]]);
+        assert!(!covers_everything(&boxes, &space));
+    }
+
+    #[test]
+    fn full_cover_detected() {
+        let space = Space::uniform(2, 2);
+        let boxes = vec![b("0,λ"), b("1,λ")];
+        assert!(covers_everything(&boxes, &space));
+        assert!(uncovered_points(&boxes, &space).is_empty());
+    }
+
+    #[test]
+    fn dominated_boxes_removed() {
+        let boxes = vec![b("0,λ"), b("00,λ"), b("01,1"), b("1,0")];
+        let kept = remove_dominated(&boxes);
+        assert_eq!(kept, vec![b("0,λ"), b("1,0")]);
+        // Exact duplicates keep one copy.
+        let dup = vec![b("0,λ"), b("0,λ")];
+        assert_eq!(remove_dominated(&dup).len(), 1);
+    }
+
+    #[test]
+    fn greedy_certificate_shrinks_redundant_sets() {
+        let space = Space::uniform(2, 3);
+        // ⟨0,λ⟩ makes all its sub-boxes redundant.
+        let boxes = vec![b("00,λ"), b("01,0"), b("0,λ"), b("01,1"), b("1,λ")];
+        let cert = greedy_certificate(&boxes, &space);
+        assert_eq!(cert.len(), 2);
+        assert!(covers_everything(&cert, &space));
+        // Certificate union equals original union on every point.
+        space.for_each_point(|p| {
+            let orig = boxes.iter().any(|x| x.contains_point(p, &space));
+            let cc = cert.iter().any(|x| x.contains_point(p, &space));
+            assert_eq!(orig, cc);
+        });
+    }
+
+    #[test]
+    fn greedy_certificate_of_empty_union_is_empty() {
+        let space = Space::uniform(2, 2);
+        assert!(greedy_certificate(&[], &space).is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! Box storage for the Tetris join algorithm.
+//!
+//! The central structure is the [`BoxTree`]: the paper's **multilevel
+//! dyadic tree** (Appendix C.1, Figure 16). It stores a set of dyadic
+//! boxes and supports the two queries Tetris performs constantly:
+//!
+//! * *"is this box contained in some stored box?"* — Algorithm 1 line 1;
+//! * *"which stored boxes contain this (unit) box?"* — the oracle access
+//!   of Algorithm 2 line 4.
+//!
+//! Both walk only the prefixes of the probe box's components, so each
+//! query touches `O(∏ᵢ(dᵢ+1))` nodes in the worst case and far fewer in
+//! practice — the paper's `Õ(1)` (Proposition B.12 bounds the number of
+//! dyadic boxes containing a point by `dⁿ`).
+//!
+//! The crate also provides [`coverage`] — brute-force reference
+//! implementations used by tests and by certificate estimation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+mod oracle;
+mod tree;
+
+pub use oracle::{BoxOracle, SetOracle};
+pub use tree::BoxTree;

@@ -1,0 +1,119 @@
+//! The oracle abstraction over the input box set `B` (paper §3.4).
+//!
+//! Tetris never materializes `B` up front in its certificate-based modes;
+//! it only asks, for a probe tuple, *which maximal gap boxes contain it*
+//! (Algorithm 2, line 4). Database indexes answer that in `Õ(1)` time
+//! (Appendix B.3). [`BoxOracle`] captures exactly that interface, and
+//! [`SetOracle`] implements it for an explicit box set (raw BCP / Klee's
+//! measure instances).
+
+use crate::BoxTree;
+use dyadic::{DyadicBox, Space};
+
+/// Oracle access to a set of dyadic boxes `B` over a fixed [`Space`].
+///
+/// Implementations must satisfy, for every unit box `p`:
+/// `boxes_containing(p)` returns boxes of `B` containing `p`, and returns
+/// a **non-empty** set whenever *some* box of `B` contains `p`. (Returning
+/// all maximal such boxes, as indexes naturally do, is what the paper's
+/// complexity analysis assumes.)
+pub trait BoxOracle {
+    /// The ambient space of the instance (dimensions in SAO order).
+    fn space(&self) -> Space;
+
+    /// All (maximal) boxes of `B` containing the given unit box.
+    /// An empty result means the point is an output tuple of the BCP.
+    fn boxes_containing(&self, point: &DyadicBox) -> Vec<DyadicBox>;
+
+    /// Enumerate all of `B`, if supported — used by `Tetris-Preloaded`.
+    fn enumerate(&self) -> Option<Vec<DyadicBox>> {
+        None
+    }
+
+    /// Optional size hint: `|B|` when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A [`BoxOracle`] over an explicit, materialized box set.
+///
+/// Used for raw BCP instances (e.g. the lower-bound constructions of
+/// Section 5 and Klee's-measure inputs). Queries go through a [`BoxTree`].
+pub struct SetOracle {
+    space: Space,
+    tree: BoxTree,
+    boxes: Vec<DyadicBox>,
+}
+
+impl SetOracle {
+    /// Build from a list of boxes. Exact duplicates are kept once.
+    ///
+    /// # Panics
+    /// If a box's dimensionality does not match the space.
+    pub fn new(space: Space, boxes: impl IntoIterator<Item = DyadicBox>) -> Self {
+        let mut tree = BoxTree::new(space.n());
+        let mut kept = Vec::new();
+        for b in boxes {
+            assert_eq!(b.n(), space.n(), "box dimensionality mismatch");
+            if tree.insert(&b) {
+                kept.push(b);
+            }
+        }
+        SetOracle { space, tree, boxes: kept }
+    }
+
+    /// The stored boxes.
+    pub fn boxes(&self) -> &[DyadicBox] {
+        &self.boxes
+    }
+}
+
+impl BoxOracle for SetOracle {
+    fn space(&self) -> Space {
+        self.space
+    }
+
+    fn boxes_containing(&self, point: &DyadicBox) -> Vec<DyadicBox> {
+        self.tree.all_containing(point)
+    }
+
+    fn enumerate(&self) -> Option<Vec<DyadicBox>> {
+        Some(self.boxes.clone())
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.boxes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> DyadicBox {
+        DyadicBox::parse(s).unwrap()
+    }
+
+    #[test]
+    fn set_oracle_answers_point_probes() {
+        let space = Space::uniform(2, 2);
+        let o = SetOracle::new(space, vec![b("λ,0"), b("00,λ"), b("λ,11"), b("10,1")]);
+        assert_eq!(o.size_hint(), Some(4));
+        // Figure 10: ⟨01,10⟩ is uncovered.
+        assert!(o.boxes_containing(&b("01,10")).is_empty());
+        // ⟨01,00⟩ is covered by ⟨λ,0⟩.
+        let hits = o.boxes_containing(&b("01,00"));
+        assert_eq!(hits, vec![b("λ,0")]);
+        // ⟨00,00⟩ is covered by two boxes.
+        assert_eq!(o.boxes_containing(&b("00,00")).len(), 2);
+        assert_eq!(o.enumerate().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn duplicates_dropped() {
+        let space = Space::uniform(1, 2);
+        let o = SetOracle::new(space, vec![b("0"), b("0"), b("1")]);
+        assert_eq!(o.boxes().len(), 2);
+    }
+}

@@ -1,0 +1,418 @@
+//! The multilevel dyadic tree (paper Appendix C.1).
+
+use dyadic::{DyadicBox, DyadicInterval};
+
+/// Sentinel for "no node".
+const NONE: u32 = u32::MAX;
+
+/// One node of one level's dyadic (binary) tree.
+///
+/// `children[b]` follows bit `b` of the current dimension's bitstring;
+/// `next` points at the root of the *next level's* tree for boxes whose
+/// current component ends at this node. At the last level `next == NONE`
+/// and `terminal` marks stored boxes.
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    children: [u32; 2],
+    next: u32,
+    terminal: bool,
+}
+
+impl Node {
+    const EMPTY: Node = Node { children: [NONE, NONE], next: NONE, terminal: false };
+}
+
+/// A set of `n`-dimensional dyadic boxes stored as a multilevel dyadic
+/// tree: one binary trie per dimension, chained through `next` pointers.
+///
+/// Supports insertion, exact-duplicate detection, and the containment
+/// queries Tetris needs. Nodes live in a single arena (`Vec`) addressed by
+/// `u32` ids — no per-node allocation, cheap to clear and reuse.
+///
+/// ```
+/// use boxstore::BoxTree;
+/// use dyadic::DyadicBox;
+///
+/// let mut t = BoxTree::new(2);
+/// t.insert(&DyadicBox::parse("0,λ").unwrap());
+/// t.insert(&DyadicBox::parse("10,1").unwrap());
+/// // ⟨0,λ⟩ contains ⟨01,11⟩:
+/// let probe = DyadicBox::parse("01,11").unwrap();
+/// assert_eq!(t.find_containing(&probe), DyadicBox::parse("0,λ"));
+/// ```
+#[derive(Debug)]
+pub struct BoxTree {
+    nodes: Vec<Node>,
+    root: u32,
+    n: usize,
+    len: usize,
+}
+
+impl BoxTree {
+    /// An empty store for `n`-dimensional boxes.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "boxes must have at least one dimension");
+        let mut nodes = Vec::with_capacity(1024);
+        nodes.push(Node::EMPTY); // level-0 root
+        BoxTree { nodes, root: 0, n, len: 0 }
+    }
+
+    /// Number of dimensions.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored boxes (exact duplicates are stored once).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of arena nodes (memory diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Remove all boxes, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node::EMPTY);
+        self.root = 0;
+        self.len = 0;
+    }
+
+    fn alloc(&mut self) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::EMPTY);
+        id
+    }
+
+    /// Descend from `node` along the bits of `iv`, creating nodes on demand;
+    /// returns the node where the interval ends.
+    fn descend_create(&mut self, mut node: u32, iv: DyadicInterval) -> u32 {
+        for k in 0..iv.len() {
+            let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+            let child = self.nodes[node as usize].children[bit];
+            node = if child == NONE {
+                let id = self.alloc();
+                self.nodes[node as usize].children[bit] = id;
+                id
+            } else {
+                child
+            };
+        }
+        node
+    }
+
+    /// Insert a box. Returns `true` if it was new, `false` if this exact
+    /// box was already stored.
+    ///
+    /// # Panics
+    /// If the box has the wrong dimensionality.
+    pub fn insert(&mut self, b: &DyadicBox) -> bool {
+        assert_eq!(b.n(), self.n, "box dimensionality mismatch");
+        let mut node = self.root;
+        for dim in 0..self.n {
+            node = self.descend_create(node, b.get(dim));
+            if dim + 1 < self.n {
+                let next = self.nodes[node as usize].next;
+                node = if next == NONE {
+                    let id = self.alloc();
+                    self.nodes[node as usize].next = id;
+                    id
+                } else {
+                    next
+                };
+            }
+        }
+        let fresh = !self.nodes[node as usize].terminal;
+        self.nodes[node as usize].terminal = true;
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Whether this exact box is stored.
+    pub fn contains_exact(&self, b: &DyadicBox) -> bool {
+        debug_assert_eq!(b.n(), self.n);
+        let mut node = self.root;
+        for dim in 0..self.n {
+            let iv = b.get(dim);
+            for k in 0..iv.len() {
+                let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+                let child = self.nodes[node as usize].children[bit];
+                if child == NONE {
+                    return false;
+                }
+                node = child;
+            }
+            if dim + 1 < self.n {
+                let next = self.nodes[node as usize].next;
+                if next == NONE {
+                    return false;
+                }
+                node = next;
+            }
+        }
+        self.nodes[node as usize].terminal
+    }
+
+    /// Find one stored box `a ⊇ b`, if any (Algorithm 1, line 1).
+    ///
+    /// Prefers boxes with shorter components (found earlier on the walk),
+    /// i.e. geometrically larger witnesses.
+    pub fn find_containing(&self, b: &DyadicBox) -> Option<DyadicBox> {
+        debug_assert_eq!(b.n(), self.n);
+        let mut found = None;
+        let mut scratch = DyadicBox::universe(self.n);
+        self.walk_containing(self.root, 0, b, &mut scratch, &mut |bx| {
+            found = Some(*bx);
+            true // stop at the first hit
+        });
+        found
+    }
+
+    /// Whether some stored box contains `b`.
+    pub fn covers(&self, b: &DyadicBox) -> bool {
+        self.find_containing(b).is_some()
+    }
+
+    /// Collect **all** stored boxes containing `b` (oracle access,
+    /// Algorithm 2 line 4). By Proposition B.12 there are at most
+    /// `∏ᵢ(dᵢ+1)` of them.
+    pub fn all_containing(&self, b: &DyadicBox) -> Vec<DyadicBox> {
+        debug_assert_eq!(b.n(), self.n);
+        let mut out = Vec::new();
+        let mut scratch = DyadicBox::universe(self.n);
+        self.walk_containing(self.root, 0, b, &mut scratch, &mut |bx| {
+            out.push(*bx);
+            false
+        });
+        out
+    }
+
+    /// DFS over stored boxes whose every component is a prefix of `b`'s.
+    /// `visit` returns `true` to stop the walk early.
+    fn walk_containing(
+        &self,
+        root: u32,
+        dim: usize,
+        b: &DyadicBox,
+        scratch: &mut DyadicBox,
+        visit: &mut dyn FnMut(&DyadicBox) -> bool,
+    ) -> bool {
+        let iv = b.get(dim);
+        let mut node = root;
+        // Visit every prefix of `iv` from λ down to `iv` itself.
+        for k in 0..=iv.len() {
+            let prefix = iv.truncate(k);
+            let nd = self.nodes[node as usize];
+            if dim + 1 == self.n {
+                if nd.terminal {
+                    scratch.set(dim, prefix);
+                    if visit(scratch) {
+                        return true;
+                    }
+                }
+            } else if nd.next != NONE {
+                scratch.set(dim, prefix);
+                if self.walk_containing(nd.next, dim + 1, b, scratch, visit) {
+                    return true;
+                }
+            }
+            if k == iv.len() {
+                break;
+            }
+            let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+            let child = nd.children[bit];
+            if child == NONE {
+                break;
+            }
+            node = child;
+        }
+        false
+    }
+
+    /// Enumerate all stored boxes (in deterministic DFS order).
+    pub fn iter_boxes(&self) -> Vec<DyadicBox> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut scratch = DyadicBox::universe(self.n);
+        self.walk_all(self.root, 0, DyadicInterval::lambda(), &mut scratch, &mut out);
+        out
+    }
+
+    fn walk_all(
+        &self,
+        node: u32,
+        dim: usize,
+        prefix: DyadicInterval,
+        scratch: &mut DyadicBox,
+        out: &mut Vec<DyadicBox>,
+    ) {
+        let nd = self.nodes[node as usize];
+        if dim + 1 == self.n {
+            if nd.terminal {
+                scratch.set(dim, prefix);
+                out.push(*scratch);
+            }
+        } else if nd.next != NONE {
+            scratch.set(dim, prefix);
+            self.walk_all(nd.next, dim + 1, DyadicInterval::lambda(), scratch, out);
+        }
+        for bit in 0..2u8 {
+            let child = nd.children[bit as usize];
+            if child != NONE {
+                self.walk_all(child, dim, prefix.child(bit), scratch, out);
+            }
+        }
+    }
+}
+
+impl Extend<DyadicBox> for BoxTree {
+    fn extend<T: IntoIterator<Item = DyadicBox>>(&mut self, iter: T) {
+        for b in iter {
+            self.insert(&b);
+        }
+    }
+}
+
+impl FromIterator<DyadicBox> for BoxTree {
+    /// Builds a store from boxes; panics on an empty iterator (the
+    /// dimensionality cannot be inferred).
+    fn from_iter<T: IntoIterator<Item = DyadicBox>>(iter: T) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let first = it.peek().expect("cannot infer dimensionality from an empty iterator");
+        let mut tree = BoxTree::new(first.n());
+        tree.extend(it);
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyadic::Space;
+
+    fn b(s: &str) -> DyadicBox {
+        DyadicBox::parse(s).unwrap()
+    }
+
+    #[test]
+    fn insert_and_exact_lookup() {
+        let mut t = BoxTree::new(2);
+        assert!(t.insert(&b("0,λ")));
+        assert!(t.insert(&b("10,1")));
+        assert!(t.insert(&b("10,0")));
+        assert!(t.insert(&b("10,001")));
+        assert!(!t.insert(&b("10,1")), "duplicate insert must report false");
+        assert_eq!(t.len(), 4);
+        assert!(t.contains_exact(&b("10,001")));
+        assert!(!t.contains_exact(&b("10,00")));
+        assert!(!t.contains_exact(&b("λ,λ")));
+    }
+
+    #[test]
+    fn figure_16_store() {
+        // The boxes of Figure 16b: ⟨0,λ⟩, ⟨10,1⟩, ⟨10,0⟩, ⟨10,001⟩.
+        let t: BoxTree =
+            [b("0,λ"), b("10,1"), b("10,0"), b("10,001")].into_iter().collect();
+        let mut all = t.iter_boxes();
+        all.sort();
+        assert_eq!(all, vec![b("0,λ"), b("10,0"), b("10,001"), b("10,1")]);
+    }
+
+    #[test]
+    fn find_containing_prefers_any_witness() {
+        let mut t = BoxTree::new(2);
+        t.insert(&b("0,λ"));
+        assert_eq!(t.find_containing(&b("01,11")), Some(b("0,λ")));
+        assert_eq!(t.find_containing(&b("1,λ")), None);
+        assert!(t.covers(&b("00,0")));
+        assert!(!t.covers(&b("λ,λ")));
+    }
+
+    #[test]
+    fn lambda_box_contains_everything() {
+        let mut t = BoxTree::new(3);
+        t.insert(&DyadicBox::universe(3));
+        assert!(t.covers(&b("101,0,11")));
+        assert!(t.covers(&DyadicBox::universe(3)));
+    }
+
+    #[test]
+    fn all_containing_collects_every_ancestor() {
+        let mut t = BoxTree::new(2);
+        // Chain of nested boxes all containing ⟨00,00⟩.
+        for s in ["λ,λ", "0,λ", "00,λ", "00,0", "00,00", "1,λ", "00,1"] {
+            t.insert(&b(s));
+        }
+        let mut hits = t.all_containing(&b("00,00"));
+        hits.sort();
+        assert_eq!(hits, vec![b("λ,λ"), b("0,λ"), b("00,λ"), b("00,0"), b("00,00")]
+            .into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn store_agrees_with_linear_scan_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let space = Space::uniform(3, 3);
+        let rand_box = |rng: &mut rand::rngs::StdRng| {
+            let mut bx = DyadicBox::universe(3);
+            for i in 0..3 {
+                let len = rng.gen_range(0..=3u8);
+                let bits = rng.gen_range(0..(1u64 << len));
+                bx.set(i, DyadicInterval::from_bits(bits, len));
+            }
+            bx
+        };
+        for _ in 0..30 {
+            let stored: Vec<DyadicBox> = (0..rng.gen_range(1..40)).map(|_| rand_box(&mut rng)).collect();
+            let tree: BoxTree = stored.iter().copied().collect();
+            for _ in 0..50 {
+                let probe = rand_box(&mut rng);
+                let expect: Vec<DyadicBox> = {
+                    let mut v: Vec<DyadicBox> =
+                        stored.iter().filter(|a| a.contains(&probe)).copied().collect();
+                    v.sort();
+                    v.dedup();
+                    v
+                };
+                let mut got = tree.all_containing(&probe);
+                got.sort();
+                got.dedup();
+                assert_eq!(got, expect, "probe {probe}");
+                assert_eq!(tree.covers(&probe), !expect.is_empty());
+            }
+        }
+        let _ = space;
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = BoxTree::new(2);
+        t.insert(&b("0,λ"));
+        t.clear();
+        assert!(t.is_empty());
+        assert!(!t.covers(&b("00,0")));
+        t.insert(&b("1,λ"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn one_dimensional_store() {
+        let mut t = BoxTree::new(1);
+        t.insert(&b("01"));
+        t.insert(&b("1"));
+        assert!(t.covers(&b("011")));
+        assert!(t.covers(&b("11")));
+        assert!(!t.covers(&b("00")));
+        assert!(!t.covers(&b("0")));
+        assert_eq!(t.iter_boxes().len(), 2);
+    }
+}

@@ -1,0 +1,511 @@
+//! The core engine: `TetrisSkeleton` (Algorithm 1) and the outer `Tetris`
+//! loop (Algorithm 2).
+
+use crate::{TetrisStats, TraceEvent};
+use boxstore::{BoxOracle, BoxTree};
+use dyadic::{resolve::ordered_resolve, DyadicBox, Space};
+
+/// Configuration of a [`Tetris`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct TetrisConfig {
+    /// Preload the knowledge base with the oracle's full box set
+    /// (`Tetris-Preloaded`, §4.3). Requires [`BoxOracle::enumerate`].
+    pub preload: bool,
+    /// Cache resolvents in the knowledge base (Algorithm 1, line 19).
+    /// Disabling restricts the engine to **Tree Ordered Geometric
+    /// Resolution** (§5.1) — exponentially weaker on some inputs
+    /// (Theorem 5.2), but still meets the AGM bound (Theorem 5.1).
+    pub cache_resolvents: bool,
+    /// Report outputs *inside* the skeleton instead of restarting the
+    /// outer loop per tuple — the paper's `TetrisSkeleton2` (proof of
+    /// Theorem D.2, footnote 13). Semantically identical output; required
+    /// for the Theorem 5.1 bound when caching is disabled, since outer
+    /// restarts would otherwise re-tread the proof once per output.
+    pub inline_outputs: bool,
+    /// Record a [`TraceEvent`] log of every step (tests/figures only).
+    pub trace: bool,
+}
+
+impl Default for TetrisConfig {
+    fn default() -> Self {
+        TetrisConfig {
+            preload: false,
+            cache_resolvents: true,
+            inline_outputs: false,
+            trace: false,
+        }
+    }
+}
+
+/// The result of a Tetris run.
+#[derive(Clone, Debug)]
+pub struct TetrisOutput {
+    /// Output tuples (SAO coordinates), in discovery order (lexicographic
+    /// for the plain engine).
+    pub tuples: Vec<Vec<u64>>,
+    /// Execution counters.
+    pub stats: TetrisStats,
+    /// Trace events (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Result of a skeleton descent.
+enum Skel {
+    /// The target is covered; the witness covers it.
+    Covered(DyadicBox),
+    /// An uncovered unit box inside the target.
+    Uncovered(DyadicBox),
+}
+
+/// The Tetris solver (Algorithms 1 + 2) over any [`BoxOracle`].
+///
+/// The ambient dimensions are already in **splitting attribute order**:
+/// the skeleton always splits the first thick dimension of its target.
+pub struct Tetris<'o, O: BoxOracle + ?Sized> {
+    oracle: &'o O,
+    space: Space,
+    kb: BoxTree,
+    config: TetrisConfig,
+    stats: TetrisStats,
+    trace: Vec<TraceEvent>,
+    /// Tuples reported by the inline (`TetrisSkeleton2`) mode.
+    inline_found: Vec<Vec<u64>>,
+}
+
+impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
+    /// Build an engine with explicit configuration.
+    pub fn with_config(oracle: &'o O, config: TetrisConfig) -> Self {
+        let space = oracle.space();
+        let mut engine = Tetris {
+            oracle,
+            space,
+            kb: BoxTree::new(space.n()),
+            config,
+            stats: TetrisStats::new(space.n()),
+            trace: Vec::new(),
+            inline_found: Vec::new(),
+        };
+        if config.preload {
+            let all = engine
+                .oracle
+                .enumerate()
+                .expect("preloaded mode requires an enumerable oracle");
+            for b in all {
+                if engine.kb.insert(&b) {
+                    engine.stats.kb_inserts += 1;
+                }
+            }
+        }
+        engine
+    }
+
+    /// `Tetris-Preloaded` (§4.3): the knowledge base starts as all of `B`.
+    pub fn preloaded(oracle: &'o O) -> Self {
+        Self::with_config(oracle, TetrisConfig { preload: true, ..Default::default() })
+    }
+
+    /// `Tetris-Reloaded` (§4.4): the knowledge base starts empty and gap
+    /// boxes are loaded on demand — the certificate-sensitive mode.
+    pub fn reloaded(oracle: &'o O) -> Self {
+        Self::with_config(oracle, TetrisConfig::default())
+    }
+
+    /// Enable/disable resolvent caching (builder style).
+    pub fn cache_resolvents(mut self, yes: bool) -> Self {
+        self.config.cache_resolvents = yes;
+        self
+    }
+
+    /// Enable/disable inline output reporting, the paper's
+    /// `TetrisSkeleton2` (builder style).
+    pub fn inline_outputs(mut self, yes: bool) -> Self {
+        self.config.inline_outputs = yes;
+        self
+    }
+
+    /// Enable tracing (builder style).
+    pub fn traced(mut self) -> Self {
+        self.config.trace = true;
+        self
+    }
+
+    /// The ambient space.
+    pub fn space(&self) -> Space {
+        self.space
+    }
+
+    /// Current knowledge-base size (stored boxes).
+    pub fn knowledge_size(&self) -> usize {
+        self.kb.len()
+    }
+
+    #[inline]
+    fn emit(&mut self, e: TraceEvent) {
+        if self.config.trace {
+            self.trace.push(e);
+        }
+    }
+
+    /// Algorithm 1. Returns a covering witness or an uncovered unit box.
+    fn skeleton(&mut self, b: &DyadicBox) -> Skel {
+        self.stats.skeleton_calls += 1;
+        self.stats.kb_queries += 1;
+        if let Some(a) = self.kb.find_containing(b) {
+            self.emit(TraceEvent::CoveredBy { target: *b, witness: a });
+            return Skel::Covered(a);
+        }
+        let Some((b1, b2, dim)) = b.split_first_thick(&self.space) else {
+            if self.config.inline_outputs {
+                // TetrisSkeleton2 (Appendix D): resolve the uncovered
+                // point here — load its gap boxes or report it — and
+                // continue as covered.
+                return Skel::Covered(self.absorb_point(b));
+            }
+            self.emit(TraceEvent::Uncovered(*b));
+            return Skel::Uncovered(*b); // unit box, uncovered
+        };
+        self.stats.splits += 1;
+        self.emit(TraceEvent::Split { target: *b, dim });
+
+        let w1 = match self.skeleton(&b1) {
+            Skel::Uncovered(p) => return Skel::Uncovered(p),
+            Skel::Covered(w) => w,
+        };
+        if w1.contains(b) {
+            return Skel::Covered(w1);
+        }
+        let w2 = match self.skeleton(&b2) {
+            Skel::Uncovered(p) => return Skel::Uncovered(p),
+            Skel::Covered(w) => w,
+        };
+        if w2.contains(b) {
+            return Skel::Covered(w2);
+        }
+        let w = ordered_resolve(&w1, &w2, dim)
+            .expect("Lemma C.1 invariant violated: witnesses must be ordered-resolvable");
+        debug_assert!(w.contains(b), "resolvent must cover the split target");
+        self.stats.count_resolution(dim);
+        self.emit(TraceEvent::Resolve { w1, w2, result: w, dim });
+        if self.config.cache_resolvents && self.kb.insert(&w) {
+            self.stats.kb_inserts += 1;
+        }
+        Skel::Covered(w)
+    }
+
+    /// Handle an uncovered unit box inline: load its covering gap boxes
+    /// from the oracle, or report it as output. Returns a box now in the
+    /// knowledge base that covers it.
+    fn absorb_point(&mut self, b: &DyadicBox) -> DyadicBox {
+        self.stats.oracle_probes += 1;
+        let hits = self.oracle.boxes_containing(b);
+        if hits.is_empty() {
+            self.stats.outputs += 1;
+            self.emit(TraceEvent::Output(*b));
+            self.inline_found.push(b.to_point(&self.space));
+            if self.kb.insert(b) {
+                self.stats.kb_inserts += 1;
+            }
+            *b
+        } else {
+            self.emit(TraceEvent::Load { probe: *b, count: hits.len() });
+            let mut witness = hits[0];
+            for h in &hits {
+                debug_assert!(h.contains(b), "oracle returned a non-covering box");
+                if self.kb.insert(h) {
+                    self.stats.kb_inserts += 1;
+                    self.stats.loaded_boxes += 1;
+                }
+                // Prefer the geometrically largest witness.
+                if h.volume(&self.space) > witness.volume(&self.space) {
+                    witness = *h;
+                }
+            }
+            witness
+        }
+    }
+
+    /// Algorithm 2: run to completion, collecting all output tuples.
+    pub fn run(mut self) -> TetrisOutput {
+        let mut tuples = Vec::new();
+        if self.config.inline_outputs {
+            // One skeleton pass reports everything (TetrisSkeleton2).
+            self.stats.restarts += 1;
+            self.emit(TraceEvent::Restart);
+            let universe = DyadicBox::universe(self.space.n());
+            match self.skeleton(&universe) {
+                Skel::Covered(_) => {}
+                Skel::Uncovered(_) => unreachable!("inline mode absorbs all points"),
+            }
+            tuples = std::mem::take(&mut self.inline_found);
+        } else {
+            self.drive(|t| tuples.push(t), false);
+        }
+        TetrisOutput { tuples, stats: self.stats, trace: self.trace }
+    }
+
+    /// Stream output tuples to a callback instead of materializing them
+    /// (outer-loop mode). Returns the final stats.
+    pub fn for_each_output(mut self, mut f: impl FnMut(&[u64])) -> TetrisStats {
+        self.drive(|t| f(&t), false);
+        self.stats
+    }
+
+    /// Boolean BCP (Definition 3.5): does `B` cover the whole space?
+    /// Stops at the first uncovered output point.
+    pub fn check_cover(mut self) -> (bool, TetrisStats) {
+        let mut found = false;
+        self.drive(|_| found = true, true);
+        (!found, self.stats)
+    }
+
+    /// The outer loop. `stop_on_output` makes it exit after the first
+    /// output tuple (Boolean mode).
+    fn drive(&mut self, mut on_output: impl FnMut(Vec<u64>), stop_on_output: bool) {
+        let universe = DyadicBox::universe(self.space.n());
+        loop {
+            self.stats.restarts += 1;
+            self.emit(TraceEvent::Restart);
+            let w = match self.skeleton(&universe) {
+                Skel::Covered(_) => return,
+                Skel::Uncovered(w) => w,
+            };
+            self.stats.oracle_probes += 1;
+            let hits = self.oracle.boxes_containing(&w);
+            if hits.is_empty() {
+                self.stats.outputs += 1;
+                self.emit(TraceEvent::Output(w));
+                on_output(w.to_point(&self.space));
+                if self.kb.insert(&w) {
+                    self.stats.kb_inserts += 1;
+                }
+                if stop_on_output {
+                    return;
+                }
+            } else {
+                self.emit(TraceEvent::Load { probe: w, count: hits.len() });
+                for h in &hits {
+                    debug_assert!(h.contains(&w), "oracle returned a non-covering box");
+                    if self.kb.insert(h) {
+                        self.stats.kb_inserts += 1;
+                        self.stats.loaded_boxes += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boxstore::{coverage, SetOracle};
+    use dyadic::DyadicInterval;
+
+    fn b(s: &str) -> DyadicBox {
+        DyadicBox::parse(s).unwrap()
+    }
+
+    fn example_4_4_oracle() -> SetOracle {
+        SetOracle::new(
+            Space::uniform(2, 2),
+            ["λ,0", "00,λ", "λ,11", "10,1"].iter().map(|s| b(s)),
+        )
+    }
+
+    #[test]
+    fn example_4_4_output() {
+        // The paper's worked example: outputs ⟨01,10⟩ = (1,2) and
+        // ⟨11,10⟩ = (3,2).
+        let oracle = example_4_4_oracle();
+        for engine in [Tetris::reloaded(&oracle), Tetris::preloaded(&oracle)] {
+            let out = engine.run();
+            assert_eq!(out.tuples, vec![vec![1, 2], vec![3, 2]]);
+        }
+    }
+
+    #[test]
+    fn example_4_4_trace_matches_paper() {
+        // Follow the narrative of Example 4.4 with A initialized to the
+        // first three boxes (the paper's chosen initialization): the first
+        // resolutions it describes are ⟨01,10⟩⊕⟨λ,11⟩ → ⟨01,1⟩ and then
+        // ⟨λ,0⟩⊕⟨01,1⟩ → ⟨01,λ⟩ and ⟨00,λ⟩⊕⟨01,λ⟩ → ⟨0,λ⟩.
+        let space = Space::uniform(2, 2);
+        let all = ["λ,0", "00,λ", "λ,11", "10,1"].map(|s| b(s));
+        let oracle = SetOracle::new(space, all);
+        // Reloaded with tracing; the paper's partial initialization is
+        // emulated by the engine loading boxes on demand — the resolution
+        // sequence below must still appear, in order.
+        let out = Tetris::reloaded(&oracle).traced().run();
+        let resolutions: Vec<(DyadicBox, DyadicBox, DyadicBox)> = out
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Resolve { w1, w2, result, .. } => Some((*w1, *w2, *result)),
+                _ => None,
+            })
+            .collect();
+        // The key inferences of the example must all occur.
+        let expect = [
+            (b("01,10"), b("λ,11"), b("01,1")),
+            (b("λ,0"), b("01,1"), b("01,λ")),
+            (b("00,λ"), b("01,λ"), b("0,λ")),
+            (b("11,10"), b("λ,11"), b("11,1")),
+            (b("λ,0"), b("11,1"), b("11,λ")),
+            (b("10,λ"), b("11,λ"), b("1,λ")),
+            (b("0,λ"), b("1,λ"), b("λ,λ")),
+        ];
+        for (w1, w2, r) in expect {
+            assert!(
+                resolutions.iter().any(|(a, c, res)| *a == w1 && *c == w2 && *res == r),
+                "missing resolution {w1} ⊕ {w2} → {r}; got {resolutions:?}"
+            );
+        }
+        // The final inference is the universal box.
+        assert_eq!(resolutions.last().unwrap().2, b("λ,λ"));
+    }
+
+    #[test]
+    fn outputs_match_brute_force_on_randomized_bcp() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..=3);
+            let d = rng.gen_range(1..=3u8);
+            let space = Space::uniform(n, d);
+            let count = rng.gen_range(0..25);
+            let boxes: Vec<DyadicBox> = (0..count)
+                .map(|_| {
+                    let mut bx = DyadicBox::universe(n);
+                    for i in 0..n {
+                        let len = rng.gen_range(0..=d);
+                        let bits = rng.gen_range(0..(1u64 << len));
+                        bx.set(i, DyadicInterval::from_bits(bits, len));
+                    }
+                    bx
+                })
+                .collect();
+            let expect = coverage::uncovered_points(&boxes, &space);
+            let oracle = SetOracle::new(space, boxes.clone());
+            for preload in [false, true] {
+                let engine = Tetris::with_config(
+                    &oracle,
+                    TetrisConfig { preload, ..Default::default() },
+                );
+                let out = engine.run();
+                assert_eq!(out.tuples, expect, "trial {trial} preload={preload}");
+                assert_eq!(out.stats.outputs as usize, expect.len());
+            }
+        }
+    }
+
+    #[test]
+    fn no_caching_still_correct() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..15 {
+            let space = Space::uniform(2, 2);
+            let count = rng.gen_range(0..10);
+            let boxes: Vec<DyadicBox> = (0..count)
+                .map(|_| {
+                    let mut bx = DyadicBox::universe(2);
+                    for i in 0..2 {
+                        let len = rng.gen_range(0..=2u8);
+                        let bits = rng.gen_range(0..(1u64 << len));
+                        bx.set(i, DyadicInterval::from_bits(bits, len));
+                    }
+                    bx
+                })
+                .collect();
+            let expect = coverage::uncovered_points(&boxes, &space);
+            let oracle = SetOracle::new(space, boxes);
+            let out = Tetris::preloaded(&oracle).cache_resolvents(false).run();
+            assert_eq!(out.tuples, expect);
+        }
+    }
+
+    #[test]
+    fn inline_mode_matches_outer_loop() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        for _ in 0..25 {
+            let n = rng.gen_range(1..=3);
+            let d = rng.gen_range(1..=3u8);
+            let space = Space::uniform(n, d);
+            let boxes: Vec<DyadicBox> = (0..rng.gen_range(0..20))
+                .map(|_| {
+                    let mut bx = DyadicBox::universe(n);
+                    for i in 0..n {
+                        let len = rng.gen_range(0..=d);
+                        bx.set(i, DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len));
+                    }
+                    bx
+                })
+                .collect();
+            let oracle = SetOracle::new(space, boxes);
+            let outer = Tetris::reloaded(&oracle).run();
+            let inline = Tetris::reloaded(&oracle).inline_outputs(true).run();
+            assert_eq!(outer.tuples, inline.tuples);
+            // Inline mode never restarts.
+            assert_eq!(inline.stats.restarts, 1);
+            // Also with caching disabled (Tree Ordered + Skeleton2).
+            let tree = Tetris::reloaded(&oracle)
+                .inline_outputs(true)
+                .cache_resolvents(false)
+                .run();
+            assert_eq!(outer.tuples, tree.tuples);
+        }
+    }
+
+    #[test]
+    fn check_cover_boolean_semantics() {
+        // Figure 5: six MSB gap boxes cover the whole cube.
+        let space = Space::uniform(3, 3);
+        let cover = ["0,0,λ", "1,1,λ", "λ,0,0", "λ,1,1", "0,λ,0", "1,λ,1"];
+        let oracle = SetOracle::new(space, cover.iter().map(|s| b(s)));
+        let (covered, stats) = Tetris::reloaded(&oracle).check_cover();
+        assert!(covered);
+        assert!(stats.resolutions > 0);
+
+        // Figure 6: swap T for T' (MSBs equal) and two output points
+        // appear — the space is no longer covered.
+        let open = ["0,0,λ", "1,1,λ", "λ,0,0", "λ,1,1", "0,λ,1", "1,λ,0"];
+        let oracle = SetOracle::new(space, open.iter().map(|s| b(s)));
+        let (covered, _) = Tetris::reloaded(&oracle).check_cover();
+        assert!(!covered);
+    }
+
+    #[test]
+    fn empty_box_set_outputs_whole_space() {
+        let space = Space::uniform(2, 1);
+        let oracle = SetOracle::new(space, Vec::<DyadicBox>::new());
+        let out = Tetris::reloaded(&oracle).run();
+        assert_eq!(out.tuples.len(), 4);
+        assert_eq!(out.stats.outputs, 4);
+    }
+
+    #[test]
+    fn universal_box_yields_no_output_and_no_resolutions() {
+        let space = Space::uniform(3, 4);
+        let oracle = SetOracle::new(space, vec![DyadicBox::universe(3)]);
+        let out = Tetris::preloaded(&oracle).run();
+        assert!(out.tuples.is_empty());
+        assert_eq!(out.stats.resolutions, 0);
+    }
+
+    #[test]
+    fn reloaded_loads_at_most_the_oracle_size() {
+        let oracle = example_4_4_oracle();
+        let out = Tetris::reloaded(&oracle).run();
+        assert!(out.stats.loaded_boxes <= 4);
+        // It must load at least one box per covered probe region.
+        assert!(out.stats.loaded_boxes >= 1);
+    }
+
+    #[test]
+    fn stats_resolution_dims_sum_to_total() {
+        let oracle = example_4_4_oracle();
+        let out = Tetris::reloaded(&oracle).run();
+        let sum: u64 = out.stats.resolutions_by_dim.iter().sum();
+        assert_eq!(sum, out.stats.resolutions);
+    }
+}

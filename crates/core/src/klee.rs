@@ -1,0 +1,130 @@
+//! Boolean Klee's measure problem (paper Corollary F.8 / F.12).
+//!
+//! Klee's measure problem asks for the measure of a union of boxes;
+//! over the Boolean semiring it degenerates to *"does the union cover the
+//! whole space?"* — exactly the Boolean BCP (Definition 3.5). The paper
+//! shows the load-balanced Tetris solves it in `Õ(|C|^{n/2})`, matching
+//! Chan's `O(n^{d/2})` bound for the problem but parameterized by the
+//! certificate instead of the input size.
+
+use crate::balance::TetrisLB;
+use crate::{Tetris, TetrisStats};
+use boxstore::SetOracle;
+use dyadic::{decompose_box, DyadicBox, Space};
+
+/// An axis-aligned box with inclusive integer bounds (not necessarily
+/// dyadic) — the natural input format of Klee's measure problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntBox {
+    /// Inclusive lower corner per dimension.
+    pub lo: Vec<u64>,
+    /// Inclusive upper corner per dimension.
+    pub hi: Vec<u64>,
+}
+
+impl IntBox {
+    /// Construct; panics if dimensions disagree.
+    pub fn new(lo: Vec<u64>, hi: Vec<u64>) -> Self {
+        assert_eq!(lo.len(), hi.len());
+        IntBox { lo, hi }
+    }
+}
+
+/// Decompose integer boxes into dyadic boxes (Proposition B.14: ≤ `(2d)ⁿ`
+/// pieces each) for the given space.
+pub fn dyadic_pieces(boxes: &[IntBox], space: &Space) -> Vec<DyadicBox> {
+    let mut out = Vec::new();
+    for b in boxes {
+        out.extend(decompose_box(&b.lo, &b.hi, space));
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Boolean Klee's measure via the load-balanced Tetris
+/// (`Õ(|C|^{n/2})`, Corollary F.8): `true` iff the union of the boxes
+/// covers the entire space.
+pub fn covers_space_lb(boxes: &[IntBox], space: &Space) -> (bool, TetrisStats) {
+    let pieces = dyadic_pieces(boxes, space);
+    let oracle = SetOracle::new(*space, pieces);
+    TetrisLB::preloaded(&oracle).check_cover()
+}
+
+/// Boolean Klee's measure via plain (ordered-resolution) Tetris —
+/// the `Õ(|B|^{n−1})` baseline of Theorem E.11, for comparison benches.
+pub fn covers_space_plain(boxes: &[IntBox], space: &Space) -> (bool, TetrisStats) {
+    let pieces = dyadic_pieces(boxes, space);
+    let oracle = SetOracle::new(*space, pieces);
+    Tetris::preloaded(&oracle).check_cover()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covered_space_detected() {
+        let space = Space::uniform(2, 3);
+        // Two half-planes cover everything.
+        let boxes = vec![
+            IntBox::new(vec![0, 0], vec![3, 7]),
+            IntBox::new(vec![4, 0], vec![7, 7]),
+        ];
+        assert!(covers_space_lb(&boxes, &space).0);
+        assert!(covers_space_plain(&boxes, &space).0);
+    }
+
+    #[test]
+    fn pinhole_gap_detected() {
+        let space = Space::uniform(2, 3);
+        // Cover everything except the single point (5, 6).
+        let boxes = vec![
+            IntBox::new(vec![0, 0], vec![4, 7]),
+            IntBox::new(vec![6, 0], vec![7, 7]),
+            IntBox::new(vec![5, 0], vec![5, 5]),
+            IntBox::new(vec![5, 7], vec![5, 7]),
+        ];
+        assert!(!covers_space_lb(&boxes, &space).0);
+        assert!(!covers_space_plain(&boxes, &space).0);
+    }
+
+    #[test]
+    fn three_dimensional_agreement_with_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for _ in 0..15 {
+            let space = Space::uniform(3, 2);
+            let boxes: Vec<IntBox> = (0..rng.gen_range(1..8))
+                .map(|_| {
+                    let lo: Vec<u64> = (0..3).map(|_| rng.gen_range(0..4)).collect();
+                    let hi: Vec<u64> =
+                        lo.iter().map(|&l| rng.gen_range(l..4)).collect();
+                    IntBox::new(lo, hi)
+                })
+                .collect();
+            // Brute force.
+            let mut all = true;
+            space.for_each_point(|p| {
+                let covered = boxes.iter().any(|b| {
+                    (0..3).all(|i| b.lo[i] <= p[i] && p[i] <= b.hi[i])
+                });
+                all &= covered;
+            });
+            assert_eq!(covers_space_lb(&boxes, &space).0, all);
+            assert_eq!(covers_space_plain(&boxes, &space).0, all);
+        }
+    }
+
+    #[test]
+    fn dyadic_pieces_bounded() {
+        let space = Space::uniform(2, 4);
+        let b = IntBox::new(vec![1, 1], vec![14, 14]);
+        let pieces = dyadic_pieces(&[b], &space);
+        // Per-dimension cover ≤ 2d = 8 pieces ⇒ ≤ 64 total; actual is 36.
+        assert!(pieces.len() <= 64);
+        // Pieces exactly tile the box.
+        let total: u128 = pieces.iter().map(|p| p.volume(&space)).sum();
+        assert_eq!(total, 14 * 14);
+    }
+}

@@ -1,0 +1,117 @@
+//! Execution counters: the paper's complexity bounds are stated in the
+//! number of (geometric) resolutions, so the engine counts them exactly.
+
+use std::fmt;
+
+/// Counters collected by a Tetris run.
+///
+/// Lemma 4.5 bounds the total runtime by `Õ(resolutions)`, so benches
+/// report [`TetrisStats::resolutions`] alongside wall-clock time — that is
+/// the quantity the theorems constrain, independent of constant factors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TetrisStats {
+    /// Geometric resolutions performed (Algorithm 1 line 18).
+    pub resolutions: u64,
+    /// Resolutions per splitting dimension (index = SAO position).
+    pub resolutions_by_dim: Vec<u64>,
+    /// Box splits (`Split-First-Thick-Dimension` calls).
+    pub splits: u64,
+    /// Recursive `TetrisSkeleton` invocations.
+    pub skeleton_calls: u64,
+    /// Knowledge-base containment queries (Algorithm 1 line 1).
+    pub kb_queries: u64,
+    /// Boxes inserted into the knowledge base (all sources).
+    pub kb_inserts: u64,
+    /// Oracle probes issued by the outer loop (Algorithm 2 line 4).
+    pub oracle_probes: u64,
+    /// Input gap boxes loaded from `B` into `A` (Reloaded mode).
+    pub loaded_boxes: u64,
+    /// Output tuples reported.
+    pub outputs: u64,
+    /// Outer-loop iterations (calls to `TetrisSkeleton(⟨λ,…,λ⟩)`).
+    pub restarts: u64,
+    /// Partition rebuilds (online load-balanced mode only).
+    pub rebuilds: u64,
+}
+
+impl TetrisStats {
+    /// Create counters for an `n`-dimensional run.
+    pub fn new(n: usize) -> Self {
+        TetrisStats { resolutions_by_dim: vec![0; n], ..Default::default() }
+    }
+
+    /// Record one resolution on `dim`.
+    #[inline]
+    pub(crate) fn count_resolution(&mut self, dim: usize) {
+        self.resolutions += 1;
+        if dim < self.resolutions_by_dim.len() {
+            self.resolutions_by_dim[dim] += 1;
+        }
+    }
+
+    /// Merge counters from a sub-run (used when the online LB engine
+    /// restarts with fresh partitions).
+    pub fn absorb(&mut self, other: &TetrisStats) {
+        self.resolutions += other.resolutions;
+        self.splits += other.splits;
+        self.skeleton_calls += other.skeleton_calls;
+        self.kb_queries += other.kb_queries;
+        self.kb_inserts += other.kb_inserts;
+        self.oracle_probes += other.oracle_probes;
+        self.loaded_boxes += other.loaded_boxes;
+        self.outputs += other.outputs;
+        self.restarts += other.restarts;
+        self.rebuilds += other.rebuilds;
+        for (i, &v) in other.resolutions_by_dim.iter().enumerate() {
+            if i < self.resolutions_by_dim.len() {
+                self.resolutions_by_dim[i] += v;
+            }
+        }
+    }
+}
+
+impl fmt::Display for TetrisStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "resolutions={} splits={} skeleton_calls={} probes={} loaded={} outputs={} restarts={}",
+            self.resolutions,
+            self.splits,
+            self.skeleton_calls,
+            self.oracle_probes,
+            self.loaded_boxes,
+            self.outputs,
+            self.restarts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_absorb() {
+        let mut a = TetrisStats::new(3);
+        a.count_resolution(1);
+        a.count_resolution(1);
+        a.count_resolution(2);
+        assert_eq!(a.resolutions, 3);
+        assert_eq!(a.resolutions_by_dim, vec![0, 2, 1]);
+
+        let mut b = TetrisStats::new(3);
+        b.count_resolution(0);
+        b.outputs = 5;
+        b.absorb(&a);
+        assert_eq!(b.resolutions, 4);
+        assert_eq!(b.resolutions_by_dim, vec![1, 2, 1]);
+        assert_eq!(b.outputs, 5);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = TetrisStats::new(2);
+        let shown = s.to_string();
+        assert!(shown.contains("resolutions=0"));
+    }
+}

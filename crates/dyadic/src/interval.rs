@@ -1,0 +1,453 @@
+//! Dyadic intervals encoded as bitstrings (paper Definition 3.2 / B.10).
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// Maximum supported bitstring length for a single dimension.
+///
+/// Values are stored in a `u64`; we cap at 63 so that `1 << len` and
+/// inclusive range arithmetic never overflow.
+pub const MAX_WIDTH: u8 = 63;
+
+/// A dyadic interval: a binary string `x` with `|x| ≤ d`.
+///
+/// The string is stored as `(bits, len)` where `bits` holds the integer
+/// value of the length-`len` prefix (most significant bit of the string is
+/// the most significant bit of that integer). The empty string `λ`
+/// (`len == 0`) matches every domain value — the paper's wildcard.
+///
+/// Ordering on intervals is *lexicographic on the bitstring with shorter
+/// prefixes first* — handy for deterministic iteration; it is **not** the
+/// containment partial order (use [`DyadicInterval::contains`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DyadicInterval {
+    bits: u64,
+    len: u8,
+}
+
+impl DyadicInterval {
+    /// The empty string `λ`: the whole domain / wildcard interval.
+    #[inline]
+    pub const fn lambda() -> Self {
+        DyadicInterval { bits: 0, len: 0 }
+    }
+
+    /// Interval from the low `len` bits of `bits` (the bitstring reading
+    /// most-significant-first).
+    ///
+    /// # Panics
+    /// If `len > 63` or `bits` does not fit in `len` bits.
+    #[inline]
+    pub fn from_bits(bits: u64, len: u8) -> Self {
+        assert!(len <= MAX_WIDTH, "dyadic interval length {len} exceeds {MAX_WIDTH}");
+        assert!(
+            len == 64 || bits < (1u64 << len),
+            "bits {bits:#b} do not fit in {len} bits"
+        );
+        DyadicInterval { bits, len }
+    }
+
+    /// The unit (full-length) interval for a point `value` in a `width`-bit
+    /// domain.
+    #[inline]
+    pub fn point(value: u64, width: u8) -> Self {
+        Self::from_bits(value, width)
+    }
+
+    /// Parse a bitstring such as `"0110"`; the empty string parses to `λ`.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.len() > MAX_WIDTH as usize {
+            return None;
+        }
+        let mut bits = 0u64;
+        for c in s.chars() {
+            bits = (bits << 1)
+                | match c {
+                    '0' => 0,
+                    '1' => 1,
+                    _ => return None,
+                };
+        }
+        Some(DyadicInterval { bits, len: s.len() as u8 })
+    }
+
+    /// The integer value of the stored prefix.
+    #[inline]
+    pub const fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The length of the bitstring, `|x|`.
+    #[inline]
+    pub const fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is `λ` (the empty string — whole domain).
+    #[inline]
+    pub const fn is_lambda(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Alias for [`DyadicInterval::is_lambda`]: the bit*string* is empty
+    /// (the interval as a *set* is never empty — λ is the whole domain).
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.is_lambda()
+    }
+
+    /// Whether this is a unit interval in a `width`-bit domain (a point).
+    #[inline]
+    pub const fn is_unit(&self, width: u8) -> bool {
+        self.len == width
+    }
+
+    /// The point value denoted by a unit interval.
+    ///
+    /// # Panics
+    /// In debug builds if the interval is not unit for the given width.
+    #[inline]
+    pub fn value(&self, width: u8) -> u64 {
+        debug_assert_eq!(self.len, width, "value() on a non-unit interval");
+        self.bits
+    }
+
+    /// Append one bit to the string: the left (`0`) or right (`1`) half.
+    #[inline]
+    pub fn child(&self, bit: u8) -> Self {
+        debug_assert!(bit <= 1);
+        debug_assert!(self.len < MAX_WIDTH);
+        DyadicInterval { bits: (self.bits << 1) | bit as u64, len: self.len + 1 }
+    }
+
+    /// Drop the last bit; `None` for `λ`.
+    #[inline]
+    pub fn parent(&self) -> Option<Self> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(DyadicInterval { bits: self.bits >> 1, len: self.len - 1 })
+        }
+    }
+
+    /// The last bit of the string; `None` for `λ`.
+    #[inline]
+    pub fn last_bit(&self) -> Option<u8> {
+        if self.len == 0 {
+            None
+        } else {
+            Some((self.bits & 1) as u8)
+        }
+    }
+
+    /// The sibling interval (same parent, last bit flipped); `None` for `λ`.
+    #[inline]
+    pub fn sibling(&self) -> Option<Self> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(DyadicInterval { bits: self.bits ^ 1, len: self.len })
+        }
+    }
+
+    /// Whether `self` (as a string) is a prefix of `other` — equivalently,
+    /// whether `self` (as a set) **contains** `other`.
+    #[inline]
+    pub fn is_prefix_of(&self, other: &Self) -> bool {
+        self.len <= other.len && (other.bits >> (other.len - self.len)) == self.bits
+    }
+
+    /// Set containment: `self ⊇ other` iff `self` is a prefix of `other`.
+    #[inline]
+    pub fn contains(&self, other: &Self) -> bool {
+        self.is_prefix_of(other)
+    }
+
+    /// Whether the two intervals are comparable in the prefix order
+    /// (equivalently: whether they intersect as sets).
+    #[inline]
+    pub fn comparable(&self, other: &Self) -> bool {
+        self.is_prefix_of(other) || other.is_prefix_of(self)
+    }
+
+    /// Intersection of two dyadic intervals: the **longer** of the two when
+    /// comparable (paper §4.1 "`yi ∩ zi` denotes the longer of the two
+    /// strings"), `None` when disjoint.
+    #[inline]
+    pub fn intersect(&self, other: &Self) -> Option<Self> {
+        if self.is_prefix_of(other) {
+            Some(*other)
+        } else if other.is_prefix_of(self) {
+            Some(*self)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the point `v` of a `width`-bit domain lies in this interval.
+    #[inline]
+    pub fn contains_value(&self, v: u64, width: u8) -> bool {
+        debug_assert!(self.len <= width);
+        (v >> (width - self.len)) == self.bits
+    }
+
+    /// The inclusive integer range `[lo, hi]` denoted in a `width`-bit domain.
+    #[inline]
+    pub fn range(&self, width: u8) -> (u64, u64) {
+        debug_assert!(self.len <= width, "interval longer than domain width");
+        let shift = width - self.len;
+        let lo = self.bits << shift;
+        let hi = lo + ((1u64 << shift) - 1);
+        (lo, hi)
+    }
+
+    /// Number of domain points covered in a `width`-bit domain: `2^(width-len)`.
+    #[inline]
+    pub fn point_count(&self, width: u8) -> u64 {
+        1u64 << (width - self.len)
+    }
+
+    /// The longest common prefix of two intervals.
+    pub fn common_prefix(&self, other: &Self) -> Self {
+        let mut a = *self;
+        let mut b = *other;
+        match a.len.cmp(&b.len) {
+            Ordering::Greater => a = a.truncate(b.len),
+            Ordering::Less => b = b.truncate(a.len),
+            Ordering::Equal => {}
+        }
+        // Drop bits until equal.
+        let x = a.bits ^ b.bits;
+        let drop = 64 - x.leading_zeros() as u8; // bits to remove
+        a.truncate(a.len - drop.min(a.len))
+    }
+
+    /// The prefix of the first `len` bits.
+    ///
+    /// # Panics
+    /// In debug builds if `len > self.len()`.
+    #[inline]
+    pub fn truncate(&self, len: u8) -> Self {
+        debug_assert!(len <= self.len);
+        DyadicInterval { bits: self.bits >> (self.len - len), len }
+    }
+
+    /// Concatenate two bitstrings: `self · suffix`.
+    ///
+    /// # Panics
+    /// If the combined length exceeds [`MAX_WIDTH`].
+    #[inline]
+    pub fn concat(&self, suffix: &Self) -> Self {
+        assert!(self.len + suffix.len <= MAX_WIDTH, "concatenated interval too long");
+        DyadicInterval {
+            bits: (self.bits << suffix.len) | suffix.bits,
+            len: self.len + suffix.len,
+        }
+    }
+
+    /// The suffix after removing the first `prefix_len` bits.
+    ///
+    /// # Panics
+    /// In debug builds if `prefix_len > self.len()`.
+    #[inline]
+    pub fn suffix(&self, prefix_len: u8) -> Self {
+        debug_assert!(prefix_len <= self.len);
+        let len = self.len - prefix_len;
+        let mask = if len == 0 { 0 } else { (1u64 << len) - 1 };
+        DyadicInterval { bits: self.bits & mask, len }
+    }
+
+    /// Iterator over all prefixes of `self`, from `λ` to `self` inclusive.
+    pub fn prefixes(&self) -> impl Iterator<Item = DyadicInterval> + '_ {
+        (0..=self.len).map(move |l| self.truncate(l))
+    }
+
+    /// Render as a plain bitstring (`"λ"` for the empty string).
+    pub fn bit_string(&self) -> String {
+        if self.len == 0 {
+            return "λ".to_string();
+        }
+        (0..self.len)
+            .map(|i| {
+                let bit = (self.bits >> (self.len - 1 - i)) & 1;
+                if bit == 1 {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for DyadicInterval {
+    fn default() -> Self {
+        Self::lambda()
+    }
+}
+
+impl fmt::Debug for DyadicInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bit_string())
+    }
+}
+
+impl fmt::Display for DyadicInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bit_string())
+    }
+}
+
+impl PartialOrd for DyadicInterval {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DyadicInterval {
+    /// Lexicographic order on bitstrings, shorter-prefix-first on ties.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let common = self.len.min(other.len);
+        let a = self.truncate(common).bits;
+        let b = other.truncate(common).bits;
+        a.cmp(&b).then(self.len.cmp(&other.len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_is_everything() {
+        let l = DyadicInterval::lambda();
+        assert!(l.is_lambda());
+        assert_eq!(l.len(), 0);
+        let x = DyadicInterval::from_bits(0b101, 3);
+        assert!(l.contains(&x));
+        assert!(!x.contains(&l));
+        assert_eq!(l.range(4), (0, 15));
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["", "0", "1", "01", "1101", "000"] {
+            let iv = DyadicInterval::parse(s).unwrap();
+            let shown = if s.is_empty() { "λ".to_string() } else { s.to_string() };
+            assert_eq!(iv.bit_string(), shown);
+        }
+        assert!(DyadicInterval::parse("012").is_none());
+    }
+
+    #[test]
+    fn prefix_and_containment() {
+        let p = DyadicInterval::parse("10").unwrap();
+        let c = DyadicInterval::parse("101").unwrap();
+        assert!(p.is_prefix_of(&c));
+        assert!(p.contains(&c));
+        assert!(!c.contains(&p));
+        assert!(p.comparable(&c));
+        let q = DyadicInterval::parse("11").unwrap();
+        assert!(!p.comparable(&q));
+        assert_eq!(p.intersect(&q), None);
+        assert_eq!(p.intersect(&c), Some(c));
+    }
+
+    #[test]
+    fn child_parent_sibling() {
+        let x = DyadicInterval::parse("10").unwrap();
+        assert_eq!(x.child(0).bit_string(), "100");
+        assert_eq!(x.child(1).bit_string(), "101");
+        assert_eq!(x.child(1).parent(), Some(x));
+        assert_eq!(x.sibling().unwrap().bit_string(), "11");
+        assert_eq!(x.last_bit(), Some(0));
+        assert_eq!(DyadicInterval::lambda().parent(), None);
+        assert_eq!(DyadicInterval::lambda().sibling(), None);
+    }
+
+    #[test]
+    fn ranges_match_definition_3_2() {
+        // x = "10" in a 4-bit domain: i = 2, d - |x| = 2 ⇒ [8, 11].
+        let x = DyadicInterval::parse("10").unwrap();
+        assert_eq!(x.range(4), (8, 11));
+        assert_eq!(x.point_count(4), 4);
+        assert!(x.contains_value(9, 4));
+        assert!(!x.contains_value(12, 4));
+        // Unit interval is a point.
+        let u = DyadicInterval::point(13, 4);
+        assert_eq!(u.range(4), (13, 13));
+        assert!(u.is_unit(4));
+        assert_eq!(u.value(4), 13);
+    }
+
+    #[test]
+    fn containment_iff_range_containment() {
+        let width = 5u8;
+        for alen in 0..=width {
+            for abits in 0..(1u64 << alen) {
+                let a = DyadicInterval::from_bits(abits, alen);
+                for blen in 0..=width {
+                    for bbits in 0..(1u64 << blen) {
+                        let b = DyadicInterval::from_bits(bbits, blen);
+                        let (alo, ahi) = a.range(width);
+                        let (blo, bhi) = b.range(width);
+                        let set_contains = alo <= blo && bhi <= ahi;
+                        assert_eq!(a.contains(&b), set_contains, "{a} vs {b}");
+                        let set_intersects = alo.max(blo) <= ahi.min(bhi);
+                        assert_eq!(a.comparable(&b), set_intersects, "{a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn common_prefix_works() {
+        let a = DyadicInterval::parse("10110").unwrap();
+        let b = DyadicInterval::parse("1010").unwrap();
+        assert_eq!(a.common_prefix(&b).bit_string(), "101");
+        assert_eq!(a.common_prefix(&a), a);
+        let c = DyadicInterval::parse("0").unwrap();
+        assert!(a.common_prefix(&c).is_lambda());
+    }
+
+    #[test]
+    fn concat_suffix_roundtrip() {
+        let a = DyadicInterval::parse("101").unwrap();
+        let b = DyadicInterval::parse("01").unwrap();
+        let c = a.concat(&b);
+        assert_eq!(c.bit_string(), "10101");
+        assert_eq!(c.truncate(3), a);
+        assert_eq!(c.suffix(3), b);
+        assert_eq!(a.concat(&DyadicInterval::lambda()), a);
+        assert_eq!(DyadicInterval::lambda().concat(&a), a);
+    }
+
+    #[test]
+    fn prefixes_enumeration() {
+        let a = DyadicInterval::parse("110").unwrap();
+        let ps: Vec<String> = a.prefixes().map(|p| p.bit_string()).collect();
+        assert_eq!(ps, vec!["λ", "1", "11", "110"]);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![
+            DyadicInterval::parse("1").unwrap(),
+            DyadicInterval::parse("01").unwrap(),
+            DyadicInterval::parse("0").unwrap(),
+            DyadicInterval::lambda(),
+            DyadicInterval::parse("00").unwrap(),
+        ];
+        v.sort();
+        let shown: Vec<String> = v.iter().map(|x| x.bit_string()).collect();
+        assert_eq!(shown, vec!["λ", "0", "00", "01", "1"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_long_panics() {
+        let _ = DyadicInterval::from_bits(0, 64);
+    }
+}

@@ -1,0 +1,64 @@
+//! Dyadic geometry substrate for the Tetris join algorithm.
+//!
+//! This crate implements the geometric core of *"Joins via Geometric
+//! Resolutions: Worst-case and Beyond"* (Abo Khamis, Ngo, Ré, Rudra — PODS
+//! 2015): dyadic intervals encoded as bitstrings, dyadic boxes over a
+//! multidimensional [`Space`], the splitting operation used by
+//! `TetrisSkeleton`, and both **ordered** and **general geometric
+//! resolution** (the paper's Definition 4.3 and Section 4.1).
+//!
+//! # Concepts
+//!
+//! * A [`DyadicInterval`] is a binary string `x` of length `|x| ≤ d`. It
+//!   denotes the set of all length-`d` strings having `x` as a prefix —
+//!   equivalently the integer range `[i·2^{d-|x|}, (i+1)·2^{d-|x|} - 1]`
+//!   where `i` is the integer value of `x`. The empty string `λ` is the
+//!   whole domain (a wildcard).
+//! * A [`DyadicBox`] is an `n`-tuple of dyadic intervals — a rectangular
+//!   region of the output space. A box whose every component has full
+//!   length `d_i` is a **unit box**, i.e. a single tuple.
+//! * **Geometric resolution** combines two boxes that are adjacent in one
+//!   dimension (components `x·0` and `x·1`) and prefix-comparable in every
+//!   other dimension into a single box covering their "merged" region.
+//!
+//! All operations are branch-light bit manipulation: containment and
+//! intersection of intervals are two shifts and a comparison, so every
+//! geometric step costs time logarithmic in the domain size, as required
+//! for the paper's `Õ(·)` bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use dyadic::{DyadicBox, DyadicInterval, Space};
+//!
+//! let space = Space::uniform(2, 2); // two attributes, 2-bit domains
+//! // Figure 7 of the paper: resolve ⟨λ, 00⟩ with ⟨10, 01⟩ on the second axis.
+//! let w1 = DyadicBox::from_intervals(&[
+//!     DyadicInterval::lambda(),
+//!     DyadicInterval::from_bits(0b00, 2),
+//! ]);
+//! let w2 = DyadicBox::from_intervals(&[
+//!     DyadicInterval::from_bits(0b10, 2),
+//!     DyadicInterval::from_bits(0b01, 2),
+//! ]);
+//! let (dim, w) = dyadic::resolve::try_resolve(&w1, &w2).expect("resolvable");
+//! assert_eq!(dim, 1);
+//! assert_eq!(w.to_string(), "⟨10, 0⟩");
+//! let _ = space;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boxes;
+mod decompose;
+mod interval;
+pub mod resolve;
+mod space;
+
+pub use boxes::{DyadicBox, MAX_DIMS};
+pub use decompose::{
+    decompose_box, dyadic_cover_of_range, dyadic_piece_containing, range_gap_boxes,
+};
+pub use interval::DyadicInterval;
+pub use space::Space;

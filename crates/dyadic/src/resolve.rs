@@ -1,0 +1,219 @@
+//! Geometric resolution of dyadic boxes (paper §4.1).
+//!
+//! Two boxes `w1 = ⟨y₁,…,yₙ⟩`, `w2 = ⟨z₁,…,zₙ⟩` resolve on dimension `ℓ`
+//! when `y_ℓ = x·0`, `z_ℓ = x·1` for some string `x`, and every other pair
+//! `(y_j, z_j)` is prefix-comparable. The resolvent takes the intersection
+//! (the longer string) in every other dimension and `x` at `ℓ`:
+//!
+//! ```text
+//! w = ⟨y₁∩z₁, …, x, …, yₙ∩zₙ⟩
+//! ```
+//!
+//! Geometrically `w ⊆ w1 ∪ w2`, and any target box whose two halves are
+//! covered by `w1` and `w2` is covered by `w` — this is the completeness
+//! property Tetris relies on. [`ordered_resolve`] is the restricted form of
+//! Definition 4.3 used by `TetrisSkeleton` (Lemma C.1 guarantees its
+//! preconditions); [`try_resolve`] is the general form used to reason about
+//! the `Geometric Resolution` proof system of Section 5.
+
+use crate::{DyadicBox, DyadicInterval};
+
+/// Attempt a **general geometric resolution** of two boxes.
+///
+/// Scans for a dimension `ℓ` on which the components are siblings
+/// (`x·0` / `x·1`) while all other components are prefix-comparable. At
+/// most one such dimension can exist (a second sibling pair would violate
+/// comparability elsewhere), so the result is unique.
+///
+/// Returns `(ℓ, resolvent)`, or `None` if the boxes do not resolve.
+pub fn try_resolve(w1: &DyadicBox, w2: &DyadicBox) -> Option<(usize, DyadicBox)> {
+    debug_assert_eq!(w1.n(), w2.n());
+    let n = w1.n();
+    let mut pivot: Option<usize> = None;
+    for i in 0..n {
+        let (a, b) = (w1.get(i), w2.get(i));
+        if a.comparable(&b) {
+            continue;
+        }
+        if siblings(&a, &b) {
+            if pivot.is_some() {
+                return None; // two incomparable dimensions ⇒ no resolution
+            }
+            pivot = Some(i);
+        } else {
+            return None;
+        }
+    }
+    let l = pivot?; // equal-or-comparable everywhere ⇒ nothing to resolve
+    let mut out = DyadicBox::universe(n);
+    for i in 0..n {
+        let (a, b) = (w1.get(i), w2.get(i));
+        if i == l {
+            out.set(i, a.parent().expect("sibling has a parent"));
+        } else {
+            out.set(i, a.intersect(&b).expect("checked comparable"));
+        }
+    }
+    Some((l, out))
+}
+
+/// **Ordered geometric resolution** on a known dimension `ℓ`
+/// (Definition 4.3). The caller (Tetris' `Resolve` in Algorithm 1 line 18)
+/// guarantees via Lemma C.1 that:
+///
+/// * `w1[ℓ] = x·0` and `w2[ℓ] = x·1` for a common prefix `x`;
+/// * components after `ℓ` are `λ` in both boxes;
+/// * components before `ℓ` are pairwise prefix-comparable.
+///
+/// Returns `None` if the precondition does not hold (indicating a bug in
+/// the caller); the engine treats that as a hard error.
+pub fn ordered_resolve(w1: &DyadicBox, w2: &DyadicBox, l: usize) -> Option<DyadicBox> {
+    debug_assert_eq!(w1.n(), w2.n());
+    let (a, b) = (w1.get(l), w2.get(l));
+    if !siblings(&a, &b) || a.last_bit() != Some(0) {
+        return None;
+    }
+    let mut out = DyadicBox::universe(w1.n());
+    for i in 0..w1.n() {
+        if i == l {
+            out.set(i, a.parent().expect("sibling has a parent"));
+        } else {
+            out.set(i, w1.get(i).intersect(&w2.get(i))?);
+        }
+    }
+    debug_assert!(
+        (l + 1..w1.n()).all(|i| w1.get(i).is_lambda() && w2.get(i).is_lambda()),
+        "ordered resolution requires trailing λ components (Lemma C.1)"
+    );
+    Some(out)
+}
+
+/// Whether two intervals are siblings: equal length ≥ 1, equal on all but
+/// the final bit.
+#[inline]
+fn siblings(a: &DyadicInterval, b: &DyadicInterval) -> bool {
+    a.len() == b.len() && !a.is_empty() && (a.bits() ^ b.bits()) == 1
+}
+
+/// Soundness check used by tests and debug assertions: the resolvent of a
+/// correct geometric resolution is covered by the union of its antecedents
+/// (every point of `w` lies in `w1` or `w2`).
+pub fn resolvent_is_sound(
+    w1: &DyadicBox,
+    w2: &DyadicBox,
+    w: &DyadicBox,
+    space: &crate::Space,
+) -> bool {
+    let mut ok = true;
+    space.for_each_point(|p| {
+        if w.contains_point(p, space)
+            && !(w1.contains_point(p, space) || w2.contains_point(p, space))
+        {
+            ok = false;
+        }
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Space;
+
+    fn b(s: &str) -> DyadicBox {
+        DyadicBox::parse(s).unwrap()
+    }
+
+    #[test]
+    fn figure_7_example() {
+        // Resolve ⟨λ, 00⟩ (bottom) with ⟨10, 01⟩ (top) on the vertical axis.
+        let w1 = b("λ,00");
+        let w2 = b("10,01");
+        let (dim, w) = try_resolve(&w1, &w2).unwrap();
+        assert_eq!(dim, 1);
+        assert_eq!(w, b("10,0"));
+        let space = Space::uniform(2, 2);
+        assert!(resolvent_is_sound(&w1, &w2, &w, &space));
+    }
+
+    #[test]
+    fn ordered_form_matches_general_form() {
+        // The shapes (1)/(2) from the paper: prefix-comparable before ℓ,
+        // sibling at ℓ, λ after.
+        let w1 = b("10,110,0,λ");
+        let w2 = b("1,11,1,λ");
+        let got = ordered_resolve(&w1, &w2, 2).unwrap();
+        assert_eq!(got, b("10,110,λ,λ"));
+        let (dim, general) = try_resolve(&w1, &w2).unwrap();
+        assert_eq!(dim, 2);
+        assert_eq!(general, got);
+    }
+
+    #[test]
+    fn resolution_on_length_one_siblings_gives_lambda() {
+        let w1 = b("0,λ");
+        let w2 = b("1,λ");
+        let (dim, w) = try_resolve(&w1, &w2).unwrap();
+        assert_eq!(dim, 0);
+        assert_eq!(w, b("λ,λ"));
+    }
+
+    #[test]
+    fn non_siblings_do_not_resolve() {
+        // Incomparable but not adjacent siblings.
+        assert!(try_resolve(&b("00,λ"), &b("1,λ")).is_none());
+        assert!(try_resolve(&b("00,λ"), &b("11,λ")).is_none());
+        // Comparable everywhere ⇒ nothing to resolve.
+        assert!(try_resolve(&b("0,λ"), &b("01,λ")).is_none());
+        // Two sibling dimensions ⇒ no resolution.
+        assert!(try_resolve(&b("0,0"), &b("1,1")).is_none());
+    }
+
+    #[test]
+    fn ordered_resolve_rejects_wrong_pivot() {
+        let w1 = b("10,0");
+        let w2 = b("10,1");
+        assert!(ordered_resolve(&w1, &w2, 0).is_none());
+        assert!(ordered_resolve(&w1, &w2, 1).is_some());
+        // w1 must hold the 0-side.
+        assert!(ordered_resolve(&w2, &w1, 1).is_none());
+    }
+
+    #[test]
+    fn example_4_1_logical_interpretation() {
+        // w1 = ⟨λ, 00⟩ ≙ clause (y1 ∨ y2); w2 = ⟨10, 01⟩ ≙ (¬x1 ∨ x2 ∨ y1 ∨ ¬y2).
+        // Their resolvent clause (¬x1 ∨ x2 ∨ y1) ≙ box ⟨10, 0⟩.
+        let (_, w) = try_resolve(&b("λ,00"), &b("10,01")).unwrap();
+        assert_eq!(w, b("10,0"));
+    }
+
+    #[test]
+    fn exhaustive_soundness_small_space() {
+        // Every successful resolution in a 2×2-bit space is sound and the
+        // resolvent covers the "merged" region exactly as claimed.
+        let space = Space::uniform(2, 2);
+        let mut all = Vec::new();
+        for l0 in 0..=2u8 {
+            for v0 in 0..(1u64 << l0) {
+                for l1 in 0..=2u8 {
+                    for v1 in 0..(1u64 << l1) {
+                        all.push(DyadicBox::from_intervals(&[
+                            DyadicInterval::from_bits(v0, l0),
+                            DyadicInterval::from_bits(v1, l1),
+                        ]));
+                    }
+                }
+            }
+        }
+        let mut count = 0;
+        for w1 in &all {
+            for w2 in &all {
+                if let Some((_, w)) = try_resolve(w1, w2) {
+                    assert!(resolvent_is_sound(w1, w2, &w, &space), "{w1} {w2} -> {w}");
+                    count += 1;
+                }
+            }
+        }
+        assert!(count > 50, "expected many resolvable pairs, got {count}");
+    }
+}

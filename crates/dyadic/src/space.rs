@@ -1,0 +1,142 @@
+//! The output space: dimension count and per-dimension bit widths.
+
+use crate::MAX_DIMS;
+use core::fmt;
+
+/// The ambient output space `∏_i D(A_i)` of a BCP / join instance.
+///
+/// Each dimension `i` has a discrete, ordered domain `{0,1}^{widths[i]}`,
+/// i.e. the integers `0 .. 2^{widths[i]}`. The paper assumes a uniform
+/// width `d`; we allow per-dimension widths (its Remark B.13), which the
+/// load-balancing lift and mixed-arity schemas both use.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Space {
+    widths: [u8; MAX_DIMS],
+    n: u8,
+}
+
+impl Space {
+    /// A space with `n` dimensions, all of width `d` bits.
+    ///
+    /// # Panics
+    /// If `n > MAX_DIMS` or `d > 63`.
+    pub fn uniform(n: usize, d: u8) -> Self {
+        Self::from_widths(&vec![d; n])
+    }
+
+    /// A space with the given per-dimension widths.
+    ///
+    /// # Panics
+    /// If there are more than [`MAX_DIMS`] dimensions or any width exceeds 63.
+    pub fn from_widths(widths: &[u8]) -> Self {
+        assert!(widths.len() <= MAX_DIMS, "at most {MAX_DIMS} dimensions supported");
+        assert!(widths.iter().all(|&w| w <= 63), "dimension width must be ≤ 63 bits");
+        let mut a = [0u8; MAX_DIMS];
+        a[..widths.len()].copy_from_slice(widths);
+        Space { widths: a, n: widths.len() as u8 }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Bit width of dimension `i`.
+    #[inline]
+    pub fn width(&self, i: usize) -> u8 {
+        debug_assert!(i < self.n as usize);
+        self.widths[i]
+    }
+
+    /// All widths, in dimension order.
+    pub fn widths(&self) -> &[u8] {
+        &self.widths[..self.n as usize]
+    }
+
+    /// Domain size of dimension `i`.
+    #[inline]
+    pub fn domain_size(&self, i: usize) -> u64 {
+        1u64 << self.width(i)
+    }
+
+    /// Total number of points in the space (may be astronomically large).
+    pub fn point_count(&self) -> u128 {
+        self.widths()
+            .iter()
+            .fold(1u128, |acc, &w| acc.saturating_mul(1u128 << w))
+    }
+
+    /// Visit every point of the space (for brute-force oracles in tests).
+    ///
+    /// # Panics
+    /// If the space has more than `2^24` points — that means a test is
+    /// about to enumerate something enormous by mistake.
+    pub fn for_each_point(&self, mut f: impl FnMut(&[u64])) {
+        let total = self.point_count();
+        assert!(total <= 1 << 24, "space too large to enumerate ({total} points)");
+        let n = self.n();
+        let mut point = vec![0u64; n];
+        loop {
+            f(&point);
+            // Odometer increment.
+            let mut i = n;
+            loop {
+                if i == 0 {
+                    return;
+                }
+                i -= 1;
+                point[i] += 1;
+                if point[i] < self.domain_size(i) {
+                    break;
+                }
+                point[i] = 0;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Space{:?}", self.widths())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_space() {
+        let s = Space::uniform(3, 4);
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.width(1), 4);
+        assert_eq!(s.domain_size(0), 16);
+        assert_eq!(s.point_count(), 16 * 16 * 16);
+    }
+
+    #[test]
+    fn mixed_widths() {
+        let s = Space::from_widths(&[2, 3, 1]);
+        assert_eq!(s.widths(), &[2, 3, 1]);
+        assert_eq!(s.point_count(), 4 * 8 * 2);
+    }
+
+    #[test]
+    fn point_enumeration_counts_and_orders() {
+        let s = Space::from_widths(&[1, 2]);
+        let mut pts = Vec::new();
+        s.for_each_point(|p| pts.push(p.to_vec()));
+        assert_eq!(pts.len(), 8);
+        assert_eq!(pts[0], vec![0, 0]);
+        assert_eq!(pts[1], vec![0, 1]);
+        assert_eq!(pts[7], vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_dims_panics() {
+        let _ = Space::uniform(MAX_DIMS + 1, 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! Query hypergraphs, GYO elimination, and tree decompositions.
+
+use std::fmt;
+
+/// A hypergraph over at most 32 named vertices (query attributes), with
+/// hyperedges stored as bitmasks (one bit per vertex).
+///
+/// For a join query `Q`, the vertices are `vars(Q)` and the edges are the
+/// attribute sets of the atoms (Appendix A). The same structure describes
+/// the *supporting hypergraph* `H(A)` of a box set (Definition 3.8) when
+/// the edges are support masks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    names: Vec<String>,
+    edges: Vec<u32>,
+}
+
+impl Hypergraph {
+    /// Build from vertex names and edges given as lists of vertex names.
+    ///
+    /// # Panics
+    /// If an edge mentions an unknown vertex or there are more than 32
+    /// vertices.
+    pub fn new(names: &[&str], edges: &[&[&str]]) -> Self {
+        assert!(names.len() <= 32, "at most 32 vertices supported");
+        let names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        let mut masks = Vec::new();
+        for edge in edges {
+            let mut m = 0u32;
+            for v in *edge {
+                let i = names
+                    .iter()
+                    .position(|x| x == v)
+                    .unwrap_or_else(|| panic!("unknown vertex {v:?} in edge"));
+                m |= 1 << i;
+            }
+            masks.push(m);
+        }
+        Hypergraph { names, edges: masks }
+    }
+
+    /// Build from vertex count and raw edge masks (vertices `0..n`).
+    pub fn from_masks(n: usize, edges: &[u32]) -> Self {
+        assert!(n <= 32);
+        let names = (0..n).map(|i| format!("A{i}")).collect();
+        for &e in edges {
+            assert!(e < (1u64 << n) as u32 || n == 32, "edge mask out of range");
+        }
+        Hypergraph { names, edges: edges.to_vec() }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Vertex names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Edge masks.
+    pub fn edges(&self) -> &[u32] {
+        &self.edges
+    }
+
+    /// Mask of all vertices.
+    pub fn all_mask(&self) -> u32 {
+        if self.n() == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.n()) - 1
+        }
+    }
+
+    /// Whether every vertex appears in at least one edge.
+    pub fn covers_all_vertices(&self) -> bool {
+        self.edges.iter().fold(0u32, |a, &e| a | e) == self.all_mask()
+    }
+
+    /// Adjacency masks of the primal (Gaifman) graph: `adj[v]` is the set
+    /// of vertices sharing an edge with `v` (excluding `v`).
+    pub fn primal_adjacency(&self) -> Vec<u32> {
+        let mut adj = vec![0u32; self.n()];
+        for &e in &self.edges {
+            let mut rest = e;
+            while rest != 0 {
+                let v = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                adj[v] |= e & !(1 << v);
+            }
+        }
+        adj
+    }
+
+    /// **GYO elimination** (Definition A.3): repeatedly (a) drop edges
+    /// contained in other edges, (b) remove vertices appearing in at most
+    /// one edge. Returns the vertex elimination order if the hypergraph is
+    /// **α-acyclic**, otherwise `None`.
+    pub fn gyo_elimination(&self) -> Option<Vec<usize>> {
+        let mut edges: Vec<u32> = self.edges.clone();
+        let mut alive = self.all_mask();
+        let mut order = Vec::with_capacity(self.n());
+        loop {
+            // (a) Drop subsumed and empty edges.
+            edges.sort_unstable();
+            edges.dedup();
+            let kept: Vec<u32> = edges
+                .iter()
+                .filter(|&&e| {
+                    e != 0 && !edges.iter().any(|&f| f != e && f & e == e)
+                })
+                .copied()
+                .collect();
+            edges = kept;
+            // (b) Remove private vertices (in ≤ 1 edge).
+            let mut removed_any = false;
+            let mut rest = alive;
+            while rest != 0 {
+                let v = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let count = edges.iter().filter(|&&e| e & (1 << v) != 0).count();
+                if count <= 1 {
+                    alive &= !(1 << v);
+                    for e in edges.iter_mut() {
+                        *e &= !(1 << v);
+                    }
+                    order.push(v);
+                    removed_any = true;
+                }
+            }
+            if alive == 0 {
+                return Some(order);
+            }
+            if !removed_any {
+                return None; // stuck: cyclic
+            }
+        }
+    }
+
+    /// Whether the hypergraph is α-acyclic.
+    pub fn is_alpha_acyclic(&self) -> bool {
+        self.gyo_elimination().is_some()
+    }
+
+    /// A **splitting attribute order for acyclic queries**: the reverse of
+    /// a GYO elimination order (Theorem D.8's precondition). `None` if the
+    /// hypergraph is cyclic.
+    pub fn sao_for_acyclic(&self) -> Option<Vec<usize>> {
+        let mut o = self.gyo_elimination()?;
+        o.reverse();
+        Some(o)
+    }
+
+    /// The tree decomposition induced by an elimination order
+    /// (`order[0]` eliminated first): bag of `v` = `v` plus its neighbors
+    /// in the fill-in graph at elimination time.
+    pub fn decomposition_from_elimination(&self, order: &[usize]) -> TreeDecomposition {
+        assert_eq!(order.len(), self.n(), "order must cover all vertices");
+        let mut adj = self.primal_adjacency();
+        let mut pos = vec![0usize; self.n()];
+        for (k, &v) in order.iter().enumerate() {
+            pos[v] = k;
+        }
+        let mut bags = vec![0u32; self.n()]; // bag per vertex, indexed by order position
+        let mut eliminated = 0u32;
+        for (k, &v) in order.iter().enumerate() {
+            let live_neighbors = adj[v] & !eliminated & !(1 << v);
+            bags[k] = live_neighbors | (1 << v);
+            // Fill-in: connect live neighbors pairwise.
+            let mut rest = live_neighbors;
+            while rest != 0 {
+                let w = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                adj[w] |= live_neighbors & !(1 << w);
+            }
+            eliminated |= 1 << v;
+        }
+        // Tree structure: parent of bag k = position of the earliest-
+        // eliminated vertex among bag[k] \ {order[k]}.
+        let mut parent = vec![None; self.n()];
+        for k in 0..self.n() {
+            let others = bags[k] & !(1 << order[k]);
+            if others != 0 {
+                let p = (0..32)
+                    .filter(|&v| others & (1 << v) != 0)
+                    .map(|v| pos[v])
+                    .min()
+                    .expect("non-empty");
+                parent[k] = Some(p);
+            }
+        }
+        TreeDecomposition { order: order.to_vec(), bags, parent, n: self.n() }
+    }
+
+    /// Name of vertex `i` (for diagnostics).
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H(V={{{}}}, E={{", self.names.join(","))?;
+        for (i, &e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let vs: Vec<&str> = (0..self.n())
+                .filter(|&v| e & (1 << v) != 0)
+                .map(|v| self.names[v].as_str())
+                .collect();
+            write!(f, "{{{}}}", vs.join(","))?;
+        }
+        write!(f, "}})")
+    }
+}
+
+/// A tree decomposition induced by an elimination order.
+///
+/// Node `k` corresponds to `order[k]`; `bags[k]` is a vertex mask;
+/// `parent[k]` points at a *later* position (the bag of the earliest-
+/// eliminated other vertex of the bag).
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// The elimination order that induced this decomposition.
+    pub order: Vec<usize>,
+    /// One bag (vertex mask) per elimination position.
+    pub bags: Vec<u32>,
+    /// Parent position per node; `None` for roots.
+    pub parent: Vec<Option<usize>>,
+    n: usize,
+}
+
+impl TreeDecomposition {
+    /// Width: `max |bag| − 1`.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.count_ones() as usize).max().unwrap_or(1) - 1
+    }
+
+    /// Validate the tree-decomposition properties (Definition A.4) against
+    /// the hypergraph that produced it: every edge inside some bag, and
+    /// for every vertex the nodes containing it form a connected subtree.
+    pub fn is_valid_for(&self, h: &Hypergraph) -> bool {
+        // (a) Every hyperedge fits in a bag.
+        for &e in h.edges() {
+            if !self.bags.iter().any(|&b| b & e == e) {
+                return false;
+            }
+        }
+        // (b) Connectedness: walk up from each node; the set of nodes
+        // holding v must form a subtree. Standard check: for each v, among
+        // nodes whose bag holds v, all but one must have a parent that
+        // also holds v.
+        for v in 0..self.n {
+            let holders: Vec<usize> =
+                (0..self.bags.len()).filter(|&k| self.bags[k] & (1 << v) != 0).collect();
+            if holders.is_empty() {
+                return false;
+            }
+            let mut roots = 0;
+            for &k in &holders {
+                match self.parent[k] {
+                    Some(p) if self.bags[p] & (1 << v) != 0 => {}
+                    _ => roots += 1,
+                }
+            }
+            if roots != 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Hypergraph {
+        Hypergraph::new(&["A", "B", "C"], &[&["A", "B"], &["B", "C"], &["A", "C"]])
+    }
+
+    fn path3() -> Hypergraph {
+        Hypergraph::new(&["A", "B", "C", "D"], &[&["A", "B"], &["B", "C"], &["C", "D"]])
+    }
+
+    #[test]
+    fn gyo_accepts_acyclic() {
+        assert!(path3().is_alpha_acyclic());
+        let star = Hypergraph::new(&["A", "B", "C"], &[&["A", "B"], &["A", "C"]]);
+        assert!(star.is_alpha_acyclic());
+        // A single big edge plus contained edges is acyclic.
+        let contained = Hypergraph::new(
+            &["A", "B", "C"],
+            &[&["A", "B", "C"], &["A", "B"], &["C"]],
+        );
+        assert!(contained.is_alpha_acyclic());
+    }
+
+    #[test]
+    fn gyo_rejects_cyclic() {
+        assert!(!triangle().is_alpha_acyclic());
+        let square = Hypergraph::new(
+            &["A", "B", "C", "D"],
+            &[&["A", "B"], &["B", "C"], &["C", "D"], &["A", "D"]],
+        );
+        assert!(!square.is_alpha_acyclic());
+    }
+
+    #[test]
+    fn gyo_order_is_a_permutation() {
+        let o = path3().gyo_elimination().unwrap();
+        let mut s = o.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3]);
+        let sao = path3().sao_for_acyclic().unwrap();
+        assert_eq!(sao.len(), 4);
+        assert_eq!(*sao.last().unwrap(), o[0]);
+    }
+
+    #[test]
+    fn primal_adjacency_of_triangle() {
+        let adj = triangle().primal_adjacency();
+        assert_eq!(adj, vec![0b110, 0b101, 0b011]);
+    }
+
+    #[test]
+    fn decomposition_of_path_has_width_1() {
+        let h = path3();
+        // Eliminate endpoints inward: A, B, C, D is 0,1,2,3.
+        let td = h.decomposition_from_elimination(&[0, 1, 2, 3]);
+        assert_eq!(td.width(), 1);
+        assert!(td.is_valid_for(&h));
+    }
+
+    #[test]
+    fn decomposition_of_triangle_has_width_2() {
+        let h = triangle();
+        let td = h.decomposition_from_elimination(&[0, 1, 2]);
+        assert_eq!(td.width(), 2);
+        assert!(td.is_valid_for(&h));
+    }
+
+    #[test]
+    fn bad_decomposition_detected() {
+        // A decomposition built for the path is not valid for the square.
+        let square = Hypergraph::new(
+            &["A", "B", "C", "D"],
+            &[&["A", "B"], &["B", "C"], &["C", "D"], &["A", "D"]],
+        );
+        let path_td = path3().decomposition_from_elimination(&[0, 1, 2, 3]);
+        assert!(!path_td.is_valid_for(&square));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let shown = triangle().to_string();
+        assert!(shown.contains("{A,B}"));
+        assert!(shown.contains("{A,C}"));
+    }
+
+    #[test]
+    fn fill_in_makes_4_cycle_width_2() {
+        let square = Hypergraph::new(
+            &["A", "B", "C", "D"],
+            &[&["A", "B"], &["B", "C"], &["C", "D"], &["A", "D"]],
+        );
+        let td = square.decomposition_from_elimination(&[0, 2, 1, 3]);
+        assert_eq!(td.width(), 2);
+        assert!(td.is_valid_for(&square));
+    }
+}

@@ -1,0 +1,34 @@
+//! Query-structure analysis for the Tetris join algorithm.
+//!
+//! Implements the structural machinery the paper's theorems are stated in
+//! (Appendix A, Definition E.5):
+//!
+//! * [`Hypergraph`] — query hypergraphs over ≤ 32 attributes, with
+//!   **GYO elimination** (α-acyclicity + elimination orders, Definition
+//!   A.3) and primal graphs;
+//! * [`treewidth`] — exact treewidth / minimum-induced-width elimination
+//!   orders via dynamic programming over vertex subsets, plus the induced
+//!   width of a given order (Definition E.5);
+//! * [`lp`] — a small dense simplex solver;
+//! * [`cover`] — fractional edge covers: `ρ*` and the **AGM bound**
+//!   (Appendix A.1), and **fractional hypertree width** via
+//!   elimination-order DP with per-bag LPs (Definition A.4);
+//! * [`TreeDecomposition`] — decompositions induced by elimination
+//!   orders, with validity checking.
+//!
+//! The algorithm-facing output of this crate is an **attribute order**:
+//! Tetris' correctness never depends on it, but its runtime bounds do
+//! (reverse GYO order for `Õ(N + Z)` on acyclic queries, minimum-induced-
+//! width orders for the `Õ(|C|^{w+1} + Z)` certificate bound).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+mod hypergraph;
+pub mod lp;
+pub mod parse;
+pub mod treewidth;
+
+pub use hypergraph::{Hypergraph, TreeDecomposition};
+pub use parse::{parse_query, ParsedQuery};

@@ -1,0 +1,204 @@
+//! A small dense simplex solver for the fractional-cover linear programs
+//! of Appendix A.1.
+//!
+//! Solves `max c·x  s.t.  Ax ≤ b, x ≥ 0` with `b ≥ 0` (so the all-slack
+//! basis is feasible and no phase-1 is needed — exactly the shape of the
+//! *dual* of a fractional edge cover). Bland's rule guarantees
+//! termination; the returned dual values solve the covering primal.
+
+/// Outcome of a simplex solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal objective with primal solution `x` and dual solution `y`.
+    Optimal {
+        /// Optimal objective value.
+        value: f64,
+        /// Primal variable values.
+        x: Vec<f64>,
+        /// Dual values (one per constraint row).
+        y: Vec<f64>,
+    },
+    /// The LP is unbounded above.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Maximize `c·x` subject to `A x ≤ b`, `x ≥ 0`.
+///
+/// # Panics
+/// If dimensions disagree or some `b[i] < 0` (phase-1 is not implemented
+/// because the cover duals never need it).
+pub fn simplex_max(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
+    let m = a.len();
+    let n = c.len();
+    assert_eq!(b.len(), m, "one rhs per row");
+    for row in a {
+        assert_eq!(row.len(), n, "ragged constraint matrix");
+    }
+    assert!(b.iter().all(|&v| v >= -EPS), "rhs must be non-negative");
+
+    // Tableau: m rows × (n structural + m slack + 1 rhs), plus an
+    // objective row storing reduced costs and the negated objective value.
+    let cols = n + m + 1;
+    let mut t = vec![vec![0.0f64; cols]; m + 1];
+    for i in 0..m {
+        t[i][..n].copy_from_slice(&a[i]);
+        t[i][n + i] = 1.0;
+        t[i][cols - 1] = b[i].max(0.0);
+    }
+    t[m][..n].copy_from_slice(c);
+    // basis[i] = variable index occupying row i.
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    while let Some(enter) = (0..n + m).find(|&j| t[m][j] > EPS) {
+        // Entering variable chosen by Bland's rule (smallest index with
+        // positive reduced cost); loop ends when none remains (optimal).
+        // Leaving row: minimum ratio, ties by smallest basis index.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if t[i][enter] > EPS {
+                let ratio = t[i][cols - 1] / t[i][enter];
+                if ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(r) = leave else {
+            return LpOutcome::Unbounded;
+        };
+        // Pivot on (r, enter).
+        let piv = t[r][enter];
+        for v in t[r].iter_mut() {
+            *v /= piv;
+        }
+        for i in 0..=m {
+            if i != r {
+                let f = t[i][enter];
+                if f.abs() > EPS {
+                    for j in 0..cols {
+                        t[i][j] -= f * t[r][j];
+                    }
+                }
+            }
+        }
+        basis[r] = enter;
+    }
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][cols - 1];
+        }
+    }
+    let y: Vec<f64> = (0..m).map(|i| (-t[m][n + i]).max(0.0)).collect();
+    let value = -t[m][cols - 1];
+    LpOutcome::Optimal { value, x, y }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> (f64, Vec<f64>, Vec<f64>) {
+        match simplex_max(c, a, b) {
+            LpOutcome::Optimal { value, x, y } => (value, x, y),
+            LpOutcome::Unbounded => panic!("unexpected unbounded LP"),
+        }
+    }
+
+    #[test]
+    fn textbook_lp() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 ⇒ 36 at (2, 6).
+        let (v, x, _) = solve(
+            &[3.0, 5.0],
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 2.0],
+                vec![3.0, 2.0],
+            ],
+            &[4.0, 12.0, 18.0],
+        );
+        assert!((v - 36.0).abs() < 1e-6);
+        assert!((x[0] - 2.0).abs() < 1e-6 && (x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triangle_vertex_packing_dual_gives_cover() {
+        // Dual of the triangle's fractional edge cover:
+        // max y_A + y_B + y_C s.t. y_A+y_B ≤ 1, y_B+y_C ≤ 1, y_A+y_C ≤ 1.
+        // Optimum 3/2; duals (the cover) are 1/2 per edge.
+        let (v, _, y) = solve(
+            &[1.0, 1.0, 1.0],
+            &[
+                vec![1.0, 1.0, 0.0],
+                vec![0.0, 1.0, 1.0],
+                vec![1.0, 0.0, 1.0],
+            ],
+            &[1.0, 1.0, 1.0],
+        );
+        assert!((v - 1.5).abs() < 1e-6);
+        for yi in &y {
+            assert!((yi - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with no constraints binding it.
+        let out = simplex_max(&[1.0], &[vec![-1.0]], &[1.0]);
+        assert_eq!(out, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_zero_rhs_terminates() {
+        // Degenerate pivots must not cycle (Bland's rule).
+        let (v, _, _) = solve(
+            &[1.0, 1.0],
+            &[vec![1.0, -1.0], vec![-1.0, 1.0], vec![1.0, 1.0]],
+            &[0.0, 0.0, 2.0],
+        );
+        assert!((v - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duality_holds_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..5);
+            let m = rng.gen_range(1..5);
+            let c: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..3.0)).collect();
+            let a: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..2.0)).collect())
+                .collect();
+            let b: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..4.0)).collect();
+            match simplex_max(&c, &a, &b) {
+                LpOutcome::Unbounded => {} // possible when a column is all ~0
+                LpOutcome::Optimal { value, x, y } => {
+                    // Primal feasibility.
+                    for i in 0..m {
+                        let lhs: f64 = (0..n).map(|j| a[i][j] * x[j]).sum();
+                        assert!(lhs <= b[i] + 1e-6);
+                    }
+                    assert!(x.iter().all(|&v| v >= -1e-9));
+                    // Strong duality: c·x == y·b.
+                    let primal: f64 = (0..n).map(|j| c[j] * x[j]).sum();
+                    let dual: f64 = (0..m).map(|i| y[i] * b[i]).sum();
+                    assert!((primal - value).abs() < 1e-6);
+                    assert!((dual - value).abs() < 1e-5, "duality gap: {primal} vs {dual}");
+                    // Dual feasibility: yᵀA ≥ c.
+                    for j in 0..n {
+                        let lhs: f64 = (0..m).map(|i| y[i] * a[i][j]).sum();
+                        assert!(lhs >= c[j] - 1e-6, "dual infeasible at column {j}");
+                    }
+                }
+            }
+        }
+    }
+}

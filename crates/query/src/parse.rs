@@ -1,0 +1,171 @@
+//! A tiny parser for conjunctive-query atom lists, for ergonomic tests,
+//! examples, and REPL-style use:
+//!
+//! ```text
+//! R(A, B), S(B, C), T(A, C)
+//! ```
+//!
+//! parses to named atoms over named attributes; attributes are collected
+//! in first-mention order.
+
+/// A parsed atom: relation name plus attribute names, in position order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedAtom {
+    /// The relation symbol.
+    pub name: String,
+    /// Attribute names per column.
+    pub attrs: Vec<String>,
+}
+
+/// A parsed query: the atom list plus all attributes in first-mention
+/// order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedQuery {
+    /// The atoms, in textual order.
+    pub atoms: Vec<ParsedAtom>,
+    /// All attributes, first-mention order.
+    pub attrs: Vec<String>,
+}
+
+impl ParsedQuery {
+    /// The query hypergraph (vertices in first-mention order).
+    pub fn hypergraph(&self) -> crate::Hypergraph {
+        let names: Vec<&str> = self.attrs.iter().map(|s| s.as_str()).collect();
+        let edges: Vec<Vec<&str>> = self
+            .atoms
+            .iter()
+            .map(|a| a.attrs.iter().map(|s| s.as_str()).collect())
+            .collect();
+        let edge_refs: Vec<&[&str]> = edges.iter().map(|e| e.as_slice()).collect();
+        crate::Hypergraph::new(&names, &edge_refs)
+    }
+}
+
+/// Parse an atom list. Identifiers are `[A-Za-z_][A-Za-z0-9_']*`.
+///
+/// Returns a message pinpointing the first syntax error.
+pub fn parse_query(text: &str) -> Result<ParsedQuery, String> {
+    let mut atoms = Vec::new();
+    let mut attrs: Vec<String> = Vec::new();
+    let mut rest = text.trim();
+    if rest.is_empty() {
+        return Err("empty query".to_string());
+    }
+    while !rest.is_empty() {
+        let (name, after) = take_ident(rest).ok_or_else(|| {
+            format!("expected a relation name at {:?}", head(rest))
+        })?;
+        let after = after.trim_start();
+        let Some(after) = after.strip_prefix('(') else {
+            return Err(format!("expected '(' after {name}"));
+        };
+        let close = after
+            .find(')')
+            .ok_or_else(|| format!("missing ')' for atom {name}"))?;
+        let inner = &after[..close];
+        let mut atom_attrs = Vec::new();
+        for part in inner.split(',') {
+            let a = part.trim();
+            if take_ident(a).map(|(i, r)| (i, r.trim())) != Some((a.to_string(), "")) {
+                return Err(format!("bad attribute {a:?} in atom {name}"));
+            }
+            if atom_attrs.contains(&a.to_string()) {
+                return Err(format!("repeated attribute {a:?} in atom {name}"));
+            }
+            atom_attrs.push(a.to_string());
+            if !attrs.contains(&a.to_string()) {
+                attrs.push(a.to_string());
+            }
+        }
+        if atom_attrs.is_empty() {
+            return Err(format!("atom {name} has no attributes"));
+        }
+        atoms.push(ParsedAtom { name, attrs: atom_attrs });
+        rest = after[close + 1..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+            if rest.is_empty() {
+                return Err("trailing comma".to_string());
+            }
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between atoms at {:?}", head(rest)));
+        }
+    }
+    if attrs.len() > 32 {
+        return Err("more than 32 attributes".to_string());
+    }
+    Ok(ParsedQuery { atoms, attrs })
+}
+
+fn take_ident(s: &str) -> Option<(String, &str)> {
+    let mut chars = s.char_indices();
+    let (_, first) = chars.next()?;
+    if !(first.is_ascii_alphabetic() || first == '_') {
+        return None;
+    }
+    let mut end = first.len_utf8();
+    for (i, c) in chars {
+        if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+            end = i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    Some((s[..end].to_string(), &s[end..]))
+}
+
+fn head(s: &str) -> &str {
+    &s[..s.len().min(12)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_triangle() {
+        let q = parse_query("R(A, B), S(B, C), T(A, C)").unwrap();
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(q.attrs, vec!["A", "B", "C"]);
+        assert_eq!(q.atoms[1].name, "S");
+        assert_eq!(q.atoms[1].attrs, vec!["B", "C"]);
+        let h = q.hypergraph();
+        assert!(!h.is_alpha_acyclic());
+    }
+
+    #[test]
+    fn parses_unary_and_wide_atoms() {
+        let q = parse_query("R(A), Big(A, B, C, D)").unwrap();
+        assert_eq!(q.atoms[0].attrs, vec!["A"]);
+        assert_eq!(q.atoms[1].attrs.len(), 4);
+        assert_eq!(q.attrs.len(), 4);
+        assert!(q.hypergraph().is_alpha_acyclic());
+    }
+
+    #[test]
+    fn error_messages_pinpoint_problems() {
+        assert!(parse_query("").unwrap_err().contains("empty"));
+        assert!(parse_query("R A, B)").unwrap_err().contains("'('"));
+        assert!(parse_query("R(A, B").unwrap_err().contains("')'"));
+        assert!(parse_query("R(A,, B)").unwrap_err().contains("bad attribute"));
+        assert!(parse_query("R(A, A)").unwrap_err().contains("repeated"));
+        assert!(parse_query("R(A), ").unwrap_err().contains("trailing comma"));
+        assert!(parse_query("R() ").unwrap_err().contains("bad attribute"));
+        assert!(parse_query("R(A) S(B)").unwrap_err().contains("','"));
+        assert!(parse_query("1R(A)").unwrap_err().contains("relation name"));
+    }
+
+    #[test]
+    fn primes_and_underscores_in_identifiers() {
+        let q = parse_query("Edge_1(x', y_2)").unwrap();
+        assert_eq!(q.atoms[0].name, "Edge_1");
+        assert_eq!(q.atoms[0].attrs, vec!["x'", "y_2"]);
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_query("R(A,B),S(B,C)").unwrap();
+        let b = parse_query("  R( A , B ) ,  S( B , C )  ").unwrap();
+        assert_eq!(a, b);
+    }
+}

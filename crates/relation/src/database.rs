@@ -1,0 +1,104 @@
+//! A named collection of indexed relations (ergonomics for examples).
+
+use crate::{IndexedRelation, Relation};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A database: named [`IndexedRelation`]s.
+#[derive(Default)]
+pub struct Database {
+    relations: BTreeMap<String, IndexedRelation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a relation under a name with a default (schema-order trie)
+    /// index. Replaces any previous relation of the same name.
+    pub fn add(&mut self, name: &str, rel: Relation) -> &mut Self {
+        self.relations.insert(name.to_string(), IndexedRelation::new(rel));
+        self
+    }
+
+    /// Insert an already-indexed relation.
+    pub fn add_indexed(&mut self, name: &str, rel: IndexedRelation) -> &mut Self {
+        self.relations.insert(name.to_string(), rel);
+        self
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&IndexedRelation> {
+        self.relations.get(name)
+    }
+
+    /// Look up a relation, panicking with a clear message if absent.
+    pub fn expect(&self, name: &str) -> &IndexedRelation {
+        self.get(name)
+            .unwrap_or_else(|| panic!("no relation named {name:?} in database"))
+    }
+
+    /// Iterate over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &IndexedRelation)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total tuple count across relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.relation().len()).sum()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Database ({} relations):", self.len())?;
+        for (name, rel) in self.iter() {
+            writeln!(f, "  {name}{} — {} tuples", rel.relation().schema(), rel.relation().len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut db = Database::new();
+        db.add(
+            "R",
+            Relation::new(Schema::uniform(&["A", "B"], 2), vec![vec![0, 1]]),
+        );
+        db.add(
+            "S",
+            Relation::new(Schema::uniform(&["B", "C"], 2), vec![vec![1, 2], vec![1, 3]]),
+        );
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.total_tuples(), 3);
+        assert!(db.get("R").is_some());
+        assert!(db.get("T").is_none());
+        assert_eq!(db.expect("S").relation().len(), 2);
+        let names: Vec<&str> = db.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["R", "S"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no relation named")]
+    fn expect_missing_panics() {
+        Database::new().expect("missing");
+    }
+}

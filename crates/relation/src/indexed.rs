@@ -1,0 +1,169 @@
+//! Relations with one or more indexes, pooling their gap boxes
+//! (paper Appendix B.2: "multiple indices per relation").
+
+use crate::{DyadicTreeIndex, Relation, TrieIndex};
+use dyadic::DyadicBox;
+
+/// One physical index over a relation.
+#[derive(Debug)]
+pub enum Index {
+    /// A sorted trie / B-tree in some column order — σ-consistent gaps.
+    Trie(TrieIndex),
+    /// A dyadic-tree (quadtree-style) BSP index — fat gaps.
+    Dyadic(DyadicTreeIndex),
+}
+
+impl Index {
+    /// The maximal gap box(es) of this index containing an absent probe
+    /// point; empty if the point is in the relation. Tries and dyadic
+    /// trees both return exactly one box per absent probe.
+    pub fn gaps_containing(&self, t: &[u64]) -> Option<DyadicBox> {
+        match self {
+            Index::Trie(ix) => ix.locate(t),
+            Index::Dyadic(ix) => ix.locate(t),
+        }
+    }
+
+    /// All gap boxes of the index (schema-order coordinates).
+    pub fn all_gap_boxes(&self) -> Vec<DyadicBox> {
+        match self {
+            Index::Trie(ix) => ix.all_gap_boxes(),
+            Index::Dyadic(ix) => ix.all_gap_boxes(),
+        }
+    }
+}
+
+/// A relation plus its physical indexes.
+///
+/// The pooled gap set `B(R)` is the union of each index's gaps — all of
+/// them sound (they cover only non-tuples) and jointly complete (any
+/// single index's gaps already cover the whole complement). More indexes
+/// can only shrink the optimal certificate (Proposition B.6).
+#[derive(Debug)]
+pub struct IndexedRelation {
+    relation: Relation,
+    indexes: Vec<Index>,
+}
+
+impl IndexedRelation {
+    /// Wrap a relation with a trie index in schema order — the default
+    /// physical design.
+    pub fn new(relation: Relation) -> Self {
+        let order: Vec<usize> = (0..relation.arity()).collect();
+        Self::with_trie(relation, &order)
+    }
+
+    /// Wrap with a trie index in the given column order.
+    pub fn with_trie(relation: Relation, order: &[usize]) -> Self {
+        let trie = TrieIndex::build(&relation, order);
+        IndexedRelation { relation, indexes: vec![Index::Trie(trie)] }
+    }
+
+    /// Wrap with a dyadic-tree index only.
+    pub fn with_dyadic(relation: Relation) -> Self {
+        let ix = DyadicTreeIndex::build(&relation);
+        IndexedRelation { relation, indexes: vec![Index::Dyadic(ix)] }
+    }
+
+    /// Add another trie index (column order = schema positions).
+    pub fn add_trie(mut self, order: &[usize]) -> Self {
+        self.indexes.push(Index::Trie(TrieIndex::build(&self.relation, order)));
+        self
+    }
+
+    /// Add a dyadic-tree index.
+    pub fn add_dyadic(mut self) -> Self {
+        self.indexes.push(Index::Dyadic(DyadicTreeIndex::build(&self.relation)));
+        self
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// The physical indexes.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Maximal gap boxes (from **all** indexes) containing an absent
+    /// probe point, deduplicated; empty iff the point is in the relation.
+    /// Coordinates are schema-order.
+    pub fn gaps_containing(&self, t: &[u64]) -> Vec<DyadicBox> {
+        let mut out: Vec<DyadicBox> = self
+            .indexes
+            .iter()
+            .filter_map(|ix| ix.gaps_containing(t))
+            .collect();
+        out.sort();
+        out.dedup();
+        debug_assert_eq!(out.is_empty(), self.relation.contains(t));
+        out
+    }
+
+    /// The pooled gap set `B(R)` (all indexes, deduplicated).
+    pub fn all_gap_boxes(&self) -> Vec<DyadicBox> {
+        let mut out: Vec<DyadicBox> = self
+            .indexes
+            .iter()
+            .flat_map(|ix| ix.all_gap_boxes())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+    use dyadic::Space;
+
+    fn cross_relation() -> Relation {
+        let mut tuples = Vec::new();
+        for b in [1u64, 3, 5, 7] {
+            tuples.push(vec![3, b]);
+        }
+        for a in [1u64, 3, 5, 7] {
+            tuples.push(vec![a, 3]);
+        }
+        Relation::new(Schema::uniform(&["A", "B"], 3), tuples)
+    }
+
+    #[test]
+    fn multiple_indexes_pool_gaps() {
+        let rel = cross_relation();
+        let ir = IndexedRelation::with_trie(rel, &[0, 1]).add_trie(&[1, 0]).add_dyadic();
+        assert_eq!(ir.indexes().len(), 3);
+        // Absent point: each index contributes a gap (some may coincide).
+        let gaps = ir.gaps_containing(&[0, 0]);
+        assert!(!gaps.is_empty() && gaps.len() <= 3);
+        // Present point: no gaps from any index.
+        assert!(ir.gaps_containing(&[3, 1]).is_empty());
+    }
+
+    #[test]
+    fn pooled_gaps_remain_sound_and_complete() {
+        let rel = cross_relation();
+        let space = Space::from_widths(rel.schema().widths());
+        let ir = IndexedRelation::with_trie(rel, &[0, 1]).add_trie(&[1, 0]).add_dyadic();
+        let gaps = ir.all_gap_boxes();
+        space.for_each_point(|p| {
+            let covered = gaps.iter().any(|g| g.contains_point(p, &space));
+            assert_eq!(covered, !ir.relation().contains(p), "{p:?}");
+        });
+    }
+
+    #[test]
+    fn default_wrapper_uses_schema_order_trie() {
+        let rel = cross_relation();
+        let ir = IndexedRelation::new(rel);
+        assert_eq!(ir.indexes().len(), 1);
+        match &ir.indexes()[0] {
+            Index::Trie(t) => assert_eq!(t.order(), &[0, 1]),
+            _ => panic!("expected a trie"),
+        }
+    }
+}

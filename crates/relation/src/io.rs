@@ -1,0 +1,167 @@
+//! Loading and saving relations as plain text — one tuple per line,
+//! whitespace- or comma-separated unsigned integers, `#` comments.
+//!
+//! The format is deliberately trivial (edge lists, SNAP-style dumps, CSV
+//! without headers all parse), so real datasets drop straight into the
+//! examples and benches.
+
+use crate::{Relation, Schema};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from relation parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parse tuples from a reader. Values split on commas and/or whitespace;
+/// blank lines and `#` comments are skipped. Every line must match the
+/// schema's arity and ranges.
+pub fn read_tuples<R: Read>(reader: R, schema: &Schema) -> Result<Vec<Vec<u64>>, IoError> {
+    let mut tuples = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut tuple = Vec::with_capacity(schema.arity());
+        for token in body.split(|c: char| c == ',' || c.is_whitespace()) {
+            if token.is_empty() {
+                continue;
+            }
+            let v: u64 = token.parse().map_err(|e| IoError::Parse {
+                line: idx + 1,
+                message: format!("bad value {token:?}: {e}"),
+            })?;
+            tuple.push(v);
+        }
+        schema
+            .check_tuple(&tuple)
+            .map_err(|message| IoError::Parse { line: idx + 1, message })?;
+        tuples.push(tuple);
+    }
+    Ok(tuples)
+}
+
+/// Parse a full relation from a reader.
+pub fn read_relation<R: Read>(reader: R, schema: Schema) -> Result<Relation, IoError> {
+    let tuples = read_tuples(reader, &schema)?;
+    Ok(Relation::new(schema, tuples))
+}
+
+/// Load a relation from a file path.
+pub fn load_relation(path: impl AsRef<Path>, schema: Schema) -> Result<Relation, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_relation(file, schema)
+}
+
+/// Write a relation (header comment + tab-separated tuples).
+pub fn write_relation<W: Write>(mut w: W, rel: &Relation) -> std::io::Result<()> {
+    writeln!(w, "# {} — {} tuples", rel.schema(), rel.len())?;
+    for t in rel.tuples() {
+        let line: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+        writeln!(w, "{}", line.join("\t"))?;
+    }
+    Ok(())
+}
+
+/// Save a relation to a file path.
+pub fn save_relation(path: impl AsRef<Path>, rel: &Relation) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_relation(std::io::BufWriter::new(file), rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_mixed_separators_and_comments() {
+        let text = "\
+# edge list
+0, 1
+2\t3   # inline comment
+
+1 2
+";
+        let rel = read_relation(text.as_bytes(), Schema::uniform(&["A", "B"], 3)).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert!(rel.contains(&[2, 3]));
+        assert!(rel.contains(&[1, 2]));
+    }
+
+    #[test]
+    fn arity_mismatch_reports_line() {
+        let text = "0 1\n2 3 4\n";
+        let err = read_relation(text.as_bytes(), Schema::uniform(&["A", "B"], 3)).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_reports_line() {
+        let text = "0 9\n";
+        let err = read_relation(text.as_bytes(), Schema::uniform(&["A", "B"], 3)).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn bad_token_reports_cause() {
+        let text = "0 x\n";
+        let err = read_relation(text.as_bytes(), Schema::uniform(&["A", "B"], 3)).unwrap_err();
+        assert!(err.to_string().contains("\"x\""));
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let rel = Relation::new(
+            Schema::uniform(&["A", "B", "C"], 4),
+            vec![vec![1, 2, 3], vec![0, 0, 15], vec![9, 8, 7]],
+        );
+        let mut buf = Vec::new();
+        write_relation(&mut buf, &rel).unwrap();
+        let back =
+            read_relation(buf.as_slice(), Schema::uniform(&["A", "B", "C"], 4)).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("tetris_join_io_test.tsv");
+        let rel = Relation::new(Schema::uniform(&["A"], 5), vec![vec![7], vec![31]]);
+        save_relation(&path, &rel).unwrap();
+        let back = load_relation(&path, Schema::uniform(&["A"], 5)).unwrap();
+        assert_eq!(back, rel);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,152 @@
+//! In-memory relations: sorted, deduplicated tuple sets over a schema.
+
+use crate::Schema;
+use std::fmt;
+
+/// A relation instance: a set of tuples over a [`Schema`].
+///
+/// Tuples are kept sorted lexicographically in schema order, which gives
+/// `O(log N)` membership tests and lets indexes be built in linear passes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Vec<u64>>,
+}
+
+impl Relation {
+    /// Build a relation, validating, sorting, and deduplicating the tuples.
+    ///
+    /// # Panics
+    /// If any tuple fails schema validation.
+    pub fn new(schema: Schema, mut tuples: Vec<Vec<u64>>) -> Self {
+        for t in &tuples {
+            if let Err(e) = schema.check_tuple(t) {
+                panic!("invalid tuple {t:?} for schema {schema}: {e}");
+            }
+        }
+        tuples.sort_unstable();
+        tuples.dedup();
+        Relation { schema, tuples }
+    }
+
+    /// The empty relation over a schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Arity (number of attributes).
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, sorted lexicographically in schema order.
+    pub fn tuples(&self) -> &[Vec<u64>] {
+        &self.tuples
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, t: &[u64]) -> bool {
+        self.tuples.binary_search_by(|x| x.as_slice().cmp(t)).is_ok()
+    }
+
+    /// The tuples re-ordered by the given column permutation and sorted in
+    /// that order — the build input for a [`crate::TrieIndex`].
+    ///
+    /// `order[k]` is the schema position providing the `k`-th column.
+    pub fn tuples_in_order(&self, order: &[usize]) -> Vec<Vec<u64>> {
+        assert_eq!(order.len(), self.arity(), "order must be a full permutation");
+        let mut seen = vec![false; self.arity()];
+        for &p in order {
+            assert!(p < self.arity() && !seen[p], "order must be a permutation");
+            seen[p] = true;
+        }
+        let mut out: Vec<Vec<u64>> = self
+            .tuples
+            .iter()
+            .map(|t| order.iter().map(|&p| t[p]).collect())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Project onto a subset of attribute positions (result deduplicated).
+    pub fn project(&self, positions: &[usize]) -> Vec<Vec<u64>> {
+        let mut out: Vec<Vec<u64>> = self
+            .tuples
+            .iter()
+            .map(|t| positions.iter().map(|&p| t[p]).collect())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{} [{} tuples]", self.schema, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Relation {
+        Relation::new(
+            Schema::uniform(&["A", "B"], 3),
+            vec![vec![3, 1], vec![3, 5], vec![1, 3], vec![3, 1]],
+        )
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let rel = r();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.tuples()[0], vec![1, 3]);
+        assert!(rel.contains(&[3, 5]));
+        assert!(!rel.contains(&[5, 3]));
+    }
+
+    #[test]
+    fn reordered_tuples() {
+        let rel = r();
+        let ba = rel.tuples_in_order(&[1, 0]);
+        assert_eq!(ba, vec![vec![1, 3], vec![3, 1], vec![5, 3]]);
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let rel = r();
+        assert_eq!(rel.project(&[0]), vec![vec![1], vec![3]]);
+        assert_eq!(rel.project(&[1]), vec![vec![1], vec![3], vec![5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_domain_tuple_rejected() {
+        let _ = Relation::new(Schema::uniform(&["A"], 2), vec![vec![4]]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let rel = Relation::empty(Schema::uniform(&["A", "B"], 3));
+        assert!(rel.is_empty());
+        assert!(!rel.contains(&[0, 0]));
+    }
+}

@@ -1,0 +1,114 @@
+//! Relation schemas: named attributes with per-attribute bit widths.
+
+use std::fmt;
+
+/// A relation schema: an ordered list of distinct attribute names, each
+/// with a domain of `{0, …, 2^width − 1}`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Schema {
+    attrs: Vec<String>,
+    widths: Vec<u8>,
+}
+
+impl Schema {
+    /// Build a schema.
+    ///
+    /// # Panics
+    /// If names are not distinct, lengths differ, or a width exceeds 63.
+    pub fn new(attrs: &[&str], widths: &[u8]) -> Self {
+        assert_eq!(attrs.len(), widths.len(), "one width per attribute");
+        assert!(!attrs.is_empty(), "schemas need at least one attribute");
+        assert!(widths.iter().all(|&w| w >= 1 && w <= 63), "widths must be in 1..=63");
+        let names: Vec<String> = attrs.iter().map(|s| s.to_string()).collect();
+        for (i, a) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(a),
+                "duplicate attribute {a:?} in schema"
+            );
+        }
+        Schema { attrs: names, widths: widths.to_vec() }
+    }
+
+    /// Uniform-width convenience constructor.
+    pub fn uniform(attrs: &[&str], width: u8) -> Self {
+        let widths = vec![width; attrs.len()];
+        Self::new(attrs, &widths)
+    }
+
+    /// Number of attributes (arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names, in schema order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Bit widths, in schema order.
+    pub fn widths(&self) -> &[u8] {
+        &self.widths
+    }
+
+    /// Width of attribute position `i`.
+    pub fn width(&self, i: usize) -> u8 {
+        self.widths[i]
+    }
+
+    /// Position of a named attribute, if present.
+    pub fn position(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// Validate a tuple against the schema (arity and ranges).
+    pub fn check_tuple(&self, t: &[u64]) -> Result<(), String> {
+        if t.len() != self.arity() {
+            return Err(format!("tuple arity {} ≠ schema arity {}", t.len(), self.arity()));
+        }
+        for (i, &v) in t.iter().enumerate() {
+            let max = (1u64 << self.widths[i]) - 1;
+            if v > max {
+                return Err(format!(
+                    "value {v} out of range for {}-bit attribute {:?}",
+                    self.widths[i], self.attrs[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.attrs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_schema() {
+        let s = Schema::new(&["A", "B"], &[3, 4]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.width(1), 4);
+        assert_eq!(s.position("B"), Some(1));
+        assert_eq!(s.position("C"), None);
+        assert_eq!(s.to_string(), "(A, B)");
+    }
+
+    #[test]
+    fn tuple_validation() {
+        let s = Schema::uniform(&["A", "B"], 2);
+        assert!(s.check_tuple(&[3, 0]).is_ok());
+        assert!(s.check_tuple(&[4, 0]).is_err());
+        assert!(s.check_tuple(&[1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attrs_rejected() {
+        let _ = Schema::uniform(&["A", "A"], 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Raw box-cover-problem instances: the worked Example 4.4, the
+//! ordered-resolution separator of Example F.1, and random box sets.
+
+use dyadic::{DyadicBox, DyadicInterval, Space};
+
+/// The worked example of §4.2.3 (Figure 10): four boxes over two 2-bit
+/// attributes, output tuples `⟨01,10⟩` and `⟨11,10⟩`.
+pub fn example_4_4() -> (Space, Vec<DyadicBox>) {
+    let space = Space::uniform(2, 2);
+    let boxes = ["λ,0", "00,λ", "λ,11", "10,1"]
+        .iter()
+        .map(|s| DyadicBox::parse(s).expect("static box"))
+        .collect();
+    (space, boxes)
+}
+
+/// **Example F.1**: the 3-attribute family on which every *ordered*
+/// resolution strategy needs `Ω(|C|²)` resolutions while general
+/// geometric resolution (the `Balance` lift) needs only `Õ(|C|^{3/2})`.
+///
+/// The set `C = C₁ ∪ C₂ ∪ C₃` over attributes `(X, Y, W)` with `d`-bit
+/// domains:
+///
+/// * `C₁ = {⟨0x, λ, 0⟩} ∪ {⟨0, y, 1⟩}`  (covers `⟨0,λ,λ⟩`)
+/// * `C₂ = {⟨10x, 0, λ⟩} ∪ {⟨10, 1, z⟩}` (covers `⟨10,λ,λ⟩`)
+/// * `C₃ = {⟨110, y, λ⟩} ∪ {⟨111, λ, z⟩}` (covers `⟨11,λ,λ⟩`)
+///
+/// with `x, y, z` ranging over `{0,1}^{d−2}`. `|C| = 6·2^{d−2}` and the
+/// union covers everything (empty output).
+pub fn example_f1(d: u8) -> (Space, Vec<DyadicBox>) {
+    assert!(d >= 3, "Example F.1 needs d ≥ 3");
+    let space = Space::uniform(3, d);
+    let lam = DyadicInterval::lambda();
+    let bit = |b: u64| DyadicInterval::from_bits(b, 1);
+    let mut boxes = Vec::with_capacity(6 << (d - 2));
+    for v in 0..(1u64 << (d - 2)) {
+        let suffix = DyadicInterval::from_bits(v, d - 2);
+        // C1: ⟨0x, λ, 0⟩ and ⟨0, y, 1⟩.
+        boxes.push(DyadicBox::from_intervals(&[bit(0).concat(&suffix), lam, bit(0)]));
+        boxes.push(DyadicBox::from_intervals(&[bit(0), suffix, bit(1)]));
+        // C2: ⟨10x, 0, λ⟩ and ⟨10, 1, z⟩.
+        let i10 = DyadicInterval::parse("10").unwrap();
+        boxes.push(DyadicBox::from_intervals(&[i10.concat(&suffix), bit(0), lam]));
+        boxes.push(DyadicBox::from_intervals(&[i10, bit(1), suffix]));
+        // C3: ⟨110, y, λ⟩ and ⟨111, λ, z⟩.
+        let i110 = DyadicInterval::parse("110").unwrap();
+        let i111 = DyadicInterval::parse("111").unwrap();
+        boxes.push(DyadicBox::from_intervals(&[i110, suffix, lam]));
+        boxes.push(DyadicBox::from_intervals(&[i111, lam, suffix]));
+    }
+    boxes.sort();
+    boxes.dedup();
+    (space, boxes)
+}
+
+/// A random box set over `n` dimensions of width `d`: each component
+/// independently gets a random length in `0..=d` (biased toward short,
+/// fat boxes by `fat_bias`) and random bits. Deterministic in `seed`.
+pub fn random_boxes(
+    n: usize,
+    d: u8,
+    count: usize,
+    fat_bias: f64,
+    seed: u64,
+) -> (Space, Vec<DyadicBox>) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let space = Space::uniform(n, d);
+    let boxes = (0..count)
+        .map(|_| {
+            let mut b = DyadicBox::universe(n);
+            for i in 0..n {
+                let len = if rng.gen_bool(fat_bias.clamp(0.0, 1.0)) {
+                    rng.gen_range(0..=(d / 2))
+                } else {
+                    rng.gen_range(0..=d)
+                };
+                b.set(i, DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len));
+            }
+            b
+        })
+        .collect();
+    (space, boxes)
+}
+
+/// A "staircase" cover in `n` dimensions: `2^d` thin boxes
+/// `⟨unit(v), …, unit(v), λ⟩` plus their complements, built so that the
+/// cover is complete but every box pair resolves into a low-volume
+/// resolvent — the measurement workload for the `Ω(|C|^{n/2})` tightness
+/// check (Theorem 5.5's regime).
+pub fn staircase(n: usize, d: u8) -> (Space, Vec<DyadicBox>) {
+    assert!(n >= 2);
+    let space = Space::uniform(n, d);
+    let mut boxes = Vec::new();
+    // For each diagonal value v: a box fixing dims 0..n-1 to v's bits and
+    // leaving the last dimension free...
+    for v in 0..(1u64 << d) {
+        let unit = DyadicInterval::from_bits(v, d);
+        let mut b = DyadicBox::universe(n);
+        for i in 0..n - 1 {
+            b.set(i, unit);
+        }
+        boxes.push(b);
+    }
+    // ...plus, for each pair of adjacent dimensions, the off-diagonal
+    // complements at every prefix length (these make the union total).
+    for len in 1..=d {
+        for v in 0..(1u64 << len) {
+            let iv = DyadicInterval::from_bits(v, len);
+            let sib = iv.sibling().unwrap();
+            for i in 0..n - 1 {
+                let mut b = DyadicBox::universe(n);
+                b.set(i, iv);
+                b.set((i + 1) % (n - 1).max(1), sib);
+                boxes.push(b);
+            }
+        }
+    }
+    boxes.sort();
+    boxes.dedup();
+    (space, boxes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boxstore::coverage;
+
+    #[test]
+    fn example_4_4_shape() {
+        let (space, boxes) = example_4_4();
+        assert_eq!(boxes.len(), 4);
+        let out = coverage::uncovered_points(&boxes, &space);
+        assert_eq!(out, vec![vec![1, 2], vec![3, 2]]);
+    }
+
+    #[test]
+    fn example_f1_covers_everything() {
+        for d in 3..=5u8 {
+            let (space, boxes) = example_f1(d);
+            assert_eq!(boxes.len(), 6 << (d - 2), "|C| = 6·2^(d-2)");
+            assert!(
+                coverage::covers_everything(&boxes, &space),
+                "Example F.1 must cover the cube at d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn example_f1_subfamilies_cover_their_slabs() {
+        // C1 covers ⟨0,λ,λ⟩, C2 covers ⟨10,λ,λ⟩, C3 covers ⟨11,λ,λ⟩.
+        let d = 4u8;
+        let (space, boxes) = example_f1(d);
+        space.for_each_point(|p| {
+            let covered = boxes.iter().any(|b| b.contains_point(p, &space));
+            assert!(covered, "{p:?}");
+        });
+    }
+
+    #[test]
+    fn random_boxes_deterministic() {
+        let (_, a) = random_boxes(3, 4, 50, 0.5, 9);
+        let (_, b) = random_boxes(3, 4, 50, 0.5, 9);
+        assert_eq!(a, b);
+        let (_, c) = random_boxes(3, 4, 50, 0.5, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn staircase_covers_everything() {
+        for (n, d) in [(2usize, 3u8), (3, 3), (4, 2)] {
+            let (space, boxes) = staircase(n, d);
+            assert!(
+                coverage::covers_everything(&boxes, &space),
+                "staircase n={n} d={d} must cover"
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Bowtie-query instances from Appendix B: `Q = R(A) ⋈ S(A,B) ⋈ T(B)`.
+//!
+//! These instances show that the optimal box certificate depends on the
+//! physical index design (Figures 12–14): a horizontal line in `S` is
+//! certified by `O(d)` boxes under a `(B,A)`-sorted index but needs
+//! `Ω(N)` thin slabs under `(A,B)`; and a diagonal in `S` defeats *both*
+//! B-tree orders while a dyadic-tree index (or the gaps of `R`/`T`)
+//! certifies it cheaply.
+
+use relation::{Relation, Schema};
+
+/// A bowtie instance.
+pub struct BowtieInstance {
+    /// R(A) — unary.
+    pub r: Relation,
+    /// S(A,B) — binary.
+    pub s: Relation,
+    /// T(B) — unary.
+    pub t: Relation,
+    /// Bit width of both attributes.
+    pub width: u8,
+}
+
+/// The **horizontal-line** instance (Example B.3 / Figure 13): `R = [m]`,
+/// `S = [m] × {y0}`, and `T` omits `y0`, so the join is empty.
+/// A `(B,A)`-sorted index on `S` certifies this with `O(d)` boxes; the
+/// `(A,B)` order needs `Ω(m)`.
+pub fn horizontal_line(m: u64, y0: u64, width: u8) -> BowtieInstance {
+    let dom = 1u64 << width;
+    assert!(m <= dom && y0 < dom);
+    let r = Relation::new(
+        Schema::uniform(&["A"], width),
+        (0..m).map(|a| vec![a]).collect(),
+    );
+    let s = Relation::new(
+        Schema::uniform(&["A", "B"], width),
+        (0..m).map(|a| vec![a, y0]).collect(),
+    );
+    let t = Relation::new(
+        Schema::uniform(&["B"], width),
+        (0..dom).filter(|&b| b != y0).map(|b| vec![b]).collect(),
+    );
+    BowtieInstance { r, s, t, width }
+}
+
+/// The **diagonal** instance (Figure 14): `S = {(i,i)}`, with `R` and `T`
+/// singletons `{v0}`. Both B-tree orders on `S` give only thin gaps
+/// (`Ω(m)` certificate from `S` alone), but `R`'s and `T`'s own gaps —
+/// or a dyadic-tree index on `S` — certify the instance with `O(d)`
+/// boxes. Output: `{(v0, v0)}` iff `v0 < m`.
+pub fn diagonal(m: u64, v0: u64, width: u8) -> BowtieInstance {
+    let dom = 1u64 << width;
+    assert!(m <= dom && v0 < dom);
+    let r = Relation::new(Schema::uniform(&["A"], width), vec![vec![v0]]);
+    let s = Relation::new(
+        Schema::uniform(&["A", "B"], width),
+        (0..m).map(|i| vec![i, i]).collect(),
+    );
+    let t = Relation::new(Schema::uniform(&["B"], width), vec![vec![v0]]);
+    BowtieInstance { r, s, t, width }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizontal_line_join_is_empty() {
+        let inst = horizontal_line(10, 3, 4);
+        for st in inst.s.tuples() {
+            // S's B value is y0, which T omits.
+            assert!(!inst.t.contains(&[st[1]]));
+        }
+        assert_eq!(inst.t.len(), 15);
+    }
+
+    #[test]
+    fn diagonal_join_is_singleton() {
+        let inst = diagonal(8, 5, 4);
+        // (5,5) joins; everything else fails R or T.
+        let mut out = Vec::new();
+        for st in inst.s.tuples() {
+            if inst.r.contains(&[st[0]]) && inst.t.contains(&[st[1]]) {
+                out.push(st.clone());
+            }
+        }
+        assert_eq!(out, vec![vec![5, 5]]);
+    }
+
+    #[test]
+    fn diagonal_output_empty_when_v0_off_diagonal_range() {
+        let inst = diagonal(4, 9, 4); // v0 = 9 ≥ m = 4 ⇒ (9,9) ∉ S
+        for st in inst.s.tuples() {
+            assert!(!(inst.r.contains(&[st[0]]) && inst.t.contains(&[st[1]])));
+        }
+    }
+
+    #[test]
+    fn index_gap_asymmetry_on_horizontal_line() {
+        use relation::TrieIndex;
+        // The (B,A)-sorted index has O(d) gap boxes; (A,B) has Ω(m).
+        let m = 32u64;
+        let inst = horizontal_line(m, 3, 8);
+        let ab = TrieIndex::build(&inst.s, &[0, 1]).all_gap_boxes().len();
+        let ba = TrieIndex::build(&inst.s, &[1, 0]).all_gap_boxes().len();
+        assert!(
+            ba < ab / 2,
+            "(B,A) gaps ({ba}) should be far fewer than (A,B) gaps ({ab})"
+        );
+        assert!(ab as u64 >= m, "(A,B) order needs at least one gap per column");
+    }
+}

@@ -1,0 +1,159 @@
+//! Cyclic-query instances beyond the triangle: 4-cycles (treewidth 2) for
+//! the `Õ(|C|^{w+1})` certificate bound, and disjoint triangle pairs for
+//! the fractional-hypertree-width bound of Theorem D.9.
+
+use relation::{Relation, Schema};
+
+/// A 4-cycle instance `R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D) ⋈ R4(D,A)`.
+pub struct FourCycleInstance {
+    /// The four relations, in cycle order.
+    pub rels: Vec<Relation>,
+    /// Per-attribute bit width.
+    pub width: u8,
+}
+
+/// Grid 4-cycle: every relation is `[s] × [s]`; the output has `s⁴`
+/// tuples (`= N²` for `N = s²`) — the AGM-tight case for the 4-cycle.
+pub fn grid_four_cycle(s: u64, width: u8) -> FourCycleInstance {
+    assert!(s <= 1 << width);
+    let mut pairs = Vec::with_capacity((s * s) as usize);
+    for a in 0..s {
+        for b in 0..s {
+            pairs.push(vec![a, b]);
+        }
+    }
+    let rels = (0..4)
+        .map(|_| Relation::new(Schema::uniform(&["X", "Y"], width), pairs.clone()))
+        .collect();
+    FourCycleInstance { rels, width }
+}
+
+/// Comb-certificate 4-cycle: the `B` attribute's domain is split into
+/// `2k` blocks with `R1`'s `B`-values in even blocks and `R2`'s in odd
+/// blocks, so the join is empty with a `Θ(k)`-box certificate while the
+/// other two relations (and the block fill) push `N` arbitrarily high.
+pub fn comb_four_cycle(
+    k: usize,
+    per_block: usize,
+    fanout: usize,
+    width: u8,
+) -> FourCycleInstance {
+    assert!(k.is_power_of_two());
+    let blocks = 2 * k as u64;
+    let dom = 1u64 << width;
+    assert!(blocks <= dom);
+    let block_size = dom / blocks;
+    assert!(per_block as u64 <= block_size);
+    let fan = (fanout as u64).min(dom);
+
+    let mut r1 = Vec::new(); // (A, B): B in even blocks
+    let mut r2 = Vec::new(); // (B, C): B in odd blocks
+    for blk in 0..blocks {
+        let base = blk * block_size;
+        for j in 0..per_block as u64 {
+            let b = base + (j * block_size) / per_block as u64;
+            for x in 0..fan {
+                if blk % 2 == 0 {
+                    r1.push(vec![x, b]);
+                } else {
+                    r2.push(vec![b, x]);
+                }
+            }
+        }
+    }
+    // R3, R4: dense enough to not constrain the (empty) join.
+    let mut dense = Vec::new();
+    for x in 0..fan {
+        for y in 0..fan {
+            dense.push(vec![x, y]);
+        }
+    }
+    let rels = vec![
+        Relation::new(Schema::uniform(&["X", "Y"], width), r1),
+        Relation::new(Schema::uniform(&["X", "Y"], width), r2),
+        Relation::new(Schema::uniform(&["X", "Y"], width), dense.clone()),
+        Relation::new(Schema::uniform(&["X", "Y"], width), dense),
+    ];
+    FourCycleInstance { rels, width }
+}
+
+/// Two vertex-disjoint triangles (6 attributes, 6 relations): the query's
+/// `ρ* = 3` but its fractional hypertree width is `3/2`, so
+/// `Tetris-Preloaded` on a good SAO runs in `Õ(N^{3/2} + Z)` — far below
+/// the `N³` AGM bound — when each triangle's instance is the MSB instance
+/// (empty output). Returns the six relations in order
+/// `R(A,B), S(B,C), T(A,C), R'(D,E), S'(E,F), T'(D,F)`.
+pub fn disjoint_msb_triangles(width: u8) -> (Vec<Relation>, u8) {
+    assert!(width <= 8);
+    let dom = 1u64 << width;
+    let msb = |v: u64| v >> (width - 1);
+    let mut pairs = Vec::new();
+    for a in 0..dom {
+        for b in 0..dom {
+            if msb(a) != msb(b) {
+                pairs.push(vec![a, b]);
+            }
+        }
+    }
+    let rels = (0..6)
+        .map(|_| Relation::new(Schema::uniform(&["X", "Y"], width), pairs.clone()))
+        .collect();
+    (rels, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_four_cycle_output_size() {
+        let inst = grid_four_cycle(3, 3);
+        // Brute force the 4-cycle join: should be s^4 = 81.
+        let mut z = 0u64;
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                if !inst.rels[0].contains(&[a, b]) {
+                    continue;
+                }
+                for c in 0..8u64 {
+                    if !inst.rels[1].contains(&[b, c]) {
+                        continue;
+                    }
+                    for d in 0..8u64 {
+                        if inst.rels[2].contains(&[c, d]) && inst.rels[3].contains(&[d, a]) {
+                            z += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(z, 81);
+    }
+
+    #[test]
+    fn comb_four_cycle_is_empty() {
+        let inst = comb_four_cycle(2, 2, 2, 5);
+        let r1b: Vec<u64> = inst.rels[0].tuples().iter().map(|t| t[1]).collect();
+        let r2b: Vec<u64> = inst.rels[1].tuples().iter().map(|t| t[0]).collect();
+        for b in &r1b {
+            assert!(!r2b.contains(b));
+        }
+    }
+
+    #[test]
+    fn disjoint_triangles_have_empty_output_per_triangle() {
+        let (rels, width) = disjoint_msb_triangles(3);
+        assert_eq!(rels.len(), 6);
+        let dom = 1u64 << width;
+        let msb = |v: u64| v >> (width - 1);
+        // Any (a,b,c) with pairwise-complementary MSBs is impossible.
+        for a in 0..dom {
+            for b in 0..dom {
+                for c in 0..dom {
+                    let tri = msb(a) != msb(b) && msb(b) != msb(c) && msb(a) != msb(c);
+                    assert!(!tri, "three MSBs cannot be pairwise distinct");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Graph workloads for triangle listing: random and skewed-degree edge
+//! sets (the synthetic stand-in for the paper's social-network data —
+//! see DESIGN.md's substitution notes).
+
+use rand::{Rng, SeedableRng};
+use relation::{Relation, Schema};
+use std::collections::BTreeSet;
+
+/// An undirected graph stored as the set of ordered edges `u < v`.
+pub struct Graph {
+    /// Ordered edges (`u < v`), deduplicated.
+    pub edges: Vec<(u64, u64)>,
+    /// Number of vertices (vertex ids are `0..vertices`).
+    pub vertices: u64,
+    /// Bit width needed to store a vertex id.
+    pub width: u8,
+}
+
+impl Graph {
+    /// The edge set as a relation `E(X,Y)` with `u < v`.
+    pub fn edge_relation(&self) -> Relation {
+        Relation::new(
+            Schema::uniform(&["X", "Y"], self.width),
+            self.edges.iter().map(|&(u, v)| vec![u, v]).collect(),
+        )
+    }
+
+    /// Count triangles by brute force over edge pairs (ground truth).
+    pub fn count_triangles(&self) -> u64 {
+        let set: BTreeSet<(u64, u64)> = self.edges.iter().copied().collect();
+        let mut count = 0u64;
+        for &(a, b) in &self.edges {
+            for &(c, d) in self.edges.iter().filter(|&&(x, _)| x == b) {
+                debug_assert_eq!(c, b);
+                if set.contains(&(a, d)) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+fn width_for(vertices: u64) -> u8 {
+    let mut w = 1u8;
+    while (1u64 << w) < vertices {
+        w += 1;
+    }
+    w
+}
+
+/// Erdős–Rényi-style random graph with exactly `edge_count` distinct
+/// ordered edges. Deterministic in `seed`.
+pub fn random_graph(vertices: u64, edge_count: usize, seed: u64) -> Graph {
+    assert!(vertices >= 2);
+    let max_edges = vertices * (vertices - 1) / 2;
+    assert!((edge_count as u64) <= max_edges, "too many edges requested");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut set = BTreeSet::new();
+    while (set.len() as u64) < edge_count as u64 {
+        let u = rng.gen_range(0..vertices);
+        let v = rng.gen_range(0..vertices);
+        if u != v {
+            set.insert((u.min(v), u.max(v)));
+        }
+    }
+    Graph { edges: set.into_iter().collect(), vertices, width: width_for(vertices) }
+}
+
+/// A skewed-degree ("preferential-attachment-flavored") graph: each new
+/// vertex attaches to `m` endpoints sampled from the existing edge list
+/// (so high-degree vertices attract more edges) — the degree skew that
+/// makes pairwise join plans blow up on triangle counting.
+pub fn skewed_graph(vertices: u64, attach: usize, seed: u64) -> Graph {
+    assert!(vertices >= 3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut endpoints: Vec<u64> = vec![0, 1, 1, 2, 0, 2];
+    let mut set: BTreeSet<(u64, u64)> = [(0, 1), (1, 2), (0, 2)].into();
+    for v in 3..vertices {
+        for _ in 0..attach {
+            let idx = rng.gen_range(0..endpoints.len());
+            let u = endpoints[idx];
+            if u != v && set.insert((u.min(v), u.max(v))) {
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+    }
+    Graph { edges: set.into_iter().collect(), vertices, width: width_for(vertices) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_is_deterministic_and_sized() {
+        let g1 = random_graph(32, 64, 5);
+        let g2 = random_graph(32, 64, 5);
+        assert_eq!(g1.edges, g2.edges);
+        assert_eq!(g1.edges.len(), 64);
+        assert!(g1.edges.iter().all(|&(u, v)| u < v && v < 32));
+        assert_eq!(g1.width, 5);
+    }
+
+    #[test]
+    fn triangle_count_on_known_graph() {
+        // K4 has 4 triangles.
+        let g = Graph {
+            edges: vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+            vertices: 4,
+            width: 2,
+        };
+        assert_eq!(g.count_triangles(), 4);
+    }
+
+    #[test]
+    fn skewed_graph_has_hubs() {
+        let g = skewed_graph(200, 2, 7);
+        let mut degree = vec![0usize; 200];
+        for &(u, v) in &g.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let max = *degree.iter().max().unwrap();
+        let avg = 2.0 * g.edges.len() as f64 / 200.0;
+        assert!(
+            (max as f64) > 3.0 * avg,
+            "expected a hub: max degree {max}, average {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn edge_relation_roundtrip() {
+        let g = random_graph(16, 20, 1);
+        let rel = g.edge_relation();
+        assert_eq!(rel.len(), 20);
+        for &(u, v) in &g.edges {
+            assert!(rel.contains(&[u, v]));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Instance generators for the Tetris reproduction.
+//!
+//! Every benchmark and differential test in the workspace draws its data
+//! from here, so the experiments in `EXPERIMENTS.md` are reproducible from
+//! seeds. Each generator corresponds to a construction in the paper:
+//!
+//! * [`triangle`] — AGM-tight grids, the skewed "flare" instance, and the
+//!   MSB instances of Figures 5/6 (empty join, `O(1)` certificate);
+//! * [`paths`] — path queries with **comb certificates**: instances whose
+//!   input size `N` and certificate size `|C|` scale independently
+//!   (the Theorem 4.7 workloads);
+//! * [`bcp`] — raw box-cover instances: the worked Example 4.4, the
+//!   ordered-resolution separator of Example F.1, random box sets;
+//! * [`bowtie`] — the Appendix B bowtie instances showing how certificate
+//!   size depends on the physical index design (Figures 13/14);
+//! * [`graphs`] — random and skewed-degree graphs for triangle listing;
+//! * [`cycles`] — 4-cycle and disjoint-triangle instances exercising the
+//!   fractional-hypertree-width bound (Theorem D.9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bcp;
+pub mod bowtie;
+pub mod cycles;
+pub mod graphs;
+pub mod loomis;
+pub mod paths;
+pub mod triangle;

@@ -1,0 +1,187 @@
+//! Triangle-query instances: the AGM-tight grid, the skewed "flare", and
+//! the MSB instances of Figures 5/6.
+
+use dyadic::DyadicBox;
+use relation::{Relation, Schema};
+
+/// A triangle-query instance: three binary relations plus metadata.
+pub struct TriangleInstance {
+    /// R(A,B).
+    pub r: Relation,
+    /// S(B,C).
+    pub s: Relation,
+    /// T(A,C).
+    pub t: Relation,
+    /// Per-attribute bit width.
+    pub width: u8,
+    /// Expected output size (when known analytically).
+    pub expected_output: Option<u64>,
+}
+
+fn pairs_to_relation(width: u8, pairs: Vec<Vec<u64>>) -> Relation {
+    Relation::new(Schema::uniform(&["X", "Y"], width), pairs)
+}
+
+/// The **AGM-tight** triangle instance: each relation is the complete
+/// bipartite grid `[s] × [s]`, so `N = s²` per relation and the output has
+/// `s³ = N^{3/2}` tuples — exactly the AGM bound. A worst-case-optimal
+/// algorithm runs in `Õ(N^{3/2})`; pairwise plans also materialize
+/// `N^{3/2}` here (the grid is their best case), so the real separator is
+/// [`skew_triangle`].
+pub fn agm_triangle(s: u64, width: u8) -> TriangleInstance {
+    assert!(s <= 1 << width, "side {s} exceeds the {width}-bit domain");
+    let mut pairs = Vec::with_capacity((s * s) as usize);
+    for a in 0..s {
+        for b in 0..s {
+            pairs.push(vec![a, b]);
+        }
+    }
+    TriangleInstance {
+        r: pairs_to_relation(width, pairs.clone()),
+        s: pairs_to_relation(width, pairs.clone()),
+        t: pairs_to_relation(width, pairs),
+        width,
+        expected_output: Some(s * s * s),
+    }
+}
+
+/// The **skewed flare** instance: `R = S = T = {0}×[m] ∪ [m]×{0}`.
+/// `N = 2m + 1` per relation and the output is the three axes
+/// (`3m + 1` tuples), but any pairwise plan materializes `Ω(m²)`
+/// intermediate tuples — the classic case for worst-case-optimal joins.
+pub fn skew_triangle(m: u64, width: u8) -> TriangleInstance {
+    assert!(m < 1 << width, "m = {m} exceeds the {width}-bit domain");
+    let mut pairs = Vec::with_capacity(2 * m as usize + 1);
+    for v in 0..=m {
+        pairs.push(vec![0, v]);
+        pairs.push(vec![v, 0]);
+    }
+    TriangleInstance {
+        r: pairs_to_relation(width, pairs.clone()),
+        s: pairs_to_relation(width, pairs.clone()),
+        t: pairs_to_relation(width, pairs),
+        width,
+        expected_output: Some(3 * m + 1),
+    }
+}
+
+/// The **MSB triangle** of Figure 5: each relation holds the pairs whose
+/// most-significant bits are complementary, so the join is empty and six
+/// fat gap boxes certify it (`|C| = 6` independent of `d`). Materializes
+/// `3·2^{2d−1}` tuples — keep `d ≤ 8`.
+pub fn msb_triangle_relations(width: u8) -> TriangleInstance {
+    assert!(width <= 8, "relation materialization limited to d ≤ 8");
+    let dom = 1u64 << width;
+    let msb = |v: u64| v >> (width - 1);
+    let mut pairs = Vec::new();
+    for a in 0..dom {
+        for b in 0..dom {
+            if msb(a) != msb(b) {
+                pairs.push(vec![a, b]);
+            }
+        }
+    }
+    TriangleInstance {
+        r: pairs_to_relation(width, pairs.clone()),
+        s: pairs_to_relation(width, pairs.clone()),
+        t: pairs_to_relation(width, pairs),
+        width,
+        expected_output: Some(0),
+    }
+}
+
+/// The six gap boxes of Figure 5 directly, as a raw BCP instance over
+/// `(A, B, C)` — usable at any `d` since no tuples are materialized.
+/// Their union covers the whole cube (empty join output).
+pub fn msb_triangle_boxes(_width: u8) -> Vec<DyadicBox> {
+    ["0,0,λ", "1,1,λ", "λ,0,0", "λ,1,1", "0,λ,0", "1,λ,1"]
+        .iter()
+        .map(|s| DyadicBox::parse(s).expect("static box"))
+        .collect()
+}
+
+/// Figure 6's variant: replace `T` by `T′` (MSBs of `A` and `C` **equal**),
+/// leaving two fat uncovered regions — a non-empty output with an `O(1)`
+/// certificate.
+pub fn msb_triangle_boxes_open(_width: u8) -> Vec<DyadicBox> {
+    ["0,0,λ", "1,1,λ", "λ,0,0", "λ,1,1", "0,λ,1", "1,λ,0"]
+        .iter()
+        .map(|s| DyadicBox::parse(s).expect("static box"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boxstore::coverage;
+    use dyadic::Space;
+
+    #[test]
+    fn agm_triangle_sizes() {
+        let inst = agm_triangle(4, 4);
+        assert_eq!(inst.r.len(), 16);
+        assert_eq!(inst.expected_output, Some(64));
+    }
+
+    #[test]
+    fn skew_triangle_output_count() {
+        let inst = skew_triangle(7, 4);
+        assert_eq!(inst.r.len(), 15); // 2m+1 = 15
+        // Count output by brute force.
+        let mut z = 0u64;
+        let dom = 1u64 << inst.width;
+        for a in 0..dom {
+            for b in 0..dom {
+                if !inst.r.contains(&[a, b]) {
+                    continue;
+                }
+                for c in 0..dom {
+                    if inst.s.contains(&[b, c]) && inst.t.contains(&[a, c]) {
+                        z += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(Some(z), inst.expected_output);
+    }
+
+    #[test]
+    fn msb_relations_join_is_empty() {
+        let inst = msb_triangle_relations(3);
+        let dom = 1u64 << 3;
+        for a in 0..dom {
+            for b in 0..dom {
+                for c in 0..dom {
+                    assert!(
+                        !(inst.r.contains(&[a, b])
+                            && inst.s.contains(&[b, c])
+                            && inst.t.contains(&[a, c])),
+                        "unexpected triangle ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn msb_boxes_cover_the_cube() {
+        let space = Space::uniform(3, 3);
+        assert!(coverage::covers_everything(&msb_triangle_boxes(3), &space));
+    }
+
+    #[test]
+    fn msb_open_boxes_leave_expected_gaps() {
+        let space = Space::uniform(3, 2);
+        let open = msb_triangle_boxes_open(2);
+        let uncovered = coverage::uncovered_points(&open, &space);
+        // Uncovered: msb(a)≠msb(b), msb(b)≠msb(c), msb(a)=msb(c) — two
+        // quadrant cubes of side 2 (Figure 6b's marked output points).
+        assert_eq!(uncovered.len(), 2 * 2 * 2 * 2);
+        for p in &uncovered {
+            let msb = |v: u64| v >> 1;
+            assert!(msb(p[0]) != msb(p[1]));
+            assert!(msb(p[1]) != msb(p[2]));
+            assert!(msb(p[0]) == msb(p[2]));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Facade crate re-exporting the full `tetris-join` workspace API.
+//!
+//! See the individual crates for details:
+//! * [`dyadic`] — dyadic intervals/boxes and geometric resolution.
+//! * [`boxstore`] — the multilevel dyadic tree knowledge base.
+//! * [`relation`] — relations, trie & dyadic-tree indexes, gap oracles.
+//! * [`query`] — hypergraphs, widths, AGM bound, tree decompositions.
+//! * [`tetris`] — the Tetris algorithm and its variants.
+//! * [`baseline`] — comparison join algorithms.
+//! * [`workload`] — instance generators for tests and benchmarks.
+
+pub mod prepared;
+
+pub use baseline;
+pub use boxstore;
+pub use dyadic;
+pub use query;
+pub use relation;
+pub use tetris_core as tetris;
+pub use workload;

@@ -1,0 +1,198 @@
+//! Property-based tests for the geometric substrate: interval algebra,
+//! box splitting, resolution soundness, range decomposition, index gap
+//! extraction, and the Balance lift.
+
+use dyadic::{
+    decompose_box, dyadic_cover_of_range, dyadic_piece_containing, resolve, DyadicBox,
+    DyadicInterval, Space,
+};
+use proptest::prelude::*;
+use relation::{Relation, Schema, TrieIndex};
+use tetris_join::tetris::balance::{BalanceMap, BalancedPartition};
+
+fn interval(d: u8) -> impl Strategy<Value = DyadicInterval> {
+    (0..=d).prop_flat_map(move |len| {
+        (0..(1u64 << len)).prop_map(move |bits| DyadicInterval::from_bits(bits, len))
+    })
+}
+
+fn dyadic_box(n: usize, d: u8) -> impl Strategy<Value = DyadicBox> {
+    prop::collection::vec(interval(d), n)
+        .prop_map(|ivs| DyadicBox::from_intervals(&ivs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Interval containment ⇔ range containment; intersection = longer.
+    #[test]
+    fn interval_algebra(a in interval(5), b in interval(5)) {
+        let width = 5u8;
+        let (alo, ahi) = a.range(width);
+        let (blo, bhi) = b.range(width);
+        prop_assert_eq!(a.contains(&b), alo <= blo && bhi <= ahi);
+        match a.intersect(&b) {
+            Some(c) => {
+                let (clo, chi) = c.range(width);
+                prop_assert_eq!(clo, alo.max(blo));
+                prop_assert_eq!(chi, ahi.min(bhi));
+            }
+            None => prop_assert!(ahi < blo || bhi < alo),
+        }
+    }
+
+    /// Splitting partitions a box exactly in half along the right dim.
+    #[test]
+    fn split_partitions(b in dyadic_box(3, 3)) {
+        let space = Space::uniform(3, 3);
+        match b.split_first_thick(&space) {
+            None => prop_assert!(b.is_unit(&space)),
+            Some((b1, b2, dim)) => {
+                prop_assert!(b.contains(&b1) && b.contains(&b2));
+                prop_assert!(!b1.intersects(&b2));
+                prop_assert_eq!(b1.volume(&space) + b2.volume(&space), b.volume(&space));
+                prop_assert_eq!(b1.get(dim).len(), b.get(dim).len() + 1);
+                // All earlier dims are already unit (Lemma C.1 shape is
+                // only guaranteed for skeleton targets, but the split dim
+                // must be the first thick one).
+                for i in 0..dim {
+                    prop_assert!(b.get(i).is_unit(space.width(i)));
+                }
+            }
+        }
+    }
+
+    /// General geometric resolution is sound: w ⊆ w1 ∪ w2, and the
+    /// sibling structure is as claimed.
+    #[test]
+    fn resolution_sound(w1 in dyadic_box(2, 3), w2 in dyadic_box(2, 3)) {
+        let space = Space::uniform(2, 3);
+        if let Some((dim, w)) = resolve::try_resolve(&w1, &w2) {
+            prop_assert!(resolve::resolvent_is_sound(&w1, &w2, &w, &space));
+            // The pivot components are siblings.
+            let (a, b) = (w1.get(dim), w2.get(dim));
+            prop_assert_eq!(a.len(), b.len());
+            prop_assert_eq!(a.bits() ^ b.bits(), 1);
+            // The resolvent strictly generalizes the pivot dimension.
+            prop_assert_eq!(w.get(dim).len() + 1, a.len());
+        }
+    }
+
+    /// Range covers are disjoint, exact, and within the 2d bound.
+    #[test]
+    fn range_cover_exact(lo in 0u64..64, hi in 0u64..64) {
+        let width = 6u8;
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let cover = dyadic_cover_of_range(lo, hi, width);
+        prop_assert!(cover.len() <= 2 * width as usize);
+        let mut expect = lo;
+        for iv in &cover {
+            let (a, b) = iv.range(width);
+            prop_assert_eq!(a, expect);
+            expect = b + 1;
+        }
+        prop_assert_eq!(expect, hi + 1);
+        // Piece lookup agrees.
+        for v in [lo, (lo + hi) / 2, hi] {
+            let piece = dyadic_piece_containing(v, lo, hi, width);
+            prop_assert!(cover.contains(&piece));
+        }
+    }
+
+    /// Box decomposition tiles the box exactly (no gaps, no overlaps).
+    #[test]
+    fn box_decomposition_tiles(
+        lo0 in 0u64..8, hi0 in 0u64..8, lo1 in 0u64..8, hi1 in 0u64..8,
+    ) {
+        let space = Space::uniform(2, 3);
+        let lo = [lo0.min(hi0), lo1.min(hi1)];
+        let hi = [lo0.max(hi0), lo1.max(hi1)];
+        let pieces = decompose_box(&lo, &hi, &space);
+        let mut covered = 0u128;
+        space.for_each_point(|p| {
+            let inside = (lo[0]..=hi[0]).contains(&p[0]) && (lo[1]..=hi[1]).contains(&p[1]);
+            let hits = pieces.iter().filter(|b| b.contains_point(p, &space)).count();
+            assert_eq!(hits, usize::from(inside));
+            covered += hits as u128;
+        });
+        prop_assert_eq!(covered, ((hi[0]-lo[0]+1) * (hi[1]-lo[1]+1)) as u128);
+    }
+
+    /// Trie gap boxes cover exactly the complement of the relation, for
+    /// arbitrary relations and both column orders.
+    #[test]
+    fn trie_gaps_are_exact_complement(
+        tuples in prop::collection::vec((0u64..8, 0u64..8), 0..20),
+        flip in any::<bool>(),
+    ) {
+        let rel = Relation::new(
+            Schema::uniform(&["A", "B"], 3),
+            tuples.iter().map(|&(a, b)| vec![a, b]).collect(),
+        );
+        let order: &[usize] = if flip { &[1, 0] } else { &[0, 1] };
+        let idx = TrieIndex::build(&rel, order);
+        let gaps = idx.all_gap_boxes();
+        let space = Space::uniform(2, 3);
+        space.for_each_point(|p| {
+            let covered = gaps.iter().any(|g| g.contains_point(p, &space));
+            assert_eq!(covered, !rel.contains(p), "{p:?}");
+        });
+    }
+
+    /// Balanced partitions are valid partitions meeting the threshold.
+    #[test]
+    fn balanced_partition_properties(
+        projections in prop::collection::vec(interval(5), 1..40),
+    ) {
+        let threshold = (projections.len() as f64).sqrt().ceil() as usize;
+        let p = BalancedPartition::compute(&projections, 5, threshold);
+        prop_assert!(p.is_valid());
+        for x in p.intervals() {
+            let strict = projections
+                .iter()
+                .filter(|s| x.is_prefix_of(s) && s.len() > x.len())
+                .count();
+            prop_assert!(
+                strict <= threshold || x.len() == 5,
+                "interval {} holds {} > {}", x, strict, threshold
+            );
+        }
+    }
+
+    /// The Balance lift preserves coverage pointwise.
+    #[test]
+    fn lift_preserves_coverage(boxes in prop::collection::vec(dyadic_box(3, 2), 1..10)) {
+        let space = Space::uniform(3, 2);
+        let map = BalanceMap::from_boxes(space, &boxes);
+        let lifted_space = map.lifted();
+        lifted_space.for_each_point(|lp| {
+            let lp_box = DyadicBox::from_point(lp, &lifted_space);
+            let orig = map.lower_point(&lp_box);
+            for b in &boxes {
+                assert_eq!(
+                    b.contains_point(&orig, &space),
+                    map.lift_box(b).contains(&lp_box),
+                    "box {b} lifted {} point {orig:?}", map.lift_box(b)
+                );
+            }
+        });
+    }
+
+    /// Point-class lifting: the class box contains exactly the lifted
+    /// points lowering to that original point.
+    #[test]
+    fn point_class_is_exact(
+        boxes in prop::collection::vec(dyadic_box(3, 2), 1..6),
+        pt in prop::collection::vec(0u64..4, 3),
+    ) {
+        let space = Space::uniform(3, 2);
+        let map = BalanceMap::from_boxes(space, &boxes);
+        let class = map.lift_point_class(&pt);
+        let lifted_space = map.lifted();
+        lifted_space.for_each_point(|lp| {
+            let lp_box = DyadicBox::from_point(lp, &lifted_space);
+            let lowers_to_pt = map.lower_point(&lp_box) == pt;
+            assert_eq!(class.contains(&lp_box), lowers_to_pt);
+        });
+    }
+}
