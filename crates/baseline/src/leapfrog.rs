@@ -36,8 +36,12 @@ pub fn leapfrog_join(spec: &JoinSpec<'_>) -> (Vec<Vec<u64>>, LeapfrogStats) {
     let mut states: Vec<AtomState> = Vec::with_capacity(spec.atoms().len());
     for atom in spec.atoms() {
         // The atom's bound attributes sorted by global position.
-        let mut bound: Vec<(usize, usize)> =
-            atom.dims.iter().enumerate().map(|(col, &d)| (d, col)).collect();
+        let mut bound: Vec<(usize, usize)> = atom
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(col, &d)| (d, col))
+            .collect();
         bound.sort_unstable();
         let order: Vec<usize> = bound.iter().map(|&(_, col)| col).collect();
         let tuples = atom.rel.tuples_in_order(&order);
@@ -45,20 +49,30 @@ pub fn leapfrog_join(spec: &JoinSpec<'_>) -> (Vec<Vec<u64>>, LeapfrogStats) {
         for (j, &(d, _)) in bound.iter().enumerate() {
             col_of_depth[d] = Some(j);
         }
-        states.push(AtomState { tuples, col_of_depth });
+        states.push(AtomState {
+            tuples,
+            col_of_depth,
+        });
     }
 
     let mut out = Vec::new();
     let mut stats = LeapfrogStats::default();
     let mut assignment = vec![0u64; n];
     // Current tuple range per atom (refined as attributes bind).
-    let mut ranges: Vec<(usize, usize)> =
-        states.iter().map(|s| (0, s.tuples.len())).collect();
+    let mut ranges: Vec<(usize, usize)> = states.iter().map(|s| (0, s.tuples.len())).collect();
     // Any empty relation ⇒ empty output.
     if ranges.iter().any(|&(lo, hi)| lo == hi) {
         return (out, stats);
     }
-    extend(spec, &states, &mut ranges, 0, &mut assignment, &mut out, &mut stats);
+    extend(
+        spec,
+        &states,
+        &mut ranges,
+        0,
+        &mut assignment,
+        &mut out,
+        &mut stats,
+    );
     (out, stats)
 }
 

@@ -5,13 +5,13 @@
 //!
 //! * [`leapfrog`] — a worst-case-optimal **Leapfrog-Triejoin-style**
 //!   generic join (attribute-at-a-time, galloping intersection over
-//!   sorted tries) — the AGM-bound comparator of [51, 72];
+//!   sorted tries) — the AGM-bound comparator of \[51, 72\];
 //! * [`pairwise`] — traditional binary join plans (hash join and
 //!   sort-merge join over a left-deep atom order) whose intermediate
 //!   results blow up on cyclic/skewed inputs — the "commercial engine"
 //!   stand-in;
 //! * [`yannakakis`] — the classic `O(N + Z)` algorithm for α-acyclic
-//!   queries [73]: full semijoin reduction along a join tree, then
+//!   queries \[73\]: full semijoin reduction along a join tree, then
 //!   bottom-up join;
 //! * [`brute`] — an exhaustive output-space scan used as the correctness
 //!   oracle in differential tests.

@@ -116,11 +116,10 @@ fn atom_to_intermediate(spec: &JoinSpec<'_>, i: usize) -> Intermediate {
         .tuples()
         .iter()
         .filter(|t| {
-            atom.dims
-                .iter()
-                .enumerate()
-                .all(|(col, &d)| t[col] == t[keep_cols[attrs.iter().position(|&a| a == d).unwrap()]]
-                    || atom.dims[col] != d)
+            atom.dims.iter().enumerate().all(|(col, &d)| {
+                t[col] == t[keep_cols[attrs.iter().position(|&a| a == d).unwrap()]]
+                    || atom.dims[col] != d
+            })
         })
         .map(|t| keep_cols.iter().map(|&c| t[c]).collect())
         .collect();
@@ -167,9 +166,8 @@ fn hash_step(l: Intermediate, r: Intermediate) -> Intermediate {
 fn merge_step(l: Intermediate, r: Intermediate) -> Intermediate {
     let (shared, new_cols) = split_columns(&l, &r);
     // Sort both sides by the shared key.
-    let key_of = |row: &Vec<u64>, side: &[usize]| -> Vec<u64> {
-        side.iter().map(|&p| row[p]).collect()
-    };
+    let key_of =
+        |row: &Vec<u64>, side: &[usize]| -> Vec<u64> { side.iter().map(|&p| row[p]).collect() };
     let lkey: Vec<usize> = shared.iter().map(|&(lp, _)| lp).collect();
     let rkey: Vec<usize> = shared.iter().map(|&(_, rp)| rp).collect();
     let mut lrows = l.rows;
@@ -226,11 +224,7 @@ mod tests {
         )
     }
 
-    fn triangle_spec<'a>(
-        r: &'a Relation,
-        s: &'a Relation,
-        t: &'a Relation,
-    ) -> JoinSpec<'a> {
+    fn triangle_spec<'a>(r: &'a Relation, s: &'a Relation, t: &'a Relation) -> JoinSpec<'a> {
         JoinSpec::new(&["A", "B", "C"], &[2, 2, 2])
             .atom("R", r, &["A", "B"])
             .atom("S", s, &["B", "C"])

@@ -28,7 +28,11 @@ impl<'a> JoinSpec<'a> {
         for (i, a) in names.iter().enumerate() {
             assert!(!names[..i].contains(a), "duplicate attribute {a:?}");
         }
-        JoinSpec { attrs: names, widths: widths.to_vec(), atoms: Vec::new() }
+        JoinSpec {
+            attrs: names,
+            widths: widths.to_vec(),
+            atoms: Vec::new(),
+        }
     }
 
     /// Bind an atom (builder style).
@@ -54,7 +58,11 @@ impl<'a> JoinSpec<'a> {
                 attrs[j]
             );
         }
-        self.atoms.push(SpecAtom { rel, dims, name: name.to_string() });
+        self.atoms.push(SpecAtom {
+            rel,
+            dims,
+            name: name.to_string(),
+        });
         self
     }
 

@@ -184,8 +184,7 @@ fn join_tree(masks: &[u32]) -> Option<Vec<usize>> {
     // directly per attribute.
     let n_attrs = 32 - masks.iter().fold(0u32, |a, &e| a | e).leading_zeros();
     for a in 0..n_attrs {
-        let holders: Vec<usize> =
-            (0..m).filter(|&i| masks[i] & (1 << a) != 0).collect();
+        let holders: Vec<usize> = (0..m).filter(|&i| masks[i] & (1 << a) != 0).collect();
         if holders.is_empty() {
             continue;
         }
@@ -217,12 +216,14 @@ fn semijoin(
     let shared: Vec<(usize, usize)> = left_attrs
         .iter()
         .enumerate()
-        .filter_map(|(lp, &a)| {
-            right_attrs.iter().position(|&b| b == a).map(|rp| (lp, rp))
-        })
+        .filter_map(|(lp, &a)| right_attrs.iter().position(|&b| b == a).map(|rp| (lp, rp)))
         .collect();
     if shared.is_empty() {
-        return if right_rows.is_empty() { Vec::new() } else { left_rows };
+        return if right_rows.is_empty() {
+            Vec::new()
+        } else {
+            left_rows
+        };
     }
     let keys: HashSet<Vec<u64>> = right_rows
         .iter()

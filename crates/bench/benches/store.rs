@@ -18,7 +18,11 @@ fn make_boxes(n: usize, d: u8, count: usize, seed: u64) -> Vec<DyadicBox> {
             let mut b = DyadicBox::universe(n);
             for i in 0..n {
                 let len = (next() % (d as u64 + 1)) as u8;
-                let bits = if len == 0 { 0 } else { next() & ((1u64 << len) - 1) };
+                let bits = if len == 0 {
+                    0
+                } else {
+                    next() & ((1u64 << len) - 1)
+                };
                 b.set(i, DyadicInterval::from_bits(bits, len));
             }
             b
@@ -42,14 +46,18 @@ fn bench_store(c: &mut Criterion) {
         });
         let tree: BoxTree = boxes.iter().copied().collect();
         let probes = make_boxes(3, 16, 1000, 123);
-        group.bench_with_input(BenchmarkId::new("find_containing", count), &count, |b, _| {
-            b.iter(|| {
-                probes
-                    .iter()
-                    .filter(|p| tree.find_containing(p).is_some())
-                    .count()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("find_containing", count),
+            &count,
+            |b, _| {
+                b.iter(|| {
+                    probes
+                        .iter()
+                        .filter(|p| tree.find_containing(p).is_some())
+                        .count()
+                })
+            },
+        );
     }
     group.finish();
 }

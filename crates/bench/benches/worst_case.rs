@@ -17,12 +17,16 @@ fn run_all(c: &mut Criterion, name: &str, inst: &TriangleInstance, param: u64) {
         .atom("S", &inst.s, &["B", "C"])
         .atom("T", &inst.t, &["A", "C"])
         .build();
-    group.bench_with_input(BenchmarkId::new("tetris_preloaded", param), &param, |b, _| {
-        b.iter(|| {
-            let oracle = join.oracle();
-            Tetris::preloaded(&oracle).run().tuples.len()
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("tetris_preloaded", param),
+        &param,
+        |b, _| {
+            b.iter(|| {
+                let oracle = join.oracle();
+                Tetris::preloaded(&oracle).run().tuples.len()
+            })
+        },
+    );
     let spec = || {
         JoinSpec::new(&["A", "B", "C"], &[width; 3])
             .atom("R", &inst.r, &["A", "B"])
@@ -33,7 +37,11 @@ fn run_all(c: &mut Criterion, name: &str, inst: &TriangleInstance, param: u64) {
         b.iter(|| leapfrog_join(&spec()).0.len())
     });
     group.bench_with_input(BenchmarkId::new("hash_plan", param), &param, |b, _| {
-        b.iter(|| pairwise::pairwise_join(&spec(), &[0, 1, 2], pairwise::StepAlgo::Hash).0.len())
+        b.iter(|| {
+            pairwise::pairwise_join(&spec(), &[0, 1, 2], pairwise::StepAlgo::Hash)
+                .0
+                .len()
+        })
     });
     group.finish();
 }

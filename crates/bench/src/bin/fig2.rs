@@ -140,9 +140,7 @@ fn f2_tree_cache() {
 /// Ω(|C|²) while the Balance lift needs only Õ(|C|^{3/2}).
 fn f2_lb_separation() {
     println!("-- F2.4  Ordered Ω(|C|²) vs Geometric Õ(|C|^1.5)  (Example F.1, d sweep) --");
-    let mut table = Table::new(&[
-        "d", "|C|", "ordered_res", "lb_res", "ordered_s", "lb_s",
-    ]);
+    let mut table = Table::new(&["d", "|C|", "ordered_res", "lb_res", "ordered_s", "lb_s"]);
     let (mut cs, mut ord, mut lb) = (Vec::new(), Vec::new(), Vec::new());
     for d in 4..=9u8 {
         let (space, boxes) = bcp::example_f1(d);

@@ -36,7 +36,10 @@ fn render_2d(rel: &Relation, gaps: &[DyadicBox], width: u8, title: &str) {
             let c = if rel.contains(&[a, b]) {
                 '●'
             } else {
-                let hits = gaps.iter().filter(|g| g.contains_point(&[a, b], &space)).count();
+                let hits = gaps
+                    .iter()
+                    .filter(|g| g.contains_point(&[a, b], &space))
+                    .count();
                 match hits {
                     0 => '·',
                     1 => '░',
@@ -62,13 +65,30 @@ fn figures_1_3_4() {
     let rel = Relation::new(Schema::uniform(&["A", "B"], 3), tuples);
 
     let ab = TrieIndex::build(&rel, &[0, 1]).all_gap_boxes();
-    render_2d(&rel, &ab, 3, &format!("Figure 1b — (A,B)-ordered B-tree: {} gap boxes", ab.len()));
+    render_2d(
+        &rel,
+        &ab,
+        3,
+        &format!("Figure 1b — (A,B)-ordered B-tree: {} gap boxes", ab.len()),
+    );
     let ba = TrieIndex::build(&rel, &[1, 0]).all_gap_boxes();
-    render_2d(&rel, &ba, 3, &format!("Figure 3a — (B,A)-ordered B-tree: {} gap boxes", ba.len()));
+    render_2d(
+        &rel,
+        &ba,
+        3,
+        &format!("Figure 3a — (B,A)-ordered B-tree: {} gap boxes", ba.len()),
+    );
     let quad = DyadicTreeIndex::build(&rel).all_gap_boxes();
-    render_2d(&rel, &quad, 3, &format!("Figure 3b — dyadic-tree index: {} gap boxes", quad.len()));
+    render_2d(
+        &rel,
+        &quad,
+        3,
+        &format!("Figure 3b — dyadic-tree index: {} gap boxes", quad.len()),
+    );
 
-    println!("== Figure 4: dyadic decomposition of the gaps of R(A,B) = {{(0,3)}} over 2 bits ==\n");
+    println!(
+        "== Figure 4: dyadic decomposition of the gaps of R(A,B) = {{(0,3)}} over 2 bits ==\n"
+    );
     let rel = Relation::new(Schema::uniform(&["A", "B"], 2), vec![vec![0, 3]]);
     let gaps = TrieIndex::build(&rel, &[0, 1]).all_gap_boxes();
     for g in &gaps {

@@ -37,7 +37,12 @@ fn main() {
 fn t1_acyclic() {
     println!("-- T1.1  α-acyclic: Õ(N + Z)  (chain query, random data) --");
     let mut table = Table::new(&[
-        "N", "Z", "tetris_s", "resolutions", "yannakakis_s", "lftj_s",
+        "N",
+        "Z",
+        "tetris_s",
+        "resolutions",
+        "yannakakis_s",
+        "lftj_s",
     ]);
     let width = 12u8;
     let mut ns = Vec::new();
@@ -88,7 +93,13 @@ fn t1_acyclic() {
 fn t1_agm() {
     println!("-- T1.2  arbitrary: Õ(AGM)  (skew triangle; binary plans blow up) --");
     let mut table = Table::new(&[
-        "N", "Z", "tetris_s", "resolutions", "lftj_s", "hash_s", "hash_intermediate",
+        "N",
+        "Z",
+        "tetris_s",
+        "resolutions",
+        "lftj_s",
+        "hash_s",
+        "hash_intermediate",
     ]);
     let width = 14u8;
     let (mut ns, mut tetris_res, mut hash_inter) = (Vec::new(), Vec::new(), Vec::new());
@@ -235,10 +246,7 @@ fn t1_cert_tw1() {
     );
 }
 
-fn run_comb_path(
-    inst: &paths::CombPathInstance,
-    width: u8,
-) -> (u64, u64, f64, f64) {
+fn run_comb_path(inst: &paths::CombPathInstance, width: u8) -> (u64, u64, f64, f64) {
     let join = PreparedJoin::builder(width)
         .atom("R", &inst.r, &["A", "B"])
         .atom("S", &inst.s, &["B", "C"])

@@ -50,7 +50,10 @@ pub struct Table {
 impl Table {
     /// Create a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).
@@ -61,22 +64,20 @@ impl Table {
 
     /// Serialize as JSON lines: one object per row with header keys.
     /// Numeric-looking cells become JSON numbers; others stay strings.
+    /// (Hand-rolled writer: the build runs offline without serde_json.)
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for row in &self.rows {
-            let mut obj = serde_json::Map::new();
-            for (key, cell) in self.header.iter().zip(row) {
-                let value = if let Ok(i) = cell.parse::<i64>() {
-                    serde_json::Value::from(i)
-                } else if let Ok(f) = cell.parse::<f64>() {
-                    serde_json::Value::from(f)
-                } else {
-                    serde_json::Value::from(cell.clone())
-                };
-                obj.insert(key.clone(), value);
+            out.push('{');
+            for (i, (key, cell)) in self.header.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(key));
+                out.push(':');
+                out.push_str(&json_cell(cell));
             }
-            out.push_str(&serde_json::Value::Object(obj).to_string());
-            out.push('\n');
+            out.push_str("}\n");
         }
         out
     }
@@ -99,8 +100,10 @@ impl Table {
             cells.extend(row.iter().cloned());
             tagged.row(&cells);
         }
-        if let Ok(mut f) =
-            std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
         {
             let _ = f.write_all(tagged.to_jsonl().as_bytes());
         }
@@ -134,6 +137,40 @@ impl Table {
         }
         out
     }
+}
+
+/// Encode a table cell: integers and finite floats are re-serialized
+/// from the parsed value (so `"007"` → `7` and `"+.5"` → `0.5`, always
+/// valid JSON numbers); everything else becomes an escaped JSON string.
+fn json_cell(cell: &str) -> String {
+    if let Ok(i) = cell.parse::<i64>() {
+        return i.to_string();
+    }
+    if let Ok(f) = cell.parse::<f64>() {
+        if f.is_finite() {
+            return f.to_string();
+        }
+    }
+    json_string(cell)
+}
+
+/// Escape a string per RFC 8259.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format a float compactly (3 significant-ish digits).
@@ -185,10 +222,21 @@ mod tests {
         let mut t = Table::new(&["N", "time", "label"]);
         t.row(&["10".into(), "1.5".into(), "fast".into()]);
         let line = t.to_jsonl();
-        let v: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
-        assert_eq!(v["N"], 10);
-        assert_eq!(v["time"], 1.5);
-        assert_eq!(v["label"], "fast");
+        assert_eq!(line.trim(), r#"{"N":10,"time":1.5,"label":"fast"}"#);
+    }
+
+    #[test]
+    fn jsonl_normalizes_nonstandard_numbers() {
+        let mut t = Table::new(&["a", "b", "c", "d"]);
+        t.row(&["007".into(), "+5".into(), ".5".into(), "inf".into()]);
+        assert_eq!(t.to_jsonl().trim(), r#"{"a":7,"b":5,"c":0.5,"d":"inf"}"#);
+    }
+
+    #[test]
+    fn jsonl_escapes_strings() {
+        let mut t = Table::new(&["msg"]);
+        t.row(&["say \"hi\"\n".into()]);
+        assert_eq!(t.to_jsonl().trim(), r#"{"msg":"say \"hi\"\n"}"#);
     }
 
     #[test]
@@ -201,9 +249,7 @@ mod tests {
         t.export("unit-test");
         std::env::remove_var("TETRIS_BENCH_JSONL");
         let text = std::fs::read_to_string(&path).unwrap();
-        let v: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
-        assert_eq!(v["experiment"], "unit-test");
-        assert_eq!(v["N"], 7);
+        assert_eq!(text.trim(), r#"{"experiment":"unit-test","N":7}"#);
         let _ = std::fs::remove_file(&path);
     }
 

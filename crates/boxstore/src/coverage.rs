@@ -81,7 +81,11 @@ pub fn greedy_certificate(boxes: &[DyadicBox], space: &Space) -> Vec<DyadicBox> 
                 best = i;
             }
         }
-        assert_ne!(best, usize::MAX, "internal: uncovered point with no covering box");
+        assert_ne!(
+            best,
+            usize::MAX,
+            "internal: uncovered point with no covering box"
+        );
         used[best] = true;
         chosen.push(boxes[best]);
         for (k, p) in points.iter().enumerate() {

@@ -60,7 +60,11 @@ impl SetOracle {
                 kept.push(b);
             }
         }
-        SetOracle { space, tree, boxes: kept }
+        SetOracle {
+            space,
+            tree,
+            boxes: kept,
+        }
     }
 
     /// The stored boxes.

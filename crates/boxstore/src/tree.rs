@@ -19,7 +19,11 @@ struct Node {
 }
 
 impl Node {
-    const EMPTY: Node = Node { children: [NONE, NONE], next: NONE, terminal: false };
+    const EMPTY: Node = Node {
+        children: [NONE, NONE],
+        next: NONE,
+        terminal: false,
+    };
 }
 
 /// A set of `n`-dimensional dyadic boxes stored as a multilevel dyadic
@@ -54,7 +58,12 @@ impl BoxTree {
         assert!(n >= 1, "boxes must have at least one dimension");
         let mut nodes = Vec::with_capacity(1024);
         nodes.push(Node::EMPTY); // level-0 root
-        BoxTree { nodes, root: 0, n, len: 0 }
+        BoxTree {
+            nodes,
+            root: 0,
+            n,
+            len: 0,
+        }
     }
 
     /// Number of dimensions.
@@ -242,7 +251,13 @@ impl BoxTree {
     pub fn iter_boxes(&self) -> Vec<DyadicBox> {
         let mut out = Vec::with_capacity(self.len);
         let mut scratch = DyadicBox::universe(self.n);
-        self.walk_all(self.root, 0, DyadicInterval::lambda(), &mut scratch, &mut out);
+        self.walk_all(
+            self.root,
+            0,
+            DyadicInterval::lambda(),
+            &mut scratch,
+            &mut out,
+        );
         out
     }
 
@@ -286,7 +301,9 @@ impl FromIterator<DyadicBox> for BoxTree {
     /// dimensionality cannot be inferred).
     fn from_iter<T: IntoIterator<Item = DyadicBox>>(iter: T) -> Self {
         let mut it = iter.into_iter().peekable();
-        let first = it.peek().expect("cannot infer dimensionality from an empty iterator");
+        let first = it
+            .peek()
+            .expect("cannot infer dimensionality from an empty iterator");
         let mut tree = BoxTree::new(first.n());
         tree.extend(it);
         tree
@@ -319,8 +336,9 @@ mod tests {
     #[test]
     fn figure_16_store() {
         // The boxes of Figure 16b: ⟨0,λ⟩, ⟨10,1⟩, ⟨10,0⟩, ⟨10,001⟩.
-        let t: BoxTree =
-            [b("0,λ"), b("10,1"), b("10,0"), b("10,001")].into_iter().collect();
+        let t: BoxTree = [b("0,λ"), b("10,1"), b("10,0"), b("10,001")]
+            .into_iter()
+            .collect();
         let mut all = t.iter_boxes();
         all.sort();
         assert_eq!(all, vec![b("0,λ"), b("10,0"), b("10,001"), b("10,1")]);
@@ -353,8 +371,14 @@ mod tests {
         }
         let mut hits = t.all_containing(&b("00,00"));
         hits.sort();
-        assert_eq!(hits, vec![b("λ,λ"), b("0,λ"), b("00,λ"), b("00,0"), b("00,00")]
-            .into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            hits,
+            vec![b("λ,λ"), b("0,λ"), b("00,λ"), b("00,0"), b("00,00")]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -372,13 +396,18 @@ mod tests {
             bx
         };
         for _ in 0..30 {
-            let stored: Vec<DyadicBox> = (0..rng.gen_range(1..40)).map(|_| rand_box(&mut rng)).collect();
+            let stored: Vec<DyadicBox> = (0..rng.gen_range(1..40))
+                .map(|_| rand_box(&mut rng))
+                .collect();
             let tree: BoxTree = stored.iter().copied().collect();
             for _ in 0..50 {
                 let probe = rand_box(&mut rng);
                 let expect: Vec<DyadicBox> = {
-                    let mut v: Vec<DyadicBox> =
-                        stored.iter().filter(|a| a.contains(&probe)).copied().collect();
+                    let mut v: Vec<DyadicBox> = stored
+                        .iter()
+                        .filter(|a| a.contains(&probe))
+                        .copied()
+                        .collect();
                     v.sort();
                     v.dedup();
                     v

@@ -37,7 +37,10 @@ pub struct BalancedPartition {
 impl BalancedPartition {
     /// The trivial partition `{λ}`.
     pub fn trivial(width: u8) -> Self {
-        BalancedPartition { intervals: vec![DyadicInterval::lambda()], width }
+        BalancedPartition {
+            intervals: vec![DyadicInterval::lambda()],
+            width,
+        }
     }
 
     /// Compute a balanced partition of a `width`-bit domain for the given
@@ -68,9 +71,18 @@ impl BalancedPartition {
                 split(child, &sub, width, threshold, out);
             }
         }
-        let strict: Vec<DyadicInterval> =
-            projections.iter().filter(|iv| !iv.is_lambda()).copied().collect();
-        split(DyadicInterval::lambda(), &strict, width, threshold, &mut intervals);
+        let strict: Vec<DyadicInterval> = projections
+            .iter()
+            .filter(|iv| !iv.is_lambda())
+            .copied()
+            .collect();
+        split(
+            DyadicInterval::lambda(),
+            &strict,
+            width,
+            threshold,
+            &mut intervals,
+        );
         BalancedPartition { intervals, width }
     }
 
@@ -164,8 +176,7 @@ impl BalanceMap {
         let threshold = (boxes.len() as f64).sqrt().ceil() as usize;
         let partitions: Vec<BalancedPartition> = (0..n - 2)
             .map(|i| {
-                let projections: Vec<DyadicInterval> =
-                    boxes.iter().map(|b| b.get(i)).collect();
+                let projections: Vec<DyadicInterval> = boxes.iter().map(|b| b.get(i)).collect();
                 BalancedPartition::compute(&projections, space.width(i), threshold)
             })
             .collect();
@@ -192,7 +203,11 @@ impl BalanceMap {
             widths.push(space.width(i));
         }
         let lifted = Space::from_widths(&widths);
-        BalanceMap { original: space, lifted, partitions }
+        BalanceMap {
+            original: space,
+            lifted,
+            partitions,
+        }
     }
 
     /// The original space.
@@ -238,15 +253,21 @@ impl BalanceMap {
         let n = self.original.n();
         debug_assert_eq!(point.len(), n);
         let mut out = DyadicBox::universe(self.lifted.n());
-        for i in 0..n - 2 {
+        for (i, &pv) in point.iter().enumerate().take(n - 2) {
             let d = self.original.width(i);
-            let x = self.partitions[i].interval_of_value(point[i]);
-            let unit = DyadicInterval::point(point[i], d);
+            let x = self.partitions[i].interval_of_value(pv);
+            let unit = DyadicInterval::point(pv, d);
             out.set(i, x);
             out.set(self.second_pos(i), unit.suffix(x.len()));
         }
-        out.set(n - 2, DyadicInterval::point(point[n - 1], self.original.width(n - 1)));
-        out.set(n - 1, DyadicInterval::point(point[n - 2], self.original.width(n - 2)));
+        out.set(
+            n - 2,
+            DyadicInterval::point(point[n - 1], self.original.width(n - 1)),
+        );
+        out.set(
+            n - 1,
+            DyadicInterval::point(point[n - 2], self.original.width(n - 2)),
+        );
         out
     }
 
@@ -257,13 +278,13 @@ impl BalanceMap {
         let n = self.original.n();
         debug_assert!(lifted_point.is_unit(&self.lifted));
         let mut out = vec![0u64; n];
-        for i in 0..n - 2 {
+        for (i, o) in out.iter_mut().enumerate().take(n - 2) {
             let d = self.original.width(i);
             let p1 = lifted_point.get(i).value(d);
             let x = self.partitions[i].interval_of_value(p1);
             let p2 = lifted_point.get(self.second_pos(i));
             let v = x.concat(&p2.truncate(d - x.len()));
-            out[i] = v.value(d);
+            *o = v.value(d);
         }
         out[n - 1] = lifted_point.get(n - 2).value(self.original.width(n - 1));
         out[n - 2] = lifted_point.get(n - 1).value(self.original.width(n - 2));
@@ -294,13 +315,19 @@ impl<'o, O: BoxOracle + ?Sized> TetrisLB<'o, O> {
     /// Offline mode (Algorithm 5): enumerate the oracle's boxes, build the
     /// lift from all of them, preload, and solve.
     pub fn preloaded(oracle: &'o O) -> Self {
-        TetrisLB { oracle, preload: true }
+        TetrisLB {
+            oracle,
+            preload: true,
+        }
     }
 
     /// Online mode (Appendix F.6): boxes load on demand; partitions are
     /// rebuilt whenever the loaded set doubles.
     pub fn reloaded(oracle: &'o O) -> Self {
-        TetrisLB { oracle, preload: false }
+        TetrisLB {
+            oracle,
+            preload: false,
+        }
     }
 
     /// Run to completion.
@@ -327,7 +354,11 @@ impl<'o, O: BoxOracle + ?Sized> TetrisLB<'o, O> {
                 crate::Tetris::reloaded(self.oracle)
             };
             let out = engine.run();
-            return LbOutput { tuples: out.tuples, stats: out.stats, phases: 1 };
+            return LbOutput {
+                tuples: out.tuples,
+                stats: out.stats,
+                phases: 1,
+            };
         }
 
         let mut stats = TetrisStats::new(2 * n - 2);
@@ -352,7 +383,11 @@ impl<'o, O: BoxOracle + ?Sized> TetrisLB<'o, O> {
                         // Lifted space covered ⇒ done.
                         stats.absorb(&phase.stats);
                         outputs.sort_unstable();
-                        return LbOutput { tuples: outputs, stats, phases };
+                        return LbOutput {
+                            tuples: outputs,
+                            stats,
+                            phases,
+                        };
                     }
                     Some(w) => {
                         let t = map.lower_point(&w);
@@ -366,7 +401,11 @@ impl<'o, O: BoxOracle + ?Sized> TetrisLB<'o, O> {
                             if stop_on_output {
                                 stats.absorb(&phase.stats);
                                 outputs.sort_unstable();
-                                return LbOutput { tuples: outputs, stats, phases };
+                                return LbOutput {
+                                    tuples: outputs,
+                                    stats,
+                                    phases,
+                                };
                             }
                         } else {
                             for h in &hits {
@@ -412,7 +451,11 @@ impl LiftedPhase {
                 stats.kb_inserts += 1;
             }
         }
-        LiftedPhase { space: lifted, kb, stats }
+        LiftedPhase {
+            space: lifted,
+            kb,
+            stats,
+        }
     }
 
     fn insert(&mut self, b: &DyadicBox) {
@@ -494,8 +537,9 @@ mod tests {
     #[test]
     fn balanced_partition_splits_heavy_intervals() {
         // 8 projections strictly inside "0", threshold 2 ⇒ "0" must split.
-        let projections: Vec<DyadicInterval> =
-            (0..8u64).map(|i| DyadicInterval::from_bits(i % 8, 3)).collect();
+        let projections: Vec<DyadicInterval> = (0..8u64)
+            .map(|i| DyadicInterval::from_bits(i % 8, 3))
+            .collect();
         let p = BalancedPartition::compute(&projections, 3, 2);
         assert!(p.is_valid());
         assert!(p.len() > 1);
@@ -529,7 +573,11 @@ mod tests {
             let p = BalancedPartition::compute(&projections, width, threshold);
             assert!(p.is_valid());
             let bound = 2 * (threshold + 1) * (width as usize + 1);
-            assert!(p.len() <= bound, "partition {} exceeds Õ(√C) bound {bound}", p.len());
+            assert!(
+                p.len() <= bound,
+                "partition {} exceeds Õ(√C) bound {bound}",
+                p.len()
+            );
         }
     }
 
@@ -552,8 +600,14 @@ mod tests {
             width: 3,
         };
         // Prefix of a partition interval ⇒ (s, λ).
-        assert_eq!(p.split_interval(&iv("0")), (iv("0"), DyadicInterval::lambda()));
-        assert_eq!(p.split_interval(&iv("00")), (iv("00"), DyadicInterval::lambda()));
+        assert_eq!(
+            p.split_interval(&iv("0")),
+            (iv("0"), DyadicInterval::lambda())
+        );
+        assert_eq!(
+            p.split_interval(&iv("00")),
+            (iv("00"), DyadicInterval::lambda())
+        );
         assert_eq!(
             p.split_interval(&DyadicInterval::lambda()),
             (DyadicInterval::lambda(), DyadicInterval::lambda())
@@ -606,7 +660,10 @@ mod tests {
                     let mut bx = DyadicBox::universe(3);
                     for i in 0..3 {
                         let len = rng.gen_range(0..=2u8);
-                        bx.set(i, DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len));
+                        bx.set(
+                            i,
+                            DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len),
+                        );
                     }
                     bx
                 })
@@ -638,7 +695,10 @@ mod tests {
                     let mut bx = DyadicBox::universe(n);
                     for i in 0..n {
                         let len = rng.gen_range(0..=d);
-                        bx.set(i, DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len));
+                        bx.set(
+                            i,
+                            DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len),
+                        );
                     }
                     bx
                 })
@@ -692,7 +752,10 @@ mod tests {
                 let mut bx = DyadicBox::universe(3);
                 for i in 0..3 {
                     let len = rng.gen_range(1..=4u8);
-                    bx.set(i, DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len));
+                    bx.set(
+                        i,
+                        DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len),
+                    );
                 }
                 bx
             })

@@ -101,7 +101,13 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
 
     /// `Tetris-Preloaded` (§4.3): the knowledge base starts as all of `B`.
     pub fn preloaded(oracle: &'o O) -> Self {
-        Self::with_config(oracle, TetrisConfig { preload: true, ..Default::default() })
+        Self::with_config(
+            oracle,
+            TetrisConfig {
+                preload: true,
+                ..Default::default()
+            },
+        )
     }
 
     /// `Tetris-Reloaded` (§4.4): the knowledge base starts empty and gap
@@ -151,7 +157,10 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
         self.stats.skeleton_calls += 1;
         self.stats.kb_queries += 1;
         if let Some(a) = self.kb.find_containing(b) {
-            self.emit(TraceEvent::CoveredBy { target: *b, witness: a });
+            self.emit(TraceEvent::CoveredBy {
+                target: *b,
+                witness: a,
+            });
             return Skel::Covered(a);
         }
         let Some((b1, b2, dim)) = b.split_first_thick(&self.space) else {
@@ -185,7 +194,12 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
             .expect("Lemma C.1 invariant violated: witnesses must be ordered-resolvable");
         debug_assert!(w.contains(b), "resolvent must cover the split target");
         self.stats.count_resolution(dim);
-        self.emit(TraceEvent::Resolve { w1, w2, result: w, dim });
+        self.emit(TraceEvent::Resolve {
+            w1,
+            w2,
+            result: w,
+            dim,
+        });
         if self.config.cache_resolvents && self.kb.insert(&w) {
             self.stats.kb_inserts += 1;
         }
@@ -207,7 +221,10 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
             }
             *b
         } else {
-            self.emit(TraceEvent::Load { probe: *b, count: hits.len() });
+            self.emit(TraceEvent::Load {
+                probe: *b,
+                count: hits.len(),
+            });
             let mut witness = hits[0];
             for h in &hits {
                 debug_assert!(h.contains(b), "oracle returned a non-covering box");
@@ -240,7 +257,11 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
         } else {
             self.drive(|t| tuples.push(t), false);
         }
-        TetrisOutput { tuples, stats: self.stats, trace: self.trace }
+        TetrisOutput {
+            tuples,
+            stats: self.stats,
+            trace: self.trace,
+        }
     }
 
     /// Stream output tuples to a callback instead of materializing them
@@ -282,7 +303,10 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
                     return;
                 }
             } else {
-                self.emit(TraceEvent::Load { probe: w, count: hits.len() });
+                self.emit(TraceEvent::Load {
+                    probe: w,
+                    count: hits.len(),
+                });
                 for h in &hits {
                     debug_assert!(h.contains(&w), "oracle returned a non-covering box");
                     if self.kb.insert(h) {
@@ -330,7 +354,7 @@ mod tests {
         // resolutions it describes are ⟨01,10⟩⊕⟨λ,11⟩ → ⟨01,1⟩ and then
         // ⟨λ,0⟩⊕⟨01,1⟩ → ⟨01,λ⟩ and ⟨00,λ⟩⊕⟨01,λ⟩ → ⟨0,λ⟩.
         let space = Space::uniform(2, 2);
-        let all = ["λ,0", "00,λ", "λ,11", "10,1"].map(|s| b(s));
+        let all = ["λ,0", "00,λ", "λ,11", "10,1"].map(b);
         let oracle = SetOracle::new(space, all);
         // Reloaded with tracing; the paper's partial initialization is
         // emulated by the engine loading boxes on demand — the resolution
@@ -356,7 +380,9 @@ mod tests {
         ];
         for (w1, w2, r) in expect {
             assert!(
-                resolutions.iter().any(|(a, c, res)| *a == w1 && *c == w2 && *res == r),
+                resolutions
+                    .iter()
+                    .any(|(a, c, res)| *a == w1 && *c == w2 && *res == r),
                 "missing resolution {w1} ⊕ {w2} → {r}; got {resolutions:?}"
             );
         }
@@ -389,7 +415,10 @@ mod tests {
             for preload in [false, true] {
                 let engine = Tetris::with_config(
                     &oracle,
-                    TetrisConfig { preload, ..Default::default() },
+                    TetrisConfig {
+                        preload,
+                        ..Default::default()
+                    },
                 );
                 let out = engine.run();
                 assert_eq!(out.tuples, expect, "trial {trial} preload={preload}");
@@ -436,7 +465,10 @@ mod tests {
                     let mut bx = DyadicBox::universe(n);
                     for i in 0..n {
                         let len = rng.gen_range(0..=d);
-                        bx.set(i, DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len));
+                        bx.set(
+                            i,
+                            DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len),
+                        );
                     }
                     bx
                 })

@@ -98,17 +98,16 @@ mod tests {
             let boxes: Vec<IntBox> = (0..rng.gen_range(1..8))
                 .map(|_| {
                     let lo: Vec<u64> = (0..3).map(|_| rng.gen_range(0..4)).collect();
-                    let hi: Vec<u64> =
-                        lo.iter().map(|&l| rng.gen_range(l..4)).collect();
+                    let hi: Vec<u64> = lo.iter().map(|&l| rng.gen_range(l..4)).collect();
                     IntBox::new(lo, hi)
                 })
                 .collect();
             // Brute force.
             let mut all = true;
             space.for_each_point(|p| {
-                let covered = boxes.iter().any(|b| {
-                    (0..3).all(|i| b.lo[i] <= p[i] && p[i] <= b.hi[i])
-                });
+                let covered = boxes
+                    .iter()
+                    .any(|b| (0..3).all(|i| b.lo[i] <= p[i] && p[i] <= b.hi[i]));
                 all &= covered;
             });
             assert_eq!(covers_space_lb(&boxes, &space).0, all);

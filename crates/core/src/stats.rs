@@ -37,7 +37,10 @@ pub struct TetrisStats {
 impl TetrisStats {
     /// Create counters for an `n`-dimensional run.
     pub fn new(n: usize) -> Self {
-        TetrisStats { resolutions_by_dim: vec![0; n], ..Default::default() }
+        TetrisStats {
+            resolutions_by_dim: vec![0; n],
+            ..Default::default()
+        }
     }
 
     /// Record one resolution on `dim`.

@@ -5,6 +5,9 @@ use dyadic::DyadicBox;
 use std::fmt;
 
 /// One step of a Tetris execution, recorded when tracing is enabled.
+// Variants hold inline `DyadicBox`es of very different sizes; traces are
+// debugging aids, so we keep them unboxed rather than complicate matching.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// The outer loop (re)invoked `TetrisSkeleton(⟨λ,…,λ⟩)`.
@@ -56,7 +59,12 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::Split { target, dim } => write!(f, "split {target} on dim {dim}"),
             TraceEvent::Uncovered(b) => write!(f, "uncovered {b}"),
-            TraceEvent::Resolve { w1, w2, result, dim } => {
+            TraceEvent::Resolve {
+                w1,
+                w2,
+                result,
+                dim,
+            } => {
                 write!(f, "resolve {w1} ⊕ {w2} → {result} (dim {dim})")
             }
             TraceEvent::Load { probe, count } => write!(f, "load {count} boxes at {probe}"),

@@ -19,7 +19,6 @@ pub const MAX_DIMS: usize = 16;
 /// coordinates**: the attribute↔dimension mapping is applied once when gap
 /// boxes are generated, never inside the core algorithm.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DyadicBox {
     dims: [DyadicInterval; MAX_DIMS],
     n: u8,
@@ -29,7 +28,10 @@ impl DyadicBox {
     /// The universal box `⟨λ, …, λ⟩` over `n` dimensions.
     pub fn universe(n: usize) -> Self {
         assert!(n <= MAX_DIMS, "at most {MAX_DIMS} dimensions supported");
-        DyadicBox { dims: [DyadicInterval::lambda(); MAX_DIMS], n: n as u8 }
+        DyadicBox {
+            dims: [DyadicInterval::lambda(); MAX_DIMS],
+            n: n as u8,
+        }
     }
 
     /// Build a box from explicit intervals.
@@ -156,7 +158,9 @@ impl DyadicBox {
     /// # Panics
     /// In debug builds if the box is not unit.
     pub fn to_point(&self, space: &Space) -> Vec<u64> {
-        (0..self.n()).map(|i| self.dims[i].value(space.width(i))).collect()
+        (0..self.n())
+            .map(|i| self.dims[i].value(space.width(i)))
+            .collect()
     }
 
     /// The support of the box: indices of dimensions with non-`λ`

@@ -25,7 +25,11 @@ pub fn dyadic_cover_of_range(lo: u64, hi: u64, width: u8) -> Vec<DyadicInterval>
         // Largest power-of-two block starting at `cur`:
         // (a) must be aligned: 2^k divides cur (or cur == 0 ⇒ any k);
         // (b) must fit: cur + 2^k - 1 ≤ hi.
-        let align = if cur == 0 { width } else { cur.trailing_zeros().min(width as u32) as u8 };
+        let align = if cur == 0 {
+            width
+        } else {
+            cur.trailing_zeros().min(width as u32) as u8
+        };
         let remaining = hi - cur + 1;
         let fit = (63 - remaining.leading_zeros()) as u8; // floor(log2(remaining))
         let k = align.min(fit);
@@ -84,8 +88,11 @@ pub fn decompose_box(lo: &[u64], hi: &[u64], space: &Space) -> Vec<DyadicBox> {
     let mut out = Vec::new();
     let mut idx = vec![0usize; space.n()];
     loop {
-        let ivs: Vec<DyadicInterval> =
-            idx.iter().enumerate().map(|(i, &j)| per_dim[i][j]).collect();
+        let ivs: Vec<DyadicInterval> = idx
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| per_dim[i][j])
+            .collect();
         out.push(DyadicBox::from_intervals(&ivs));
         // Odometer.
         let mut i = space.n();
@@ -107,11 +114,7 @@ pub fn decompose_box(lo: &[u64], hi: &[u64], space: &Space) -> Vec<DyadicBox> {
 /// the cover of the open range `(pred, succ)`. Pass `pred = None` for "no
 /// predecessor" (gap starts at 0) and `succ = None` for "no successor"
 /// (gap ends at the domain max). Used by index gap extraction (Example 1.1).
-pub fn range_gap_boxes(
-    pred: Option<u64>,
-    succ: Option<u64>,
-    width: u8,
-) -> Vec<DyadicInterval> {
+pub fn range_gap_boxes(pred: Option<u64>, succ: Option<u64>, width: u8) -> Vec<DyadicInterval> {
     let max = (1u64 << width) - 1;
     let lo = match pred {
         None => 0,

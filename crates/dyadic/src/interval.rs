@@ -20,7 +20,6 @@ pub const MAX_WIDTH: u8 = 63;
 /// prefixes first* — handy for deterministic iteration; it is **not** the
 /// containment partial order (use [`DyadicInterval::contains`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DyadicInterval {
     bits: u64,
     len: u8,
@@ -40,7 +39,10 @@ impl DyadicInterval {
     /// If `len > 63` or `bits` does not fit in `len` bits.
     #[inline]
     pub fn from_bits(bits: u64, len: u8) -> Self {
-        assert!(len <= MAX_WIDTH, "dyadic interval length {len} exceeds {MAX_WIDTH}");
+        assert!(
+            len <= MAX_WIDTH,
+            "dyadic interval length {len} exceeds {MAX_WIDTH}"
+        );
         assert!(
             len == 64 || bits < (1u64 << len),
             "bits {bits:#b} do not fit in {len} bits"
@@ -69,7 +71,10 @@ impl DyadicInterval {
                     _ => return None,
                 };
         }
-        Some(DyadicInterval { bits, len: s.len() as u8 })
+        Some(DyadicInterval {
+            bits,
+            len: s.len() as u8,
+        })
     }
 
     /// The integer value of the stored prefix.
@@ -118,7 +123,10 @@ impl DyadicInterval {
     pub fn child(&self, bit: u8) -> Self {
         debug_assert!(bit <= 1);
         debug_assert!(self.len < MAX_WIDTH);
-        DyadicInterval { bits: (self.bits << 1) | bit as u64, len: self.len + 1 }
+        DyadicInterval {
+            bits: (self.bits << 1) | bit as u64,
+            len: self.len + 1,
+        }
     }
 
     /// Drop the last bit; `None` for `λ`.
@@ -127,7 +135,10 @@ impl DyadicInterval {
         if self.len == 0 {
             None
         } else {
-            Some(DyadicInterval { bits: self.bits >> 1, len: self.len - 1 })
+            Some(DyadicInterval {
+                bits: self.bits >> 1,
+                len: self.len - 1,
+            })
         }
     }
 
@@ -147,7 +158,10 @@ impl DyadicInterval {
         if self.len == 0 {
             None
         } else {
-            Some(DyadicInterval { bits: self.bits ^ 1, len: self.len })
+            Some(DyadicInterval {
+                bits: self.bits ^ 1,
+                len: self.len,
+            })
         }
     }
 
@@ -230,7 +244,10 @@ impl DyadicInterval {
     #[inline]
     pub fn truncate(&self, len: u8) -> Self {
         debug_assert!(len <= self.len);
-        DyadicInterval { bits: self.bits >> (self.len - len), len }
+        DyadicInterval {
+            bits: self.bits >> (self.len - len),
+            len,
+        }
     }
 
     /// Concatenate two bitstrings: `self · suffix`.
@@ -239,7 +256,10 @@ impl DyadicInterval {
     /// If the combined length exceeds [`MAX_WIDTH`].
     #[inline]
     pub fn concat(&self, suffix: &Self) -> Self {
-        assert!(self.len + suffix.len <= MAX_WIDTH, "concatenated interval too long");
+        assert!(
+            self.len + suffix.len <= MAX_WIDTH,
+            "concatenated interval too long"
+        );
         DyadicInterval {
             bits: (self.bits << suffix.len) | suffix.bits,
             len: self.len + suffix.len,
@@ -255,7 +275,10 @@ impl DyadicInterval {
         debug_assert!(prefix_len <= self.len);
         let len = self.len - prefix_len;
         let mask = if len == 0 { 0 } else { (1u64 << len) - 1 };
-        DyadicInterval { bits: self.bits & mask, len }
+        DyadicInterval {
+            bits: self.bits & mask,
+            len,
+        }
     }
 
     /// Iterator over all prefixes of `self`, from `λ` to `self` inclusive.
@@ -334,7 +357,11 @@ mod tests {
     fn parse_and_display_roundtrip() {
         for s in ["", "0", "1", "01", "1101", "000"] {
             let iv = DyadicInterval::parse(s).unwrap();
-            let shown = if s.is_empty() { "λ".to_string() } else { s.to_string() };
+            let shown = if s.is_empty() {
+                "λ".to_string()
+            } else {
+                s.to_string()
+            };
             assert_eq!(iv.bit_string(), shown);
         }
         assert!(DyadicInterval::parse("012").is_none());
@@ -433,7 +460,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        let mut v = vec![
+        let mut v = [
             DyadicInterval::parse("1").unwrap(),
             DyadicInterval::parse("01").unwrap(),
             DyadicInterval::parse("0").unwrap(),

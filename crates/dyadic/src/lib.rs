@@ -60,5 +60,5 @@ pub use boxes::{DyadicBox, MAX_DIMS};
 pub use decompose::{
     decompose_box, dyadic_cover_of_range, dyadic_piece_containing, range_gap_boxes,
 };
-pub use interval::DyadicInterval;
+pub use interval::{DyadicInterval, MAX_WIDTH};
 pub use space::Space;

@@ -10,7 +10,6 @@ use core::fmt;
 /// width `d`; we allow per-dimension widths (its Remark B.13), which the
 /// load-balancing lift and mixed-arity schemas both use.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Space {
     widths: [u8; MAX_DIMS],
     n: u8,
@@ -30,11 +29,20 @@ impl Space {
     /// # Panics
     /// If there are more than [`MAX_DIMS`] dimensions or any width exceeds 63.
     pub fn from_widths(widths: &[u8]) -> Self {
-        assert!(widths.len() <= MAX_DIMS, "at most {MAX_DIMS} dimensions supported");
-        assert!(widths.iter().all(|&w| w <= 63), "dimension width must be ≤ 63 bits");
+        assert!(
+            widths.len() <= MAX_DIMS,
+            "at most {MAX_DIMS} dimensions supported"
+        );
+        assert!(
+            widths.iter().all(|&w| w <= 63),
+            "dimension width must be ≤ 63 bits"
+        );
         let mut a = [0u8; MAX_DIMS];
         a[..widths.len()].copy_from_slice(widths);
-        Space { widths: a, n: widths.len() as u8 }
+        Space {
+            widths: a,
+            n: widths.len() as u8,
+        }
     }
 
     /// Number of dimensions.
@@ -75,7 +83,10 @@ impl Space {
     /// about to enumerate something enormous by mistake.
     pub fn for_each_point(&self, mut f: impl FnMut(&[u64])) {
         let total = self.point_count();
-        assert!(total <= 1 << 24, "space too large to enumerate ({total} points)");
+        assert!(
+            total <= 1 << 24,
+            "space too large to enumerate ({total} points)"
+        );
         let n = self.n();
         let mut point = vec![0u64; n];
         loop {

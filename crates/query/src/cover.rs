@@ -13,11 +13,7 @@ use std::collections::HashMap;
 /// `Σ_{v∈F} y_v ≤ w_F`), whose all-slack basis is always feasible.
 /// Returns `(optimal value, x)` or `None` if some target vertex lies in
 /// no edge (infeasible cover ⇒ unbounded dual).
-pub fn fractional_cover(
-    h: &Hypergraph,
-    target: u32,
-    weights: &[f64],
-) -> Option<(f64, Vec<f64>)> {
+pub fn fractional_cover(h: &Hypergraph, target: u32, weights: &[f64]) -> Option<(f64, Vec<f64>)> {
     assert_eq!(weights.len(), h.edges().len(), "one weight per edge");
     let verts: Vec<usize> = (0..h.n()).filter(|&v| target & (1 << v) != 0).collect();
     if verts.is_empty() {
@@ -129,7 +125,10 @@ pub fn fhtw(h: &Hypergraph) -> Option<(f64, Vec<usize>)> {
 /// If the target has more than 20 vertices (DP is `O(2^{|target|}·|E|)`).
 pub fn integral_cover_number(h: &Hypergraph, target: u32) -> Option<usize> {
     let verts: Vec<usize> = (0..h.n()).filter(|&v| target & (1 << v) != 0).collect();
-    assert!(verts.len() <= 20, "integral cover DP limited to 20 target vertices");
+    assert!(
+        verts.len() <= 20,
+        "integral cover DP limited to 20 target vertices"
+    );
     if verts.is_empty() {
         return Some(0);
     }
@@ -142,7 +141,12 @@ pub fn integral_cover_number(h: &Hypergraph, target: u32) -> Option<usize> {
             .fold(0u32, |acc, (i, &v)| acc | ((mask >> v & 1) << i))
     };
     let full = (1u32 << verts.len()) - 1;
-    let edges: Vec<u32> = h.edges().iter().map(|&e| local(e)).filter(|&e| e != 0).collect();
+    let edges: Vec<u32> = h
+        .edges()
+        .iter()
+        .map(|&e| local(e))
+        .filter(|&e| e != 0)
+        .collect();
     if edges.iter().fold(0, |a, &e| a | e) != full {
         return None;
     }
@@ -328,7 +332,7 @@ mod tests {
         // edges cover the bag only partially). Validate against the DP.
         let square = Hypergraph::from_masks(4, &[0b0011, 0b0110, 0b1100, 0b1001]);
         let (w, _) = fhtw(&square).unwrap();
-        assert!(w <= 2.0 + 1e-9 && w >= 1.5 - 1e-9, "fhtw(C4) = {w}");
+        assert!((1.5 - 1e-9..=2.0 + 1e-9).contains(&w), "fhtw(C4) = {w}");
         // Known exact value: 3/2? No — fhtw(C4) = 2 is wrong; ghw(C4) = 2,
         // fhtw(C4) = 2? Literature: fhtw(cycle of length 4) = 2?? The bag
         // {A,B,C} is covered by AB + BC with weight 2, or by AB + CD:
@@ -360,11 +364,7 @@ mod tests {
             }
             let h = Hypergraph::from_masks(n, &edges);
             let (f, tw) = width_chain(&h).unwrap();
-            assert!(
-                f <= (tw + 1) as f64 + 1e-6,
-                "fhtw {f} > tw+1 {}",
-                tw + 1
-            );
+            assert!(f <= (tw + 1) as f64 + 1e-6, "fhtw {f} > tw+1 {}", tw + 1);
             assert!(f >= 1.0 - 1e-9);
         }
     }
@@ -430,8 +430,12 @@ mod tests {
     fn cover_weights_scale_solution() {
         // Doubling all weights doubles the optimum.
         let h = triangle();
-        let w1 = fractional_cover(&h, h.all_mask(), &[1.0, 1.0, 1.0]).unwrap().0;
-        let w2 = fractional_cover(&h, h.all_mask(), &[2.0, 2.0, 2.0]).unwrap().0;
+        let w1 = fractional_cover(&h, h.all_mask(), &[1.0, 1.0, 1.0])
+            .unwrap()
+            .0;
+        let w2 = fractional_cover(&h, h.all_mask(), &[2.0, 2.0, 2.0])
+            .unwrap()
+            .0;
         assert!((w2 - 2.0 * w1).abs() < 1e-6);
     }
 }

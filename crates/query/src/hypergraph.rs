@@ -36,7 +36,10 @@ impl Hypergraph {
             }
             masks.push(m);
         }
-        Hypergraph { names, edges: masks }
+        Hypergraph {
+            names,
+            edges: masks,
+        }
     }
 
     /// Build from vertex count and raw edge masks (vertices `0..n`).
@@ -46,7 +49,10 @@ impl Hypergraph {
         for &e in edges {
             assert!(e < (1u64 << n) as u32 || n == 32, "edge mask out of range");
         }
-        Hypergraph { names, edges: edges.to_vec() }
+        Hypergraph {
+            names,
+            edges: edges.to_vec(),
+        }
     }
 
     /// Number of vertices.
@@ -107,9 +113,7 @@ impl Hypergraph {
             edges.dedup();
             let kept: Vec<u32> = edges
                 .iter()
-                .filter(|&&e| {
-                    e != 0 && !edges.iter().any(|&f| f != e && f & e == e)
-                })
+                .filter(|&&e| e != 0 && !edges.iter().any(|&f| f != e && f & e == e))
                 .copied()
                 .collect();
             edges = kept;
@@ -190,7 +194,12 @@ impl Hypergraph {
                 parent[k] = Some(p);
             }
         }
-        TreeDecomposition { order: order.to_vec(), bags, parent, n: self.n() }
+        TreeDecomposition {
+            order: order.to_vec(),
+            bags,
+            parent,
+            n: self.n(),
+        }
     }
 
     /// Name of vertex `i` (for diagnostics).
@@ -235,7 +244,12 @@ pub struct TreeDecomposition {
 impl TreeDecomposition {
     /// Width: `max |bag| − 1`.
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.count_ones() as usize).max().unwrap_or(1) - 1
+        self.bags
+            .iter()
+            .map(|b| b.count_ones() as usize)
+            .max()
+            .unwrap_or(1)
+            - 1
     }
 
     /// Validate the tree-decomposition properties (Definition A.4) against
@@ -253,8 +267,9 @@ impl TreeDecomposition {
         // nodes whose bag holds v, all but one must have a parent that
         // also holds v.
         for v in 0..self.n {
-            let holders: Vec<usize> =
-                (0..self.bags.len()).filter(|&k| self.bags[k] & (1 << v) != 0).collect();
+            let holders: Vec<usize> = (0..self.bags.len())
+                .filter(|&k| self.bags[k] & (1 << v) != 0)
+                .collect();
             if holders.is_empty() {
                 return false;
             }
@@ -282,7 +297,10 @@ mod tests {
     }
 
     fn path3() -> Hypergraph {
-        Hypergraph::new(&["A", "B", "C", "D"], &[&["A", "B"], &["B", "C"], &["C", "D"]])
+        Hypergraph::new(
+            &["A", "B", "C", "D"],
+            &[&["A", "B"], &["B", "C"], &["C", "D"]],
+        )
     }
 
     #[test]
@@ -291,10 +309,7 @@ mod tests {
         let star = Hypergraph::new(&["A", "B", "C"], &[&["A", "B"], &["A", "C"]]);
         assert!(star.is_alpha_acyclic());
         // A single big edge plus contained edges is acyclic.
-        let contained = Hypergraph::new(
-            &["A", "B", "C"],
-            &[&["A", "B", "C"], &["A", "B"], &["C"]],
-        );
+        let contained = Hypergraph::new(&["A", "B", "C"], &[&["A", "B", "C"], &["A", "B"], &["C"]]);
         assert!(contained.is_alpha_acyclic());
     }
 

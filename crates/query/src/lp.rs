@@ -61,8 +61,7 @@ pub fn simplex_max(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
             if t[i][enter] > EPS {
                 let ratio = t[i][cols - 1] / t[i][enter];
                 if ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best + EPS && leave.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(i);
@@ -77,12 +76,13 @@ pub fn simplex_max(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpOutcome {
         for v in t[r].iter_mut() {
             *v /= piv;
         }
-        for i in 0..=m {
+        let pivot_row = t[r].clone();
+        for (i, row) in t.iter_mut().enumerate() {
             if i != r {
-                let f = t[i][enter];
+                let f = row[enter];
                 if f.abs() > EPS {
-                    for j in 0..cols {
-                        t[i][j] -= f * t[r][j];
+                    for (v, &p) in row.iter_mut().zip(&pivot_row) {
+                        *v -= f * p;
                     }
                 }
             }
@@ -117,11 +117,7 @@ mod tests {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 ⇒ 36 at (2, 6).
         let (v, x, _) = solve(
             &[3.0, 5.0],
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 2.0],
-                vec![3.0, 2.0],
-            ],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
             &[4.0, 12.0, 18.0],
         );
         assert!((v - 36.0).abs() < 1e-6);
@@ -191,7 +187,10 @@ mod tests {
                     let primal: f64 = (0..n).map(|j| c[j] * x[j]).sum();
                     let dual: f64 = (0..m).map(|i| y[i] * b[i]).sum();
                     assert!((primal - value).abs() < 1e-6);
-                    assert!((dual - value).abs() < 1e-5, "duality gap: {primal} vs {dual}");
+                    assert!(
+                        (dual - value).abs() < 1e-5,
+                        "duality gap: {primal} vs {dual}"
+                    );
                     // Dual feasibility: yᵀA ≥ c.
                     for j in 0..n {
                         let lhs: f64 = (0..m).map(|i| y[i] * a[i][j]).sum();

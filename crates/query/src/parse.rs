@@ -52,9 +52,8 @@ pub fn parse_query(text: &str) -> Result<ParsedQuery, String> {
         return Err("empty query".to_string());
     }
     while !rest.is_empty() {
-        let (name, after) = take_ident(rest).ok_or_else(|| {
-            format!("expected a relation name at {:?}", head(rest))
-        })?;
+        let (name, after) = take_ident(rest)
+            .ok_or_else(|| format!("expected a relation name at {:?}", head(rest)))?;
         let after = after.trim_start();
         let Some(after) = after.strip_prefix('(') else {
             return Err(format!("expected '(' after {name}"));
@@ -80,7 +79,10 @@ pub fn parse_query(text: &str) -> Result<ParsedQuery, String> {
         if atom_attrs.is_empty() {
             return Err(format!("atom {name} has no attributes"));
         }
-        atoms.push(ParsedAtom { name, attrs: atom_attrs });
+        atoms.push(ParsedAtom {
+            name,
+            attrs: atom_attrs,
+        });
         rest = after[close + 1..].trim_start();
         if let Some(r) = rest.strip_prefix(',') {
             rest = r.trim_start();
@@ -147,9 +149,13 @@ mod tests {
         assert!(parse_query("").unwrap_err().contains("empty"));
         assert!(parse_query("R A, B)").unwrap_err().contains("'('"));
         assert!(parse_query("R(A, B").unwrap_err().contains("')'"));
-        assert!(parse_query("R(A,, B)").unwrap_err().contains("bad attribute"));
+        assert!(parse_query("R(A,, B)")
+            .unwrap_err()
+            .contains("bad attribute"));
         assert!(parse_query("R(A, A)").unwrap_err().contains("repeated"));
-        assert!(parse_query("R(A), ").unwrap_err().contains("trailing comma"));
+        assert!(parse_query("R(A), ")
+            .unwrap_err()
+            .contains("trailing comma"));
         assert!(parse_query("R() ").unwrap_err().contains("bad attribute"));
         assert!(parse_query("R(A) S(B)").unwrap_err().contains("','"));
         assert!(parse_query("1R(A)").unwrap_err().contains("relation name"));

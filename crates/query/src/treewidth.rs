@@ -18,7 +18,11 @@ use crate::Hypergraph;
 /// supports (as masks, indexed by elimination position) — Tetris'
 /// analysis references `support(A_k)` directly.
 pub fn induced_width(h: &Hypergraph, order: &[usize]) -> (usize, Vec<u32>) {
-    assert_eq!(order.len(), h.n(), "order must be a permutation of the vertices");
+    assert_eq!(
+        order.len(),
+        h.n(),
+        "order must be a permutation of the vertices"
+    );
     let mut edges: Vec<u32> = h.edges().to_vec();
     let mut supports = vec![0u32; h.n()];
     let mut width = 0usize;
@@ -204,10 +208,7 @@ mod tests {
         let square = Hypergraph::from_masks(4, &[0b0011, 0b0110, 0b1100, 0b1001]);
         assert_eq!(exact_treewidth(&square).0, 2);
         // K4.
-        let k4 = Hypergraph::from_masks(
-            4,
-            &[0b0011, 0b0101, 0b1001, 0b0110, 0b1010, 0b1100],
-        );
+        let k4 = Hypergraph::from_masks(4, &[0b0011, 0b0101, 0b1001, 0b0110, 0b1010, 0b1100]);
         assert_eq!(exact_treewidth(&k4).0, 3);
         // Star K_{1,4} has treewidth 1.
         let star = Hypergraph::from_masks(5, &[0b00011, 0b00101, 0b01001, 0b10001]);
@@ -216,7 +217,11 @@ mod tests {
 
     #[test]
     fn induced_width_matches_treewidth_for_optimal_order() {
-        for h in [triangle(), path(4), Hypergraph::from_masks(4, &[0b0011, 0b0110, 0b1100, 0b1001])] {
+        for h in [
+            triangle(),
+            path(4),
+            Hypergraph::from_masks(4, &[0b0011, 0b0110, 0b1100, 0b1001]),
+        ] {
             let (tw, order) = exact_treewidth(&h);
             let (iw, supports) = induced_width(&h, &order);
             assert_eq!(iw, tw, "order {order:?}");

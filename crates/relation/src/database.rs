@@ -19,7 +19,8 @@ impl Database {
     /// Insert a relation under a name with a default (schema-order trie)
     /// index. Replaces any previous relation of the same name.
     pub fn add(&mut self, name: &str, rel: Relation) -> &mut Self {
-        self.relations.insert(name.to_string(), IndexedRelation::new(rel));
+        self.relations
+            .insert(name.to_string(), IndexedRelation::new(rel));
         self
     }
 
@@ -65,7 +66,12 @@ impl fmt::Display for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Database ({} relations):", self.len())?;
         for (name, rel) in self.iter() {
-            writeln!(f, "  {name}{} — {} tuples", rel.relation().schema(), rel.relation().len())?;
+            writeln!(
+                f,
+                "  {name}{} — {} tuples",
+                rel.relation().schema(),
+                rel.relation().len()
+            )?;
         }
         Ok(())
     }
@@ -85,7 +91,10 @@ mod tests {
         );
         db.add(
             "S",
-            Relation::new(Schema::uniform(&["B", "C"], 2), vec![vec![1, 2], vec![1, 3]]),
+            Relation::new(
+                Schema::uniform(&["B", "C"], 2),
+                vec![vec![1, 2], vec![1, 3]],
+            ),
         );
         assert_eq!(db.len(), 2);
         assert_eq!(db.total_tuples(), 3);

@@ -41,7 +41,11 @@ impl DyadicTreeIndex {
         for g in &gap_list {
             gaps.insert(g);
         }
-        DyadicTreeIndex { space, gaps, gap_list }
+        DyadicTreeIndex {
+            space,
+            gaps,
+            gap_list,
+        }
     }
 
     fn subdivide(region: DyadicBox, pts: &[Vec<u64>], space: &Space, out: &mut Vec<DyadicBox>) {
@@ -142,13 +146,11 @@ mod tests {
         let rel = figure_1_relation();
         let idx = DyadicTreeIndex::build(&rel);
         let space = idx.space();
-        space.for_each_point(|p| {
-            match idx.locate(p) {
-                None => assert!(rel.contains(p)),
-                Some(g) => {
-                    assert!(!rel.contains(p));
-                    assert!(g.contains_point(p, &space));
-                }
+        space.for_each_point(|p| match idx.locate(p) {
+            None => assert!(rel.contains(p)),
+            Some(g) => {
+                assert!(!rel.contains(p));
+                assert!(g.contains_point(p, &space));
             }
         });
     }
@@ -171,8 +173,13 @@ mod tests {
         }
         let rel = Relation::new(Schema::uniform(&["A", "B"], d), pairs);
         let quad = DyadicTreeIndex::build(&rel).gap_count();
-        let btree = crate::trie::TrieIndex::build(&rel, &[0, 1]).all_gap_boxes().len();
-        assert_eq!(quad, 2, "MSB relation has exactly the two gap boxes of Fig. 5a");
+        let btree = crate::trie::TrieIndex::build(&rel, &[0, 1])
+            .all_gap_boxes()
+            .len();
+        assert_eq!(
+            quad, 2,
+            "MSB relation has exactly the two gap boxes of Fig. 5a"
+        );
         assert!(
             btree as u64 >= dom / 2,
             "B-tree needs ~2^(d-1) slabs, got {btree}"

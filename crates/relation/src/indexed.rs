@@ -56,24 +56,32 @@ impl IndexedRelation {
     /// Wrap with a trie index in the given column order.
     pub fn with_trie(relation: Relation, order: &[usize]) -> Self {
         let trie = TrieIndex::build(&relation, order);
-        IndexedRelation { relation, indexes: vec![Index::Trie(trie)] }
+        IndexedRelation {
+            relation,
+            indexes: vec![Index::Trie(trie)],
+        }
     }
 
     /// Wrap with a dyadic-tree index only.
     pub fn with_dyadic(relation: Relation) -> Self {
         let ix = DyadicTreeIndex::build(&relation);
-        IndexedRelation { relation, indexes: vec![Index::Dyadic(ix)] }
+        IndexedRelation {
+            relation,
+            indexes: vec![Index::Dyadic(ix)],
+        }
     }
 
     /// Add another trie index (column order = schema positions).
     pub fn add_trie(mut self, order: &[usize]) -> Self {
-        self.indexes.push(Index::Trie(TrieIndex::build(&self.relation, order)));
+        self.indexes
+            .push(Index::Trie(TrieIndex::build(&self.relation, order)));
         self
     }
 
     /// Add a dyadic-tree index.
     pub fn add_dyadic(mut self) -> Self {
-        self.indexes.push(Index::Dyadic(DyadicTreeIndex::build(&self.relation)));
+        self.indexes
+            .push(Index::Dyadic(DyadicTreeIndex::build(&self.relation)));
         self
     }
 
@@ -135,7 +143,9 @@ mod tests {
     #[test]
     fn multiple_indexes_pool_gaps() {
         let rel = cross_relation();
-        let ir = IndexedRelation::with_trie(rel, &[0, 1]).add_trie(&[1, 0]).add_dyadic();
+        let ir = IndexedRelation::with_trie(rel, &[0, 1])
+            .add_trie(&[1, 0])
+            .add_dyadic();
         assert_eq!(ir.indexes().len(), 3);
         // Absent point: each index contributes a gap (some may coincide).
         let gaps = ir.gaps_containing(&[0, 0]);
@@ -148,7 +158,9 @@ mod tests {
     fn pooled_gaps_remain_sound_and_complete() {
         let rel = cross_relation();
         let space = Space::from_widths(rel.schema().widths());
-        let ir = IndexedRelation::with_trie(rel, &[0, 1]).add_trie(&[1, 0]).add_dyadic();
+        let ir = IndexedRelation::with_trie(rel, &[0, 1])
+            .add_trie(&[1, 0])
+            .add_dyadic();
         let gaps = ir.all_gap_boxes();
         space.for_each_point(|p| {
             let covered = gaps.iter().any(|g| g.contains_point(p, &space));

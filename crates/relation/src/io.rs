@@ -64,7 +64,10 @@ pub fn read_tuples<R: Read>(reader: R, schema: &Schema) -> Result<Vec<Vec<u64>>,
         }
         schema
             .check_tuple(&tuple)
-            .map_err(|message| IoError::Parse { line: idx + 1, message })?;
+            .map_err(|message| IoError::Parse {
+                line: idx + 1,
+                message,
+            })?;
         tuples.push(tuple);
     }
     Ok(tuples)
@@ -149,8 +152,7 @@ mod tests {
         );
         let mut buf = Vec::new();
         write_relation(&mut buf, &rel).unwrap();
-        let back =
-            read_relation(buf.as_slice(), Schema::uniform(&["A", "B", "C"], 4)).unwrap();
+        let back = read_relation(buf.as_slice(), Schema::uniform(&["A", "B", "C"], 4)).unwrap();
         assert_eq!(back, rel);
     }
 

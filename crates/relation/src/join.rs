@@ -90,7 +90,11 @@ impl<'a> JoinOracle<'a> {
         for (i, a) in attrs.iter().enumerate() {
             assert!(!attrs[..i].contains(a), "duplicate attribute {a:?} in SAO");
         }
-        JoinOracle { space: Space::from_widths(widths), attrs, atoms: Vec::new() }
+        JoinOracle {
+            space: Space::from_widths(widths),
+            attrs,
+            atoms: Vec::new(),
+        }
     }
 
     /// Bind an atom: `attrs[j]` names the query attribute played by the
@@ -121,7 +125,11 @@ impl<'a> JoinOracle<'a> {
                 attrs[j]
             );
         }
-        self.atoms.push(Atom { rel, dims, name: name.to_string() });
+        self.atoms.push(Atom {
+            rel,
+            dims,
+            name: name.to_string(),
+        });
         self
     }
 
@@ -137,7 +145,9 @@ impl<'a> JoinOracle<'a> {
 
     /// Whether the SAO-space point joins (is in every relation).
     pub fn point_in_all(&self, point: &[u64]) -> bool {
-        self.atoms.iter().all(|a| a.rel.relation().contains(&a.project(point)))
+        self.atoms
+            .iter()
+            .all(|a| a.rel.relation().contains(&a.project(point)))
     }
 
     /// The full embedded gap set `B(Q)` (for `Tetris-Preloaded`).
@@ -170,7 +180,10 @@ impl BoxOracle for JoinOracle<'_> {
     }
 
     fn boxes_containing(&self, point: &DyadicBox) -> Vec<DyadicBox> {
-        debug_assert!(point.is_unit(&self.space), "oracle probes must be unit boxes");
+        debug_assert!(
+            point.is_unit(&self.space),
+            "oracle probes must be unit boxes"
+        );
         let p = point.to_point(&self.space);
         let n = self.space.n();
         let mut out = Vec::new();

@@ -31,7 +31,10 @@ impl Relation {
 
     /// The empty relation over a schema.
     pub fn empty(schema: Schema) -> Self {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// The schema.
@@ -61,7 +64,9 @@ impl Relation {
 
     /// Membership test (binary search).
     pub fn contains(&self, t: &[u64]) -> bool {
-        self.tuples.binary_search_by(|x| x.as_slice().cmp(t)).is_ok()
+        self.tuples
+            .binary_search_by(|x| x.as_slice().cmp(t))
+            .is_ok()
     }
 
     /// The tuples re-ordered by the given column permutation and sorted in
@@ -69,7 +74,11 @@ impl Relation {
     ///
     /// `order[k]` is the schema position providing the `k`-th column.
     pub fn tuples_in_order(&self, order: &[usize]) -> Vec<Vec<u64>> {
-        assert_eq!(order.len(), self.arity(), "order must be a full permutation");
+        assert_eq!(
+            order.len(),
+            self.arity(),
+            "order must be a full permutation"
+        );
         let mut seen = vec![false; self.arity()];
         for &p in order {
             assert!(p < self.arity() && !seen[p], "order must be a permutation");

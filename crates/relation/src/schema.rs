@@ -18,7 +18,10 @@ impl Schema {
     pub fn new(attrs: &[&str], widths: &[u8]) -> Self {
         assert_eq!(attrs.len(), widths.len(), "one width per attribute");
         assert!(!attrs.is_empty(), "schemas need at least one attribute");
-        assert!(widths.iter().all(|&w| w >= 1 && w <= 63), "widths must be in 1..=63");
+        assert!(
+            widths.iter().all(|&w| (1..=63).contains(&w)),
+            "widths must be in 1..=63"
+        );
         let names: Vec<String> = attrs.iter().map(|s| s.to_string()).collect();
         for (i, a) in names.iter().enumerate() {
             assert!(
@@ -26,7 +29,10 @@ impl Schema {
                 "duplicate attribute {a:?} in schema"
             );
         }
-        Schema { attrs: names, widths: widths.to_vec() }
+        Schema {
+            attrs: names,
+            widths: widths.to_vec(),
+        }
     }
 
     /// Uniform-width convenience constructor.
@@ -63,7 +69,11 @@ impl Schema {
     /// Validate a tuple against the schema (arity and ranges).
     pub fn check_tuple(&self, t: &[u64]) -> Result<(), String> {
         if t.len() != self.arity() {
-            return Err(format!("tuple arity {} ≠ schema arity {}", t.len(), self.arity()));
+            return Err(format!(
+                "tuple arity {} ≠ schema arity {}",
+                t.len(),
+                self.arity()
+            ));
         }
         for (i, &v) in t.iter().enumerate() {
             let max = (1u64 << self.widths[i]) - 1;

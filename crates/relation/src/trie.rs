@@ -10,9 +10,7 @@
 //! of Definition 3.11 when the column order is consistent with the GAO.
 
 use crate::Relation;
-use dyadic::{
-    dyadic_piece_containing, range_gap_boxes, DyadicBox, DyadicInterval,
-};
+use dyadic::{dyadic_piece_containing, range_gap_boxes, DyadicBox, DyadicInterval};
 
 /// A flat (struct-of-arrays) search trie over a relation, in a fixed
 /// column order. Functionally equivalent to a B-tree index: supports
@@ -70,7 +68,12 @@ impl TrieIndex {
         // Fix up: starts[j-1] currently interleaves per-parent markers; we
         // produced one start per parent node plus one final sentinel, which
         // is exactly the CSR layout we want.
-        TrieIndex { order: order.to_vec(), widths, values, starts }
+        TrieIndex {
+            order: order.to_vec(),
+            widths,
+            values,
+            starts,
+        }
     }
 
     /// The column order (schema positions per trie level).
@@ -110,11 +113,11 @@ impl TrieIndex {
         let probe: Vec<u64> = self.order.iter().map(|&p| t[p]).collect();
         let (mut lo, mut hi) = (0usize, self.values[0].len());
         let mut path: Vec<u64> = Vec::with_capacity(k);
-        for j in 0..k {
+        for (j, &pv) in probe.iter().enumerate() {
             let vals = &self.values[j][lo..hi];
-            match vals.binary_search(&probe[j]) {
+            match vals.binary_search(&pv) {
                 Ok(pos) => {
-                    path.push(probe[j]);
+                    path.push(pv);
                     if j + 1 == k {
                         return None; // full tuple present
                     }
@@ -123,13 +126,13 @@ impl TrieIndex {
                     hi = nhi;
                 }
                 Err(pos) => {
-                    // probe[j] falls in the gap between vals[pos-1] and vals[pos].
+                    // pv falls in the gap between vals[pos-1] and vals[pos].
                     let pred = if pos == 0 { None } else { Some(vals[pos - 1]) };
                     let succ = vals.get(pos).copied();
                     let width = self.widths[j];
                     let glo = pred.map_or(0, |p| p + 1);
                     let ghi = succ.map_or((1u64 << width) - 1, |s| s - 1);
-                    let piece = dyadic_piece_containing(probe[j], glo, ghi, width);
+                    let piece = dyadic_piece_containing(pv, glo, ghi, width);
                     return Some(self.gap_box(&path, j, piece));
                 }
             }
@@ -155,7 +158,13 @@ impl TrieIndex {
     pub fn all_gap_boxes(&self) -> Vec<DyadicBox> {
         let mut out = Vec::new();
         let mut path = Vec::new();
-        self.collect_gaps(0, 0, self.values.first().map_or(0, |v| v.len()), &mut path, &mut out);
+        self.collect_gaps(
+            0,
+            0,
+            self.values.first().map_or(0, |v| v.len()),
+            &mut path,
+            &mut out,
+        );
         out
     }
 
@@ -311,7 +320,11 @@ mod tests {
             let schema = Schema::uniform(&names[..arity], width);
             let count = rng.gen_range(0..20);
             let tuples: Vec<Vec<u64>> = (0..count)
-                .map(|_| (0..arity).map(|_| rng.gen_range(0..(1u64 << width))).collect())
+                .map(|_| {
+                    (0..arity)
+                        .map(|_| rng.gen_range(0..(1u64 << width)))
+                        .collect()
+                })
                 .collect();
             let rel = Relation::new(schema, tuples);
             // Random column order.

@@ -36,11 +36,19 @@ pub fn example_f1(d: u8) -> (Space, Vec<DyadicBox>) {
     for v in 0..(1u64 << (d - 2)) {
         let suffix = DyadicInterval::from_bits(v, d - 2);
         // C1: ⟨0x, λ, 0⟩ and ⟨0, y, 1⟩.
-        boxes.push(DyadicBox::from_intervals(&[bit(0).concat(&suffix), lam, bit(0)]));
+        boxes.push(DyadicBox::from_intervals(&[
+            bit(0).concat(&suffix),
+            lam,
+            bit(0),
+        ]));
         boxes.push(DyadicBox::from_intervals(&[bit(0), suffix, bit(1)]));
         // C2: ⟨10x, 0, λ⟩ and ⟨10, 1, z⟩.
         let i10 = DyadicInterval::parse("10").unwrap();
-        boxes.push(DyadicBox::from_intervals(&[i10.concat(&suffix), bit(0), lam]));
+        boxes.push(DyadicBox::from_intervals(&[
+            i10.concat(&suffix),
+            bit(0),
+            lam,
+        ]));
         boxes.push(DyadicBox::from_intervals(&[i10, bit(1), suffix]));
         // C3: ⟨110, y, λ⟩ and ⟨111, λ, z⟩.
         let i110 = DyadicInterval::parse("110").unwrap();
@@ -75,7 +83,10 @@ pub fn random_boxes(
                 } else {
                     rng.gen_range(0..=d)
                 };
-                b.set(i, DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len));
+                b.set(
+                    i,
+                    DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len),
+                );
             }
             b
         })

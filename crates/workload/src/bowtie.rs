@@ -107,6 +107,9 @@ mod tests {
             ba < ab / 2,
             "(B,A) gaps ({ba}) should be far fewer than (A,B) gaps ({ab})"
         );
-        assert!(ab as u64 >= m, "(A,B) order needs at least one gap per column");
+        assert!(
+            ab as u64 >= m,
+            "(A,B) order needs at least one gap per column"
+        );
     }
 }

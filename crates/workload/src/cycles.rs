@@ -32,12 +32,7 @@ pub fn grid_four_cycle(s: u64, width: u8) -> FourCycleInstance {
 /// `2k` blocks with `R1`'s `B`-values in even blocks and `R2`'s in odd
 /// blocks, so the join is empty with a `Θ(k)`-box certificate while the
 /// other two relations (and the block fill) push `N` arbitrarily high.
-pub fn comb_four_cycle(
-    k: usize,
-    per_block: usize,
-    fanout: usize,
-    width: u8,
-) -> FourCycleInstance {
+pub fn comb_four_cycle(k: usize, per_block: usize, fanout: usize, width: u8) -> FourCycleInstance {
     assert!(k.is_power_of_two());
     let blocks = 2 * k as u64;
     let dom = 1u64 << width;

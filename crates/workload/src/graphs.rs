@@ -64,7 +64,11 @@ pub fn random_graph(vertices: u64, edge_count: usize, seed: u64) -> Graph {
             set.insert((u.min(v), u.max(v)));
         }
     }
-    Graph { edges: set.into_iter().collect(), vertices, width: width_for(vertices) }
+    Graph {
+        edges: set.into_iter().collect(),
+        vertices,
+        width: width_for(vertices),
+    }
 }
 
 /// A skewed-degree ("preferential-attachment-flavored") graph: each new
@@ -86,7 +90,11 @@ pub fn skewed_graph(vertices: u64, attach: usize, seed: u64) -> Graph {
             }
         }
     }
-    Graph { edges: set.into_iter().collect(), vertices, width: width_for(vertices) }
+    Graph {
+        edges: set.into_iter().collect(),
+        vertices,
+        width: width_for(vertices),
+    }
 }
 
 #[cfg(test)]

@@ -71,11 +71,7 @@ pub fn modular_loomis_whitney_3(width: u8) -> LoomisWhitneyInstance {
     //   rels[0] over (B,C): pairs with b + c ≡ 0
     //   rels[1] over (A,C): pairs with a + c ≡ 0
     //   rels[2] over (A,B): pairs with a + b ≡ 0
-    let mk = |_: usize| -> Vec<Vec<u64>> {
-        (0..dom)
-            .map(|x| vec![x, (dom - x) % dom])
-            .collect()
-    };
+    let mk = |_: usize| -> Vec<Vec<u64>> { (0..dom).map(|x| vec![x, (dom - x) % dom]).collect() };
     let rels = (0..3)
         .map(|i| Relation::new(Schema::uniform(&names, width), mk(i)))
         .collect();

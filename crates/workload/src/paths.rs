@@ -31,7 +31,10 @@ pub fn comb_path(k: usize, per_block: usize, fanout: usize, width: u8) -> CombPa
     let dom = 1u64 << width;
     assert!(blocks <= dom, "2k blocks must fit the {width}-bit domain");
     let block_size = dom / blocks;
-    assert!(per_block as u64 <= block_size, "per_block exceeds block size");
+    assert!(
+        per_block as u64 <= block_size,
+        "per_block exceeds block size"
+    );
     let fan = (fanout as u64).min(dom);
 
     let mut r_pairs = Vec::new();
@@ -127,12 +130,7 @@ pub fn star_reuse(m: u64, width: u8) -> StarReuseInstance {
 /// A `k`-atom chain query `R₁(A₁,A₂) ⋈ … ⋈ R_k(A_k, A_{k+1})` populated
 /// with random tuples (for acyclic worst-case scaling, Theorem D.8).
 /// Returns the relations in chain order.
-pub fn random_chain(
-    atoms: usize,
-    tuples_per_atom: usize,
-    width: u8,
-    seed: u64,
-) -> Vec<Relation> {
+pub fn random_chain(atoms: usize, tuples_per_atom: usize, width: u8, seed: u64) -> Vec<Relation> {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let dom = 1u64 << width;
@@ -206,7 +204,7 @@ mod tests {
         assert_eq!(chain.len(), 3);
         for rel in &chain {
             assert!(rel.len() <= 20);
-            assert!(rel.len() > 0);
+            assert!(!rel.is_empty());
         }
         // Deterministic under the same seed.
         let again = random_chain(3, 20, 5, 42);

@@ -127,7 +127,7 @@ mod tests {
     fn skew_triangle_output_count() {
         let inst = skew_triangle(7, 4);
         assert_eq!(inst.r.len(), 15); // 2m+1 = 15
-        // Count output by brute force.
+                                      // Count output by brute force.
         let mut z = 0u64;
         let dom = 1u64 << inst.width;
         for a in 0..dom {

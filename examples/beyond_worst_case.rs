@@ -30,7 +30,10 @@ fn main() {
 fn part1_certificate_scaling() {
     println!("== 1. runtime tracks |C|, not N (Theorem 4.7) ==\n");
     println!("half-split path join R(A,B) ⋈ S(B,C): empty output, |C| = 2 gap boxes\n");
-    println!("{:>8}  {:>12}  {:>12}  {:>12}", "N", "tetris_res", "tetris_ms", "leapfrog_ms");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}",
+        "N", "tetris_res", "tetris_ms", "leapfrog_ms"
+    );
     let width = 16u8;
     for &n in &[1_000usize, 10_000, 100_000] {
         let inst = paths::half_split_path(n, width);

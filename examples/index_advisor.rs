@@ -28,11 +28,20 @@ fn main() {
 
     println!("relation R(A,B): {} tuples over an 8×8 grid\n", rel.len());
     println!("candidate indexes and their gap sets:");
-    println!("{:<24} {:>10} {:>18}", "index", "gap boxes", "greedy certificate");
+    println!(
+        "{:<24} {:>10} {:>18}",
+        "index", "gap boxes", "greedy certificate"
+    );
 
     for (label, gaps) in [
-        ("trie (A,B)", TrieIndex::build(&rel, &[0, 1]).all_gap_boxes()),
-        ("trie (B,A)", TrieIndex::build(&rel, &[1, 0]).all_gap_boxes()),
+        (
+            "trie (A,B)",
+            TrieIndex::build(&rel, &[0, 1]).all_gap_boxes(),
+        ),
+        (
+            "trie (B,A)",
+            TrieIndex::build(&rel, &[1, 0]).all_gap_boxes(),
+        ),
         ("dyadic tree", DyadicTreeIndex::build(&rel).all_gap_boxes()),
     ] {
         let cert = coverage::greedy_certificate(&gaps, &space);
@@ -45,16 +54,30 @@ fn main() {
         .add_dyadic();
     let gaps = pooled.all_gap_boxes();
     let cert = coverage::greedy_certificate(&gaps, &space);
-    println!("{:<24} {:>10} {:>18}", "all three pooled", gaps.len(), cert.len());
+    println!(
+        "{:<24} {:>10} {:>18}",
+        "all three pooled",
+        gaps.len(),
+        cert.len()
+    );
 
     // Now measure the actual effect on a join: R ⋈ R' where R'(B,C) is
     // the same cross shape — run Tetris-Reloaded under each design.
     println!("\neffect on R(A,B) ⋈ S(B,C) (S = same shape), Tetris-Reloaded:");
-    println!("{:<24} {:>10} {:>12} {:>8}", "S's index", "loaded", "resolutions", "output");
+    println!(
+        "{:<24} {:>10} {:>12} {:>8}",
+        "S's index", "loaded", "resolutions", "output"
+    );
     let s_rel = rel.clone();
     for (label, s_indexed) in [
-        ("trie (B,C)", IndexedRelation::with_trie(s_rel.clone(), &[0, 1])),
-        ("trie (C,B)", IndexedRelation::with_trie(s_rel.clone(), &[1, 0])),
+        (
+            "trie (B,C)",
+            IndexedRelation::with_trie(s_rel.clone(), &[0, 1]),
+        ),
+        (
+            "trie (C,B)",
+            IndexedRelation::with_trie(s_rel.clone(), &[1, 0]),
+        ),
         ("dyadic tree", IndexedRelation::with_dyadic(s_rel.clone())),
         (
             "pooled (both tries)",
@@ -68,7 +91,10 @@ fn main() {
         let out = Tetris::reloaded(&oracle).run();
         println!(
             "{:<24} {:>10} {:>12} {:>8}",
-            label, out.stats.loaded_boxes, out.stats.resolutions, out.tuples.len()
+            label,
+            out.stats.loaded_boxes,
+            out.stats.resolutions,
+            out.tuples.len()
         );
     }
     println!(

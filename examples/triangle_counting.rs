@@ -50,7 +50,11 @@ fn main() {
         .atom("E3", &edges, &["A", "C"]);
     let start = Instant::now();
     let (lf, _) = leapfrog_join(&spec);
-    println!("Leapfrog Triejoin: {} triangles in {:.1?}", lf.len(), start.elapsed());
+    println!(
+        "Leapfrog Triejoin: {} triangles in {:.1?}",
+        lf.len(),
+        start.elapsed()
+    );
 
     let start = Instant::now();
     let (hash, stats) = pairwise::pairwise_join(&spec, &[0, 1, 2], pairwise::StepAlgo::Hash);

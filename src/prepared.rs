@@ -125,8 +125,13 @@ impl<'a> PreparedJoinBuilder<'a> {
                 ExtraIndex::Dyadic => ir = ir.add_dyadic(),
                 ExtraIndex::AllTrieRotations => {
                     for r in 1..rel.arity() {
-                        let rotated: Vec<usize> =
-                            cols.iter().cycle().skip(r).take(rel.arity()).copied().collect();
+                        let rotated: Vec<usize> = cols
+                            .iter()
+                            .cycle()
+                            .skip(r)
+                            .take(rel.arity())
+                            .copied()
+                            .collect();
                         ir = ir.add_trie(&rotated);
                     }
                 }
@@ -135,7 +140,13 @@ impl<'a> PreparedJoinBuilder<'a> {
             bindings.push((name.clone(), names.clone()));
         }
 
-        PreparedJoin { width: self.width, sao, hypergraph: h, indexed, bindings }
+        PreparedJoin {
+            width: self.width,
+            sao,
+            hypergraph: h,
+            indexed,
+            bindings,
+        }
     }
 }
 
@@ -151,7 +162,12 @@ pub struct PreparedJoin {
 impl PreparedJoin {
     /// Start building a join whose attributes all have `width` bits.
     pub fn builder<'a>(width: u8) -> PreparedJoinBuilder<'a> {
-        PreparedJoinBuilder { width, atoms: Vec::new(), sao: None, extra: ExtraIndex::None }
+        PreparedJoinBuilder {
+            width,
+            atoms: Vec::new(),
+            sao: None,
+            extra: ExtraIndex::None,
+        }
     }
 
     /// Build from query text like `"R(A,B), S(B,C), T(A,C)"`, resolving
@@ -293,8 +309,7 @@ mod tests {
             Schema::uniform(&["X", "Y"], 2),
             vec![vec![0, 1], vec![1, 2], vec![0, 2]],
         );
-        let join =
-            PreparedJoin::from_query_text("R(A,B), S(B,C), T(A,C)", 2, |_| &e).unwrap();
+        let join = PreparedJoin::from_query_text("R(A,B), S(B,C), T(A,C)", 2, |_| &e).unwrap();
         let oracle = join.oracle();
         let out = Tetris::reloaded(&oracle).run();
         let tuples = join.reorder_to(&["A", "B", "C"], &out.tuples);

@@ -46,10 +46,16 @@ fn bcp_over_40_bit_domains() {
     // ⟨1, λ⟩ minus the last row/column, dyadically:
     // right half, y in [0, max-1]; and x in [2^39, max-1] at y = max.
     for iv in dyadic::dyadic_cover_of_range(0, max - 1, 40) {
-        boxes.push(DyadicBox::from_intervals(&[DyadicInterval::from_bits(1, 1), iv]));
+        boxes.push(DyadicBox::from_intervals(&[
+            DyadicInterval::from_bits(1, 1),
+            iv,
+        ]));
     }
     for iv in dyadic::dyadic_cover_of_range(1u64 << 39, max - 1, 40) {
-        boxes.push(DyadicBox::from_intervals(&[iv, DyadicInterval::point(max, 40)]));
+        boxes.push(DyadicBox::from_intervals(&[
+            iv,
+            DyadicInterval::point(max, 40),
+        ]));
     }
     let oracle = SetOracle::new(space, boxes);
     let out = Tetris::reloaded(&oracle).run();

@@ -112,8 +112,9 @@ fn four_cycle_query_all_algorithms_agree() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     for trial in 0..20 {
         let width = 2u8;
-        let rels: Vec<Relation> =
-            (0..4).map(|_| random_relation(&mut rng, width, 12)).collect();
+        let rels: Vec<Relation> = (0..4)
+            .map(|_| random_relation(&mut rng, width, 12))
+            .collect();
         let join = PreparedJoin::builder(width)
             .atom("R1", &rels[0], &["A", "B"])
             .atom("R2", &rels[1], &["B", "C"])
@@ -198,8 +199,9 @@ fn five_attribute_star_query() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(55);
     let width = 2u8;
     for trial in 0..10 {
-        let rels: Vec<Relation> =
-            (0..4).map(|_| random_relation(&mut rng, width, 10)).collect();
+        let rels: Vec<Relation> = (0..4)
+            .map(|_| random_relation(&mut rng, width, 10))
+            .collect();
         let join = PreparedJoin::builder(width)
             .atom("R1", &rels[0], &["H", "A"])
             .atom("R2", &rels[1], &["H", "B"])

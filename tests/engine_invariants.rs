@@ -14,7 +14,10 @@ fn random_boxes(rng: &mut rand::rngs::StdRng, n: usize, d: u8, count: usize) -> 
             let mut b = DyadicBox::universe(n);
             for i in 0..n {
                 let len = rng.gen_range(0..=d);
-                b.set(i, DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len));
+                b.set(
+                    i,
+                    DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len),
+                );
             }
             b
         })
@@ -37,13 +40,24 @@ fn traces_satisfy_lemma_c1_and_soundness() {
 
         for e in &out.trace {
             match e {
-                TraceEvent::Resolve { w1, w2, result, dim } => {
+                TraceEvent::Resolve {
+                    w1,
+                    w2,
+                    result,
+                    dim,
+                } => {
                     // Lemma C.1: components after `dim` are λ; the pivot
                     // components are 0/1-siblings; earlier components are
                     // prefix-comparable.
                     for i in dim + 1..n {
-                        assert!(w1.get(i).is_lambda(), "trial {trial}: trailing non-λ in {w1}");
-                        assert!(w2.get(i).is_lambda(), "trial {trial}: trailing non-λ in {w2}");
+                        assert!(
+                            w1.get(i).is_lambda(),
+                            "trial {trial}: trailing non-λ in {w1}"
+                        );
+                        assert!(
+                            w2.get(i).is_lambda(),
+                            "trial {trial}: trailing non-λ in {w2}"
+                        );
                     }
                     let (a, b) = (w1.get(*dim), w2.get(*dim));
                     assert_eq!(a.len(), b.len());
@@ -66,8 +80,7 @@ fn traces_satisfy_lemma_c1_and_soundness() {
                 }
                 TraceEvent::Load { probe, count } => {
                     assert!(*count > 0);
-                    let expected =
-                        boxes.iter().filter(|b| b.contains(probe)).count();
+                    let expected = boxes.iter().filter(|b| b.contains(probe)).count();
                     assert_eq!(*count, expected, "oracle must return all maximal boxes");
                 }
                 TraceEvent::CoveredBy { target, witness } => {

@@ -46,7 +46,11 @@ fn msb_box_instances_match_relational_instances() {
     let out = Tetris::reloaded(&open).run();
     // Uncovered: msb(a)≠msb(b), msb(b)≠msb(c), msb(a)=msb(c) — two
     // quadrant cubes of side 2^{d−1}.
-    assert_eq!(out.tuples.len(), 2 << (3 * (d - 1) as usize), "2·2^{{3(d-1)}} points");
+    assert_eq!(
+        out.tuples.len(),
+        2 << (3 * (d - 1) as usize),
+        "2·2^{{3(d-1)}} points"
+    );
 }
 
 #[test]
@@ -159,7 +163,11 @@ fn half_split_certificate_independent_of_n() {
     }
     assert_eq!(counts[0], counts[1], "resolutions must not grow with N");
     assert_eq!(counts[1], counts[2]);
-    assert!(counts[0] <= 8, "half-split certificate is 2 boxes; got {}", counts[0]);
+    assert!(
+        counts[0] <= 8,
+        "half-split certificate is 2 boxes; got {}",
+        counts[0]
+    );
 }
 
 #[test]

@@ -16,8 +16,7 @@ fn interval(d: u8) -> impl Strategy<Value = DyadicInterval> {
 
 /// Strategy: an `n`-dimensional dyadic box in a `d`-bit space.
 fn dyadic_box(n: usize, d: u8) -> impl Strategy<Value = DyadicBox> {
-    prop::collection::vec(interval(d), n)
-        .prop_map(|ivs| DyadicBox::from_intervals(&ivs))
+    prop::collection::vec(interval(d), n).prop_map(|ivs| DyadicBox::from_intervals(&ivs))
 }
 
 /// Strategy: a BCP instance (space + boxes).

@@ -17,8 +17,7 @@ fn interval(d: u8) -> impl Strategy<Value = DyadicInterval> {
 }
 
 fn dyadic_box(n: usize, d: u8) -> impl Strategy<Value = DyadicBox> {
-    prop::collection::vec(interval(d), n)
-        .prop_map(|ivs| DyadicBox::from_intervals(&ivs))
+    prop::collection::vec(interval(d), n).prop_map(|ivs| DyadicBox::from_intervals(&ivs))
 }
 
 proptest! {
