@@ -1,0 +1,191 @@
+//! Compare a fresh bench JSONL sweep against a checked-in snapshot and
+//! fail on wall-clock regressions — the CI gate for the engine's
+//! constant-factor work (EXPERIMENTS.md §5).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare <baseline.jsonl> <candidate.jsonl> [--max-ratio R]
+//! ```
+//!
+//! Rows are keyed by `(experiment, N, k)`; every key present in both
+//! files with a `tetris_s` column is reported. The **gate** is the
+//! skew-triangle m = 400 row of the T1.2 sweep (`N = 2403`, the row with
+//! a `hash_intermediate` column): its `tetris_s` must not exceed
+//! `max-ratio` × the baseline's (default 2.0). `resolutions` on matched
+//! rows must not grow at all — the paper's bounds are stated in
+//! resolutions, so any increase is a correctness-of-cost regression, not
+//! noise.
+
+use bench::{parse_jsonl_row, row_field, JsonValue};
+
+/// The gate row: skew triangle at m = 400 (N = 3·(2·400+1) = 2403).
+const GATE_N: f64 = 2403.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut paths, mut max_ratio) = (Vec::new(), 2.0f64);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-ratio" {
+            max_ratio = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--max-ratio needs a number");
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_compare <baseline.jsonl> <candidate.jsonl> [--max-ratio R]");
+        std::process::exit(2);
+    }
+    let baseline = load(&paths[0]);
+    let candidate = load(&paths[1]);
+    match compare(&baseline, &candidate, max_ratio) {
+        Ok(report) => println!("{report}"),
+        Err(report) => {
+            eprintln!("{report}");
+            std::process::exit(1);
+        }
+    }
+}
+
+type Row = Vec<(String, JsonValue)>;
+
+fn load(path: &str) -> Vec<Row> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse_jsonl_row(l).unwrap_or_else(|| panic!("malformed JSONL in {path}: {l}")))
+        .collect()
+}
+
+/// Identity of a row for cross-file matching.
+fn key(row: &Row) -> Option<(String, u64, u64)> {
+    let exp = row_field(row, "experiment")?.as_str()?.to_string();
+    let n = row_field(row, "N")?.as_num()? as u64;
+    let k = row_field(row, "k").and_then(|v| v.as_num()).unwrap_or(0.0) as u64;
+    Some((exp, n, k))
+}
+
+fn is_gate(row: &Row) -> bool {
+    row_field(row, "N").and_then(|v| v.as_num()) == Some(GATE_N)
+        && row_field(row, "hash_intermediate").is_some()
+}
+
+/// Pure comparison logic (unit-tested below): `Ok(report)` when the gate
+/// holds, `Err(report)` when it fails.
+fn compare(baseline: &[Row], candidate: &[Row], max_ratio: f64) -> Result<String, String> {
+    let mut report = String::new();
+    let mut gate_checked = false;
+    let mut failures = Vec::new();
+    for brow in baseline {
+        let Some(bkey) = key(brow) else { continue };
+        let Some(crow) = candidate.iter().find(|c| key(c).as_ref() == Some(&bkey)) else {
+            continue;
+        };
+        let (bs, cs) = (
+            row_field(brow, "tetris_s").and_then(|v| v.as_num()),
+            row_field(crow, "tetris_s").and_then(|v| v.as_num()),
+        );
+        if let (Some(bs), Some(cs)) = (bs, cs) {
+            let ratio = if bs > 0.0 { cs / bs } else { f64::INFINITY };
+            let gate = is_gate(brow);
+            report.push_str(&format!(
+                "{:<28} N={:<6} tetris_s {bs:.4} -> {cs:.4}  ({ratio:.2}x){}\n",
+                bkey.0,
+                bkey.1,
+                if gate { "  [gate]" } else { "" }
+            ));
+            if gate {
+                gate_checked = true;
+                if ratio > max_ratio {
+                    failures.push(format!(
+                        "gate: skew-triangle m=400 tetris_s regressed {ratio:.2}x \
+                         (> {max_ratio}x): {bs:.4}s -> {cs:.4}s"
+                    ));
+                }
+            }
+        }
+        let (br, cr) = (
+            row_field(brow, "resolutions").and_then(|v| v.as_num()),
+            row_field(crow, "resolutions").and_then(|v| v.as_num()),
+        );
+        if let (Some(br), Some(cr)) = (br, cr) {
+            if cr > br {
+                failures.push(format!(
+                    "{} N={}: resolutions grew {br} -> {cr} (the Õ-bound quantity \
+                     must never regress)",
+                    bkey.0, bkey.1
+                ));
+            }
+        }
+    }
+    if !gate_checked {
+        failures.push(format!(
+            "gate row (experiment with N={GATE_N} and a hash_intermediate column) \
+             missing from one of the files"
+        ));
+    }
+    if failures.is_empty() {
+        Ok(format!("{report}bench_compare: OK (gate ≤ {max_ratio}x)"))
+    } else {
+        Err(format!(
+            "{report}bench_compare: FAIL\n{}",
+            failures.join("\n")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(text: &str) -> Vec<Row> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| parse_jsonl_row(l).unwrap())
+            .collect()
+    }
+
+    const BASE: &str = r#"
+{"experiment":"table1","N":2403,"Z":1201,"tetris_s":0.03,"resolutions":18033,"hash_intermediate":161201}
+{"experiment":"table1","N":1203,"Z":601,"tetris_s":0.015,"resolutions":9033,"hash_intermediate":40601}
+"#;
+
+    #[test]
+    fn passes_when_faster_and_same_resolutions() {
+        let cand = rows(
+            r#"{"experiment":"table1","N":2403,"Z":1201,"tetris_s":0.01,"resolutions":18033,"hash_intermediate":161201}"#,
+        );
+        assert!(compare(&rows(BASE), &cand, 2.0).is_ok());
+    }
+
+    #[test]
+    fn fails_on_gate_time_regression() {
+        let cand = rows(
+            r#"{"experiment":"table1","N":2403,"Z":1201,"tetris_s":0.09,"resolutions":18033,"hash_intermediate":161201}"#,
+        );
+        let err = compare(&rows(BASE), &cand, 2.0).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn fails_on_resolution_growth() {
+        let cand = rows(
+            r#"{"experiment":"table1","N":2403,"Z":1201,"tetris_s":0.01,"resolutions":20000,"hash_intermediate":161201}"#,
+        );
+        let err = compare(&rows(BASE), &cand, 2.0).unwrap_err();
+        assert!(err.contains("resolutions grew"), "{err}");
+    }
+
+    #[test]
+    fn fails_when_gate_row_missing() {
+        let cand = rows(
+            r#"{"experiment":"table1","N":1203,"Z":601,"tetris_s":0.01,"resolutions":9033,"hash_intermediate":40601}"#,
+        );
+        let err = compare(&rows(BASE), &cand, 2.0).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+}

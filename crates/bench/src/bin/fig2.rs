@@ -8,7 +8,7 @@
 
 use bench::{fit_exponent, fmt_f, time, Table};
 use boxstore::SetOracle;
-use tetris_core::{balance::TetrisLB, Tetris};
+use tetris_core::{balance::TetrisLB, Descent, Tetris};
 use tetris_join::prepared::PreparedJoin;
 use workload::{bcp, cycles, paths, triangle};
 
@@ -113,8 +113,14 @@ fn f2_tree_cache() {
             .atom("S", &inst.s, &["B", "C"])
             .build();
         let oracle = join.oracle();
-        let cached = Tetris::reloaded(&oracle).run();
-        let uncached = Tetris::reloaded(&oracle).cache_resolvents(false).run();
+        // The re-treading phenomenon *is* Algorithm 2's restart loop, so
+        // this experiment pins the paper-literal descent — the default
+        // incremental driver never restarts and would erase the effect.
+        let cached = Tetris::reloaded(&oracle).descent(Descent::Restart).run();
+        let uncached = Tetris::reloaded(&oracle)
+            .descent(Descent::Restart)
+            .cache_resolvents(false)
+            .run();
         assert!(cached.tuples.is_empty() && uncached.tuples.is_empty());
         table.row(&[
             format!("{k}"),

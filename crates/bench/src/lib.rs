@@ -139,6 +139,108 @@ impl Table {
     }
 }
 
+/// A scalar cell of a parsed JSONL row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A JSON number.
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+}
+
+impl JsonValue {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            JsonValue::Str(_) => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            JsonValue::Num(_) => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object of the shape [`Table::to_jsonl`] emits
+/// (string keys; number or string values; no nesting). Returns key/value
+/// pairs in order, or `None` on malformed input. This is the read side of
+/// the hand-rolled writer above — the build runs offline without
+/// serde_json, and `BENCH_*.json` snapshots only ever contain this subset.
+pub fn parse_jsonl_row(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = Vec::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                return if chars.next().is_none() {
+                    Some(out)
+                } else {
+                    None
+                };
+            }
+            ',' => {
+                chars.next();
+            }
+            _ => {}
+        }
+        let key = parse_json_str(&mut chars)?;
+        if chars.next()? != ':' {
+            return None;
+        }
+        let value = if *chars.peek()? == '"' {
+            JsonValue::Str(parse_json_str(&mut chars)?)
+        } else {
+            let mut num = String::new();
+            while matches!(chars.peek(), Some(c) if !matches!(c, ',' | '}')) {
+                num.push(chars.next()?);
+            }
+            JsonValue::Num(num.trim().parse().ok()?)
+        };
+        out.push((key, value));
+    }
+}
+
+/// Parse a JSON string literal (cursor on the opening quote).
+fn parse_json_str(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(s),
+            '\\' => match chars.next()? {
+                '"' => s.push('"'),
+                '\\' => s.push('\\'),
+                'n' => s.push('\n'),
+                'r' => s.push('\r'),
+                't' => s.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    s.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => s.push(c),
+        }
+    }
+}
+
+/// Look up a field of a parsed row.
+pub fn row_field<'a>(row: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    row.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
 /// Encode a table cell: integers and finite floats are re-serialized
 /// from the parsed value (so `"007"` → `7` and `"+.5"` → `0.5`, always
 /// valid JSON numbers); everything else becomes an escaped JSON string.
@@ -258,5 +360,30 @@ mod tests {
         let (v, secs) = time(|| 21 * 2);
         assert_eq!(v, 42);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_the_parser() {
+        let mut t = Table::new(&["N", "time", "label"]);
+        t.row(&["10".into(), "1.5".into(), "fast \"x\"\n".into()]);
+        let line = t.to_jsonl();
+        let row = parse_jsonl_row(line.trim()).expect("parses");
+        assert_eq!(row_field(&row, "N").unwrap().as_num(), Some(10.0));
+        assert_eq!(row_field(&row, "time").unwrap().as_num(), Some(1.5));
+        assert_eq!(
+            row_field(&row, "label").unwrap().as_str(),
+            Some("fast \"x\"\n")
+        );
+        assert!(row_field(&row, "missing").is_none());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_rows() {
+        assert!(parse_jsonl_row("not json").is_none());
+        assert!(parse_jsonl_row("{\"a\":1").is_none());
+        assert!(parse_jsonl_row("{\"a\":}").is_none());
+        assert!(parse_jsonl_row("{\"a\":1} trailing").is_none());
+        // Empty object is fine.
+        assert_eq!(parse_jsonl_row("{}"), Some(vec![]));
     }
 }

@@ -1,0 +1,308 @@
+//! Coverage-epoch marks over the skeleton's descent tree.
+//!
+//! `TetrisSkeleton` (Algorithm 1) descends a fixed binary partition of the
+//! output space: every target it visits is obtained from `⟨λ,…,λ⟩` by
+//! repeatedly appending one bit to the first thick dimension. A restart
+//! from the universe (Algorithm 2) re-visits a prefix of exactly the same
+//! targets and re-asks the knowledge base the same containment questions,
+//! even though the knowledge base only *grows* between restarts.
+//!
+//! [`CoverageMarks`] memoizes those questions with the minimal correct
+//! invalidation, keyed on [`BoxTree::epoch`](crate::BoxTree::epoch):
+//!
+//! * **"subtree fully covered"** marks are *sticky* — coverage is
+//!   monotone, so once a target is covered by the stored set it stays
+//!   covered forever (any epoch);
+//! * **"target not covered"** marks carry the epoch they were observed at
+//!   and are only trusted while the store's epoch is unchanged, i.e. they
+//!   are invalidated by the next insert — but only consulted, never
+//!   eagerly rebuilt, so an insert costs `O(1)` regardless of how many
+//!   marks exist.
+//!
+//! Marks are addressed by the target's **descent address**: the
+//! concatenation of its component bitstrings. That address is unambiguous
+//! precisely for the boxes the skeleton visits (full-width components,
+//! then one partial component, then `λ`s — the Lemma C.1 shape), which is
+//! why this structure lives next to [`BoxTree`](crate::BoxTree) rather
+//! than inside it: it indexes *space*, not stored boxes.
+
+use dyadic::{DyadicBox, Space};
+
+/// Sentinel for "no child".
+const NONE: u32 = u32::MAX;
+
+/// One node of the descent-address trie.
+#[derive(Clone, Copy, Debug)]
+struct MarkNode {
+    children: [u32; 2],
+    /// Witness index + 1 when this subtree is known covered; 0 = unknown.
+    covered: u32,
+    /// Epoch + 1 at which the target was last observed uncovered; 0 = never.
+    neg: u64,
+}
+
+impl MarkNode {
+    const EMPTY: MarkNode = MarkNode {
+        children: [NONE, NONE],
+        covered: 0,
+        neg: 0,
+    };
+}
+
+/// Result of a [`CoverageMarks::probe`].
+// `Covered` carries an inline `DyadicBox` witness; probes are pass-by-value
+// on the hot path, so boxing it would trade one stack copy for an
+// allocation (same call the engine's `TraceEvent` makes).
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoverProbe {
+    /// The target (or an ancestor of it) was marked covered; the witness
+    /// recorded at mark time is returned. Valid at every epoch.
+    Covered(DyadicBox),
+    /// The target was marked uncovered at the probed epoch — the store has
+    /// not changed since, so a fresh walk would fail too.
+    KnownUncovered,
+    /// No usable mark: the caller must query the store.
+    Unknown,
+}
+
+/// Epoch-stamped memo of skeleton coverage facts (see module docs).
+///
+/// ```
+/// use boxstore::{BoxTree, CoverageMarks, CoverProbe};
+/// use dyadic::{DyadicBox, Space};
+///
+/// let space = Space::uniform(2, 2);
+/// let mut kb = BoxTree::new(2);
+/// let mut marks = CoverageMarks::new();
+/// let target = DyadicBox::parse("0,λ").unwrap();
+///
+/// // Record a negative probe at the current epoch…
+/// marks.mark_uncovered(&target, &space, kb.epoch());
+/// assert_eq!(marks.probe(&target, &space, kb.epoch()), CoverProbe::KnownUncovered);
+/// // …which an insert invalidates:
+/// kb.insert(&DyadicBox::parse("λ,λ").unwrap());
+/// assert_eq!(marks.probe(&target, &space, kb.epoch()), CoverProbe::Unknown);
+///
+/// // Covered marks are sticky and shadow whole subtrees:
+/// let witness = DyadicBox::parse("λ,λ").unwrap();
+/// marks.mark_covered(&target, &space, witness);
+/// let deeper = DyadicBox::parse("01,0").unwrap();
+/// assert_eq!(marks.probe(&deeper, &space, 999), CoverProbe::Covered(witness));
+/// ```
+#[derive(Debug, Default)]
+pub struct CoverageMarks {
+    nodes: Vec<MarkNode>,
+    witnesses: Vec<DyadicBox>,
+}
+
+impl CoverageMarks {
+    /// An empty mark set.
+    pub fn new() -> Self {
+        CoverageMarks {
+            nodes: vec![MarkNode::EMPTY],
+            witnesses: Vec::new(),
+        }
+    }
+
+    /// Drop all marks, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(MarkNode::EMPTY);
+        self.witnesses.clear();
+    }
+
+    /// Number of trie nodes (memory diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of recorded covered marks.
+    pub fn covered_count(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// Look up a target at the store's current `epoch`.
+    ///
+    /// Walks the descent address; a covered mark anywhere on the path
+    /// (i.e. on the target or an ancestor target) short-circuits to
+    /// [`CoverProbe::Covered`].
+    pub fn probe(&self, target: &DyadicBox, space: &Space, epoch: u64) -> CoverProbe {
+        debug_assert!(is_descent_shaped(target, space));
+        let mut node = 0u32;
+        let nd = self.nodes[node as usize];
+        if nd.covered != 0 {
+            return CoverProbe::Covered(self.witnesses[(nd.covered - 1) as usize]);
+        }
+        for iv in target.intervals() {
+            for k in 0..iv.len() {
+                let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+                let child = self.nodes[node as usize].children[bit];
+                if child == NONE {
+                    return CoverProbe::Unknown;
+                }
+                node = child;
+                let nd = self.nodes[node as usize];
+                if nd.covered != 0 {
+                    return CoverProbe::Covered(self.witnesses[(nd.covered - 1) as usize]);
+                }
+            }
+        }
+        if self.nodes[node as usize].neg == epoch + 1 {
+            CoverProbe::KnownUncovered
+        } else {
+            CoverProbe::Unknown
+        }
+    }
+
+    /// Record that `target` is covered, with the covering `witness`
+    /// (sticky — valid at every later epoch).
+    pub fn mark_covered(&mut self, target: &DyadicBox, space: &Space, witness: DyadicBox) {
+        debug_assert!(is_descent_shaped(target, space));
+        debug_assert!(witness.contains(target), "witness must cover the target");
+        let node = self.descend_create(target);
+        if self.nodes[node as usize].covered == 0 {
+            self.witnesses.push(witness);
+            self.nodes[node as usize].covered = self.witnesses.len() as u32;
+        }
+    }
+
+    /// Record that `target` was observed uncovered at `epoch`.
+    pub fn mark_uncovered(&mut self, target: &DyadicBox, space: &Space, epoch: u64) {
+        debug_assert!(is_descent_shaped(target, space));
+        let node = self.descend_create(target);
+        self.nodes[node as usize].neg = epoch + 1;
+    }
+
+    /// Walk the descent address, creating nodes on demand.
+    fn descend_create(&mut self, target: &DyadicBox) -> u32 {
+        let mut node = 0u32;
+        for iv in target.intervals() {
+            for k in 0..iv.len() {
+                let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+                let child = self.nodes[node as usize].children[bit];
+                node = if child == NONE {
+                    let id = self.nodes.len() as u32;
+                    self.nodes.push(MarkNode::EMPTY);
+                    self.nodes[node as usize].children[bit] = id;
+                    id
+                } else {
+                    child
+                };
+            }
+        }
+        node
+    }
+}
+
+/// Whether a box has the Lemma C.1 descent shape that makes its
+/// concatenated address unambiguous: full-width components, then at most
+/// one partial component, then `λ`s.
+fn is_descent_shaped(b: &DyadicBox, space: &Space) -> bool {
+    let mut seen_partial = false;
+    for (i, iv) in b.intervals().enumerate() {
+        if seen_partial {
+            if !iv.is_lambda() {
+                return false;
+            }
+        } else if iv.len() < space.width(i) {
+            seen_partial = true;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> DyadicBox {
+        DyadicBox::parse(s).unwrap()
+    }
+
+    #[test]
+    fn covered_marks_are_sticky_and_shadow_descendants() {
+        let space = Space::uniform(2, 2);
+        let mut m = CoverageMarks::new();
+        let w = b("λ,λ");
+        m.mark_covered(&b("10,λ"), &space, w);
+        // The exact target, at any epoch.
+        assert_eq!(m.probe(&b("10,λ"), &space, 0), CoverProbe::Covered(w));
+        assert_eq!(m.probe(&b("10,λ"), &space, 77), CoverProbe::Covered(w));
+        // Descendant descent targets are shadowed.
+        assert_eq!(m.probe(&b("10,0"), &space, 3), CoverProbe::Covered(w));
+        assert_eq!(m.probe(&b("10,01"), &space, 3), CoverProbe::Covered(w));
+        // Ancestors and siblings are not.
+        assert_eq!(m.probe(&b("1,λ"), &space, 0), CoverProbe::Unknown);
+        assert_eq!(m.probe(&b("11,λ"), &space, 0), CoverProbe::Unknown);
+    }
+
+    #[test]
+    fn negative_marks_expire_with_the_epoch() {
+        let space = Space::uniform(2, 2);
+        let mut m = CoverageMarks::new();
+        m.mark_uncovered(&b("0,λ"), &space, 5);
+        assert_eq!(m.probe(&b("0,λ"), &space, 5), CoverProbe::KnownUncovered);
+        assert_eq!(m.probe(&b("0,λ"), &space, 6), CoverProbe::Unknown);
+        // A negative mark says nothing about descendants.
+        assert_eq!(m.probe(&b("00,λ"), &space, 5), CoverProbe::Unknown);
+        // Re-marking at the new epoch refreshes it.
+        m.mark_uncovered(&b("0,λ"), &space, 6);
+        assert_eq!(m.probe(&b("0,λ"), &space, 6), CoverProbe::KnownUncovered);
+    }
+
+    #[test]
+    fn covered_wins_over_stale_negative() {
+        let space = Space::uniform(1, 3);
+        let mut m = CoverageMarks::new();
+        m.mark_uncovered(&b("01"), &space, 0);
+        m.mark_covered(&b("01"), &space, b("0"));
+        assert_eq!(m.probe(&b("01"), &space, 0), CoverProbe::Covered(b("0")));
+    }
+
+    #[test]
+    fn universe_mark_covers_everything() {
+        let space = Space::uniform(3, 2);
+        let mut m = CoverageMarks::new();
+        let w = DyadicBox::universe(3);
+        m.mark_covered(&w, &space, w);
+        assert_eq!(m.probe(&b("10,0,λ"), &space, 0), CoverProbe::Covered(w));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let space = Space::uniform(1, 2);
+        let mut m = CoverageMarks::new();
+        m.mark_covered(&b("1"), &space, b("λ"));
+        assert_eq!(m.covered_count(), 1);
+        m.clear();
+        assert_eq!(m.covered_count(), 0);
+        assert_eq!(m.probe(&b("1"), &space, 0), CoverProbe::Unknown);
+        assert_eq!(m.node_count(), 1);
+    }
+
+    #[test]
+    fn works_against_a_growing_box_tree() {
+        use crate::BoxTree;
+        let space = Space::uniform(2, 2);
+        let mut kb = BoxTree::new(2);
+        let mut m = CoverageMarks::new();
+        let t = b("0,λ");
+        assert!(kb.find_containing(&t).is_none());
+        m.mark_uncovered(&t, &space, kb.epoch());
+        assert_eq!(m.probe(&t, &space, kb.epoch()), CoverProbe::KnownUncovered);
+        kb.insert(&b("λ,λ"));
+        // The negative mark no longer applies; a fresh walk now succeeds.
+        assert_eq!(m.probe(&t, &space, kb.epoch()), CoverProbe::Unknown);
+        let w = kb.find_containing(&t).unwrap();
+        m.mark_covered(&t, &space, w);
+        assert_eq!(m.probe(&t, &space, kb.epoch()), CoverProbe::Covered(w));
+        // Duplicate inserts do not advance the epoch…
+        let e = kb.epoch();
+        kb.insert(&b("λ,λ"));
+        assert_eq!(kb.epoch(), e);
+        // …while clear() does (cached positives would be stale).
+        kb.clear();
+        assert!(kb.epoch() > e);
+    }
+}

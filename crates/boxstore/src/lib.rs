@@ -13,6 +13,12 @@
 //! practice — the paper's `Õ(1)` (Proposition B.12 bounds the number of
 //! dyadic boxes containing a point by `dⁿ`).
 //!
+//! Because a [`BoxTree`] only grows between clears, it exposes a
+//! [`BoxTree::epoch`] counter, and [`CoverageMarks`] memoizes skeleton
+//! coverage queries against it: covered marks are sticky, negative marks
+//! expire with the epoch. The restart-driven engine uses this to stop
+//! re-walking the store on every restart.
+//!
 //! The crate also provides [`coverage`] — brute-force reference
 //! implementations used by tests and by certificate estimation.
 
@@ -20,8 +26,10 @@
 #![warn(missing_docs)]
 
 pub mod coverage;
+mod epochs;
 mod oracle;
 mod tree;
 
+pub use epochs::{CoverProbe, CoverageMarks};
 pub use oracle::{BoxOracle, SetOracle};
-pub use tree::BoxTree;
+pub use tree::{BoxTree, DescentProbe};

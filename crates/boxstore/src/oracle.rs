@@ -25,9 +25,35 @@ pub trait BoxOracle {
     /// An empty result means the point is an output tuple of the BCP.
     fn boxes_containing(&self, point: &DyadicBox) -> Vec<DyadicBox>;
 
+    /// [`BoxOracle::boxes_containing`] into a caller-owned buffer
+    /// (cleared first). The engine probes once per uncovered point, so
+    /// implementations that can fill the buffer directly save one
+    /// allocation per output tuple / on-demand load.
+    fn boxes_containing_into(&self, point: &DyadicBox, out: &mut Vec<DyadicBox>) {
+        out.clear();
+        out.extend(self.boxes_containing(point));
+    }
+
     /// Enumerate all of `B`, if supported — used by `Tetris-Preloaded`.
     fn enumerate(&self) -> Option<Vec<DyadicBox>> {
         None
+    }
+
+    /// Stream all of `B` to a callback, if enumeration is supported;
+    /// returns `false` when it is not. Unlike [`BoxOracle::enumerate`],
+    /// implementations may repeat a box (`Tetris-Preloaded` feeds a
+    /// deduplicating store, so materializing and sorting the whole set
+    /// just to dedup it would dominate the preload).
+    fn for_each_box(&self, f: &mut dyn FnMut(&DyadicBox)) -> bool {
+        match self.enumerate() {
+            Some(all) => {
+                for b in &all {
+                    f(b);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Optional size hint: `|B|` when known.
@@ -82,8 +108,19 @@ impl BoxOracle for SetOracle {
         self.tree.all_containing(point)
     }
 
+    fn boxes_containing_into(&self, point: &DyadicBox, out: &mut Vec<DyadicBox>) {
+        self.tree.all_containing_into(point, out);
+    }
+
     fn enumerate(&self) -> Option<Vec<DyadicBox>> {
         Some(self.boxes.clone())
+    }
+
+    fn for_each_box(&self, f: &mut dyn FnMut(&DyadicBox)) -> bool {
+        for b in &self.boxes {
+            f(b);
+        }
+        true
     }
 
     fn size_hint(&self) -> Option<usize> {

@@ -1,6 +1,6 @@
 //! The multilevel dyadic tree (paper Appendix C.1).
 
-use dyadic::{DyadicBox, DyadicInterval};
+use dyadic::{DyadicBox, DyadicInterval, MAX_DIMS};
 
 /// Sentinel for "no node".
 const NONE: u32 = u32::MAX;
@@ -50,6 +50,7 @@ pub struct BoxTree {
     root: u32,
     n: usize,
     len: usize,
+    epoch: u64,
 }
 
 impl BoxTree {
@@ -63,6 +64,7 @@ impl BoxTree {
             root: 0,
             n,
             len: 0,
+            epoch: 0,
         }
     }
 
@@ -86,12 +88,26 @@ impl BoxTree {
         self.nodes.len()
     }
 
+    /// The **coverage epoch**: a counter bumped every time the stored set
+    /// actually changes (novel insert or [`BoxTree::clear`]). Because the
+    /// stored set only grows between clears, any *positive* containment
+    /// fact ("some stored box ⊇ `b`") observed at epoch `e` stays true at
+    /// every later epoch, while a *negative* fact is only valid while the
+    /// epoch is unchanged. [`crate::CoverageMarks`] builds on exactly this
+    /// contract to let callers skip re-walking the tree.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Remove all boxes, keeping allocated capacity.
     pub fn clear(&mut self) {
         self.nodes.clear();
         self.nodes.push(Node::EMPTY);
         self.root = 0;
         self.len = 0;
+        // A clear changes the stored set, so cached positive facts become
+        // stale too; advancing the epoch keeps the monotonicity contract.
+        self.epoch += 1;
     }
 
     fn alloc(&mut self) -> u32 {
@@ -142,6 +158,7 @@ impl BoxTree {
         self.nodes[node as usize].terminal = true;
         if fresh {
             self.len += 1;
+            self.epoch += 1;
         }
         fresh
     }
@@ -175,15 +192,56 @@ impl BoxTree {
     ///
     /// Prefers boxes with shorter components (found earlier on the walk),
     /// i.e. geometrically larger witnesses.
+    ///
+    /// This is the engine's hottest query, so it uses a dedicated
+    /// monomorphic walker (no closure dispatch) that returns at the first
+    /// terminal it reaches.
     pub fn find_containing(&self, b: &DyadicBox) -> Option<DyadicBox> {
         debug_assert_eq!(b.n(), self.n);
-        let mut found = None;
         let mut scratch = DyadicBox::universe(self.n);
-        self.walk_containing(self.root, 0, b, &mut scratch, &mut |bx| {
-            found = Some(*bx);
-            true // stop at the first hit
-        });
-        found
+        if self.first_containing(self.root, 0, b, &mut scratch) {
+            Some(scratch)
+        } else {
+            None
+        }
+    }
+
+    /// First-hit DFS: on success `scratch` holds the witness.
+    fn first_containing(
+        &self,
+        root: u32,
+        dim: usize,
+        b: &DyadicBox,
+        scratch: &mut DyadicBox,
+    ) -> bool {
+        let iv = b.get(dim);
+        let last = dim + 1 == self.n;
+        let mut node = root;
+        let mut k = 0u8;
+        loop {
+            let nd = self.nodes[node as usize];
+            if last {
+                if nd.terminal {
+                    scratch.set(dim, iv.truncate(k));
+                    return true;
+                }
+            } else if nd.next != NONE {
+                scratch.set(dim, iv.truncate(k));
+                if self.first_containing(nd.next, dim + 1, b, scratch) {
+                    return true;
+                }
+            }
+            if k == iv.len() {
+                return false;
+            }
+            let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+            let child = nd.children[bit];
+            if child == NONE {
+                return false;
+            }
+            node = child;
+            k += 1;
+        }
     }
 
     /// Whether some stored box contains `b`.
@@ -191,18 +249,190 @@ impl BoxTree {
         self.find_containing(b).is_some()
     }
 
+    /// [`BoxTree::find_containing`] with an **incremental-descent fast
+    /// path**. `dim` is the probe target's first thick dimension (the one
+    /// the skeleton last extended; pass `n − 1` for unit boxes).
+    ///
+    /// A failed probe records, in `state`, the set of tree positions
+    /// compatible with the target (one per combination of stored prefixes
+    /// on the earlier dimensions) together with the store's
+    /// [`BoxTree::epoch`]. When the next probe is for a **child** of the
+    /// last target (one bit appended at `dim`) *at the same epoch*, the
+    /// recorded frontier is advanced by that single bit instead of
+    /// re-walking the tree from the root. This is exact, not heuristic:
+    /// at an unchanged epoch, any witness for the child whose `dim`
+    /// component were shorter than the child's would also contain the
+    /// already-probed parent — so only positions at full depth (the
+    /// recorded ones, advanced) can produce a hit, and scanning them in
+    /// recorded (DFS) order returns the identical witness the full walk
+    /// would find.
+    pub fn find_containing_tracked(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe,
+    ) -> Option<DyadicBox> {
+        debug_assert_eq!(b.n(), self.n);
+        debug_assert!(dim < self.n);
+        let iv = b.get(dim);
+        if let Some(last) = state.last {
+            if state.epoch == self.epoch
+                && state.dim == dim as u8
+                && iv.len() == state.len + 1
+                && is_child_at(b, &last, dim)
+            {
+                state.advances += 1;
+                return self.advance_probe(b, dim, state);
+            }
+        }
+        state.full_walks += 1;
+        self.full_probe(b, dim, state)
+    }
+
+    /// Advance the recorded frontier by the one bit appended at `dim`.
+    fn advance_probe(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe,
+    ) -> Option<DyadicBox> {
+        let iv = b.get(dim);
+        let bit = (iv.bits() & 1) as usize;
+        let mut kept = 0;
+        for idx in 0..state.entries.len() {
+            let mut e = state.entries[idx];
+            let child = self.nodes[e.node as usize].children[bit];
+            if child == NONE {
+                continue;
+            }
+            e.node = child;
+            if self.lambda_tail(child, dim) {
+                // Same witness the full walk's DFS would reach first.
+                let mut w = DyadicBox::universe(self.n);
+                for i in 0..dim {
+                    w.set(i, b.get(i).truncate(e.lens[i]));
+                }
+                w.set(dim, iv);
+                state.invalidate(); // covered: the descent stops here
+                return Some(w);
+            }
+            state.entries[kept] = e;
+            kept += 1;
+        }
+        state.entries.truncate(kept);
+        state.len = iv.len();
+        state.last = Some(*b);
+        None
+    }
+
+    /// Whether a box ends through `node` at level `dim` with `λ`
+    /// components on every later dimension.
+    fn lambda_tail(&self, node: u32, dim: usize) -> bool {
+        let mut x = node;
+        for d in dim..self.n {
+            let nd = self.nodes[x as usize];
+            if d + 1 == self.n {
+                return nd.terminal;
+            }
+            if nd.next == NONE {
+                return false;
+            }
+            x = nd.next;
+        }
+        unreachable!("loop returns at the last level")
+    }
+
+    /// Full walk that records the frontier for later advancing.
+    fn full_probe(&self, b: &DyadicBox, dim: usize, state: &mut DescentProbe) -> Option<DyadicBox> {
+        state.entries.clear();
+        let mut lens = [0u8; MAX_DIMS];
+        let mut scratch = DyadicBox::universe(self.n);
+        if self.walk_record(
+            self.root,
+            0,
+            b,
+            dim,
+            &mut lens,
+            &mut scratch,
+            &mut state.entries,
+        ) {
+            state.last = None; // covered targets are never extended
+            Some(scratch)
+        } else {
+            state.dim = dim as u8;
+            state.len = b.get(dim).len();
+            state.epoch = self.epoch;
+            state.last = Some(*b);
+            None
+        }
+    }
+
+    /// First-hit DFS that also records every position at `(dim, |b[dim]|)`
+    /// (the extendable frontier) into `entries`.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_record(
+        &self,
+        root: u32,
+        level: usize,
+        b: &DyadicBox,
+        dim: usize,
+        lens: &mut [u8; MAX_DIMS],
+        scratch: &mut DyadicBox,
+        entries: &mut Vec<ProbeEntry>,
+    ) -> bool {
+        let iv = b.get(level);
+        let last = level + 1 == self.n;
+        let mut node = root;
+        let mut k = 0u8;
+        loop {
+            if level == dim && k == iv.len() {
+                entries.push(ProbeEntry { node, lens: *lens });
+            }
+            let nd = self.nodes[node as usize];
+            if last {
+                if nd.terminal {
+                    scratch.set(level, iv.truncate(k));
+                    return true;
+                }
+            } else if nd.next != NONE {
+                scratch.set(level, iv.truncate(k));
+                lens[level] = k;
+                if self.walk_record(nd.next, level + 1, b, dim, lens, scratch, entries) {
+                    return true;
+                }
+            }
+            if k == iv.len() {
+                return false;
+            }
+            let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+            let child = nd.children[bit];
+            if child == NONE {
+                return false;
+            }
+            node = child;
+            k += 1;
+        }
+    }
+
     /// Collect **all** stored boxes containing `b` (oracle access,
     /// Algorithm 2 line 4). By Proposition B.12 there are at most
     /// `∏ᵢ(dᵢ+1)` of them.
     pub fn all_containing(&self, b: &DyadicBox) -> Vec<DyadicBox> {
-        debug_assert_eq!(b.n(), self.n);
         let mut out = Vec::new();
+        self.all_containing_into(b, &mut out);
+        out
+    }
+
+    /// [`BoxTree::all_containing`] into a caller-owned buffer (cleared
+    /// first), so per-probe allocation can be amortized across a run.
+    pub fn all_containing_into(&self, b: &DyadicBox, out: &mut Vec<DyadicBox>) {
+        debug_assert_eq!(b.n(), self.n);
+        out.clear();
         let mut scratch = DyadicBox::universe(self.n);
         self.walk_containing(self.root, 0, b, &mut scratch, &mut |bx| {
             out.push(*bx);
             false
         });
-        out
     }
 
     /// DFS over stored boxes whose every component is a prefix of `b`'s.
@@ -286,6 +516,60 @@ impl BoxTree {
             }
         }
     }
+}
+
+/// One extendable tree position of a failed probe: the node reached at
+/// the target's full depth on the probed dimension, plus the stored
+/// prefix lengths chosen on the earlier dimensions (enough to rebuild the
+/// witness box on a later hit).
+#[derive(Clone, Copy, Debug)]
+struct ProbeEntry {
+    node: u32,
+    lens: [u8; MAX_DIMS],
+}
+
+/// Reusable state for [`BoxTree::find_containing_tracked`]: the frontier
+/// of the last failed probe, valid only at the recorded epoch for the
+/// immediate child of the recorded target.
+#[derive(Debug, Default)]
+pub struct DescentProbe {
+    entries: Vec<ProbeEntry>,
+    last: Option<DyadicBox>,
+    dim: u8,
+    len: u8,
+    epoch: u64,
+    /// Probes answered by advancing the recorded frontier (diagnostic).
+    pub advances: u64,
+    /// Probes that fell back to a full walk (diagnostic).
+    pub full_walks: u64,
+}
+
+impl DescentProbe {
+    /// Fresh (invalid) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the recorded frontier (keeps allocated capacity).
+    pub fn invalidate(&mut self) {
+        self.last = None;
+        self.entries.clear();
+    }
+}
+
+/// Whether `b` is `last` with exactly one bit appended at `dim`.
+fn is_child_at(b: &DyadicBox, last: &DyadicBox, dim: usize) -> bool {
+    for i in 0..b.n() {
+        if i == dim {
+            let (bi, li) = (b.get(i), last.get(i));
+            if bi.len() != li.len() + 1 || bi.truncate(li.len()) != li {
+                return false;
+            }
+        } else if b.get(i) != last.get(i) {
+            return false;
+        }
+    }
+    true
 }
 
 impl Extend<DyadicBox> for BoxTree {

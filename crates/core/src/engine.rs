@@ -1,9 +1,46 @@
 //! The core engine: `TetrisSkeleton` (Algorithm 1) and the outer `Tetris`
-//! loop (Algorithm 2).
+//! loop (Algorithm 2), driven by an **incremental skeleton descent**.
+//!
+//! The paper's Algorithm 2 restarts `TetrisSkeleton(⟨λ,…,λ⟩)` after every
+//! knowledge-base change, re-probing the same loaded boxes from the
+//! universe down; the amortized cost disappears into the `Õ(·)` but
+//! dominates wall-clock time. The default driver here keeps the descent
+//! alive instead: an explicit stack of half-box frames survives output
+//! and load events, and only the branch a new knowledge-base box actually
+//! covers is collapsed (by choosing, among the loaded boxes, the one
+//! covering the shallowest live frame). This is exactly the paper's
+//! `TetrisSkeleton2` (Appendix D, footnote 13) made iterative — same
+//! outputs in the same order, strictly fewer restarts. The literal
+//! restart-driven loop is retained as [`Descent::Restart`] (the
+//! lower-bound reproductions need its re-treading behaviour), and
+//! [`Descent::RestartMemo`] shows how far coverage-epoch marks alone
+//! ([`boxstore::CoverageMarks`]) can repair it.
 
 use crate::{TetrisStats, TraceEvent};
-use boxstore::{BoxOracle, BoxTree};
-use dyadic::{resolve::ordered_resolve, DyadicBox, Space};
+use boxstore::{BoxOracle, BoxTree, CoverProbe, CoverageMarks, DescentProbe};
+use dyadic::{resolve::ordered_resolve, DyadicBox, DyadicInterval, Space};
+
+/// How the engine walks the skeleton between knowledge-base changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Descent {
+    /// Persistent-stack descent (default): output/load events are
+    /// absorbed in place and the walk resumes from the live frontier.
+    #[default]
+    Incremental,
+    /// The paper's literal Algorithm 2: every event tears the descent
+    /// down and restarts from `⟨λ,…,λ⟩`. Kept for the Section 5
+    /// lower-bound reproductions, whose measured re-treading depends on
+    /// restarts actually re-deriving work.
+    Restart,
+    /// [`Descent::Restart`], but re-descents consult
+    /// [`boxstore::CoverageMarks`]: covered subtrees short-circuit with
+    /// their recorded witness and unchanged-epoch negative probes skip
+    /// the knowledge-base walk. Requires resolvent caching (the marks
+    /// record facts backed by stored boxes); with
+    /// [`TetrisConfig::cache_resolvents`] off it behaves like
+    /// [`Descent::Restart`].
+    RestartMemo,
+}
 
 /// Configuration of a [`Tetris`] run.
 #[derive(Clone, Copy, Debug)]
@@ -18,10 +55,13 @@ pub struct TetrisConfig {
     pub cache_resolvents: bool,
     /// Report outputs *inside* the skeleton instead of restarting the
     /// outer loop per tuple — the paper's `TetrisSkeleton2` (proof of
-    /// Theorem D.2, footnote 13). Semantically identical output; required
-    /// for the Theorem 5.1 bound when caching is disabled, since outer
-    /// restarts would otherwise re-tread the proof once per output.
+    /// Theorem D.2, footnote 13). The incremental driver *is* that
+    /// skeleton, so this flag simply forces [`Descent::Incremental`]
+    /// regardless of [`TetrisConfig::descent`]; it is kept for paper
+    /// fidelity and for the Theorem 5.1 configuration (caching off).
     pub inline_outputs: bool,
+    /// Descent strategy between knowledge-base changes.
+    pub descent: Descent,
     /// Record a [`TraceEvent`] log of every step (tests/figures only).
     pub trace: bool,
 }
@@ -32,6 +72,7 @@ impl Default for TetrisConfig {
             preload: false,
             cache_resolvents: true,
             inline_outputs: false,
+            descent: Descent::Incremental,
             trace: false,
         }
     }
@@ -49,12 +90,55 @@ pub struct TetrisOutput {
     pub trace: Vec<TraceEvent>,
 }
 
-/// Result of a skeleton descent.
-enum Skel {
-    /// The target is covered; the witness covers it.
-    Covered(DyadicBox),
-    /// An uncovered unit box inside the target.
-    Uncovered(DyadicBox),
+/// One suspended `TetrisSkeleton` invocation: the split target is *not*
+/// stored — it is reconstructed from the current position (`cur`) as
+/// "components before `dim` as in `cur`, component `dim` truncated to
+/// `len`, `λ` after", which every deeper position agrees with. Keeping
+/// frames this small is what makes the persistent stack cheap (and is the
+/// shape a future work-stealing split would hand to another worker).
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    /// Split dimension (the target's first thick dimension).
+    dim: u8,
+    /// Length of the target's component at `dim`.
+    len: u8,
+    /// Witness of the completed 0-side half, if the 1-side is in progress.
+    w1: Option<DyadicBox>,
+}
+
+impl Frame {
+    /// Whether `w` covers this frame's (reconstructed) target.
+    #[inline]
+    fn covered_by(&self, w: &DyadicBox, cur: &DyadicBox) -> bool {
+        let dim = self.dim as usize;
+        for i in 0..cur.n() {
+            let wi = w.get(i);
+            if i < dim {
+                if !wi.is_prefix_of(&cur.get(i)) {
+                    return false;
+                }
+            } else if i == dim {
+                if wi.len() > self.len || !wi.is_prefix_of(&cur.get(i)) {
+                    return false;
+                }
+            } else if !wi.is_lambda() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Materialize the frame's target box (restart-memo bookkeeping only;
+    /// the hot path never needs it).
+    fn target(&self, cur: &DyadicBox) -> DyadicBox {
+        let dim = self.dim as usize;
+        let mut t = *cur;
+        t.set(dim, cur.get(dim).truncate(self.len));
+        for i in dim + 1..cur.n() {
+            t.set(i, DyadicInterval::lambda());
+        }
+        t
+    }
 }
 
 /// The Tetris solver (Algorithms 1 + 2) over any [`BoxOracle`].
@@ -68,8 +152,17 @@ pub struct Tetris<'o, O: BoxOracle + ?Sized> {
     config: TetrisConfig,
     stats: TetrisStats,
     trace: Vec<TraceEvent>,
-    /// Tuples reported by the inline (`TetrisSkeleton2`) mode.
-    inline_found: Vec<Vec<u64>>,
+    /// Suspended skeleton invocations, outermost first.
+    stack: Vec<Frame>,
+    /// Scratch buffer for oracle answers (reused across probes).
+    hits: Vec<DyadicBox>,
+    /// Scratch buffer for output tuples (reused across outputs).
+    point: Vec<u64>,
+    /// Incremental knowledge-base probe state (descends advance the last
+    /// failed probe's frontier instead of re-walking the store).
+    probe: DescentProbe,
+    /// Coverage-epoch memo ([`Descent::RestartMemo`] only).
+    marks: CoverageMarks,
 }
 
 impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
@@ -83,18 +176,20 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
             config,
             stats: TetrisStats::new(space.n()),
             trace: Vec::new(),
-            inline_found: Vec::new(),
+            stack: Vec::new(),
+            hits: Vec::new(),
+            point: Vec::new(),
+            probe: DescentProbe::new(),
+            marks: CoverageMarks::new(),
         };
         if config.preload {
-            let all = engine
-                .oracle
-                .enumerate()
-                .expect("preloaded mode requires an enumerable oracle");
-            for b in all {
-                if engine.kb.insert(&b) {
-                    engine.stats.kb_inserts += 1;
+            let Tetris { kb, stats, .. } = &mut engine;
+            let supported = oracle.for_each_box(&mut |b| {
+                if kb.insert(b) {
+                    stats.kb_inserts += 1;
                 }
-            }
+            });
+            assert!(supported, "preloaded mode requires an enumerable oracle");
         }
         engine
     }
@@ -129,6 +224,12 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
         self
     }
 
+    /// Choose the descent strategy (builder style).
+    pub fn descent(mut self, d: Descent) -> Self {
+        self.config.descent = d;
+        self
+    }
+
     /// Enable tracing (builder style).
     pub fn traced(mut self) -> Self {
         self.config.trace = true;
@@ -145,118 +246,46 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
         self.kb.len()
     }
 
+    /// Copy incremental-probe diagnostics into the run counters.
+    fn sync_probe_stats(&mut self) {
+        self.stats.probe_advances = self.probe.advances;
+        self.stats.probe_full_walks = self.probe.full_walks;
+    }
+
+    /// Trace only when enabled — the event is never even constructed on
+    /// untraced runs (hot-path allocation/copy discipline).
     #[inline]
-    fn emit(&mut self, e: TraceEvent) {
+    fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
         if self.config.trace {
-            self.trace.push(e);
+            self.trace.push(f());
         }
     }
 
-    /// Algorithm 1. Returns a covering witness or an uncovered unit box.
-    fn skeleton(&mut self, b: &DyadicBox) -> Skel {
-        self.stats.skeleton_calls += 1;
-        self.stats.kb_queries += 1;
-        if let Some(a) = self.kb.find_containing(b) {
-            self.emit(TraceEvent::CoveredBy {
-                target: *b,
-                witness: a,
-            });
-            return Skel::Covered(a);
-        }
-        let Some((b1, b2, dim)) = b.split_first_thick(&self.space) else {
-            if self.config.inline_outputs {
-                // TetrisSkeleton2 (Appendix D): resolve the uncovered
-                // point here — load its gap boxes or report it — and
-                // continue as covered.
-                return Skel::Covered(self.absorb_point(b));
-            }
-            self.emit(TraceEvent::Uncovered(*b));
-            return Skel::Uncovered(*b); // unit box, uncovered
-        };
-        self.stats.splits += 1;
-        self.emit(TraceEvent::Split { target: *b, dim });
-
-        let w1 = match self.skeleton(&b1) {
-            Skel::Uncovered(p) => return Skel::Uncovered(p),
-            Skel::Covered(w) => w,
-        };
-        if w1.contains(b) {
-            return Skel::Covered(w1);
-        }
-        let w2 = match self.skeleton(&b2) {
-            Skel::Uncovered(p) => return Skel::Uncovered(p),
-            Skel::Covered(w) => w,
-        };
-        if w2.contains(b) {
-            return Skel::Covered(w2);
-        }
-        let w = ordered_resolve(&w1, &w2, dim)
-            .expect("Lemma C.1 invariant violated: witnesses must be ordered-resolvable");
-        debug_assert!(w.contains(b), "resolvent must cover the split target");
-        self.stats.count_resolution(dim);
-        self.emit(TraceEvent::Resolve {
-            w1,
-            w2,
-            result: w,
-            dim,
-        });
-        if self.config.cache_resolvents && self.kb.insert(&w) {
-            self.stats.kb_inserts += 1;
-        }
-        Skel::Covered(w)
+    /// Whether events tear the descent down (paper-literal Algorithm 2).
+    #[inline]
+    fn restarting(&self) -> bool {
+        !self.config.inline_outputs
+            && matches!(self.config.descent, Descent::Restart | Descent::RestartMemo)
     }
 
-    /// Handle an uncovered unit box inline: load its covering gap boxes
-    /// from the oracle, or report it as output. Returns a box now in the
-    /// knowledge base that covers it.
-    fn absorb_point(&mut self, b: &DyadicBox) -> DyadicBox {
-        self.stats.oracle_probes += 1;
-        let hits = self.oracle.boxes_containing(b);
-        if hits.is_empty() {
-            self.stats.outputs += 1;
-            self.emit(TraceEvent::Output(*b));
-            self.inline_found.push(b.to_point(&self.space));
-            if self.kb.insert(b) {
-                self.stats.kb_inserts += 1;
-            }
-            *b
-        } else {
-            self.emit(TraceEvent::Load {
-                probe: *b,
-                count: hits.len(),
-            });
-            let mut witness = hits[0];
-            for h in &hits {
-                debug_assert!(h.contains(b), "oracle returned a non-covering box");
-                if self.kb.insert(h) {
-                    self.stats.kb_inserts += 1;
-                    self.stats.loaded_boxes += 1;
-                }
-                // Prefer the geometrically largest witness.
-                if h.volume(&self.space) > witness.volume(&self.space) {
-                    witness = *h;
-                }
-            }
-            witness
-        }
+    /// Whether coverage-epoch marks are consulted. Marks record witnesses
+    /// that must live in the knowledge base, so they require resolvent
+    /// caching; Tree Ordered runs keep the pure re-treading semantics.
+    #[inline]
+    fn memoizing(&self) -> bool {
+        self.restarting()
+            && self.config.descent == Descent::RestartMemo
+            && self.config.cache_resolvents
     }
 
     /// Algorithm 2: run to completion, collecting all output tuples.
     pub fn run(mut self) -> TetrisOutput {
         let mut tuples = Vec::new();
-        if self.config.inline_outputs {
-            // One skeleton pass reports everything (TetrisSkeleton2).
-            self.stats.restarts += 1;
-            self.emit(TraceEvent::Restart);
-            let universe = DyadicBox::universe(self.space.n());
-            match self.skeleton(&universe) {
-                Skel::Covered(_) => {}
-                Skel::Uncovered(_) => unreachable!("inline mode absorbs all points"),
-            }
-            tuples = std::mem::take(&mut self.inline_found);
-        } else {
-            self.drive(|t| tuples.push(t), false);
-        }
+        self.drive(|t| {
+            tuples.push(t.to_vec());
+            false
+        });
+        self.sync_probe_stats();
         TetrisOutput {
             tuples,
             stats: self.stats,
@@ -267,7 +296,11 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
     /// Stream output tuples to a callback instead of materializing them
     /// (outer-loop mode). Returns the final stats.
     pub fn for_each_output(mut self, mut f: impl FnMut(&[u64])) -> TetrisStats {
-        self.drive(|t| f(&t), false);
+        self.drive(|t| {
+            f(t);
+            false
+        });
+        self.sync_probe_stats();
         self.stats
     }
 
@@ -275,48 +308,226 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
     /// Stops at the first uncovered output point.
     pub fn check_cover(mut self) -> (bool, TetrisStats) {
         let mut found = false;
-        self.drive(|_| found = true, true);
+        self.drive(|_| {
+            found = true;
+            true
+        });
+        self.sync_probe_stats();
         (!found, self.stats)
     }
 
-    /// The outer loop. `stop_on_output` makes it exit after the first
-    /// output tuple (Boolean mode).
-    fn drive(&mut self, mut on_output: impl FnMut(Vec<u64>), stop_on_output: bool) {
+    /// The unified driver: one incremental skeleton descent (Algorithms
+    /// 1+2 fused), with optional paper-literal restarts. `on_output`
+    /// receives each tuple and returns `true` to stop (Boolean mode).
+    fn drive(&mut self, mut on_output: impl FnMut(&[u64]) -> bool) {
         let universe = DyadicBox::universe(self.space.n());
-        loop {
-            self.stats.restarts += 1;
-            self.emit(TraceEvent::Restart);
-            let w = match self.skeleton(&universe) {
-                Skel::Covered(_) => return,
-                Skel::Uncovered(w) => w,
+        let mut cur = universe;
+        self.stats.restarts += 1;
+        self.emit(|| TraceEvent::Restart);
+        'descend: loop {
+            // ── descend: drill into `cur` until a covering witness is
+            // known or an uncovered unit box is absorbed.
+            let mut witness = loop {
+                self.stats.skeleton_calls += 1;
+                let thick = cur.first_thick_dim(&self.space);
+                let probe_dim = thick.unwrap_or(self.space.n() - 1);
+                let mut known_uncovered = false;
+                if self.memoizing() {
+                    match self.marks.probe(&cur, &self.space, self.kb.epoch()) {
+                        CoverProbe::Covered(w) => {
+                            self.stats.mark_hits += 1;
+                            self.emit(|| TraceEvent::CoveredBy {
+                                target: cur,
+                                witness: w,
+                            });
+                            break w;
+                        }
+                        CoverProbe::KnownUncovered => {
+                            self.stats.mark_hits += 1;
+                            known_uncovered = true;
+                        }
+                        CoverProbe::Unknown => {}
+                    }
+                }
+                if !known_uncovered {
+                    self.stats.kb_queries += 1;
+                    if let Some(a) =
+                        self.kb
+                            .find_containing_tracked(&cur, probe_dim, &mut self.probe)
+                    {
+                        debug_assert_eq!(self.kb.find_containing(&cur), Some(a));
+                        self.emit(|| TraceEvent::CoveredBy {
+                            target: cur,
+                            witness: a,
+                        });
+                        if self.memoizing() {
+                            self.marks.mark_covered(&cur, &self.space, a);
+                        }
+                        break a;
+                    }
+                    debug_assert!(self.kb.find_containing(&cur).is_none());
+                    if self.memoizing() {
+                        let epoch = self.kb.epoch();
+                        self.marks.mark_uncovered(&cur, &self.space, epoch);
+                    }
+                }
+                if let Some(dim) = thick {
+                    self.stats.splits += 1;
+                    self.emit(|| TraceEvent::Split { target: cur, dim });
+                    let iv = cur.get(dim);
+                    self.stack.push(Frame {
+                        dim: dim as u8,
+                        len: iv.len(),
+                        w1: None,
+                    });
+                    cur.set(dim, iv.child(0));
+                    continue;
+                }
+                // Uncovered unit box: absorb it (load its gap boxes or
+                // report it as output), then either resume in place or
+                // tear down and restart per the descent strategy.
+                match self.absorb(&cur, &mut on_output) {
+                    Absorb::Stop => return,
+                    Absorb::Witness(w) => break w,
+                    Absorb::Restart => {
+                        self.stack.clear();
+                        cur = universe;
+                        self.stats.restarts += 1;
+                        self.emit(|| TraceEvent::Restart);
+                        continue 'descend;
+                    }
+                }
             };
-            self.stats.oracle_probes += 1;
-            let hits = self.oracle.boxes_containing(&w);
-            if hits.is_empty() {
-                self.stats.outputs += 1;
-                self.emit(TraceEvent::Output(w));
-                on_output(w.to_point(&self.space));
-                if self.kb.insert(&w) {
-                    self.stats.kb_inserts += 1;
+            // ── unwind: feed the witness to the suspended frames.
+            loop {
+                let Some(&top) = self.stack.last() else {
+                    debug_assert!(witness.contains(&universe));
+                    return; // the whole space is covered
+                };
+                if top.covered_by(&witness, &cur) {
+                    if self.memoizing() {
+                        let t = top.target(&cur);
+                        self.marks.mark_covered(&t, &self.space, witness);
+                    }
+                    self.stack.pop();
+                    continue;
                 }
-                if stop_on_output {
-                    return;
-                }
-            } else {
-                self.emit(TraceEvent::Load {
-                    probe: w,
-                    count: hits.len(),
-                });
-                for h in &hits {
-                    debug_assert!(h.contains(&w), "oracle returned a non-covering box");
-                    if self.kb.insert(h) {
-                        self.stats.kb_inserts += 1;
-                        self.stats.loaded_boxes += 1;
+                let dim = top.dim as usize;
+                match top.w1 {
+                    None => {
+                        // 0-side done; descend into the 1-side.
+                        self.stack.last_mut().expect("frame just read").w1 = Some(witness);
+                        cur.set(dim, cur.get(dim).truncate(top.len).child(1));
+                        for i in dim + 1..self.space.n() {
+                            cur.set(i, DyadicInterval::lambda());
+                        }
+                        continue 'descend;
+                    }
+                    Some(w1) => {
+                        let w = ordered_resolve(&w1, &witness, dim).expect(
+                            "Lemma C.1 invariant violated: witnesses must be ordered-resolvable",
+                        );
+                        self.stats.count_resolution(dim);
+                        self.emit(|| TraceEvent::Resolve {
+                            w1,
+                            w2: witness,
+                            result: w,
+                            dim,
+                        });
+                        if self.config.cache_resolvents && self.kb.insert(&w) {
+                            self.stats.kb_inserts += 1;
+                        }
+                        witness = w;
+                        // The resolvent covers the target by construction;
+                        // the next loop turn pops the frame.
                     }
                 }
             }
         }
     }
+
+    /// Handle an uncovered unit box: report it as output or load its
+    /// covering gap boxes.
+    fn absorb(&mut self, cur: &DyadicBox, on_output: &mut impl FnMut(&[u64]) -> bool) -> Absorb {
+        let restarting = self.restarting();
+        if restarting {
+            self.emit(|| TraceEvent::Uncovered(*cur));
+        }
+        self.stats.oracle_probes += 1;
+        let mut hits = std::mem::take(&mut self.hits);
+        self.oracle.boxes_containing_into(cur, &mut hits);
+        let out = if hits.is_empty() {
+            self.stats.outputs += 1;
+            self.emit(|| TraceEvent::Output(*cur));
+            let mut point = std::mem::take(&mut self.point);
+            cur.write_point(&self.space, &mut point);
+            let stop = on_output(&point);
+            self.point = point;
+            if self.kb.insert(cur) {
+                self.stats.kb_inserts += 1;
+            }
+            if stop {
+                Absorb::Stop
+            } else if restarting {
+                Absorb::Restart
+            } else {
+                Absorb::Witness(*cur)
+            }
+        } else {
+            let count = hits.len();
+            self.emit(|| TraceEvent::Load { probe: *cur, count });
+            for h in &hits {
+                debug_assert!(h.contains(cur), "oracle returned a non-covering box");
+                if self.kb.insert(h) {
+                    self.stats.kb_inserts += 1;
+                    self.stats.loaded_boxes += 1;
+                }
+            }
+            if restarting {
+                Absorb::Restart
+            } else {
+                Absorb::Witness(self.best_witness(&hits, cur))
+            }
+        };
+        self.hits = hits;
+        out
+    }
+
+    /// Choose, among the freshly loaded boxes, the one invalidating the
+    /// largest suffix of the live descent: the box covering the
+    /// *shallowest* suspended frame (ties broken by geometric volume).
+    /// Unwinding with it collapses exactly the branch the new knowledge
+    /// covers and no more.
+    fn best_witness(&self, hits: &[DyadicBox], cur: &DyadicBox) -> DyadicBox {
+        debug_assert!(!hits.is_empty());
+        let mut best = hits[0];
+        let mut best_depth = usize::MAX;
+        for h in hits {
+            // Frames are nested, so coverage is monotone down the stack:
+            // binary-search the shallowest covered frame.
+            let depth = self.stack.partition_point(|f| !f.covered_by(h, cur));
+            if depth < best_depth
+                || (depth == best_depth && h.volume(&self.space) > best.volume(&self.space))
+            {
+                best = *h;
+                best_depth = depth;
+            }
+        }
+        best
+    }
+}
+
+/// Outcome of absorbing an uncovered unit box.
+// `Witness` carries the inline `DyadicBox`; the value lives for one match
+// arm on the hot path, so boxing it would be a pessimization.
+#[allow(clippy::large_enum_variant)]
+enum Absorb {
+    /// Boolean mode asked to stop.
+    Stop,
+    /// Resume the descent in place with this covering witness.
+    Witness(DyadicBox),
+    /// Tear down the stack and restart from the universe.
+    Restart,
 }
 
 #[cfg(test)]
@@ -334,6 +545,26 @@ mod tests {
             Space::uniform(2, 2),
             ["λ,0", "00,λ", "λ,11", "10,1"].iter().map(|s| b(s)),
         )
+    }
+
+    fn random_instance(
+        rng: &mut rand::rngs::StdRng,
+        n: usize,
+        d: u8,
+        count: usize,
+    ) -> Vec<DyadicBox> {
+        use rand::Rng;
+        (0..count)
+            .map(|_| {
+                let mut bx = DyadicBox::universe(n);
+                for i in 0..n {
+                    let len = rng.gen_range(0..=d);
+                    let bits = rng.gen_range(0..(1u64 << len));
+                    bx.set(i, DyadicInterval::from_bits(bits, len));
+                }
+                bx
+            })
+            .collect()
     }
 
     #[test]
@@ -399,17 +630,7 @@ mod tests {
             let d = rng.gen_range(1..=3u8);
             let space = Space::uniform(n, d);
             let count = rng.gen_range(0..25);
-            let boxes: Vec<DyadicBox> = (0..count)
-                .map(|_| {
-                    let mut bx = DyadicBox::universe(n);
-                    for i in 0..n {
-                        let len = rng.gen_range(0..=d);
-                        let bits = rng.gen_range(0..(1u64 << len));
-                        bx.set(i, DyadicInterval::from_bits(bits, len));
-                    }
-                    bx
-                })
-                .collect();
+            let boxes = random_instance(&mut rng, n, d, count);
             let expect = coverage::uncovered_points(&boxes, &space);
             let oracle = SetOracle::new(space, boxes.clone());
             for preload in [false, true] {
@@ -428,23 +649,102 @@ mod tests {
     }
 
     #[test]
+    fn all_descent_modes_agree_with_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for trial in 0..25 {
+            let n = rng.gen_range(1..=3);
+            let d = rng.gen_range(1..=3u8);
+            let space = Space::uniform(n, d);
+            let count = rng.gen_range(0..20);
+            let boxes = random_instance(&mut rng, n, d, count);
+            let expect = coverage::uncovered_points(&boxes, &space);
+            let oracle = SetOracle::new(space, boxes);
+            for descent in [Descent::Incremental, Descent::Restart, Descent::RestartMemo] {
+                for preload in [false, true] {
+                    let out = Tetris::with_config(
+                        &oracle,
+                        TetrisConfig {
+                            preload,
+                            descent,
+                            ..Default::default()
+                        },
+                    )
+                    .run();
+                    assert_eq!(
+                        out.tuples, expect,
+                        "trial {trial} descent={descent:?} preload={preload}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_never_restarts_and_restart_mode_does() {
+        let oracle = example_4_4_oracle();
+        let inc = Tetris::reloaded(&oracle).run();
+        assert_eq!(inc.stats.restarts, 1, "incremental = one logical pass");
+        let re = Tetris::reloaded(&oracle).descent(Descent::Restart).run();
+        assert_eq!(re.tuples, inc.tuples);
+        // Algorithm 2 restarts once per output and once per load event.
+        assert!(re.stats.restarts > 1);
+        assert!(inc.stats.skeleton_calls < re.stats.skeleton_calls);
+    }
+
+    #[test]
+    fn restart_memo_cuts_kb_queries_not_outputs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for trial in 0..15 {
+            let n = rng.gen_range(2..=3);
+            let d = rng.gen_range(2..=3u8);
+            let space = Space::uniform(n, d);
+            let count = rng.gen_range(1..15);
+            let boxes = random_instance(&mut rng, n, d, count);
+            let oracle = SetOracle::new(space, boxes);
+            let plain = Tetris::reloaded(&oracle).descent(Descent::Restart).run();
+            let memo = Tetris::reloaded(&oracle)
+                .descent(Descent::RestartMemo)
+                .run();
+            assert_eq!(plain.tuples, memo.tuples, "trial {trial}");
+            assert_eq!(plain.stats.restarts, memo.stats.restarts);
+            assert_eq!(plain.stats.skeleton_calls, memo.stats.skeleton_calls);
+            assert!(
+                memo.stats.kb_queries <= plain.stats.kb_queries,
+                "trial {trial}: memo {} > plain {}",
+                memo.stats.kb_queries,
+                plain.stats.kb_queries
+            );
+            assert_eq!(
+                memo.stats.kb_queries + memo.stats.mark_hits,
+                plain.stats.kb_queries,
+                "trial {trial}: every probe is either walked or memo-answered"
+            );
+            assert_eq!(plain.stats.mark_hits, 0);
+        }
+    }
+
+    #[test]
+    fn untraced_runs_record_no_events_and_allocate_no_trace() {
+        let oracle = example_4_4_oracle();
+        let out = Tetris::reloaded(&oracle).run();
+        assert!(out.trace.is_empty());
+        // The emit path never constructs events when untraced, and the
+        // trace vector never allocates.
+        assert_eq!(out.trace.capacity(), 0);
+        let traced = Tetris::reloaded(&oracle).traced().run();
+        assert!(!traced.trace.is_empty());
+    }
+
+    #[test]
     fn no_caching_still_correct() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         for _ in 0..15 {
             let space = Space::uniform(2, 2);
             let count = rng.gen_range(0..10);
-            let boxes: Vec<DyadicBox> = (0..count)
-                .map(|_| {
-                    let mut bx = DyadicBox::universe(2);
-                    for i in 0..2 {
-                        let len = rng.gen_range(0..=2u8);
-                        let bits = rng.gen_range(0..(1u64 << len));
-                        bx.set(i, DyadicInterval::from_bits(bits, len));
-                    }
-                    bx
-                })
-                .collect();
+            let boxes = random_instance(&mut rng, 2, 2, count);
             let expect = coverage::uncovered_points(&boxes, &space);
             let oracle = SetOracle::new(space, boxes);
             let out = Tetris::preloaded(&oracle).cache_resolvents(false).run();
@@ -460,25 +760,21 @@ mod tests {
             let n = rng.gen_range(1..=3);
             let d = rng.gen_range(1..=3u8);
             let space = Space::uniform(n, d);
-            let boxes: Vec<DyadicBox> = (0..rng.gen_range(0..20))
-                .map(|_| {
-                    let mut bx = DyadicBox::universe(n);
-                    for i in 0..n {
-                        let len = rng.gen_range(0..=d);
-                        bx.set(
-                            i,
-                            DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len),
-                        );
-                    }
-                    bx
-                })
-                .collect();
+            let count = rng.gen_range(0..20);
+            let boxes = random_instance(&mut rng, n, d, count);
             let oracle = SetOracle::new(space, boxes);
             let outer = Tetris::reloaded(&oracle).run();
             let inline = Tetris::reloaded(&oracle).inline_outputs(true).run();
             assert_eq!(outer.tuples, inline.tuples);
-            // Inline mode never restarts.
+            // Inline mode never restarts (and forces the incremental
+            // driver even under a restart descent).
             assert_eq!(inline.stats.restarts, 1);
+            let forced = Tetris::reloaded(&oracle)
+                .inline_outputs(true)
+                .descent(Descent::Restart)
+                .run();
+            assert_eq!(forced.stats.restarts, 1);
+            assert_eq!(outer.tuples, forced.tuples);
             // Also with caching disabled (Tree Ordered + Skeleton2).
             let tree = Tetris::reloaded(&oracle)
                 .inline_outputs(true)

@@ -20,6 +20,14 @@
 //! restricts the engine to **Tree Ordered Geometric Resolution**
 //! (Section 5.1), used to reproduce the lower-bound separations.
 //!
+//! The default driver runs one **incremental skeleton descent**: a
+//! persistent stack of half-box frames absorbs output/load events in
+//! place instead of restarting from the universe (see [`Descent`]). The
+//! paper-literal restart loop remains available as [`Descent::Restart`]
+//! (the Section 5 re-treading measurements depend on it), and
+//! [`Descent::RestartMemo`] layers `boxstore`'s coverage-epoch marks on
+//! top of it.
+//!
 //! ```
 //! use boxstore::SetOracle;
 //! use dyadic::{DyadicBox, Space};
@@ -44,6 +52,6 @@ pub mod klee;
 mod stats;
 mod trace;
 
-pub use engine::{Tetris, TetrisConfig, TetrisOutput};
+pub use engine::{Descent, Tetris, TetrisConfig, TetrisOutput};
 pub use stats::TetrisStats;
 pub use trace::TraceEvent;

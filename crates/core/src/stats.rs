@@ -18,8 +18,18 @@ pub struct TetrisStats {
     pub splits: u64,
     /// Recursive `TetrisSkeleton` invocations.
     pub skeleton_calls: u64,
-    /// Knowledge-base containment queries (Algorithm 1 line 1).
+    /// Knowledge-base containment queries (Algorithm 1 line 1) that
+    /// actually walked the store.
     pub kb_queries: u64,
+    /// Skeleton probes answered by coverage-epoch marks instead of a
+    /// knowledge-base walk (`Descent::RestartMemo` only).
+    pub mark_hits: u64,
+    /// Knowledge-base probes answered by advancing the previous probe's
+    /// recorded frontier by one bit (same coverage epoch) instead of
+    /// re-walking the store.
+    pub probe_advances: u64,
+    /// Knowledge-base probes that performed a full store walk.
+    pub probe_full_walks: u64,
     /// Boxes inserted into the knowledge base (all sources).
     pub kb_inserts: u64,
     /// Oracle probes issued by the outer loop (Algorithm 2 line 4).
@@ -59,6 +69,9 @@ impl TetrisStats {
         self.splits += other.splits;
         self.skeleton_calls += other.skeleton_calls;
         self.kb_queries += other.kb_queries;
+        self.mark_hits += other.mark_hits;
+        self.probe_advances += other.probe_advances;
+        self.probe_full_walks += other.probe_full_walks;
         self.kb_inserts += other.kb_inserts;
         self.oracle_probes += other.oracle_probes;
         self.loaded_boxes += other.loaded_boxes;

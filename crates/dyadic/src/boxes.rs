@@ -163,6 +163,16 @@ impl DyadicBox {
             .collect()
     }
 
+    /// [`DyadicBox::to_point`] into a caller-owned buffer (cleared first),
+    /// so streaming consumers can avoid one allocation per tuple.
+    ///
+    /// # Panics
+    /// In debug builds if the box is not unit.
+    pub fn write_point(&self, space: &Space, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend((0..self.n()).map(|i| self.dims[i].value(space.width(i))));
+    }
+
     /// The support of the box: indices of dimensions with non-`λ`
     /// components (paper Definition 3.7), as a bitmask.
     pub fn support_mask(&self) -> u32 {

@@ -13,12 +13,19 @@ use crate::{DyadicBox, DyadicInterval, Space};
 ///
 /// Returns an empty vector when `lo > hi`.
 pub fn dyadic_cover_of_range(lo: u64, hi: u64, width: u8) -> Vec<DyadicInterval> {
+    let mut out = Vec::new();
+    dyadic_cover_of_range_into(lo, hi, width, &mut out);
+    out
+}
+
+/// [`dyadic_cover_of_range`] **appending** into a caller-owned buffer, so
+/// bulk gap extraction (one call per index gap) can reuse one allocation.
+pub fn dyadic_cover_of_range_into(lo: u64, hi: u64, width: u8, out: &mut Vec<DyadicInterval>) {
     assert!(width <= 63);
     let max = (1u64 << width) - 1;
     assert!(hi <= max, "range endpoint {hi} outside {width}-bit domain");
-    let mut out = Vec::new();
     if lo > hi {
-        return out;
+        return;
     }
     let mut cur = lo;
     loop {
@@ -43,7 +50,6 @@ pub fn dyadic_cover_of_range(lo: u64, hi: u64, width: u8) -> Vec<DyadicInterval>
             break;
         }
     }
-    out
 }
 
 /// The unique piece of the minimal dyadic cover of `[lo, hi]` that contains
@@ -115,12 +121,25 @@ pub fn decompose_box(lo: &[u64], hi: &[u64], space: &Space) -> Vec<DyadicBox> {
 /// predecessor" (gap starts at 0) and `succ = None` for "no successor"
 /// (gap ends at the domain max). Used by index gap extraction (Example 1.1).
 pub fn range_gap_boxes(pred: Option<u64>, succ: Option<u64>, width: u8) -> Vec<DyadicInterval> {
+    let mut out = Vec::new();
+    range_gap_boxes_into(pred, succ, width, &mut out);
+    out
+}
+
+/// [`range_gap_boxes`] **appending** into a caller-owned buffer (see
+/// [`dyadic_cover_of_range_into`]).
+pub fn range_gap_boxes_into(
+    pred: Option<u64>,
+    succ: Option<u64>,
+    width: u8,
+    out: &mut Vec<DyadicInterval>,
+) {
     let max = (1u64 << width) - 1;
     let lo = match pred {
         None => 0,
         Some(p) => {
             if p == max {
-                return Vec::new();
+                return;
             }
             p + 1
         }
@@ -129,12 +148,12 @@ pub fn range_gap_boxes(pred: Option<u64>, succ: Option<u64>, width: u8) -> Vec<D
         None => max,
         Some(s) => {
             if s == 0 {
-                return Vec::new();
+                return;
             }
             s - 1
         }
     };
-    dyadic_cover_of_range(lo, hi, width)
+    dyadic_cover_of_range_into(lo, hi, width, out);
 }
 
 #[cfg(test)]

@@ -58,7 +58,8 @@ mod space;
 
 pub use boxes::{DyadicBox, MAX_DIMS};
 pub use decompose::{
-    decompose_box, dyadic_cover_of_range, dyadic_piece_containing, range_gap_boxes,
+    decompose_box, dyadic_cover_of_range, dyadic_cover_of_range_into, dyadic_piece_containing,
+    range_gap_boxes, range_gap_boxes_into,
 };
 pub use interval::{DyadicInterval, MAX_WIDTH};
 pub use space::Space;

@@ -31,6 +31,32 @@ impl Index {
             Index::Dyadic(ix) => ix.all_gap_boxes(),
         }
     }
+
+    /// Stream all gap boxes in embedded coordinates (`dim_map[p]` = output
+    /// dimension of schema position `p`), reusing `scratch` — see
+    /// [`TrieIndex::for_each_gap_box`]. `scratch` must be `λ` on every
+    /// mapped dimension on entry and is restored to that state on return.
+    pub fn for_each_gap_box(
+        &self,
+        dim_map: &[usize],
+        scratch: &mut dyadic::DyadicBox,
+        f: &mut dyn FnMut(&DyadicBox),
+    ) {
+        match self {
+            Index::Trie(ix) => ix.for_each_gap_box(dim_map, scratch, f),
+            Index::Dyadic(ix) => {
+                for g in ix.all_gap_boxes() {
+                    for (p, &dim) in dim_map.iter().enumerate() {
+                        scratch.set(dim, g.get(p));
+                    }
+                    f(scratch);
+                }
+                for &dim in dim_map {
+                    scratch.set(dim, dyadic::DyadicInterval::lambda());
+                }
+            }
+        }
+    }
 }
 
 /// A relation plus its physical indexes.
@@ -120,6 +146,20 @@ impl IndexedRelation {
         out.sort();
         out.dedup();
         out
+    }
+
+    /// Stream the pooled gap set in embedded coordinates without
+    /// materializing or deduplicating it (see [`Index::for_each_gap_box`];
+    /// indexes may repeat a box).
+    pub fn for_each_gap_box(
+        &self,
+        dim_map: &[usize],
+        scratch: &mut DyadicBox,
+        f: &mut dyn FnMut(&DyadicBox),
+    ) {
+        for ix in &self.indexes {
+            ix.for_each_gap_box(dim_map, scratch, f);
+        }
     }
 }
 

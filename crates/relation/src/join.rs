@@ -180,13 +180,19 @@ impl BoxOracle for JoinOracle<'_> {
     }
 
     fn boxes_containing(&self, point: &DyadicBox) -> Vec<DyadicBox> {
+        let mut out = Vec::new();
+        self.boxes_containing_into(point, &mut out);
+        out
+    }
+
+    fn boxes_containing_into(&self, point: &DyadicBox, out: &mut Vec<DyadicBox>) {
         debug_assert!(
             point.is_unit(&self.space),
             "oracle probes must be unit boxes"
         );
+        out.clear();
         let p = point.to_point(&self.space);
         let n = self.space.n();
-        let mut out = Vec::new();
         for a in &self.atoms {
             for g in a.rel.gaps_containing(&a.project(&p)) {
                 out.push(a.embed(&g, n));
@@ -195,11 +201,24 @@ impl BoxOracle for JoinOracle<'_> {
         out.sort();
         out.dedup();
         debug_assert!(out.iter().all(|b| b.contains(point)));
-        out
     }
 
     fn enumerate(&self) -> Option<Vec<DyadicBox>> {
         Some(self.all_gap_boxes())
+    }
+
+    fn for_each_box(&self, f: &mut dyn FnMut(&DyadicBox)) -> bool {
+        // Streams without the sort+dedup of `all_gap_boxes` — gap boxes
+        // shared by several atoms are simply repeated, which the
+        // deduplicating consumers this feeds (preload into a `BoxTree`)
+        // absorb for free. Each atom's gaps are written straight into SAO
+        // coordinates through one reused scratch box.
+        let n = self.space.n();
+        let mut scratch = DyadicBox::universe(n);
+        for a in &self.atoms {
+            a.rel.for_each_gap_box(&a.dims, &mut scratch, f);
+        }
+        true
     }
 
     fn size_hint(&self) -> Option<usize> {

@@ -10,7 +10,7 @@
 //! of Definition 3.11 when the column order is consistent with the GAO.
 
 use crate::Relation;
-use dyadic::{dyadic_piece_containing, range_gap_boxes, DyadicBox, DyadicInterval};
+use dyadic::{dyadic_piece_containing, range_gap_boxes_into, DyadicBox, DyadicInterval};
 
 /// A flat (struct-of-arrays) search trie over a relation, in a fixed
 /// column order. Functionally equivalent to a B-tree index: supports
@@ -158,14 +158,86 @@ impl TrieIndex {
     pub fn all_gap_boxes(&self) -> Vec<DyadicBox> {
         let mut out = Vec::new();
         let mut path = Vec::new();
+        let mut pieces = Vec::new();
         self.collect_gaps(
             0,
             0,
             self.values.first().map_or(0, |v| v.len()),
             &mut path,
+            &mut pieces,
             &mut out,
         );
         out
+    }
+
+    /// Stream all gap boxes **directly in embedded coordinates**:
+    /// `dim_map[p]` gives the output dimension of schema position `p`, and
+    /// `scratch` (a `λ`-box of the output arity) is mutated in place — one
+    /// component set per trie step instead of two full box constructions
+    /// per gap. This is the `Tetris-Preloaded` bulk path; the boxes passed
+    /// to `f` must be consumed immediately (the buffer is reused).
+    pub fn for_each_gap_box(
+        &self,
+        dim_map: &[usize],
+        scratch: &mut DyadicBox,
+        f: &mut dyn FnMut(&DyadicBox),
+    ) {
+        debug_assert_eq!(dim_map.len(), self.depth());
+        debug_assert!(self
+            .order
+            .iter()
+            .all(|&p| scratch.get(dim_map[p]).is_lambda()));
+        let mut pieces = Vec::new();
+        self.stream_gaps(
+            0,
+            0,
+            self.values.first().map_or(0, |v| v.len()),
+            dim_map,
+            scratch,
+            &mut pieces,
+            f,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn stream_gaps(
+        &self,
+        j: usize,
+        lo: usize,
+        hi: usize,
+        dim_map: &[usize],
+        scratch: &mut DyadicBox,
+        pieces: &mut Vec<DyadicInterval>,
+        f: &mut dyn FnMut(&DyadicBox),
+    ) {
+        let width = self.widths[j];
+        let dim = dim_map[self.order[j]];
+        let vals = &self.values[j][lo..hi];
+        // Gaps around/between the children at this node.
+        let mut pred = None;
+        for &v in vals.iter().chain(std::iter::once(&u64::MAX)) {
+            let succ = if v == u64::MAX { None } else { Some(v) };
+            pieces.clear();
+            range_gap_boxes_into(pred, succ, width, pieces);
+            // Index loop: `f` borrows `scratch` mutably, so `pieces` cannot
+            // be iterated by reference across the call.
+            #[allow(clippy::needless_range_loop)]
+            for k in 0..pieces.len() {
+                scratch.set(dim, pieces[k]);
+                f(scratch);
+            }
+            pred = succ;
+        }
+        scratch.set(dim, DyadicInterval::lambda());
+        // Recurse into children.
+        if j + 1 < self.depth() {
+            for (pos, &v) in vals.iter().enumerate() {
+                let (nlo, nhi) = self.children(j, lo + pos);
+                scratch.set(dim, DyadicInterval::point(v, width));
+                self.stream_gaps(j + 1, nlo, nhi, dim_map, scratch, pieces, f);
+            }
+            scratch.set(dim, DyadicInterval::lambda());
+        }
     }
 
     fn collect_gaps(
@@ -174,6 +246,7 @@ impl TrieIndex {
         lo: usize,
         hi: usize,
         path: &mut Vec<u64>,
+        pieces: &mut Vec<DyadicInterval>,
         out: &mut Vec<DyadicBox>,
     ) {
         let width = self.widths[j];
@@ -182,7 +255,9 @@ impl TrieIndex {
         let mut pred = None;
         for &v in vals.iter().chain(std::iter::once(&u64::MAX)) {
             let succ = if v == u64::MAX { None } else { Some(v) };
-            for piece in range_gap_boxes(pred, succ, width) {
+            pieces.clear();
+            range_gap_boxes_into(pred, succ, width, pieces);
+            for &piece in pieces.iter() {
                 out.push(self.gap_box(path, j, piece));
             }
             pred = succ;
@@ -192,7 +267,7 @@ impl TrieIndex {
             for (pos, &v) in vals.iter().enumerate() {
                 let (nlo, nhi) = self.children(j, lo + pos);
                 path.push(v);
-                self.collect_gaps(j + 1, nlo, nhi, path, out);
+                self.collect_gaps(j + 1, nlo, nhi, path, pieces, out);
                 path.pop();
             }
         }

@@ -1,0 +1,157 @@
+//! Stats-regression wall: pinned `TetrisStats` counters on two fixed
+//! instances — the paper's worked Example 4.4 and a fixed skew-triangle
+//! join (m = 8, 6-bit domains). The counters are the engine's observable
+//! cost model; an accidental change to the descent, the probe layer, or
+//! the knowledge base shows up here before it shows up in a benchmark.
+//!
+//! ## Update protocol
+//!
+//! These numbers may only change in a PR that *intends* to change engine
+//! behaviour. To refresh them:
+//!
+//! 1. run `cargo test --test stats_regression -- --nocapture` — every
+//!    failing assertion prints the actual counter set;
+//! 2. verify the direction of the change is the intended one (the
+//!    invariants below must still hold: `outputs` and `resolutions`
+//!    identical across descent modes on these instances, incremental
+//!    `restarts` == 1 and never above restart mode's);
+//! 3. paste the new values and record the reason in the PR description /
+//!    CHANGES.md.
+//!
+//! The incremental driver must move `restarts` **down**, never change
+//! outputs — that direction is asserted structurally, not just pinned.
+
+use boxstore::SetOracle;
+use dyadic::{DyadicBox, Space};
+use tetris_join::prepared::PreparedJoin;
+use tetris_join::tetris::{Descent, Tetris, TetrisStats};
+use workload::triangle;
+
+/// The pinned counter subset: (restarts, oracle_probes, kb_inserts,
+/// resolutions, outputs, loaded_boxes, kb_queries).
+type Pin = (u64, u64, u64, u64, u64, u64, u64);
+
+fn pin(stats: &TetrisStats) -> Pin {
+    (
+        stats.restarts,
+        stats.oracle_probes,
+        stats.kb_inserts,
+        stats.resolutions,
+        stats.outputs,
+        stats.loaded_boxes,
+        stats.kb_queries,
+    )
+}
+
+fn assert_pin(label: &str, stats: &TetrisStats, expect: Pin) {
+    assert_eq!(
+        pin(stats),
+        expect,
+        "{label}: pinned counters moved — if intended, follow the update \
+         protocol in tests/stats_regression.rs (actual: {stats:?})"
+    );
+}
+
+fn example_4_4() -> SetOracle {
+    let b = |s: &str| DyadicBox::parse(s).unwrap();
+    SetOracle::new(
+        Space::uniform(2, 2),
+        ["λ,0", "00,λ", "λ,11", "10,1"].iter().map(|s| b(s)),
+    )
+}
+
+#[test]
+fn example_4_4_counters_are_pinned() {
+    let oracle = example_4_4();
+
+    let inc = Tetris::reloaded(&oracle).run();
+    assert_pin(
+        "ex4.4 reloaded incremental",
+        &inc.stats,
+        (1, 5, 14, 8, 2, 4, 20),
+    );
+
+    let pre = Tetris::preloaded(&oracle).run();
+    assert_pin(
+        "ex4.4 preloaded incremental",
+        &pre.stats,
+        (1, 2, 14, 8, 2, 0, 17),
+    );
+
+    let restart = Tetris::reloaded(&oracle).descent(Descent::Restart).run();
+    assert_pin(
+        "ex4.4 reloaded restart",
+        &restart.stats,
+        (6, 5, 14, 8, 2, 4, 52),
+    );
+
+    let memo = Tetris::reloaded(&oracle)
+        .descent(Descent::RestartMemo)
+        .run();
+    assert_pin(
+        "ex4.4 reloaded restart-memo",
+        &memo.stats,
+        (6, 5, 14, 8, 2, 4, 42),
+    );
+    assert_eq!(memo.stats.mark_hits, 10, "ex4.4 memo mark hits");
+
+    // Structural direction: same outputs, fewer (or equal) restarts, and
+    // the memo answers exactly the queries the plain restart walks.
+    assert_eq!(inc.tuples, restart.tuples);
+    assert_eq!(inc.tuples, memo.tuples);
+    assert_eq!(inc.tuples, pre.tuples);
+    assert!(inc.stats.restarts < restart.stats.restarts);
+    assert_eq!(
+        memo.stats.kb_queries + memo.stats.mark_hits,
+        restart.stats.kb_queries
+    );
+}
+
+#[test]
+fn skew_triangle_m8_counters_are_pinned() {
+    let width = 6u8;
+    let inst = triangle::skew_triangle(8, width);
+    let join = PreparedJoin::builder(width)
+        .atom("R", &inst.r, &["A", "B"])
+        .atom("S", &inst.s, &["B", "C"])
+        .atom("T", &inst.t, &["A", "C"])
+        .build();
+    let oracle = join.oracle();
+
+    let pre = Tetris::preloaded(&oracle).run();
+    assert_pin(
+        "skew(8) preloaded incremental",
+        &pre.stats,
+        (1, 25, 377, 183, 25, 0, 367),
+    );
+    assert_eq!(pre.tuples.len() as u64, inst.expected_output.unwrap());
+
+    let rel = Tetris::reloaded(&oracle).run();
+    assert_pin(
+        "skew(8) reloaded incremental",
+        &rel.stats,
+        (1, 136, 329, 183, 25, 121, 829),
+    );
+
+    let restart = Tetris::preloaded(&oracle).descent(Descent::Restart).run();
+    assert_pin(
+        "skew(8) preloaded restart",
+        &restart.stats,
+        (26, 25, 377, 183, 25, 0, 881),
+    );
+
+    // The incremental driver changes restarts down — never the outputs,
+    // and (on this instance) not a single resolution.
+    assert_eq!(pre.tuples, restart.tuples);
+    assert_eq!(pre.tuples, rel.tuples);
+    assert_eq!(pre.stats.resolutions, restart.stats.resolutions);
+    assert_eq!(pre.stats.restarts, 1);
+    assert_eq!(restart.stats.restarts, restart.stats.oracle_probes + 1);
+    // The incremental probe layer converts a strict majority of the
+    // skeleton's knowledge-base walks into frontier advances.
+    assert_eq!(
+        pre.stats.probe_advances + pre.stats.probe_full_walks,
+        pre.stats.kb_queries
+    );
+    assert!(pre.stats.probe_advances > 0);
+}
