@@ -18,15 +18,30 @@ pub struct LeapfrogStats {
     pub expansions: u64,
 }
 
-/// Per-atom state: tuples sorted in the induced attribute order, plus the
+/// Per-atom state: tuples sorted in the induced attribute order (a flat
+/// row-major arena — no per-tuple allocation at graph scale), plus the
 /// current consistent range per depth.
 struct AtomState {
-    /// Tuples reordered so column `j` is the atom's `j`-th bound attribute
-    /// *in global order*, sorted lexicographically.
-    tuples: Vec<Vec<u64>>,
+    /// Row-major tuple arena: column `j` of row `i` is `data[i*stride+j]`,
+    /// where column `j` is the atom's `j`-th bound attribute *in global
+    /// order*; rows sorted lexicographically.
+    data: Vec<u64>,
+    /// Row stride (the atom's arity).
+    stride: usize,
     /// For each global depth at which this atom participates, the column
-    /// index within `tuples`.
+    /// index within a row.
     col_of_depth: Vec<Option<usize>>,
+}
+
+impl AtomState {
+    fn rows(&self) -> usize {
+        self.data.len() / self.stride
+    }
+
+    #[inline]
+    fn val(&self, row: usize, col: usize) -> u64 {
+        self.data[row * self.stride + col]
+    }
 }
 
 /// Evaluate the join by leapfrog triejoin over the spec's attribute order.
@@ -44,13 +59,14 @@ pub fn leapfrog_join(spec: &JoinSpec<'_>) -> (Vec<Vec<u64>>, LeapfrogStats) {
             .collect();
         bound.sort_unstable();
         let order: Vec<usize> = bound.iter().map(|&(_, col)| col).collect();
-        let tuples = atom.rel.tuples_in_order(&order);
+        let data = atom.rel.flat_in_order(&order);
         let mut col_of_depth = vec![None; n];
         for (j, &(d, _)) in bound.iter().enumerate() {
             col_of_depth[d] = Some(j);
         }
         states.push(AtomState {
-            tuples,
+            data,
+            stride: order.len(),
             col_of_depth,
         });
     }
@@ -59,7 +75,7 @@ pub fn leapfrog_join(spec: &JoinSpec<'_>) -> (Vec<Vec<u64>>, LeapfrogStats) {
     let mut stats = LeapfrogStats::default();
     let mut assignment = vec![0u64; n];
     // Current tuple range per atom (refined as attributes bind).
-    let mut ranges: Vec<(usize, usize)> = states.iter().map(|s| (0, s.tuples.len())).collect();
+    let mut ranges: Vec<(usize, usize)> = states.iter().map(|s| (0, s.rows())).collect();
     // Any empty relation ⇒ empty output.
     if ranges.iter().any(|&(lo, hi)| lo == hi) {
         return (out, stats);
@@ -90,9 +106,14 @@ fn extend(
         out.push(assignment.clone());
         return;
     }
-    // Atoms participating at this depth.
-    let participants: Vec<usize> = (0..states.len())
-        .filter(|&i| states[i].col_of_depth[depth].is_some())
+    // Atoms participating at this depth, with the column that binds the
+    // depth's attribute — atoms that skip this depth (e.g. R(A,D) at
+    // depths 1–2 of the order A,B,C,D) simply don't appear, so the loop
+    // below never needs to unwrap a per-depth column.
+    let participants: Vec<(usize, usize)> = states
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.col_of_depth[depth].map(|col| (i, col)))
         .collect();
     if participants.is_empty() {
         // Attribute unconstrained: enumerate its whole domain.
@@ -105,28 +126,26 @@ fn extend(
     }
 
     // Leapfrog over the participants' sorted value runs.
-    let saved: Vec<(usize, usize)> = participants.iter().map(|&i| ranges[i]).collect();
-    let mut cursor: Vec<usize> = participants.iter().map(|&i| ranges[i].0).collect();
+    let saved: Vec<(usize, usize)> = participants.iter().map(|&(i, _)| ranges[i]).collect();
+    let mut cursor: Vec<usize> = participants.iter().map(|&(i, _)| ranges[i].0).collect();
     'leapfrog: loop {
         // Propose the max of the participants' current values.
         let mut v = 0u64;
-        for (k, &i) in participants.iter().enumerate() {
-            let col = states[i].col_of_depth[depth].unwrap();
+        for (k, &(i, col)) in participants.iter().enumerate() {
             if cursor[k] >= ranges[i].1 {
                 break 'leapfrog;
             }
-            v = v.max(states[i].tuples[cursor[k]][col]);
+            v = v.max(states[i].val(cursor[k], col));
         }
         // Seek every participant to ≥ v; if any overshoots, re-propose.
         let mut all_equal = true;
-        for (k, &i) in participants.iter().enumerate() {
-            let col = states[i].col_of_depth[depth].unwrap();
+        for (k, &(i, col)) in participants.iter().enumerate() {
             let (_, hi) = ranges[i];
-            cursor[k] = gallop(&states[i].tuples, cursor[k], hi, col, v, stats);
+            cursor[k] = gallop(&states[i], cursor[k], hi, col, v, stats);
             if cursor[k] >= hi {
                 break 'leapfrog;
             }
-            if states[i].tuples[cursor[k]][col] != v {
+            if states[i].val(cursor[k], col) != v {
                 all_equal = false;
             }
         }
@@ -135,26 +154,24 @@ fn extend(
         }
         // Found a common value: refine each participant's range to it.
         assignment[depth] = v;
-        for (k, &i) in participants.iter().enumerate() {
-            let col = states[i].col_of_depth[depth].unwrap();
+        for (k, &(i, col)) in participants.iter().enumerate() {
             let (_, hi) = ranges[i];
             let start = cursor[k];
-            let end = gallop(&states[i].tuples, start, hi, col, v + 1, stats);
+            let end = gallop(&states[i], start, hi, col, v + 1, stats);
             ranges[i] = (start, end);
         }
         extend(spec, states, ranges, depth + 1, assignment, out, stats);
         // Restore ranges and advance past v.
-        for (k, &i) in participants.iter().enumerate() {
-            let col = states[i].col_of_depth[depth].unwrap();
+        for (k, &(i, col)) in participants.iter().enumerate() {
             let hi = saved[k].1;
             ranges[i] = (saved[k].0, hi);
-            cursor[k] = gallop(&states[i].tuples, cursor[k], hi, col, v + 1, stats);
+            cursor[k] = gallop(&states[i], cursor[k], hi, col, v + 1, stats);
             if cursor[k] >= hi {
                 break 'leapfrog;
             }
         }
     }
-    for (k, &i) in participants.iter().enumerate() {
+    for (k, &(i, _)) in participants.iter().enumerate() {
         ranges[i] = saved[k];
     }
 }
@@ -163,7 +180,7 @@ fn extend(
 /// `≥ target` (rows are sorted lexicographically and all rows in the range
 /// agree on columns before `col`).
 fn gallop(
-    tuples: &[Vec<u64>],
+    state: &AtomState,
     lo: usize,
     hi: usize,
     col: usize,
@@ -171,13 +188,13 @@ fn gallop(
     stats: &mut LeapfrogStats,
 ) -> usize {
     stats.seeks += 1;
-    if lo >= hi || tuples[lo][col] >= target {
+    if lo >= hi || state.val(lo, col) >= target {
         return lo;
     }
     let mut step = 1usize;
     let mut prev = lo;
     let mut cur = lo + 1;
-    while cur < hi && tuples[cur][col] < target {
+    while cur < hi && state.val(cur, col) < target {
         prev = cur;
         step <<= 1;
         cur = (cur + step).min(hi);
@@ -190,7 +207,7 @@ fn gallop(
     let mut b = cur.min(hi);
     while a < b {
         let mid = a + (b - a) / 2;
-        if tuples[mid][col] < target {
+        if state.val(mid, col) < target {
             a = mid + 1;
         } else {
             b = mid;
@@ -277,6 +294,22 @@ mod tests {
         let spec = JoinSpec::new(&["A", "B"], &[1, 1]).atom("R", &r, &["A"]);
         let (out, _) = leapfrog_join(&spec);
         assert_eq!(out, vec![vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn atom_skipping_interior_depths() {
+        // R binds depths 0 and 3 of the order (A,B,C,D) and must be
+        // silently absent from depths 1–2 — the regression shape for the
+        // old per-depth `col_of_depth[depth].unwrap()` calls.
+        let r = rel(&["X", "Y"], 2, &[&[0, 3], &[1, 2], &[2, 2]]);
+        let s = rel(&["X", "Y"], 2, &[&[0, 1], &[1, 1], &[3, 0]]);
+        let spec = JoinSpec::new(&["A", "B", "C", "D"], &[2, 2, 2, 2])
+            .atom("R", &r, &["A", "D"])
+            .atom("S", &s, &["B", "C"]);
+        let (out, _) = leapfrog_join(&spec);
+        let brute = crate::brute::brute_force_join(&spec);
+        assert_eq!(out, brute);
+        assert!(!out.is_empty());
     }
 
     #[test]

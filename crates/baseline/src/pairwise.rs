@@ -102,24 +102,30 @@ pub fn pairwise_join(
 fn atom_to_intermediate(spec: &JoinSpec<'_>, i: usize) -> Intermediate {
     let atom = &spec.atoms()[i];
     // Deduplicate repeated attributes within an atom (e.g. R(A,A)) by
-    // filtering rows where the duplicated columns disagree.
+    // filtering rows where the duplicated columns disagree. `first_col[c]`
+    // is the kept column that first bound column `c`'s attribute, computed
+    // up front so the row filter needs no per-row position lookups.
     let mut attrs: Vec<usize> = Vec::new();
     let mut keep_cols: Vec<usize> = Vec::new();
+    let mut first_col: Vec<usize> = Vec::with_capacity(atom.dims.len());
     for (col, &d) in atom.dims.iter().enumerate() {
-        if !attrs.contains(&d) {
-            attrs.push(d);
-            keep_cols.push(col);
+        match attrs.iter().position(|&a| a == d) {
+            Some(pos) => first_col.push(keep_cols[pos]),
+            None => {
+                attrs.push(d);
+                keep_cols.push(col);
+                first_col.push(col);
+            }
         }
     }
     let rows = atom
         .rel
         .tuples()
-        .iter()
         .filter(|t| {
-            atom.dims.iter().enumerate().all(|(col, &d)| {
-                t[col] == t[keep_cols[attrs.iter().position(|&a| a == d).unwrap()]]
-                    || atom.dims[col] != d
-            })
+            first_col
+                .iter()
+                .enumerate()
+                .all(|(col, &fc)| t[col] == t[fc])
         })
         .map(|t| keep_cols.iter().map(|&c| t[c]).collect())
         .collect();
@@ -190,12 +196,12 @@ fn merge_step(l: Intermediate, r: Intermediate) -> Intermediate {
                 let i_end = (i..lrows.len())
                     .take_while(|&x| key_of(&lrows[x], &lkey) == kl)
                     .last()
-                    .unwrap()
+                    .expect("row i itself has key kl, so the run is non-empty")
                     + 1;
                 let j_end = (j..rrows.len())
                     .take_while(|&x| key_of(&rrows[x], &rkey) == kr)
                     .last()
-                    .unwrap()
+                    .expect("row j itself has key kr, so the run is non-empty")
                     + 1;
                 for lrow in &lrows[i..i_end] {
                     for rrow in &rrows[j..j_end] {

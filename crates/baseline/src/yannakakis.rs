@@ -37,7 +37,6 @@ pub fn yannakakis_join(spec: &JoinSpec<'_>) -> Option<Vec<Vec<u64>>> {
         let rows: Vec<Vec<u64>> = atom
             .rel
             .tuples()
-            .iter()
             .filter_map(|t| {
                 // Consistent on duplicated attributes?
                 let mut vals = vec![None; spec.n()];

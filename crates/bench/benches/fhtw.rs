@@ -9,7 +9,7 @@ use tetris_join::prepared::PreparedJoin;
 use workload::triangle;
 
 fn planted(rel: &Relation) -> Relation {
-    let mut t = rel.tuples().to_vec();
+    let mut t: Vec<Vec<u64>> = rel.tuples().map(<[u64]>::to_vec).collect();
     t.push(vec![0, 0]);
     Relation::new(rel.schema().clone(), t)
 }

@@ -1,30 +1,50 @@
 //! Compare a fresh bench JSONL sweep against a checked-in snapshot and
 //! fail on wall-clock regressions — the CI gate for the engine's
-//! constant-factor work (EXPERIMENTS.md §5).
+//! constant-factor work (EXPERIMENTS.md §5) and for the large-graph tier
+//! (EXPERIMENTS.md §6).
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_compare <baseline.jsonl> <candidate.jsonl> [--max-ratio R]
+//! bench_compare <baseline.jsonl> <candidate.jsonl> [--max-ratio R] [--gate skew400|t2-graphs]
 //! ```
 //!
-//! Rows are keyed by `(experiment, N, k)`; every key present in both
-//! files with a `tetris_s` column is reported. The **gate** is the
-//! skew-triangle m = 400 row of the T1.2 sweep (`N = 2403`, the row with
-//! a `hash_intermediate` column): its `tetris_s` must not exceed
-//! `max-ratio` × the baseline's (default 2.0). `resolutions` on matched
-//! rows must not grow at all — the paper's bounds are stated in
-//! resolutions, so any increase is a correctness-of-cost regression, not
-//! noise.
+//! Rows are keyed by `(experiment[:graph], N, k)`; every key present in
+//! both files with a `tetris_s` column is reported. Two gates exist:
+//!
+//! * `skew400` (default) — the skew-triangle m = 400 row of the T1.2
+//!   sweep (`N = 2403`, the row with a `hash_intermediate` column): its
+//!   `tetris_s` must not exceed `max-ratio` × the baseline's (default
+//!   2.0).
+//! * `t2-graphs` — the large-graph tier: every matched `t2-graphs` row
+//!   with ≥ 10⁵ edges is gated at `max-ratio`; at least one such row must
+//!   match or the comparison fails.
+//!
+//! Independent of the gate, on every matched row `resolutions` must not
+//! grow at all (the paper's bounds are stated in resolutions, so any
+//! increase is a correctness-of-cost regression, not noise) and
+//! `triangles` must be **equal** (listing output is deterministic — a
+//! mismatch is a correctness bug, never noise).
 
 use bench::{parse_jsonl_row, row_field, JsonValue};
 
-/// The gate row: skew triangle at m = 400 (N = 3·(2·400+1) = 2403).
+/// The skew400 gate row: skew triangle at m = 400 (N = 3·(2·400+1) = 2403).
 const GATE_N: f64 = 2403.0;
+
+/// Edge count from which t2-graphs rows are wall-time gated (smaller rows
+/// finish in microseconds and are pure noise).
+const T2_GATE_EDGES: f64 = 100_000.0;
+
+/// Which row family the wall-time gate applies to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    Skew400,
+    T2Graphs,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mut paths, mut max_ratio) = (Vec::new(), 2.0f64);
+    let (mut paths, mut max_ratio, mut gate) = (Vec::new(), 2.0f64, Gate::Skew400);
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--max-ratio" {
@@ -32,17 +52,26 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .expect("--max-ratio needs a number");
+        } else if a == "--gate" {
+            gate = match it.next().map(String::as_str) {
+                Some("skew400") => Gate::Skew400,
+                Some("t2-graphs") => Gate::T2Graphs,
+                other => panic!("--gate must be skew400 or t2-graphs, got {other:?}"),
+            };
         } else {
             paths.push(a.clone());
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_compare <baseline.jsonl> <candidate.jsonl> [--max-ratio R]");
+        eprintln!(
+            "usage: bench_compare <baseline.jsonl> <candidate.jsonl> \
+             [--max-ratio R] [--gate skew400|t2-graphs]"
+        );
         std::process::exit(2);
     }
     let baseline = load(&paths[0]);
     let candidate = load(&paths[1]);
-    match compare(&baseline, &candidate, max_ratio) {
+    match compare(&baseline, &candidate, max_ratio, gate) {
         Ok(report) => println!("{report}"),
         Err(report) => {
             eprintln!("{report}");
@@ -56,27 +85,46 @@ type Row = Vec<(String, JsonValue)>;
 fn load(path: &str) -> Vec<Row> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| parse_jsonl_row(l).unwrap_or_else(|| panic!("malformed JSONL in {path}: {l}")))
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            parse_jsonl_row(l)
+                .unwrap_or_else(|| panic!("malformed JSONL in {path} at line {}: {l}", i + 1))
+        })
         .collect()
 }
 
-/// Identity of a row for cross-file matching.
+/// Identity of a row for cross-file matching. The `graph` column (the
+/// t2-graphs family name) folds into the experiment key so random/skewed/
+/// power-law rows at the same N stay distinct.
 fn key(row: &Row) -> Option<(String, u64, u64)> {
-    let exp = row_field(row, "experiment")?.as_str()?.to_string();
+    let mut exp = row_field(row, "experiment")?.as_str()?.to_string();
+    if let Some(g) = row_field(row, "graph").and_then(|v| v.as_str()) {
+        exp = format!("{exp}:{g}");
+    }
     let n = row_field(row, "N")?.as_num()? as u64;
     let k = row_field(row, "k").and_then(|v| v.as_num()).unwrap_or(0.0) as u64;
     Some((exp, n, k))
 }
 
-fn is_gate(row: &Row) -> bool {
+fn is_skew400_gate(row: &Row) -> bool {
     row_field(row, "N").and_then(|v| v.as_num()) == Some(GATE_N)
         && row_field(row, "hash_intermediate").is_some()
 }
 
+fn is_t2_gate(row: &Row) -> bool {
+    row_field(row, "experiment").and_then(|v| v.as_str()) == Some("t2-graphs")
+        && row_field(row, "edges").and_then(|v| v.as_num()) >= Some(T2_GATE_EDGES)
+}
+
 /// Pure comparison logic (unit-tested below): `Ok(report)` when the gate
 /// holds, `Err(report)` when it fails.
-fn compare(baseline: &[Row], candidate: &[Row], max_ratio: f64) -> Result<String, String> {
+fn compare(
+    baseline: &[Row],
+    candidate: &[Row],
+    max_ratio: f64,
+    gate: Gate,
+) -> Result<String, String> {
     let mut report = String::new();
     let mut gate_checked = false;
     let mut failures = Vec::new();
@@ -91,19 +139,23 @@ fn compare(baseline: &[Row], candidate: &[Row], max_ratio: f64) -> Result<String
         );
         if let (Some(bs), Some(cs)) = (bs, cs) {
             let ratio = if bs > 0.0 { cs / bs } else { f64::INFINITY };
-            let gate = is_gate(brow);
+            let gated = match gate {
+                Gate::Skew400 => is_skew400_gate(brow),
+                Gate::T2Graphs => is_t2_gate(brow),
+            };
             report.push_str(&format!(
-                "{:<28} N={:<6} tetris_s {bs:.4} -> {cs:.4}  ({ratio:.2}x){}\n",
+                "{:<28} N={:<8} tetris_s {bs:.4} -> {cs:.4}  ({ratio:.2}x){}\n",
                 bkey.0,
                 bkey.1,
-                if gate { "  [gate]" } else { "" }
+                if gated { "  [gate]" } else { "" }
             ));
-            if gate {
+            if gated {
                 gate_checked = true;
                 if ratio > max_ratio {
                     failures.push(format!(
-                        "gate: skew-triangle m=400 tetris_s regressed {ratio:.2}x \
-                         (> {max_ratio}x): {bs:.4}s -> {cs:.4}s"
+                        "gate: {} N={} tetris_s regressed {ratio:.2}x \
+                         (> {max_ratio}x): {bs:.4}s -> {cs:.4}s",
+                        bkey.0, bkey.1
                     ));
                 }
             }
@@ -121,12 +173,31 @@ fn compare(baseline: &[Row], candidate: &[Row], max_ratio: f64) -> Result<String
                 ));
             }
         }
+        let (bt, ct) = (
+            row_field(brow, "triangles").and_then(|v| v.as_num()),
+            row_field(crow, "triangles").and_then(|v| v.as_num()),
+        );
+        if let (Some(bt), Some(ct)) = (bt, ct) {
+            if bt != ct {
+                failures.push(format!(
+                    "{} N={}: triangle count changed {bt} -> {ct} (listing output \
+                     is deterministic; this is a correctness bug, not noise)",
+                    bkey.0, bkey.1
+                ));
+            }
+        }
     }
     if !gate_checked {
-        failures.push(format!(
-            "gate row (experiment with N={GATE_N} and a hash_intermediate column) \
-             missing from one of the files"
-        ));
+        failures.push(match gate {
+            Gate::Skew400 => format!(
+                "gate row (experiment with N={GATE_N} and a hash_intermediate column) \
+                 missing from one of the files"
+            ),
+            Gate::T2Graphs => format!(
+                "gate rows (t2-graphs with ≥ {T2_GATE_EDGES} edges) missing from one \
+                 of the files"
+            ),
+        });
     }
     if failures.is_empty() {
         Ok(format!("{report}bench_compare: OK (gate ≤ {max_ratio}x)"))
@@ -154,12 +225,18 @@ mod tests {
 {"experiment":"table1","N":1203,"Z":601,"tetris_s":0.015,"resolutions":9033,"hash_intermediate":40601}
 "#;
 
+    const T2_BASE: &str = r#"
+{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000}
+{"experiment":"t2-graphs","graph":"random","edges":100000,"N":300000,"triangles":99,"tetris_s":1.2,"resolutions":800000}
+{"experiment":"t2-graphs","graph":"skewed","edges":1000,"N":3000,"triangles":40,"tetris_s":0.001,"resolutions":9000}
+"#;
+
     #[test]
     fn passes_when_faster_and_same_resolutions() {
         let cand = rows(
             r#"{"experiment":"table1","N":2403,"Z":1201,"tetris_s":0.01,"resolutions":18033,"hash_intermediate":161201}"#,
         );
-        assert!(compare(&rows(BASE), &cand, 2.0).is_ok());
+        assert!(compare(&rows(BASE), &cand, 2.0, Gate::Skew400).is_ok());
     }
 
     #[test]
@@ -167,7 +244,7 @@ mod tests {
         let cand = rows(
             r#"{"experiment":"table1","N":2403,"Z":1201,"tetris_s":0.09,"resolutions":18033,"hash_intermediate":161201}"#,
         );
-        let err = compare(&rows(BASE), &cand, 2.0).unwrap_err();
+        let err = compare(&rows(BASE), &cand, 2.0, Gate::Skew400).unwrap_err();
         assert!(err.contains("regressed"), "{err}");
     }
 
@@ -176,7 +253,7 @@ mod tests {
         let cand = rows(
             r#"{"experiment":"table1","N":2403,"Z":1201,"tetris_s":0.01,"resolutions":20000,"hash_intermediate":161201}"#,
         );
-        let err = compare(&rows(BASE), &cand, 2.0).unwrap_err();
+        let err = compare(&rows(BASE), &cand, 2.0, Gate::Skew400).unwrap_err();
         assert!(err.contains("resolutions grew"), "{err}");
     }
 
@@ -185,7 +262,54 @@ mod tests {
         let cand = rows(
             r#"{"experiment":"table1","N":1203,"Z":601,"tetris_s":0.01,"resolutions":9033,"hash_intermediate":40601}"#,
         );
-        let err = compare(&rows(BASE), &cand, 2.0).unwrap_err();
+        let err = compare(&rows(BASE), &cand, 2.0, Gate::Skew400).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn t2_gate_passes_within_ratio_and_keys_by_graph_kind() {
+        // Candidate has only the 10⁵ rows (the CI smoke subset); the two
+        // kinds share N so the graph name must disambiguate the keys.
+        let cand = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.9,"resolutions":900000}
+{"experiment":"t2-graphs","graph":"random","edges":100000,"N":300000,"triangles":99,"tetris_s":1.0,"resolutions":800000}
+"#,
+        );
+        let report = compare(&rows(T2_BASE), &cand, 2.0, Gate::T2Graphs).unwrap();
+        assert!(report.contains("t2-graphs:skewed"), "{report}");
+    }
+
+    #[test]
+    fn t2_gate_fails_on_triangle_mismatch() {
+        let cand = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":420,"tetris_s":1.0,"resolutions":900000}"#,
+        );
+        let err = compare(&rows(T2_BASE), &cand, 2.0, Gate::T2Graphs).unwrap_err();
+        assert!(err.contains("triangle count changed"), "{err}");
+    }
+
+    #[test]
+    fn t2_gate_fails_on_wall_time_regression_of_big_rows_only() {
+        // The 10³ row is 10x slower but ungated; the 10⁵ row regressing
+        // past the ratio is what fails.
+        let cand = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":3.8,"resolutions":900000}
+{"experiment":"t2-graphs","graph":"skewed","edges":1000,"N":3000,"triangles":40,"tetris_s":0.01,"resolutions":9000}
+"#,
+        );
+        let err = compare(&rows(T2_BASE), &cand, 2.0, Gate::T2Graphs).unwrap_err();
+        assert!(err.contains("gate: t2-graphs:skewed N=300000"), "{err}");
+        assert!(!err.contains("N=3000 tetris_s regressed"), "{err}");
+    }
+
+    #[test]
+    fn t2_gate_requires_a_big_row() {
+        let cand = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","edges":1000,"N":3000,"triangles":40,"tetris_s":0.001,"resolutions":9000}"#,
+        );
+        let err = compare(&rows(T2_BASE), &cand, 2.0, Gate::T2Graphs).unwrap_err();
         assert!(err.contains("missing"), "{err}");
     }
 }

@@ -1,0 +1,142 @@
+//! **T2 — the large-graph workload tier**: triangle listing on
+//! 10⁴–10⁶-edge graphs (random / skewed / power-law), Tetris-Preloaded
+//! vs Leapfrog Triejoin, verified against the sorted-adjacency ground
+//! truth and round-tripped through the streaming on-disk loader.
+//! (Preloaded is the right variant at graph scale: sparse-graph
+//! certificates are Θ(N), so Reloaded's probe-driven loading pays ~40×
+//! more resolutions here — measured at 10⁴ edges, EXPERIMENTS.md §6.)
+//!
+//! Usage: `cargo run --release -p bench --bin t2_graphs [-- <tier>]`
+//! where `<tier>` is `smoke` (10⁵ edges — the CI graph-smoke job), `full`
+//! (10⁴ + 10⁵, the snapshot tier, default), `big` (adds the 10⁶-edge
+//! skewed instance: ~25 s, ~2.2 GB peak RSS), or an explicit edge count.
+//!
+//! Every row asserts `tetris == leapfrog == ground truth` and exits
+//! non-zero on mismatch, so the sweep is itself a correctness gate.
+//! Machine-readable rows land in `$TETRIS_BENCH_JSONL` (experiment
+//! `t2-graphs`), gated in CI by `bench_compare --gate t2-graphs` against
+//! `BENCH_pr3.json` (regeneration: EXPERIMENTS.md §6).
+
+use baseline::leapfrog::leapfrog_join;
+use bench::{fmt_f, peak_rss_bytes, time, Table};
+use tetris_core::Tetris;
+use tetris_join::triangles::{prepared_triangle_join, triangle_spec};
+use workload::graphs::{self, Graph};
+
+fn main() {
+    let tier = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "full".to_string());
+    let edge_tiers: Vec<usize> = match tier.as_str() {
+        "smoke" => vec![100_000],
+        "full" => vec![10_000, 100_000],
+        "big" => vec![10_000, 100_000, 1_000_000],
+        other => match other.parse::<usize>() {
+            Ok(e) => vec![e],
+            Err(_) => {
+                eprintln!("usage: t2_graphs [smoke|full|big|<edge count>] (got {other:?})");
+                std::process::exit(2);
+            }
+        },
+    };
+    println!("== T2: large-graph triangle listing (tier: {tier}) ==\n");
+    let mut table = Table::new(&[
+        "graph",
+        "edges",
+        "vertices",
+        "N",
+        "triangles",
+        "truth_s",
+        "tetris_s",
+        "resolutions",
+        "lftj_s",
+        "load_s",
+        "peak_rss_mb",
+    ]);
+    for &edges in &edge_tiers {
+        for kind in ["random", "skewed", "power-law"] {
+            // The 10⁶ tier pins only the skewed instance (the paper's
+            // motivating shape); the other families stay at ≤ 10⁵ to keep
+            // the big tier under control.
+            if edges >= 1_000_000 && kind != "skewed" {
+                continue;
+            }
+            let g = generate(kind, edges);
+            run_row(&mut table, kind, &g);
+            eprintln!("  done: {kind} @ {edges} edges");
+        }
+    }
+    table.export("t2-graphs");
+    println!("{}", table.render());
+    println!("all rows: tetris == leapfrog == ground truth ✓");
+}
+
+/// Deterministic instance per (kind, edge count).
+fn generate(kind: &str, edges: usize) -> Graph {
+    match kind {
+        "random" => graphs::random_graph((edges / 2).max(4) as u64, edges, 0xC0FFEE),
+        "skewed" => graphs::skewed_graph_with_edges(edges, 2, 0xBEEF),
+        "power-law" => graphs::power_law_graph((edges / 2).max(4) as u64, 0.8, edges, 0xF00D),
+        other => unreachable!("unknown graph kind {other}"),
+    }
+}
+
+fn run_row(table: &mut Table, kind: &str, g: &Graph) {
+    let edges = g.edge_relation();
+    let n = 3 * edges.len();
+
+    let (truth, truth_s) = time(|| g.count_triangles());
+
+    let join = prepared_triangle_join(&edges);
+    let oracle = join.oracle();
+    let (out, tetris_s) = time(|| Tetris::preloaded(&oracle).run());
+
+    let spec = triangle_spec(&edges);
+    let (lf, lftj_s) = time(|| leapfrog_join(&spec).0);
+
+    // Streaming-loader round trip at full scale.
+    // Pid-qualified so concurrent sweeps (CI + a developer run) don't
+    // race on the same temp file.
+    let path = std::env::temp_dir().join(format!(
+        "t2_graphs_{}_{kind}_{}.tsv",
+        std::process::id(),
+        g.edges.len()
+    ));
+    g.save(&path).expect("save graph");
+    let (back, load_s) = time(|| Graph::load(&path).expect("load graph"));
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        back.edges, g.edges,
+        "{kind}: on-disk round trip changed the edge set"
+    );
+    assert_eq!(back.vertices, g.vertices);
+
+    assert_eq!(
+        out.tuples.len() as u64,
+        truth,
+        "{kind}/{} edges: tetris listed {} triangles, ground truth {truth}",
+        g.edges.len(),
+        out.tuples.len()
+    );
+    assert_eq!(
+        lf.len() as u64,
+        truth,
+        "{kind}/{} edges: leapfrog listed {} triangles, ground truth {truth}",
+        g.edges.len(),
+        lf.len()
+    );
+
+    table.row(&[
+        kind.to_string(),
+        format!("{}", g.edges.len()),
+        format!("{}", g.vertices),
+        format!("{n}"),
+        format!("{truth}"),
+        fmt_f(truth_s),
+        fmt_f(tetris_s),
+        format!("{}", out.stats.resolutions),
+        fmt_f(lftj_s),
+        fmt_f(load_s),
+        fmt_f(peak_rss_bytes().map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0))),
+    ]);
+}

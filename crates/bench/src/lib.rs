@@ -275,6 +275,17 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// Peak resident-set size of this process in bytes (Linux `VmHWM` from
+/// procfs; `None` on other platforms or when procfs is unavailable).
+/// Monotone over the process lifetime — per-row readings in a sweep
+/// report the high-water mark up to that row.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Format a float compactly (3 significant-ish digits).
 pub fn fmt_f(v: f64) -> String {
     if v.is_nan() {

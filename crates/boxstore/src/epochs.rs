@@ -132,7 +132,7 @@ impl CoverageMarks {
         let mut node = 0u32;
         let nd = self.nodes[node as usize];
         if nd.covered != 0 {
-            return CoverProbe::Covered(self.witnesses[(nd.covered - 1) as usize]);
+            return CoverProbe::Covered(self.witness_of(nd.covered));
         }
         for iv in target.intervals() {
             for k in 0..iv.len() {
@@ -144,7 +144,7 @@ impl CoverageMarks {
                 node = child;
                 let nd = self.nodes[node as usize];
                 if nd.covered != 0 {
-                    return CoverProbe::Covered(self.witnesses[(nd.covered - 1) as usize]);
+                    return CoverProbe::Covered(self.witness_of(nd.covered));
                 }
             }
         }
@@ -163,7 +163,11 @@ impl CoverageMarks {
         let node = self.descend_create(target);
         if self.nodes[node as usize].covered == 0 {
             self.witnesses.push(witness);
-            self.nodes[node as usize].covered = self.witnesses.len() as u32;
+            // Witness ids are `index + 1` in a u32 (0 = "unknown"); a
+            // checked conversion turns the large-run truncation bug into a
+            // loud failure instead of a wrong witness lookup.
+            self.nodes[node as usize].covered = u32::try_from(self.witnesses.len())
+                .expect("CoverageMarks: witness-id space (u32) exhausted");
         }
     }
 
@@ -174,6 +178,16 @@ impl CoverageMarks {
         self.nodes[node as usize].neg = epoch + 1;
     }
 
+    /// Look up a recorded witness by its `covered` mark (`index + 1`).
+    fn witness_of(&self, covered: u32) -> DyadicBox {
+        debug_assert!(
+            covered >= 1 && (covered as usize) <= self.witnesses.len(),
+            "corrupt covered-mark id {covered} (have {} witnesses)",
+            self.witnesses.len()
+        );
+        self.witnesses[(covered - 1) as usize]
+    }
+
     /// Walk the descent address, creating nodes on demand.
     fn descend_create(&mut self, target: &DyadicBox) -> u32 {
         let mut node = 0u32;
@@ -182,6 +196,12 @@ impl CoverageMarks {
                 let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
                 let child = self.nodes[node as usize].children[bit];
                 node = if child == NONE {
+                    // `NONE` (u32::MAX) is the no-child sentinel, so the id
+                    // space is one short of u32; guard before allocating.
+                    assert!(
+                        self.nodes.len() < NONE as usize,
+                        "CoverageMarks: node-id space (u32) exhausted"
+                    );
                     let id = self.nodes.len() as u32;
                     self.nodes.push(MarkNode::EMPTY);
                     self.nodes[node as usize].children[bit] = id;

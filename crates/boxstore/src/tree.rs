@@ -111,6 +111,13 @@ impl BoxTree {
     }
 
     fn alloc(&mut self) -> u32 {
+        // `NONE` (u32::MAX) is the no-child sentinel, so the id space is
+        // one short of u32; guard before allocating rather than silently
+        // truncating node ids on huge stores.
+        assert!(
+            self.nodes.len() < NONE as usize,
+            "BoxTree: node-id space (u32) exhausted"
+        );
         let id = self.nodes.len() as u32;
         self.nodes.push(Node::EMPTY);
         id

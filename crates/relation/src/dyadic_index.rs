@@ -35,7 +35,7 @@ impl DyadicTreeIndex {
         // dimension... does NOT preserve lexicographic contiguity in
         // general (later dimensions split first when wider). We therefore
         // recurse with an explicit filtered vector of points.
-        let pts: Vec<Vec<u64>> = rel.tuples().to_vec();
+        let pts: Vec<Vec<u64>> = rel.tuples().map(<[u64]>::to_vec).collect();
         Self::subdivide(DyadicBox::universe(space.n()), &pts, &space, &mut gap_list);
         let mut gaps = BoxTree::new(space.n());
         for g in &gap_list {

@@ -3,7 +3,14 @@
 //!
 //! The format is deliberately trivial (edge lists, SNAP-style dumps, CSV
 //! without headers all parse), so real datasets drop straight into the
-//! examples and benches.
+//! examples and benches. Two read paths exist:
+//!
+//! * [`read_tuples_streaming`] — the scalable one: a single reused line
+//!   buffer and tuple scratch, values handed to a callback as they parse.
+//!   Feeding a flat arena through it into [`Relation::from_flat`] loads
+//!   10⁶-edge graphs without a per-line allocation storm.
+//! * [`read_tuples`] — the convenience one, materializing `Vec<Vec<u64>>`
+//!   (kept for small inputs and tests; built on the streaming path).
 
 use crate::{Relation, Schema};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -40,24 +47,55 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Parse tuples from a reader. Values split on commas and/or whitespace;
-/// blank lines and `#` comments are skipped. Every line must match the
-/// schema's arity and ranges.
-pub fn read_tuples<R: Read>(reader: R, schema: &Schema) -> Result<Vec<Vec<u64>>, IoError> {
-    let mut tuples = Vec::new();
-    for (idx, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
+/// Parse tuples from a reader, invoking `on_tuple` for each one — no
+/// per-line or per-tuple allocation (one reused line buffer and tuple
+/// scratch). Values split on commas and/or whitespace; blank lines and
+/// `#` comments are skipped. Every tuple must match the schema's arity
+/// and ranges; tokens must start with an ASCII digit (so `+3`, `-3`, and
+/// `0x3` are all rejected rather than silently accepted or misread).
+///
+/// `on_tuple` may reject a tuple by returning `Err(message)`, which is
+/// reported as a [`IoError::Parse`] carrying the offending line number.
+/// The slice passed to the callback is only valid for that call.
+///
+/// Returns the number of tuples parsed.
+pub fn read_tuples_streaming<R: Read>(
+    reader: R,
+    schema: &Schema,
+    mut on_tuple: impl FnMut(&[u64]) -> Result<(), String>,
+) -> Result<usize, IoError> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut tuple: Vec<u64> = Vec::with_capacity(schema.arity());
+    let mut lineno = 0usize;
+    let mut count = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
         let body = line.split('#').next().unwrap_or("").trim();
         if body.is_empty() {
             continue;
         }
-        let mut tuple = Vec::with_capacity(schema.arity());
+        tuple.clear();
         for token in body.split(|c: char| c == ',' || c.is_whitespace()) {
             if token.is_empty() {
                 continue;
             }
+            // `u64::from_str` accepts a leading `+`, so "+3" would load
+            // silently as 3; insist on a digit-leading token instead.
+            if !token.as_bytes()[0].is_ascii_digit() {
+                return Err(IoError::Parse {
+                    line: lineno,
+                    message: format!(
+                        "bad value {token:?}: expected a digit-leading unsigned integer"
+                    ),
+                });
+            }
             let v: u64 = token.parse().map_err(|e| IoError::Parse {
-                line: idx + 1,
+                line: lineno,
                 message: format!("bad value {token:?}: {e}"),
             })?;
             tuple.push(v);
@@ -65,18 +103,38 @@ pub fn read_tuples<R: Read>(reader: R, schema: &Schema) -> Result<Vec<Vec<u64>>,
         schema
             .check_tuple(&tuple)
             .map_err(|message| IoError::Parse {
-                line: idx + 1,
+                line: lineno,
                 message,
             })?;
-        tuples.push(tuple);
+        on_tuple(&tuple).map_err(|message| IoError::Parse {
+            line: lineno,
+            message,
+        })?;
+        count += 1;
     }
+    Ok(count)
+}
+
+/// Parse tuples from a reader into owned rows (see
+/// [`read_tuples_streaming`] for the scalable path).
+pub fn read_tuples<R: Read>(reader: R, schema: &Schema) -> Result<Vec<Vec<u64>>, IoError> {
+    let mut tuples = Vec::new();
+    read_tuples_streaming(reader, schema, |t| {
+        tuples.push(t.to_vec());
+        Ok(())
+    })?;
     Ok(tuples)
 }
 
-/// Parse a full relation from a reader.
+/// Parse a full relation from a reader, streaming straight into the flat
+/// tuple arena (one allocation regardless of tuple count).
 pub fn read_relation<R: Read>(reader: R, schema: Schema) -> Result<Relation, IoError> {
-    let tuples = read_tuples(reader, &schema)?;
-    Ok(Relation::new(schema, tuples))
+    let mut flat: Vec<u64> = Vec::new();
+    read_tuples_streaming(reader, &schema, |t| {
+        flat.extend_from_slice(t);
+        Ok(())
+    })?;
+    Ok(Relation::from_flat(schema, flat))
 }
 
 /// Load a relation from a file path.
@@ -142,6 +200,62 @@ mod tests {
         let text = "0 x\n";
         let err = read_relation(text.as_bytes(), Schema::uniform(&["A", "B"], 3)).unwrap_err();
         assert!(err.to_string().contains("\"x\""));
+    }
+
+    #[test]
+    fn plus_prefixed_token_rejected_with_line() {
+        // `"+3".parse::<u64>()` is Ok(3) — the reader must reject it, and
+        // the line number must account for comments and blank lines.
+        let text = "# header comment\n0 1\n\n2 +3\n";
+        let err = read_relation(text.as_bytes(), Schema::uniform(&["A", "B"], 3)).unwrap_err();
+        match &err {
+            IoError::Parse { line, message } => {
+                assert_eq!(*line, 4, "{err}");
+                assert!(message.contains("\"+3\""), "{err}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn negative_and_hex_tokens_rejected() {
+        for bad in ["0 -1\n", "0 0x3\n", "0 x7\n"] {
+            let err = read_relation(bad.as_bytes(), Schema::uniform(&["A", "B"], 3));
+            assert!(err.is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn streaming_reports_count_and_reuses_buffer() {
+        let text = "0 1\n2 3\n4 5\n";
+        let mut flat = Vec::new();
+        let n = read_tuples_streaming(text.as_bytes(), &Schema::uniform(&["A", "B"], 3), |t| {
+            flat.extend_from_slice(t);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(flat, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn streaming_callback_error_carries_line() {
+        let text = "0 1\n1 1\n";
+        let err = read_tuples_streaming(text.as_bytes(), &Schema::uniform(&["A", "B"], 3), |t| {
+            if t[0] == t[1] {
+                Err("self-loop".to_string())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("self-loop"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
     }
 
     #[test]

@@ -1,4 +1,10 @@
 //! In-memory relations: sorted, deduplicated tuple sets over a schema.
+//!
+//! Tuples live in a single **flat row-major `u64` arena** (`count ×
+//! arity` values) rather than a `Vec<Vec<u64>>`: one allocation per
+//! relation instead of one per tuple, cache-friendly scans, and a direct
+//! hand-off from the streaming loader (`crate::io::read_tuples_streaming`)
+//! at graph scale (10⁵–10⁶ edges).
 
 use crate::Schema;
 use std::fmt;
@@ -10,7 +16,33 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Relation {
     schema: Schema,
-    tuples: Vec<Vec<u64>>,
+    /// Row-major tuple arena: `len = count · arity`, rows sorted
+    /// lexicographically and deduplicated.
+    data: Vec<u64>,
+}
+
+/// Sort the rows of a flat row-major arena lexicographically and drop
+/// duplicates. Fast path: a single `O(N)` scan detects already
+/// strictly-sorted input (the common case for generator output) and skips
+/// the index sort entirely.
+fn sort_dedup_rows(data: &mut Vec<u64>, arity: usize) {
+    debug_assert!(arity > 0);
+    debug_assert_eq!(data.len() % arity, 0);
+    let rows = data.len() / arity;
+    let row = |i: usize| &data[i * arity..(i + 1) * arity];
+    if (1..rows).all(|i| row(i - 1) < row(i)) {
+        return;
+    }
+    let mut idx: Vec<usize> = (0..rows).collect();
+    idx.sort_unstable_by(|&a, &b| row(a).cmp(row(b)));
+    let mut out = Vec::with_capacity(data.len());
+    for (j, &i) in idx.iter().enumerate() {
+        if j > 0 && row(idx[j - 1]) == row(i) {
+            continue;
+        }
+        out.extend_from_slice(row(i));
+    }
+    *data = out;
 }
 
 impl Relation {
@@ -18,22 +50,51 @@ impl Relation {
     ///
     /// # Panics
     /// If any tuple fails schema validation.
-    pub fn new(schema: Schema, mut tuples: Vec<Vec<u64>>) -> Self {
+    pub fn new(schema: Schema, tuples: Vec<Vec<u64>>) -> Self {
+        // Arity mismatches must be caught per tuple (a ragged input would
+        // otherwise be misread as a flat-length error); range validation
+        // happens once, in `from_flat`.
+        let mut data = Vec::with_capacity(tuples.len() * schema.arity());
         for t in &tuples {
+            if t.len() != schema.arity() {
+                let e = schema.check_tuple(t).expect_err("arity mismatch");
+                panic!("invalid tuple {t:?} for schema {schema}: {e}");
+            }
+            data.extend_from_slice(t);
+        }
+        Self::from_flat(schema, data)
+    }
+
+    /// Build a relation from a flat row-major arena (`count · arity`
+    /// values) — the allocation-free path the streaming loader and the
+    /// graph workloads feed. Rows are validated, sorted, and deduplicated
+    /// in place; already-sorted input costs one `O(N)` scan.
+    ///
+    /// # Panics
+    /// If `data.len()` is not a multiple of the arity, or any row fails
+    /// schema validation.
+    pub fn from_flat(schema: Schema, mut data: Vec<u64>) -> Self {
+        let arity = schema.arity();
+        assert_eq!(
+            data.len() % arity,
+            0,
+            "flat tuple data length {} is not a multiple of the arity {arity}",
+            data.len()
+        );
+        for t in data.chunks_exact(arity) {
             if let Err(e) = schema.check_tuple(t) {
                 panic!("invalid tuple {t:?} for schema {schema}: {e}");
             }
         }
-        tuples.sort_unstable();
-        tuples.dedup();
-        Relation { schema, tuples }
+        sort_dedup_rows(&mut data, arity);
+        Relation { schema, data }
     }
 
     /// The empty relation over a schema.
     pub fn empty(schema: Schema) -> Self {
         Relation {
             schema,
-            tuples: Vec::new(),
+            data: Vec::new(),
         }
     }
 
@@ -49,31 +110,51 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.data.len() / self.arity()
     }
 
     /// Whether the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.data.is_empty()
     }
 
-    /// The tuples, sorted lexicographically in schema order.
-    pub fn tuples(&self) -> &[Vec<u64>] {
-        &self.tuples
+    /// Iterate over the tuples (sorted lexicographically in schema order)
+    /// as arena slices.
+    pub fn tuples(&self) -> std::slice::ChunksExact<'_, u64> {
+        self.data.chunks_exact(self.arity())
+    }
+
+    /// The `i`-th tuple (rows are sorted lexicographically).
+    pub fn tuple(&self, i: usize) -> &[u64] {
+        let k = self.arity();
+        &self.data[i * k..(i + 1) * k]
+    }
+
+    /// The raw row-major tuple arena (`len() · arity()` values).
+    pub fn flat_data(&self) -> &[u64] {
+        &self.data
     }
 
     /// Membership test (binary search).
     pub fn contains(&self, t: &[u64]) -> bool {
-        self.tuples
-            .binary_search_by(|x| x.as_slice().cmp(t))
-            .is_ok()
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.tuple(mid).cmp(t) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
     }
 
     /// The tuples re-ordered by the given column permutation and sorted in
-    /// that order — the build input for a [`crate::TrieIndex`].
+    /// that order, as a flat row-major arena — the build input for a
+    /// [`crate::TrieIndex`] and the leapfrog baseline's atom state.
     ///
     /// `order[k]` is the schema position providing the `k`-th column.
-    pub fn tuples_in_order(&self, order: &[usize]) -> Vec<Vec<u64>> {
+    pub fn flat_in_order(&self, order: &[usize]) -> Vec<u64> {
         assert_eq!(
             order.len(),
             self.arity(),
@@ -84,20 +165,27 @@ impl Relation {
             assert!(p < self.arity() && !seen[p], "order must be a permutation");
             seen[p] = true;
         }
-        let mut out: Vec<Vec<u64>> = self
-            .tuples
-            .iter()
-            .map(|t| order.iter().map(|&p| t[p]).collect())
-            .collect();
-        out.sort_unstable();
+        let mut out = Vec::with_capacity(self.data.len());
+        for t in self.tuples() {
+            out.extend(order.iter().map(|&p| t[p]));
+        }
+        sort_dedup_rows(&mut out, self.arity());
         out
+    }
+
+    /// [`Relation::flat_in_order`] materialized as per-tuple vectors (kept
+    /// for callers that want owned rows).
+    pub fn tuples_in_order(&self, order: &[usize]) -> Vec<Vec<u64>> {
+        self.flat_in_order(order)
+            .chunks_exact(self.arity())
+            .map(<[u64]>::to_vec)
+            .collect()
     }
 
     /// Project onto a subset of attribute positions (result deduplicated).
     pub fn project(&self, positions: &[usize]) -> Vec<Vec<u64>> {
         let mut out: Vec<Vec<u64>> = self
-            .tuples
-            .iter()
+            .tuples()
             .map(|t| positions.iter().map(|&p| t[p]).collect())
             .collect();
         out.sort_unstable();
@@ -127,9 +215,34 @@ mod tests {
     fn construction_sorts_and_dedups() {
         let rel = r();
         assert_eq!(rel.len(), 3);
-        assert_eq!(rel.tuples()[0], vec![1, 3]);
+        assert_eq!(rel.tuple(0), &[1, 3]);
+        assert_eq!(rel.tuples().next().unwrap(), &[1, 3]);
         assert!(rel.contains(&[3, 5]));
         assert!(!rel.contains(&[5, 3]));
+    }
+
+    #[test]
+    fn flat_construction_matches_nested() {
+        let nested = r();
+        let flat = Relation::from_flat(
+            Schema::uniform(&["A", "B"], 3),
+            vec![3, 1, 3, 5, 1, 3, 3, 1],
+        );
+        assert_eq!(nested, flat);
+        assert_eq!(flat.flat_data(), &[1, 3, 3, 1, 3, 5]);
+    }
+
+    #[test]
+    fn already_sorted_flat_input_is_kept_verbatim() {
+        let rel = Relation::from_flat(Schema::uniform(&["A", "B"], 3), vec![0, 1, 0, 2, 4, 7]);
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.flat_data(), &[0, 1, 0, 2, 4, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of the arity")]
+    fn ragged_flat_input_rejected() {
+        let _ = Relation::from_flat(Schema::uniform(&["A", "B"], 3), vec![1, 2, 3]);
     }
 
     #[test]
@@ -137,6 +250,7 @@ mod tests {
         let rel = r();
         let ba = rel.tuples_in_order(&[1, 0]);
         assert_eq!(ba, vec![vec![1, 3], vec![3, 1], vec![5, 3]]);
+        assert_eq!(rel.flat_in_order(&[1, 0]), vec![1, 3, 3, 1, 5, 3]);
     }
 
     #[test]
@@ -150,6 +264,12 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_domain_tuple_rejected() {
         let _ = Relation::new(Schema::uniform(&["A"], 2), vec![vec![4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_domain_flat_tuple_rejected() {
+        let _ = Relation::from_flat(Schema::uniform(&["A"], 2), vec![4]);
     }
 
     #[test]

@@ -33,26 +33,33 @@ impl TrieIndex {
     /// Build a trie index over `rel` in the given column order (a
     /// permutation of schema positions).
     pub fn build(rel: &Relation, order: &[usize]) -> Self {
-        let sorted = rel.tuples_in_order(order);
+        // Flat row-major arena in trie order: `sorted[i*k + j]` is row `i`,
+        // level `j` — no per-tuple allocation even at 10⁶ rows.
+        let sorted = rel.flat_in_order(order);
         let k = order.len();
+        let rows = sorted.len() / k;
         let widths: Vec<u8> = order.iter().map(|&p| rel.schema().width(p)).collect();
         let mut values: Vec<Vec<u64>> = vec![Vec::new(); k];
         let mut starts: Vec<Vec<u32>> = vec![Vec::new(); k.saturating_sub(1)];
 
         // One pass per level: group by the prefix of length `j`.
         // `bounds` holds the tuple-range of each node at the current level.
-        let mut bounds: Vec<(usize, usize)> = vec![(0, sorted.len())];
+        let mut bounds: Vec<(usize, usize)> = vec![(0, rows)];
         for j in 0..k {
             let mut next_bounds = Vec::new();
             for &(lo, hi) in &bounds {
                 if j > 0 {
-                    starts[j - 1].push(values[j].len() as u32);
+                    starts[j - 1].push(
+                        u32::try_from(values[j].len()).expect(
+                            "TrieIndex: level value count exceeds the u32 CSR offset space",
+                        ),
+                    );
                 }
                 let mut i = lo;
                 while i < hi {
-                    let v = sorted[i][j];
+                    let v = sorted[i * k + j];
                     let mut e = i + 1;
-                    while e < hi && sorted[e][j] == v {
+                    while e < hi && sorted[e * k + j] == v {
                         e += 1;
                     }
                     values[j].push(v);
@@ -61,7 +68,10 @@ impl TrieIndex {
                 }
             }
             if j > 0 {
-                starts[j - 1].push(values[j].len() as u32);
+                starts[j - 1].push(
+                    u32::try_from(values[j].len())
+                        .expect("TrieIndex: level value count exceeds the u32 CSR offset space"),
+                );
             }
             bounds = next_bounds;
         }

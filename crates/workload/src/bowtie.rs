@@ -81,7 +81,7 @@ mod tests {
         let mut out = Vec::new();
         for st in inst.s.tuples() {
             if inst.r.contains(&[st[0]]) && inst.t.contains(&[st[1]]) {
-                out.push(st.clone());
+                out.push(st.to_vec());
             }
         }
         assert_eq!(out, vec![vec![5, 5]]);

@@ -128,8 +128,8 @@ mod tests {
     #[test]
     fn comb_four_cycle_is_empty() {
         let inst = comb_four_cycle(2, 2, 2, 5);
-        let r1b: Vec<u64> = inst.rels[0].tuples().iter().map(|t| t[1]).collect();
-        let r2b: Vec<u64> = inst.rels[1].tuples().iter().map(|t| t[0]).collect();
+        let r1b: Vec<u64> = inst.rels[0].tuples().map(|t| t[1]).collect();
+        let r2b: Vec<u64> = inst.rels[1].tuples().map(|t| t[0]).collect();
         for b in &r1b {
             assert!(!r2b.contains(b));
         }

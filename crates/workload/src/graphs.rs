@@ -1,14 +1,19 @@
-//! Graph workloads for triangle listing: random and skewed-degree edge
-//! sets (the synthetic stand-in for the paper's social-network data —
-//! see DESIGN.md's substitution notes).
+//! Graph workloads for triangle listing: random, skewed-degree, and
+//! power-law edge sets (the synthetic stand-in for the paper's
+//! social-network data — see DESIGN.md's substitution notes), plus an
+//! on-disk round trip for repeatable big instances.
 
 use rand::{Rng, SeedableRng};
+use relation::io::{read_tuples_streaming, IoError};
 use relation::{Relation, Schema};
 use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
 
 /// An undirected graph stored as the set of ordered edges `u < v`.
+#[derive(Clone, Debug)]
 pub struct Graph {
-    /// Ordered edges (`u < v`), deduplicated.
+    /// Ordered edges (`u < v`), deduplicated and sorted.
     pub edges: Vec<(u64, u64)>,
     /// Number of vertices (vertex ids are `0..vertices`).
     pub vertices: u64,
@@ -17,16 +22,97 @@ pub struct Graph {
 }
 
 impl Graph {
-    /// The edge set as a relation `E(X,Y)` with `u < v`.
+    /// The edge set as a relation `E(X,Y)` with `u < v`, built through the
+    /// flat tuple-arena path (no per-edge allocation).
     pub fn edge_relation(&self) -> Relation {
-        Relation::new(
-            Schema::uniform(&["X", "Y"], self.width),
-            self.edges.iter().map(|&(u, v)| vec![u, v]).collect(),
-        )
+        let mut flat = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            flat.push(u);
+            flat.push(v);
+        }
+        Relation::from_flat(Schema::uniform(&["X", "Y"], self.width), flat)
     }
 
-    /// Count triangles by brute force over edge pairs (ground truth).
+    /// Count triangles against sorted forward-adjacency lists (ground
+    /// truth): for each edge `(a, b)` with `a < b`, common neighbors
+    /// `c > b` are found by scanning the shorter of the two lists and
+    /// binary-searching the longer — `O(Σ_{(a,b)∈E} min(d⁺(a), d⁺(b))
+    /// · log d⁺)` total, which is what makes verification feasible at
+    /// 10⁶ edges (the old per-edge rescan was `O(E²)`).
     pub fn count_triangles(&self) -> u64 {
+        if self.edges.is_empty() {
+            return 0;
+        }
+        // The CSR build below needs edges oriented `u < v` and sorted by
+        // (u, v) so each vertex's forward-adjacency run comes out sorted
+        // for binary search. The generators and the loader guarantee
+        // that, but `edges` is a pub field — normalize defensively
+        // (reorient, sort, dedup, drop self-loops) rather than silently
+        // undercounting on a hand-built instance.
+        let canonical =
+            self.edges.iter().all(|&(u, v)| u < v) && self.edges.windows(2).all(|w| w[0] < w[1]);
+        let sorted_edges: std::borrow::Cow<'_, [(u64, u64)]> = if canonical {
+            std::borrow::Cow::Borrowed(&self.edges)
+        } else {
+            let mut e: Vec<(u64, u64)> = self
+                .edges
+                .iter()
+                .filter(|&&(u, v)| u != v)
+                .map(|&(u, v)| (u.min(v), u.max(v)))
+                .collect();
+            e.sort_unstable();
+            e.dedup();
+            std::borrow::Cow::Owned(e)
+        };
+        let edges: &[(u64, u64)] = &sorted_edges;
+        if edges.is_empty() {
+            return 0;
+        }
+        // CSR over forward neighbors (v > u).
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) + 1)
+            .max()
+            .expect("non-empty edge list") as usize;
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut adj = vec![0u64; edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        let neighbors = |x: u64| &adj[offsets[x as usize]..offsets[x as usize + 1]];
+        let mut count = 0u64;
+        for &(a, b) in edges {
+            let (mut small, mut large) = (neighbors(a), neighbors(b));
+            if small.len() > large.len() {
+                std::mem::swap(&mut small, &mut large);
+            }
+            for &c in small {
+                // Forward neighbors of `b` are all > b, so for the
+                // (shorter-is-a) case skip candidates ≤ b up front.
+                if c <= b {
+                    continue;
+                }
+                if large.binary_search(&c).is_ok() {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The original quadratic triangle counter (per-edge rescan of the
+    /// whole edge list) — kept as the reference the fast path is pinned
+    /// against on small graphs.
+    #[doc(hidden)]
+    pub fn count_triangles_quadratic(&self) -> u64 {
         let set: BTreeSet<(u64, u64)> = self.edges.iter().copied().collect();
         let mut count = 0u64;
         for &(a, b) in &self.edges {
@@ -39,11 +125,86 @@ impl Graph {
         }
         count
     }
+
+    /// Write the graph as a text edge list with a self-describing header
+    /// (`# tetris-graph vertices=V edges=E`, then one `u<TAB>v` line per
+    /// edge) — the repeatable-big-instance format [`Graph::load`] reads.
+    pub fn save_to(&self, mut w: impl Write) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "# tetris-graph vertices={} edges={}",
+            self.vertices,
+            self.edges.len()
+        )?;
+        for &(u, v) in &self.edges {
+            writeln!(w, "{u}\t{v}")?;
+        }
+        Ok(())
+    }
+
+    /// Save to a file path (see [`Graph::save_to`]).
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        self.save_to(&mut w)?;
+        w.flush()
+    }
+
+    /// Load a graph from a reader: the streaming counterpart of
+    /// [`Graph::save_to`]. Accepts any whitespace/comma edge list; edges
+    /// are normalized to `u < v`, deduplicated, and validated (self-loops
+    /// rejected with the offending line number, ids checked against the
+    /// header's vertex count when one is present). Plain headerless dumps
+    /// infer `vertices` as `max id + 1`.
+    pub fn load_from(reader: impl Read) -> Result<Graph, IoError> {
+        let mut reader = BufReader::new(reader);
+        let mut first = String::new();
+        reader.read_line(&mut first)?;
+        let declared: Option<u64> = first
+            .strip_prefix("# tetris-graph vertices=")
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|v| v.parse().ok());
+        // Re-chain the peeked line: if it was the header it parses as a
+        // comment; if it was data it is parsed as the first edge.
+        let chained = std::io::Cursor::new(first.into_bytes()).chain(reader);
+        let schema = Schema::uniform(&["U", "V"], 63);
+        let mut flat: Vec<(u64, u64)> = Vec::new();
+        read_tuples_streaming(chained, &schema, |t| {
+            let (u, v) = (t[0], t[1]);
+            if u == v {
+                return Err(format!("self-loop {u}-{v} is not a valid graph edge"));
+            }
+            if let Some(n) = declared {
+                if u >= n || v >= n {
+                    return Err(format!(
+                        "edge {u}-{v} references a vertex id ≥ the declared vertex count {n}"
+                    ));
+                }
+            }
+            flat.push((u.min(v), u.max(v)));
+            Ok(())
+        })?;
+        flat.sort_unstable();
+        flat.dedup();
+        let vertices =
+            declared.unwrap_or_else(|| flat.iter().map(|&(_, v)| v + 1).max().unwrap_or(0));
+        Ok(Graph {
+            edges: flat,
+            vertices,
+            width: width_for(vertices),
+        })
+    }
+
+    /// Load from a file path (see [`Graph::load_from`]).
+    pub fn load(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+        let file = std::fs::File::open(path)?;
+        Self::load_from(file)
+    }
 }
 
 fn width_for(vertices: u64) -> u8 {
     let mut w = 1u8;
-    while (1u64 << w) < vertices {
+    while w < 63 && (1u64 << w) < vertices {
         w += 1;
     }
     w
@@ -53,7 +214,7 @@ fn width_for(vertices: u64) -> u8 {
 /// ordered edges. Deterministic in `seed`.
 pub fn random_graph(vertices: u64, edge_count: usize, seed: u64) -> Graph {
     assert!(vertices >= 2);
-    let max_edges = vertices * (vertices - 1) / 2;
+    let max_edges = max_edge_count(vertices);
     assert!((edge_count as u64) <= max_edges, "too many edges requested");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut set = BTreeSet::new();
@@ -97,6 +258,114 @@ pub fn skewed_graph(vertices: u64, attach: usize, seed: u64) -> Graph {
     }
 }
 
+/// [`skewed_graph`] grown to an **exact edge count**: vertices keep
+/// attaching (with the same preferential rule) until the graph has
+/// precisely `edge_count` edges — the repeatable way to pin a sweep tier
+/// at 10⁵ or 10⁶ edges. Deterministic in `seed`.
+pub fn skewed_graph_with_edges(edge_count: usize, attach: usize, seed: u64) -> Graph {
+    assert!(edge_count >= 3, "the seed triangle already has 3 edges");
+    assert!(attach >= 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut endpoints: Vec<u64> = vec![0, 1, 1, 2, 0, 2];
+    let mut set: BTreeSet<(u64, u64)> = [(0, 1), (1, 2), (0, 2)].into();
+    let mut v = 3u64;
+    while set.len() < edge_count {
+        for _ in 0..attach {
+            if set.len() >= edge_count {
+                break;
+            }
+            let idx = rng.gen_range(0..endpoints.len());
+            let u = endpoints[idx];
+            if u != v && set.insert((u.min(v), u.max(v))) {
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+        v += 1;
+    }
+    Graph {
+        edges: set.into_iter().collect(),
+        vertices: v,
+        width: width_for(v),
+    }
+}
+
+/// A **power-law** (Chung–Lu style) graph: endpoint `i` is sampled with
+/// probability ∝ `(i+1)^{-alpha}`, so low-numbered vertices become heavy
+/// hubs and the degree sequence follows a power law with exponent
+/// `1 + 1/alpha` — the social-network degree shape the paper's
+/// "beyond worst-case" motivation targets. Exactly `edge_count` distinct
+/// edges; deterministic in `seed`.
+///
+/// Sampling retries collide more often as the requested density
+/// approaches the skew ceiling (dense small requests, or large requests
+/// with high `alpha` whose hubs cannot supply enough distinct pairs); a
+/// deterministic fill pass guarantees termination regardless, warning on
+/// stderr that the result is no longer power-law shaped.
+pub fn power_law_graph(vertices: u64, alpha: f64, edge_count: usize, seed: u64) -> Graph {
+    assert!(vertices >= 2);
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(
+        vertices <= (1u64 << 32),
+        "power_law_graph builds an O(vertices) weight table; {vertices} vertices is past sanity"
+    );
+    let max_edges = max_edge_count(vertices);
+    assert!((edge_count as u64) <= max_edges, "too many edges requested");
+    // Inverse-CDF table over w_i = (i+1)^{-alpha}.
+    let mut cum: Vec<f64> = Vec::with_capacity(vertices as usize);
+    let mut total = 0.0f64;
+    for i in 0..vertices {
+        total += ((i + 1) as f64).powf(-alpha);
+        cum.push(total);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut set: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut attempts = 0u64;
+    let budget = 200 * edge_count as u64 + 1000;
+    while set.len() < edge_count && attempts < budget {
+        attempts += 1;
+        let mut pick = || {
+            let r = rng.gen_range(0.0..total);
+            cum.partition_point(|&c| c <= r) as u64
+        };
+        let (u, v) = (pick().min(vertices - 1), pick().min(vertices - 1));
+        if u != v {
+            set.insert((u.min(v), u.max(v)));
+        }
+    }
+    // Deterministic fill when rejection sampling stalls — reachable both
+    // on near-complete small instances and on large ones whose skew
+    // (high `alpha`) concentrates the weight mass on too few hubs to
+    // yield `edge_count` distinct pairs. The result then stops being
+    // power-law shaped, so say so instead of silently relabeling it.
+    if set.len() < edge_count {
+        eprintln!(
+            "power_law_graph: rejection sampling stalled at {}/{edge_count} edges \
+             (vertices={vertices}, alpha={alpha}); filling deterministically — the \
+             degree distribution is no longer power-law. Lower alpha or edge_count.",
+            set.len()
+        );
+        'fill: for u in 0..vertices {
+            for v in (u + 1)..vertices {
+                set.insert((u, v));
+                if set.len() >= edge_count {
+                    break 'fill;
+                }
+            }
+        }
+    }
+    Graph {
+        edges: set.into_iter().collect(),
+        vertices,
+        width: width_for(vertices),
+    }
+}
+
+/// `vertices·(vertices−1)/2` without overflowing on large vertex counts.
+fn max_edge_count(vertices: u64) -> u64 {
+    (vertices / 2).saturating_mul(vertices - 1) + (vertices % 2) * (vertices / 2)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +389,46 @@ mod tests {
             width: 2,
         };
         assert_eq!(g.count_triangles(), 4);
+        assert_eq!(g.count_triangles_quadratic(), 4);
+    }
+
+    #[test]
+    fn count_normalizes_misoriented_hand_built_edges() {
+        // Triangle 0-1-2 with two reversed pairs and a self-loop: the
+        // defensive path must reorient/drop rather than undercount.
+        let g = Graph {
+            edges: vec![(1, 0), (2, 0), (1, 2), (2, 2)],
+            vertices: 3,
+            width: 2,
+        };
+        assert_eq!(g.count_triangles(), 1);
+    }
+
+    #[test]
+    fn fast_count_pins_to_quadratic_reference() {
+        // The fast sorted-adjacency counter must agree with the original
+        // quadratic implementation on every generator family.
+        for (i, g) in [
+            random_graph(24, 60, 11),
+            random_graph(40, 180, 12),
+            skewed_graph(60, 3, 13),
+            skewed_graph_with_edges(150, 2, 14),
+            power_law_graph(50, 0.8, 120, 15),
+            Graph {
+                edges: vec![],
+                vertices: 2,
+                width: 1,
+            },
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(
+                g.count_triangles(),
+                g.count_triangles_quadratic(),
+                "family #{i}"
+            );
+        }
     }
 
     #[test]
@@ -139,6 +448,48 @@ mod tests {
     }
 
     #[test]
+    fn skewed_graph_with_edges_hits_exact_count() {
+        for target in [3usize, 10, 1000] {
+            let g = skewed_graph_with_edges(target, 2, 9);
+            assert_eq!(g.edges.len(), target);
+            assert!(g.edges.iter().all(|&(u, v)| u < v && v < g.vertices));
+        }
+        // Deterministic in the seed.
+        let a = skewed_graph_with_edges(500, 2, 3);
+        let b = skewed_graph_with_edges(500, 2, 3);
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn power_law_graph_is_skewed_and_exact() {
+        let g = power_law_graph(300, 0.8, 900, 21);
+        assert_eq!(g.edges.len(), 900);
+        assert!(g.edges.iter().all(|&(u, v)| u < v && v < 300));
+        let mut degree = vec![0usize; 300];
+        for &(u, v) in &g.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let max = *degree.iter().max().unwrap();
+        let avg = 2.0 * g.edges.len() as f64 / 300.0;
+        assert!(
+            (max as f64) > 3.0 * avg,
+            "expected a power-law hub: max degree {max}, average {avg:.1}"
+        );
+        // Deterministic in the seed.
+        let h = power_law_graph(300, 0.8, 900, 21);
+        assert_eq!(g.edges, h.edges);
+    }
+
+    #[test]
+    fn power_law_fill_terminates_on_dense_request() {
+        // Nearly-complete request: rejection sampling alone would stall.
+        let g = power_law_graph(6, 2.0, 15, 1);
+        assert_eq!(g.edges.len(), 15); // K6
+        assert_eq!(g.count_triangles(), 20);
+    }
+
+    #[test]
     fn edge_relation_roundtrip() {
         let g = random_graph(16, 20, 1);
         let rel = g.edge_relation();
@@ -146,5 +497,54 @@ mod tests {
         for &(u, v) in &g.edges {
             assert!(rel.contains(&[u, v]));
         }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let g = skewed_graph(100, 2, 17);
+        let mut buf = Vec::new();
+        g.save_to(&mut buf).unwrap();
+        let back = Graph::load_from(buf.as_slice()).unwrap();
+        assert_eq!(back.edges, g.edges);
+        assert_eq!(back.vertices, g.vertices);
+        assert_eq!(back.width, g.width);
+    }
+
+    #[test]
+    fn load_headerless_dump_infers_vertices() {
+        let text = "0 5\n5 3\n3 0\n3,0\n"; // mixed separators + duplicate
+        let g = Graph::load_from(text.as_bytes()).unwrap();
+        assert_eq!(g.edges, vec![(0, 3), (0, 5), (3, 5)]);
+        assert_eq!(g.vertices, 6);
+        assert_eq!(g.count_triangles(), 1);
+    }
+
+    #[test]
+    fn load_rejects_self_loops_with_line() {
+        let text = "# comment\n0 1\n2 2\n";
+        let err = Graph::load_from(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("self-loop"), "{msg}");
+    }
+
+    #[test]
+    fn load_rejects_out_of_range_ids() {
+        let mut buf = Vec::new();
+        skewed_graph(10, 2, 1).save_to(&mut buf).unwrap();
+        buf.extend_from_slice(b"3 99\n");
+        let err = Graph::load_from(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("declared vertex count"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join("tetris_graph_io_test.tsv");
+        let g = power_law_graph(64, 0.9, 200, 5);
+        g.save(&path).unwrap();
+        let back = Graph::load(&path).unwrap();
+        assert_eq!(back.edges, g.edges);
+        assert_eq!(back.vertices, g.vertices);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -152,8 +152,8 @@ mod tests {
     fn comb_blocks_are_disjoint() {
         let inst = comb_path(4, 2, 3, 6);
         // R's B-values and S's B-values never collide.
-        let rb: Vec<u64> = inst.r.tuples().iter().map(|t| t[1]).collect();
-        let sb: Vec<u64> = inst.s.tuples().iter().map(|t| t[0]).collect();
+        let rb: Vec<u64> = inst.r.tuples().map(|t| t[1]).collect();
+        let sb: Vec<u64> = inst.s.tuples().map(|t| t[0]).collect();
         for b in &rb {
             assert!(!sb.contains(b), "B value {b} appears on both sides");
         }
@@ -182,8 +182,8 @@ mod tests {
     fn half_split_sides_are_separated() {
         let inst = half_split_path(50, 6);
         let half = 1u64 << 5;
-        assert!(inst.r.tuples().iter().all(|t| t[1] < half));
-        assert!(inst.s.tuples().iter().all(|t| t[0] >= half));
+        assert!(inst.r.tuples().all(|t| t[1] < half));
+        assert!(inst.s.tuples().all(|t| t[0] >= half));
     }
 
     #[test]
@@ -208,6 +208,6 @@ mod tests {
         }
         // Deterministic under the same seed.
         let again = random_chain(3, 20, 5, 42);
-        assert_eq!(chain[0].tuples(), again[0].tuples());
+        assert_eq!(chain[0], again[0]);
     }
 }

@@ -10,6 +10,7 @@
 //! * [`workload`] — instance generators for tests and benchmarks.
 
 pub mod prepared;
+pub mod triangles;
 
 pub use baseline;
 pub use boxstore;

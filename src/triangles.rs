@@ -1,0 +1,78 @@
+//! The ordered triangle-listing self-join `E(A,B) ⋈ E(B,C) ⋈ E(A,C)` —
+//! one definition shared by the graph-tier bench (`t2_graphs`), the
+//! `million_triangles` example, and the differential graph tests, so the
+//! query shape (atom names, attribute order, widths) cannot drift apart
+//! between them.
+//!
+//! With edges stored as `u < v`, the join enumerates each triangle
+//! `u < v < w` exactly once.
+
+use crate::prepared::PreparedJoin;
+use baseline::JoinSpec;
+use relation::Relation;
+
+/// The attribute names of the triangle query, in listing order.
+pub const TRIANGLE_ATTRS: [&str; 3] = ["A", "B", "C"];
+
+fn edge_width(edges: &Relation) -> u8 {
+    assert_eq!(
+        edges.arity(),
+        2,
+        "triangle listing needs a binary edge relation"
+    );
+    let w = edges.schema().width(0);
+    assert_eq!(
+        edges.schema().width(1),
+        w,
+        "both edge endpoints must share a bit width"
+    );
+    w
+}
+
+/// Build the prepared (indexed) triangle self-join for the Tetris engines.
+pub fn prepared_triangle_join(edges: &Relation) -> PreparedJoin {
+    PreparedJoin::builder(edge_width(edges))
+        .atom("E1", edges, &["A", "B"])
+        .atom("E2", edges, &["B", "C"])
+        .atom("E3", edges, &["A", "C"])
+        .build()
+}
+
+/// The same query as a baseline [`JoinSpec`] (leapfrog, pairwise plans).
+pub fn triangle_spec(edges: &Relation) -> JoinSpec<'_> {
+    let w = edge_width(edges);
+    JoinSpec::new(&TRIANGLE_ATTRS, &[w; 3])
+        .atom("E1", edges, &["A", "B"])
+        .atom("E2", edges, &["B", "C"])
+        .atom("E3", edges, &["A", "C"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baseline::leapfrog::leapfrog_join;
+    use relation::Schema;
+    use tetris_core::Tetris;
+
+    #[test]
+    fn both_builders_list_the_same_triangles() {
+        // K4 minus one edge: triangles (0,1,2) and (0,1,3).
+        let edges = Relation::new(
+            Schema::uniform(&["X", "Y"], 2),
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3]],
+        );
+        let join = prepared_triangle_join(&edges);
+        let out = Tetris::preloaded(&join.oracle()).run();
+        let tetris = join.reorder_to(&TRIANGLE_ATTRS, &out.tuples);
+        let (lf, _) = leapfrog_join(&triangle_spec(&edges));
+        assert_eq!(tetris, lf);
+        assert_eq!(lf, vec![vec![0, 1, 2], vec![0, 1, 3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary edge relation")]
+    fn non_binary_relation_rejected() {
+        let r = Relation::new(Schema::uniform(&["X"], 2), vec![vec![1]]);
+        let _ = prepared_triangle_join(&r);
+    }
+}

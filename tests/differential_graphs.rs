@@ -1,0 +1,108 @@
+//! Differential wall for the large-graph tier: Tetris triangle listing
+//! vs Leapfrog Triejoin vs the hardened sorted-adjacency ground truth on
+//! random, skewed, and power-law graphs across seeds — 10³–10⁴ edges in
+//! CI, 10⁵ behind `--ignored` (run with `cargo test -- --ignored`).
+
+use baseline::leapfrog::leapfrog_join;
+use tetris_join::tetris::Tetris;
+use tetris_join::triangles::{prepared_triangle_join, triangle_spec, TRIANGLE_ATTRS};
+use workload::graphs::{self, Graph};
+
+/// List triangles three ways and assert full agreement; returns the count.
+fn check_graph(label: &str, g: &Graph) -> u64 {
+    let edges = g.edge_relation();
+    let truth = g.count_triangles();
+
+    let join = prepared_triangle_join(&edges);
+    let oracle = join.oracle();
+    let out = Tetris::preloaded(&oracle).run();
+    // The SAO may reorder (A,B,C); compare as ordered (u < v < w) tuples.
+    let tetris_tuples = join.reorder_to(&TRIANGLE_ATTRS, &out.tuples);
+
+    let (lf, _) = leapfrog_join(&triangle_spec(&edges));
+
+    assert_eq!(
+        tetris_tuples, lf,
+        "{label}: tetris and leapfrog listings differ"
+    );
+    assert_eq!(
+        lf.len() as u64,
+        truth,
+        "{label}: listings disagree with the hardened ground truth"
+    );
+    for t in &lf {
+        assert!(
+            t[0] < t[1] && t[1] < t[2],
+            "{label}: listing {t:?} is not an ordered triangle"
+        );
+    }
+    truth
+}
+
+#[test]
+fn random_graphs_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        for edges in [1_000usize, 10_000] {
+            let g = graphs::random_graph((edges / 2) as u64, edges, seed);
+            check_graph(&format!("random seed={seed} edges={edges}"), &g);
+        }
+    }
+}
+
+#[test]
+fn skewed_graphs_across_seeds() {
+    let mut some_triangles = false;
+    for seed in [7u64, 8, 9] {
+        for edges in [1_000usize, 10_000] {
+            let g = graphs::skewed_graph_with_edges(edges, 2, seed);
+            some_triangles |= check_graph(&format!("skewed seed={seed} edges={edges}"), &g) > 0;
+        }
+    }
+    assert!(some_triangles, "skewed instances should contain triangles");
+}
+
+#[test]
+fn power_law_graphs_across_seeds() {
+    let mut some_triangles = false;
+    for seed in [11u64, 12] {
+        for edges in [1_000usize, 10_000] {
+            let g = graphs::power_law_graph((edges / 2) as u64, 0.8, edges, seed);
+            some_triangles |= check_graph(&format!("power-law seed={seed} edges={edges}"), &g) > 0;
+        }
+    }
+    assert!(
+        some_triangles,
+        "power-law instances should contain triangles"
+    );
+}
+
+#[test]
+fn loader_roundtrip_preserves_listings() {
+    // The differential property must survive the on-disk round trip.
+    let g = graphs::skewed_graph_with_edges(2_000, 2, 5);
+    let mut buf = Vec::new();
+    g.save_to(&mut buf).unwrap();
+    let back = Graph::load_from(buf.as_slice()).unwrap();
+    assert_eq!(
+        check_graph("roundtrip original", &g),
+        check_graph("roundtrip loaded", &back)
+    );
+}
+
+#[test]
+#[ignore = "10⁵-edge tier: ~5 s/graph; run with cargo test -- --ignored"]
+fn big_graphs_behind_ignored() {
+    for (label, g) in [
+        ("random 1e5", graphs::random_graph(50_000, 100_000, 21)),
+        (
+            "skewed 1e5",
+            graphs::skewed_graph_with_edges(100_000, 2, 22),
+        ),
+        (
+            "power-law 1e5",
+            graphs::power_law_graph(50_000, 0.8, 100_000, 23),
+        ),
+    ] {
+        check_graph(label, &g);
+    }
+}
