@@ -96,11 +96,16 @@ fn load(path: &str) -> Vec<Row> {
 
 /// Identity of a row for cross-file matching. The `graph` column (the
 /// t2-graphs family name) folds into the experiment key so random/skewed/
-/// power-law rows at the same N stay distinct.
+/// power-law rows at the same N stay distinct, and the `threads` column
+/// (the parallel-descent sweep) folds in so each worker count is gated
+/// against its own baseline row.
 fn key(row: &Row) -> Option<(String, u64, u64)> {
     let mut exp = row_field(row, "experiment")?.as_str()?.to_string();
     if let Some(g) = row_field(row, "graph").and_then(|v| v.as_str()) {
         exp = format!("{exp}:{g}");
+    }
+    if let Some(t) = row_field(row, "threads").and_then(|v| v.as_num()) {
+        exp = format!("{exp}:t{t}");
     }
     let n = row_field(row, "N")?.as_num()? as u64;
     let k = row_field(row, "k").and_then(|v| v.as_num()).unwrap_or(0.0) as u64;
@@ -302,6 +307,38 @@ mod tests {
         let err = compare(&rows(T2_BASE), &cand, 2.0, Gate::T2Graphs).unwrap_err();
         assert!(err.contains("gate: t2-graphs:skewed N=300000"), "{err}");
         assert!(!err.contains("N=3000 tetris_s regressed"), "{err}");
+    }
+
+    #[test]
+    fn threads_column_keys_parallel_rows_separately() {
+        // Sequential and 4-thread rows share (experiment:graph, N); the
+        // threads column must keep them distinct, and a parallel row
+        // without a numeric resolutions cell must not trip the
+        // resolutions-growth check.
+        let base = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","threads":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000}
+{"experiment":"t2-graphs","graph":"skewed","threads":4,"edges":100000,"N":300000,"triangles":421,"tetris_s":0.5,"resolutions":"-"}
+"#,
+        );
+        let cand = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","threads":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.4,"resolutions":900000}
+{"experiment":"t2-graphs","graph":"skewed","threads":4,"edges":100000,"N":300000,"triangles":421,"tetris_s":0.6,"resolutions":"-"}
+"#,
+        );
+        let report = compare(&base, &cand, 2.0, Gate::T2Graphs).unwrap();
+        assert!(report.contains("t2-graphs:skewed:t1"), "{report}");
+        assert!(report.contains("t2-graphs:skewed:t4"), "{report}");
+        // A 4-thread wall-time regression past the ratio still fails.
+        let slow = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","threads":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.4,"resolutions":900000}
+{"experiment":"t2-graphs","graph":"skewed","threads":4,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.3,"resolutions":"-"}
+"#,
+        );
+        let err = compare(&base, &slow, 2.0, Gate::T2Graphs).unwrap_err();
+        assert!(err.contains("t2-graphs:skewed:t4"), "{err}");
     }
 
     #[test]

@@ -1,47 +1,103 @@
 //! **T2 — the large-graph workload tier**: triangle listing on
 //! 10⁴–10⁶-edge graphs (random / skewed / power-law), Tetris-Preloaded
-//! vs Leapfrog Triejoin, verified against the sorted-adjacency ground
-//! truth and round-tripped through the streaming on-disk loader.
-//! (Preloaded is the right variant at graph scale: sparse-graph
-//! certificates are Θ(N), so Reloaded's probe-driven loading pays ~40×
-//! more resolutions here — measured at 10⁴ edges, EXPERIMENTS.md §6.)
+//! (sequential and `Descent::Parallel`) vs Leapfrog Triejoin, verified
+//! against the sorted-adjacency ground truth and round-tripped through
+//! the streaming on-disk loader. (Preloaded is the right variant at
+//! graph scale: sparse-graph certificates are Θ(N), so Reloaded's
+//! probe-driven loading pays ~40× more resolutions here — measured at
+//! 10⁴ edges, EXPERIMENTS.md §6.)
 //!
-//! Usage: `cargo run --release -p bench --bin t2_graphs [-- <tier>]`
+//! Usage:
+//! `cargo run --release -p bench --bin t2_graphs [-- <tier>] [--threads L] [--seed S]`
 //! where `<tier>` is `smoke` (10⁵ edges — the CI graph-smoke job), `full`
 //! (10⁴ + 10⁵, the snapshot tier, default), `big` (adds the 10⁶-edge
-//! skewed instance: ~25 s, ~2.2 GB peak RSS), or an explicit edge count.
+//! skewed instance: ~25 s, ~2.2 GB peak RSS), or an explicit edge count;
+//! `--threads` is a comma-separated worker sweep (default `1,4`; `1`
+//! runs the sequential incremental engine, `N > 1` runs
+//! `Descent::Parallel { threads: N }`); `--seed` overrides every
+//! generator's fixed seed, so a differential failure found elsewhere can
+//! be replayed at bench scale.
 //!
-//! Every row asserts `tetris == leapfrog == ground truth` and exits
-//! non-zero on mismatch, so the sweep is itself a correctness gate.
-//! Machine-readable rows land in `$TETRIS_BENCH_JSONL` (experiment
-//! `t2-graphs`), gated in CI by `bench_compare --gate t2-graphs` against
-//! `BENCH_pr3.json` (regeneration: EXPERIMENTS.md §6).
+//! Every row asserts `tetris == leapfrog == ground truth`, and the
+//! thread sweep asserts every parallel listing is **bit-identical** to
+//! the sequential one; any mismatch exits non-zero, so the sweep is
+//! itself a correctness gate. Machine-readable rows land in
+//! `$TETRIS_BENCH_JSONL` (experiment `t2-graphs`, one row per thread
+//! count), gated in CI by `bench_compare --gate t2-graphs` against
+//! `BENCH_pr4.json` (regeneration: EXPERIMENTS.md §7).
 
 use baseline::leapfrog::leapfrog_join;
 use bench::{fmt_f, peak_rss_bytes, time, Table};
-use tetris_core::Tetris;
+use tetris_core::{Descent, Tetris};
 use tetris_join::triangles::{prepared_triangle_join, triangle_spec};
 use workload::graphs::{self, Graph};
 
+struct Args {
+    tier: String,
+    threads: Vec<usize>,
+    seed: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        tier: "full".to_string(),
+        threads: vec![1, 4],
+        seed: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let list = it.next().unwrap_or_else(|| usage("--threads needs a list"));
+                args.threads = list
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .unwrap_or_else(|| usage(&format!("bad thread count {t:?}")))
+                    })
+                    .collect();
+            }
+            "--seed" => {
+                let s = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                args.seed = Some(
+                    s.parse()
+                        .unwrap_or_else(|_| usage(&format!("bad seed {s:?} (expected a u64)"))),
+                );
+            }
+            other if !other.starts_with('-') => args.tier = other.to_string(),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("t2_graphs: {msg}");
+    eprintln!("usage: t2_graphs [smoke|full|big|<edge count>] [--threads 1,4,...] [--seed S]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let tier = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "full".to_string());
-    let edge_tiers: Vec<usize> = match tier.as_str() {
+    let args = parse_args();
+    let edge_tiers: Vec<usize> = match args.tier.as_str() {
         "smoke" => vec![100_000],
         "full" => vec![10_000, 100_000],
         "big" => vec![10_000, 100_000, 1_000_000],
         other => match other.parse::<usize>() {
             Ok(e) => vec![e],
-            Err(_) => {
-                eprintln!("usage: t2_graphs [smoke|full|big|<edge count>] (got {other:?})");
-                std::process::exit(2);
-            }
+            Err(_) => usage(&format!("unknown tier {other:?}")),
         },
     };
-    println!("== T2: large-graph triangle listing (tier: {tier}) ==\n");
+    println!(
+        "== T2: large-graph triangle listing (tier: {}, threads: {:?}) ==\n",
+        args.tier, args.threads
+    );
     let mut table = Table::new(&[
         "graph",
+        "threads",
         "edges",
         "vertices",
         "N",
@@ -61,27 +117,34 @@ fn main() {
             if edges >= 1_000_000 && kind != "skewed" {
                 continue;
             }
-            let g = generate(kind, edges);
-            run_row(&mut table, kind, &g);
+            let g = generate(kind, edges, args.seed);
+            run_row(&mut table, kind, &g, &args.threads);
             eprintln!("  done: {kind} @ {edges} edges");
         }
     }
     table.export("t2-graphs");
     println!("{}", table.render());
-    println!("all rows: tetris == leapfrog == ground truth ✓");
+    println!("all rows: tetris == leapfrog == ground truth ✓ (all thread counts)");
 }
 
-/// Deterministic instance per (kind, edge count).
-fn generate(kind: &str, edges: usize) -> Graph {
+/// Deterministic instance per (kind, edge count); `--seed` overrides.
+fn generate(kind: &str, edges: usize, seed: Option<u64>) -> Graph {
     match kind {
-        "random" => graphs::random_graph((edges / 2).max(4) as u64, edges, 0xC0FFEE),
-        "skewed" => graphs::skewed_graph_with_edges(edges, 2, 0xBEEF),
-        "power-law" => graphs::power_law_graph((edges / 2).max(4) as u64, 0.8, edges, 0xF00D),
+        "random" => {
+            graphs::random_graph((edges / 2).max(4) as u64, edges, seed.unwrap_or(0xC0FFEE))
+        }
+        "skewed" => graphs::skewed_graph_with_edges(edges, 2, seed.unwrap_or(0xBEEF)),
+        "power-law" => graphs::power_law_graph(
+            (edges / 2).max(4) as u64,
+            0.8,
+            edges,
+            seed.unwrap_or(0xF00D),
+        ),
         other => unreachable!("unknown graph kind {other}"),
     }
 }
 
-fn run_row(table: &mut Table, kind: &str, g: &Graph) {
+fn run_row(table: &mut Table, kind: &str, g: &Graph, threads: &[usize]) {
     let edges = g.edge_relation();
     let n = 3 * edges.len();
 
@@ -89,7 +152,6 @@ fn run_row(table: &mut Table, kind: &str, g: &Graph) {
 
     let join = prepared_triangle_join(&edges);
     let oracle = join.oracle();
-    let (out, tetris_s) = time(|| Tetris::preloaded(&oracle).run());
 
     let spec = triangle_spec(&edges);
     let (lf, lftj_s) = time(|| leapfrog_join(&spec).0);
@@ -112,13 +174,6 @@ fn run_row(table: &mut Table, kind: &str, g: &Graph) {
     assert_eq!(back.vertices, g.vertices);
 
     assert_eq!(
-        out.tuples.len() as u64,
-        truth,
-        "{kind}/{} edges: tetris listed {} triangles, ground truth {truth}",
-        g.edges.len(),
-        out.tuples.len()
-    );
-    assert_eq!(
         lf.len() as u64,
         truth,
         "{kind}/{} edges: leapfrog listed {} triangles, ground truth {truth}",
@@ -126,17 +181,55 @@ fn run_row(table: &mut Table, kind: &str, g: &Graph) {
         lf.len()
     );
 
-    table.row(&[
-        kind.to_string(),
-        format!("{}", g.edges.len()),
-        format!("{}", g.vertices),
-        format!("{n}"),
-        format!("{truth}"),
-        fmt_f(truth_s),
-        fmt_f(tetris_s),
-        format!("{}", out.stats.resolutions),
-        fmt_f(lftj_s),
-        fmt_f(load_s),
-        fmt_f(peak_rss_bytes().map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0))),
-    ]);
+    // The thread sweep: every listing must be bit-identical to the first.
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+    for &t in threads {
+        let engine = if t == 1 {
+            Tetris::preloaded(&oracle)
+        } else {
+            Tetris::preloaded(&oracle).descent(Descent::Parallel { threads: t })
+        };
+        let (out, tetris_s) = time(|| engine.run());
+        assert_eq!(
+            out.tuples.len() as u64,
+            truth,
+            "{kind}/{} edges, threads={t}: tetris listed {} triangles, ground truth {truth}",
+            g.edges.len(),
+            out.tuples.len()
+        );
+        match &reference {
+            None => reference = Some(out.tuples.clone()),
+            Some(r) => assert_eq!(
+                &out.tuples,
+                r,
+                "{kind}/{} edges: threads={t} listing diverges from threads={}",
+                g.edges.len(),
+                threads[0]
+            ),
+        }
+        // Resolutions are the Õ-bound quantity and must never grow, so
+        // `bench_compare` hard-fails on any increase — but under
+        // `Descent::Parallel` the count depends on donation timing
+        // (documented in tests/stats_regression.rs), so parallel rows
+        // report `-` and only their wall time and triangle count gate.
+        let resolutions = if t == 1 {
+            format!("{}", out.stats.resolutions)
+        } else {
+            "-".to_string()
+        };
+        table.row(&[
+            kind.to_string(),
+            format!("{t}"),
+            format!("{}", g.edges.len()),
+            format!("{}", g.vertices),
+            format!("{n}"),
+            format!("{truth}"),
+            fmt_f(truth_s),
+            fmt_f(tetris_s),
+            resolutions,
+            fmt_f(lftj_s),
+            fmt_f(load_s),
+            fmt_f(peak_rss_bytes().map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0))),
+        ]);
+    }
 }

@@ -19,6 +19,15 @@
 //! expire with the epoch. The restart-driven engine uses this to stop
 //! re-walking the store on every restart.
 //!
+//! The incremental engines go further with **frame-saved frontiers**
+//! ([`FrontierStack`]): every failed containment probe records the tree
+//! positions it reached, the store keeps a rolling log of recent inserts,
+//! and a later probe for the target's *sibling* half advances the saved
+//! frontier and repairs it against the log instead of re-walking — the
+//! repaired answer is bit-identical to a fresh walk. For the parallel
+//! descent, [`BoxTree::extract_intersecting_into`] carves the shard of a
+//! store that matters inside a donated half-box.
+//!
 //! The crate also provides [`coverage`] — brute-force reference
 //! implementations used by tests and by certificate estimation.
 
@@ -32,4 +41,4 @@ mod tree;
 
 pub use epochs::{CoverProbe, CoverageMarks};
 pub use oracle::{BoxOracle, SetOracle};
-pub use tree::{BoxTree, DescentProbe};
+pub use tree::{BoxTree, DescentProbe, FrontierStack};

@@ -17,7 +17,13 @@ use dyadic::{DyadicBox, Space};
 /// a **non-empty** set whenever *some* box of `B` contains `p`. (Returning
 /// all maximal such boxes, as indexes naturally do, is what the paper's
 /// complexity analysis assumes.)
-pub trait BoxOracle {
+///
+/// Oracles are shared by reference across worker threads under the
+/// parallel skeleton descent, so the trait requires [`Sync`]: probe
+/// answers must be computable through `&self` with no un-synchronized
+/// interior mutability (every oracle in this workspace is a read-only
+/// view over indexes built up front, so this costs nothing).
+pub trait BoxOracle: Sync {
     /// The ambient space of the instance (dimensions in SAO order).
     fn space(&self) -> Space;
 

@@ -5,6 +5,16 @@ use dyadic::{DyadicBox, DyadicInterval, MAX_DIMS};
 /// Sentinel for "no node".
 const NONE: u32 = u32::MAX;
 
+/// Size of the rolling insert log. Repairs only ever scan [`REPAIR_CAP`]
+/// entries, so the ring just needs enough slack that a repairable window
+/// is never overwritten.
+const RING: usize = 256;
+
+/// Maximum number of logged inserts a saved frontier may lag behind the
+/// store and still be repaired in place; older frontiers fall back to a
+/// full walk (`walk_record`).
+const REPAIR_CAP: u64 = 64;
+
 /// One node of one level's dyadic (binary) tree.
 ///
 /// `children[b]` follows bit `b` of the current dimension's bitstring;
@@ -51,6 +61,16 @@ pub struct BoxTree {
     n: usize,
     len: usize,
     epoch: u64,
+    /// Novel inserts ever performed (monotone; not reset by `clear`).
+    insert_count: u64,
+    /// Times the store was cleared — node ids and logged inserts from
+    /// before a clear are invalid, so probe state is keyed on this too.
+    clears: u32,
+    /// Rolling log of the last [`RING`] inserted boxes (insert `i` lives
+    /// at `i % RING`), allocated on first insert. This is what lets a
+    /// frontier saved *before* a handful of inserts be advanced+repaired
+    /// instead of re-walked.
+    ring: Vec<DyadicBox>,
 }
 
 impl BoxTree {
@@ -65,6 +85,9 @@ impl BoxTree {
             n,
             len: 0,
             epoch: 0,
+            insert_count: 0,
+            clears: 0,
+            ring: Vec::new(),
         }
     }
 
@@ -108,6 +131,8 @@ impl BoxTree {
         // A clear changes the stored set, so cached positive facts become
         // stale too; advancing the epoch keeps the monotonicity contract.
         self.epoch += 1;
+        // Saved frontiers hold node ids; a clear invalidates them all.
+        self.clears += 1;
     }
 
     fn alloc(&mut self) -> u32 {
@@ -166,6 +191,11 @@ impl BoxTree {
         if fresh {
             self.len += 1;
             self.epoch += 1;
+            if self.ring.is_empty() {
+                self.ring.resize(RING, DyadicBox::universe(self.n));
+            }
+            self.ring[(self.insert_count % RING as u64) as usize] = *b;
+            self.insert_count += 1;
         }
         fresh
     }
@@ -283,13 +313,23 @@ impl BoxTree {
         debug_assert!(dim < self.n);
         let iv = b.get(dim);
         if let Some(last) = state.last {
-            if state.epoch == self.epoch
+            if state.clears == self.clears
                 && state.dim == dim as u8
                 && iv.len() == state.len + 1
                 && is_child_at(b, &last, dim)
             {
-                state.advances += 1;
-                return self.advance_probe(b, dim, state);
+                // How many inserts the recorded frontier is missing. The
+                // frontier is complete w.r.t. every insert before
+                // `state.mark`; the rest live in the rolling log.
+                let lag = self.insert_count - state.mark;
+                if lag == 0 {
+                    state.advances += 1;
+                    return self.advance_probe(b, dim, state);
+                }
+                if lag <= REPAIR_CAP {
+                    state.repairs += 1;
+                    return self.advance_repair(b, dim, state);
+                }
             }
         }
         state.full_walks += 1;
@@ -332,6 +372,76 @@ impl BoxTree {
         None
     }
 
+    /// [`BoxTree::advance_probe`] for a frontier that lags the store by up
+    /// to [`REPAIR_CAP`] inserts: advance the recorded positions by the
+    /// appended bit *and* check the lagging inserts (from the rolling log)
+    /// directly, returning whichever hit the full walk's DFS would reach
+    /// first. The frontier was complete when recorded, so any witness it
+    /// cannot see must be one of the logged boxes — comparing the two
+    /// candidates by their per-dimension prefix-length vector (the DFS
+    /// visit order) reproduces the full walk's first hit exactly.
+    fn advance_repair(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe,
+    ) -> Option<DyadicBox> {
+        let iv = b.get(dim);
+        // Best candidate among the lagging inserts, keyed by DFS order.
+        let mut best_new: Option<([u8; MAX_DIMS], DyadicBox)> = None;
+        for i in state.mark..self.insert_count {
+            let c = &self.ring[(i % RING as u64) as usize];
+            if c.contains(b) {
+                let key = lens_key_of_box(c, dim);
+                if best_new.as_ref().is_none_or(|(k, _)| key < *k) {
+                    best_new = Some((key, *c));
+                }
+            }
+        }
+        // First hit among the recorded (pre-mark) positions. Entries are
+        // stored in DFS order, so the first hit is also the DFS-least.
+        let bit = (iv.bits() & 1) as usize;
+        let mut kept = 0;
+        let mut old_hit: Option<([u8; MAX_DIMS], DyadicBox)> = None;
+        for idx in 0..state.entries.len() {
+            let mut e = state.entries[idx];
+            let child = self.nodes[e.node as usize].children[bit];
+            if child == NONE {
+                continue;
+            }
+            e.node = child;
+            if self.lambda_tail(child, dim) {
+                let mut w = DyadicBox::universe(self.n);
+                let mut key = [0u8; MAX_DIMS];
+                for (i, &len) in e.lens.iter().enumerate().take(dim) {
+                    w.set(i, b.get(i).truncate(len));
+                    key[i] = len;
+                }
+                w.set(dim, iv);
+                key[dim] = iv.len();
+                old_hit = Some((key, w));
+                break;
+            }
+            state.entries[kept] = e;
+            kept += 1;
+        }
+        let hit = match (old_hit, best_new) {
+            (Some((ko, wo)), Some((kn, wn))) => Some(if kn < ko { wn } else { wo }),
+            (Some((_, w)), None) | (None, Some((_, w))) => Some(w),
+            (None, None) => None,
+        };
+        if hit.is_some() {
+            state.invalidate(); // covered: the descent stops here
+            return hit;
+        }
+        state.entries.truncate(kept);
+        state.len = iv.len();
+        state.last = Some(*b);
+        // `mark` stays put: the lagging inserts are not folded into the
+        // entries, so deeper advances must rescan the same log window.
+        None
+    }
+
     /// Whether a box ends through `node` at level `dim` with `λ`
     /// components on every later dimension.
     fn lambda_tail(&self, node: u32, dim: usize) -> bool {
@@ -368,7 +478,8 @@ impl BoxTree {
         } else {
             state.dim = dim as u8;
             state.len = b.get(dim).len();
-            state.epoch = self.epoch;
+            state.mark = self.insert_count;
+            state.clears = self.clears;
             state.last = Some(*b);
             None
         }
@@ -440,6 +551,85 @@ impl BoxTree {
             out.push(*bx);
             false
         });
+    }
+
+    /// Build a **shard** of this store: every stored box that intersects
+    /// `target` is inserted into `out` (which is cleared first). A box
+    /// intersects a dyadic target iff on every dimension one component is
+    /// a prefix of the other, so the walk follows the target's bits while
+    /// they last and then takes whole subtrees. Boxes are copied verbatim
+    /// (not clipped): a shard seeded this way answers every containment
+    /// probe for sub-boxes of `target` exactly as the full store would.
+    ///
+    /// This is the donation seam of the parallel descent: a worker that
+    /// hands a pending half-box to a thief extracts the slice of its own
+    /// knowledge that can matter inside that half.
+    pub fn extract_intersecting_into(&self, target: &DyadicBox, out: &mut BoxTree) {
+        debug_assert_eq!(target.n(), self.n);
+        assert_eq!(out.n, self.n, "shard dimensionality mismatch");
+        out.clear();
+        let mut scratch = DyadicBox::universe(self.n);
+        self.walk_intersecting(
+            self.root,
+            0,
+            target,
+            DyadicInterval::lambda(),
+            &mut scratch,
+            &mut |b| {
+                out.insert(b);
+            },
+        );
+    }
+
+    /// DFS over stored boxes intersecting `target` (prefix-comparable on
+    /// every dimension).
+    fn walk_intersecting(
+        &self,
+        node: u32,
+        dim: usize,
+        target: &DyadicBox,
+        prefix: DyadicInterval,
+        scratch: &mut DyadicBox,
+        visit: &mut impl FnMut(&DyadicBox),
+    ) {
+        let nd = self.nodes[node as usize];
+        // Any box whose component ends at `prefix` is prefix-comparable
+        // with the target here by construction of the walk.
+        if dim + 1 == self.n {
+            if nd.terminal {
+                scratch.set(dim, prefix);
+                visit(scratch);
+            }
+        } else if nd.next != NONE {
+            scratch.set(dim, prefix);
+            self.walk_intersecting(
+                nd.next,
+                dim + 1,
+                target,
+                DyadicInterval::lambda(),
+                scratch,
+                visit,
+            );
+        }
+        let tv = target.get(dim);
+        if prefix.len() < tv.len() {
+            // Still on the target's spine: only its next bit stays
+            // comparable.
+            let k = prefix.len();
+            let bit = ((tv.bits() >> (tv.len() - 1 - k)) & 1) as u8;
+            let child = nd.children[bit as usize];
+            if child != NONE {
+                self.walk_intersecting(child, dim, target, prefix.child(bit), scratch, visit);
+            }
+        } else {
+            // Past the target's component: every extension lies inside it.
+            for bit in 0..2u8 {
+                let child = nd.children[bit as usize];
+                if child != NONE {
+                    self.walk_intersecting(child, dim, target, prefix.child(bit), scratch, visit);
+                }
+            }
+        }
     }
 
     /// DFS over stored boxes whose every component is a prefix of `b`'s.
@@ -536,17 +726,25 @@ struct ProbeEntry {
 }
 
 /// Reusable state for [`BoxTree::find_containing_tracked`]: the frontier
-/// of the last failed probe, valid only at the recorded epoch for the
-/// immediate child of the recorded target.
+/// of the last failed probe, valid for the immediate child of the
+/// recorded target. The frontier is *complete* with respect to every
+/// insert before `mark`; up to `REPAIR_CAP` (64) later inserts can be
+/// repaired in from the store's rolling log, anything older falls back
+/// to a full walk.
 #[derive(Debug, Default)]
 pub struct DescentProbe {
     entries: Vec<ProbeEntry>,
     last: Option<DyadicBox>,
     dim: u8,
     len: u8,
-    epoch: u64,
+    /// `BoxTree::insert_count` up to which `entries` is complete.
+    mark: u64,
+    /// `BoxTree::clears` at recording time (node ids die with a clear).
+    clears: u32,
     /// Probes answered by advancing the recorded frontier (diagnostic).
     pub advances: u64,
+    /// Probes answered by advance + insert-log repair (diagnostic).
+    pub repairs: u64,
     /// Probes that fell back to a full walk (diagnostic).
     pub full_walks: u64,
 }
@@ -562,6 +760,109 @@ impl DescentProbe {
         self.last = None;
         self.entries.clear();
     }
+}
+
+/// Per-frame saved probe frontiers, mirroring the engine's descent stack.
+///
+/// When the skeleton splits a target it has just probed (and missed), the
+/// failed probe's frontier describes exactly the tree positions from
+/// which *both* children's probes can be answered. The engine pushes a
+/// copy here alongside the new frame; when it later descends the frame's
+/// right sibling (the 1-side half), [`FrontierStack::restore_top`] turns
+/// the saved frontier back into live [`DescentProbe`] state, and the next
+/// [`BoxTree::find_containing_tracked`] call advances (and, if resolvent
+/// inserts happened in between, repairs) instead of re-walking the store
+/// from the root. Entries live in one arena that grows and truncates with
+/// the stack, so saving a frontier never allocates after warm-up.
+#[derive(Debug, Default)]
+pub struct FrontierStack {
+    arena: Vec<ProbeEntry>,
+    frames: Vec<SavedMeta>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SavedMeta {
+    start: usize,
+    dim: u8,
+    len: u8,
+    mark: u64,
+    clears: u32,
+}
+
+impl FrontierStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of saved frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Save the frontier of the probe that just failed (the engine calls
+    /// this exactly when it pushes the corresponding descent frame).
+    pub fn push_saved(&mut self, probe: &DescentProbe) {
+        debug_assert!(probe.last.is_some(), "only failed probes have frontiers");
+        self.frames.push(SavedMeta {
+            start: self.arena.len(),
+            dim: probe.dim,
+            len: probe.len,
+            mark: probe.mark,
+            clears: probe.clears,
+        });
+        self.arena.extend_from_slice(&probe.entries);
+    }
+
+    /// Discard the top frame's saved frontier (mirrors a frame pop).
+    pub fn pop(&mut self) {
+        if let Some(m) = self.frames.pop() {
+            self.arena.truncate(m.start);
+        }
+    }
+
+    /// Drop everything (mirrors a descent teardown).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.arena.clear();
+    }
+
+    /// Restore the top frame's saved frontier into `probe` as the failed
+    /// probe of `parent` (the frame's reconstructed target), so the next
+    /// tracked query for the parent's 1-side child advances it. Returns
+    /// `false` when there is nothing to restore.
+    pub fn restore_top(&self, parent: &DyadicBox, probe: &mut DescentProbe) -> bool {
+        let Some(m) = self.frames.last() else {
+            return false;
+        };
+        debug_assert_eq!(m.len, parent.get(m.dim as usize).len());
+        probe.entries.clear();
+        probe.entries.extend_from_slice(&self.arena[m.start..]);
+        probe.dim = m.dim;
+        probe.len = m.len;
+        probe.mark = m.mark;
+        probe.clears = m.clears;
+        probe.last = Some(*parent);
+        true
+    }
+}
+
+/// DFS-order key of a stored box for a probe on `dim`: the per-dimension
+/// prefix lengths through `dim` (later dimensions are λ for any box that
+/// can answer such a probe). The multilevel walk visits shorter prefixes
+/// first dimension by dimension, so comparing these keys lexicographically
+/// reproduces its first-hit order.
+fn lens_key_of_box(c: &DyadicBox, dim: usize) -> [u8; MAX_DIMS] {
+    let mut key = [0u8; MAX_DIMS];
+    for (i, slot) in key.iter_mut().enumerate().take(dim + 1) {
+        *slot = c.get(i).len();
+    }
+    key
 }
 
 /// Whether `b` is `last` with exactly one bit appended at `dim`.
@@ -722,6 +1023,106 @@ mod tests {
         assert!(!t.covers(&b("00,0")));
         t.insert(&b("1,λ"));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn extract_intersecting_builds_an_exact_shard() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let rand_iv = |rng: &mut rand::rngs::StdRng, max: u8| {
+            let len = rng.gen_range(0..=max);
+            DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len)
+        };
+        for _ in 0..40 {
+            let stored: Vec<DyadicBox> = (0..rng.gen_range(1..40))
+                .map(|_| {
+                    let mut b = DyadicBox::universe(3);
+                    for i in 0..3 {
+                        b.set(i, rand_iv(&mut rng, 3));
+                    }
+                    b
+                })
+                .collect();
+            let tree: BoxTree = stored.iter().copied().collect();
+            let mut target = DyadicBox::universe(3);
+            for i in 0..3 {
+                target.set(i, rand_iv(&mut rng, 3));
+            }
+            let mut shard = BoxTree::new(3);
+            tree.extract_intersecting_into(&target, &mut shard);
+            let mut got = shard.iter_boxes();
+            got.sort();
+            let mut expect: Vec<DyadicBox> = stored
+                .iter()
+                .filter(|b| b.intersects(&target))
+                .copied()
+                .collect();
+            expect.sort();
+            expect.dedup();
+            assert_eq!(got, expect, "target {target}");
+        }
+    }
+
+    #[test]
+    fn saved_frontier_repair_matches_full_walk() {
+        // Build a store, probe a target (miss), save the frontier, insert
+        // a few more boxes, then probe the target's children through the
+        // saved frontier: the repaired answers must be bit-identical to
+        // fresh full walks, whichever candidate (old frontier or logged
+        // insert) wins.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let rand_box = |rng: &mut rand::rngs::StdRng, max_dim_len: u8| {
+            let mut b = DyadicBox::universe(3);
+            for i in 0..3 {
+                let cap = if i == 0 { max_dim_len } else { 3 };
+                let len = rng.gen_range(0..=cap);
+                b.set(
+                    i,
+                    DyadicInterval::from_bits(rng.gen_range(0..(1u64 << len)), len),
+                );
+            }
+            b
+        };
+        for trial in 0..200 {
+            let mut tree = BoxTree::new(3);
+            for _ in 0..rng.gen_range(0..15) {
+                tree.insert(&rand_box(&mut rng, 3));
+            }
+            // The probed parent: thick on dim 0 (λ after is not required
+            // by the API, but mirrors the engine's frame shape).
+            let plen = rng.gen_range(0..3u8);
+            let parent = DyadicBox::universe(3).with(
+                0,
+                DyadicInterval::from_bits(rng.gen_range(0..(1u64 << plen)), plen),
+            );
+            let mut probe = DescentProbe::new();
+            if tree
+                .find_containing_tracked(&parent, 0, &mut probe)
+                .is_some()
+            {
+                continue; // covered parents save no frontier
+            }
+            let mut frontiers = FrontierStack::new();
+            frontiers.push_saved(&probe);
+            // Mutate the store.
+            for _ in 0..rng.gen_range(0..8) {
+                tree.insert(&rand_box(&mut rng, 3));
+            }
+            for bit in 0..2u8 {
+                let child = parent.with(0, parent.get(0).child(bit));
+                let mut restored = DescentProbe::new();
+                assert!(frontiers.restore_top(&parent, &mut restored));
+                let got = tree.find_containing_tracked(&child, 0, &mut restored);
+                assert_eq!(
+                    got,
+                    tree.find_containing(&child),
+                    "trial {trial} bit {bit}: repaired probe diverges from full walk"
+                );
+            }
+            frontiers.pop();
+            assert!(frontiers.is_empty());
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! ([`boxstore::CoverageMarks`]) can repair it.
 
 use crate::{TetrisStats, TraceEvent};
-use boxstore::{BoxOracle, BoxTree, CoverProbe, CoverageMarks, DescentProbe};
+use boxstore::{BoxOracle, BoxTree, CoverProbe, CoverageMarks, DescentProbe, FrontierStack};
 use dyadic::{resolve::ordered_resolve, DyadicBox, DyadicInterval, Space};
 
 /// How the engine walks the skeleton between knowledge-base changes.
@@ -40,6 +40,19 @@ pub enum Descent {
     /// [`TetrisConfig::cache_resolvents`] off it behaves like
     /// [`Descent::Restart`].
     RestartMemo,
+    /// [`Descent::Incremental`] spread over a work-stealing thread pool:
+    /// pending right-sibling frames are donated to starving workers, each
+    /// stolen subtree runs against the frozen pre-descent knowledge base
+    /// plus a per-worker overlay shard, and witnesses/resolvents merge
+    /// back at the donation frame exactly as the sequential unwind would
+    /// resolve them. The output tuple **set** is bit-identical to every
+    /// sequential mode (asserted by the differential walls); cost
+    /// counters other than `outputs` may vary with scheduling. `threads
+    /// == 0` means one worker per available core.
+    Parallel {
+        /// Worker-thread count (`0` = all available cores).
+        threads: usize,
+    },
 }
 
 /// Configuration of a [`Tetris`] run.
@@ -97,19 +110,19 @@ pub struct TetrisOutput {
 /// frames this small is what makes the persistent stack cheap (and is the
 /// shape a future work-stealing split would hand to another worker).
 #[derive(Clone, Copy, Debug)]
-struct Frame {
+pub(crate) struct Frame {
     /// Split dimension (the target's first thick dimension).
-    dim: u8,
+    pub(crate) dim: u8,
     /// Length of the target's component at `dim`.
-    len: u8,
+    pub(crate) len: u8,
     /// Witness of the completed 0-side half, if the 1-side is in progress.
-    w1: Option<DyadicBox>,
+    pub(crate) w1: Option<DyadicBox>,
 }
 
 impl Frame {
     /// Whether `w` covers this frame's (reconstructed) target.
     #[inline]
-    fn covered_by(&self, w: &DyadicBox, cur: &DyadicBox) -> bool {
+    pub(crate) fn covered_by(&self, w: &DyadicBox, cur: &DyadicBox) -> bool {
         let dim = self.dim as usize;
         for i in 0..cur.n() {
             let wi = w.get(i);
@@ -128,9 +141,9 @@ impl Frame {
         true
     }
 
-    /// Materialize the frame's target box (restart-memo bookkeeping only;
-    /// the hot path never needs it).
-    fn target(&self, cur: &DyadicBox) -> DyadicBox {
+    /// Materialize the frame's target box (restart-memo bookkeeping and
+    /// frontier restores; the probe hot path never needs it).
+    pub(crate) fn target(&self, cur: &DyadicBox) -> DyadicBox {
         let dim = self.dim as usize;
         let mut t = *cur;
         t.set(dim, cur.get(dim).truncate(self.len));
@@ -146,11 +159,11 @@ impl Frame {
 /// The ambient dimensions are already in **splitting attribute order**:
 /// the skeleton always splits the first thick dimension of its target.
 pub struct Tetris<'o, O: BoxOracle + ?Sized> {
-    oracle: &'o O,
-    space: Space,
-    kb: BoxTree,
-    config: TetrisConfig,
-    stats: TetrisStats,
+    pub(crate) oracle: &'o O,
+    pub(crate) space: Space,
+    pub(crate) kb: BoxTree,
+    pub(crate) config: TetrisConfig,
+    pub(crate) stats: TetrisStats,
     trace: Vec<TraceEvent>,
     /// Suspended skeleton invocations, outermost first.
     stack: Vec<Frame>,
@@ -161,6 +174,10 @@ pub struct Tetris<'o, O: BoxOracle + ?Sized> {
     /// Incremental knowledge-base probe state (descends advance the last
     /// failed probe's frontier instead of re-walking the store).
     probe: DescentProbe,
+    /// Per-frame saved probe frontiers (incremental descents only):
+    /// right-sibling descents restore these and advance+repair instead of
+    /// re-walking the store.
+    frontiers: FrontierStack,
     /// Coverage-epoch memo ([`Descent::RestartMemo`] only).
     marks: CoverageMarks,
 }
@@ -180,6 +197,7 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
             hits: Vec::new(),
             point: Vec::new(),
             probe: DescentProbe::new(),
+            frontiers: FrontierStack::new(),
             marks: CoverageMarks::new(),
         };
         if config.preload {
@@ -249,6 +267,7 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
     /// Copy incremental-probe diagnostics into the run counters.
     fn sync_probe_stats(&mut self) {
         self.stats.probe_advances = self.probe.advances;
+        self.stats.probe_repairs = self.probe.repairs;
         self.stats.probe_full_walks = self.probe.full_walks;
     }
 
@@ -280,6 +299,9 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
 
     /// Algorithm 2: run to completion, collecting all output tuples.
     pub fn run(mut self) -> TetrisOutput {
+        if let Descent::Parallel { threads } = self.config.descent {
+            return crate::parallel::run_parallel(self, threads, false);
+        }
         let mut tuples = Vec::new();
         self.drive(|t| {
             tuples.push(t.to_vec());
@@ -294,8 +316,17 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
     }
 
     /// Stream output tuples to a callback instead of materializing them
-    /// (outer-loop mode). Returns the final stats.
+    /// (outer-loop mode). Returns the final stats. Under
+    /// [`Descent::Parallel`] the tuples are materialized, merged into
+    /// their deterministic (lexicographic) order, and only then streamed.
     pub fn for_each_output(mut self, mut f: impl FnMut(&[u64])) -> TetrisStats {
+        if let Descent::Parallel { threads } = self.config.descent {
+            let out = crate::parallel::run_parallel(self, threads, false);
+            for t in &out.tuples {
+                f(t);
+            }
+            return out.stats;
+        }
         self.drive(|t| {
             f(t);
             false
@@ -305,8 +336,14 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
     }
 
     /// Boolean BCP (Definition 3.5): does `B` cover the whole space?
-    /// Stops at the first uncovered output point.
+    /// Stops at the first uncovered output point (under
+    /// [`Descent::Parallel`], at the first output any worker finds — the
+    /// Boolean answer is deterministic either way).
     pub fn check_cover(mut self) -> (bool, TetrisStats) {
+        if let Descent::Parallel { threads } = self.config.descent {
+            let out = crate::parallel::run_parallel(self, threads, true);
+            return (out.tuples.is_empty(), out.stats);
+        }
         let mut found = false;
         self.drive(|_| {
             found = true;
@@ -322,6 +359,10 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
     fn drive(&mut self, mut on_output: impl FnMut(&[u64]) -> bool) {
         let universe = DyadicBox::universe(self.space.n());
         let mut cur = universe;
+        // Frame-saved frontiers only pay off when frames persist across
+        // events; the restart modes tear the stack down anyway (and
+        // RestartMemo may skip probes entirely, leaving nothing to save).
+        let saving = !self.restarting();
         self.stats.restarts += 1;
         self.emit(|| TraceEvent::Restart);
         'descend: loop {
@@ -380,6 +421,12 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
                         len: iv.len(),
                         w1: None,
                     });
+                    if saving {
+                        // The probe for `cur` just failed, so its frontier
+                        // describes this frame's target; the 1-side
+                        // descent will restore it instead of re-walking.
+                        self.frontiers.push_saved(&self.probe);
+                    }
                     cur.set(dim, iv.child(0));
                     continue;
                 }
@@ -391,6 +438,7 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
                     Absorb::Witness(w) => break w,
                     Absorb::Restart => {
                         self.stack.clear();
+                        self.frontiers.clear();
                         cur = universe;
                         self.stats.restarts += 1;
                         self.emit(|| TraceEvent::Restart);
@@ -410,16 +458,28 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
                         self.marks.mark_covered(&t, &self.space, witness);
                     }
                     self.stack.pop();
+                    if saving {
+                        self.frontiers.pop();
+                    }
                     continue;
                 }
                 let dim = top.dim as usize;
                 match top.w1 {
                     None => {
                         // 0-side done; descend into the 1-side.
+                        let parent = top.target(&cur);
                         self.stack.last_mut().expect("frame just read").w1 = Some(witness);
                         cur.set(dim, cur.get(dim).truncate(top.len).child(1));
                         for i in dim + 1..self.space.n() {
                             cur.set(i, DyadicInterval::lambda());
+                        }
+                        // Hand the frame's saved frontier to the probe so
+                        // the 1-side's first query advances+repairs it.
+                        // Skipped when the child exhausts the dimension:
+                        // the next probe targets a different dimension and
+                        // could not use the frontier anyway.
+                        if saving && u16::from(top.len) + 1 < u16::from(self.space.width(dim)) {
+                            self.frontiers.restore_top(&parent, &mut self.probe);
                         }
                         continue 'descend;
                     }
@@ -827,6 +887,76 @@ mod tests {
         assert!(out.stats.loaded_boxes <= 4);
         // It must load at least one box per covered probe region.
         assert!(out.stats.loaded_boxes >= 1);
+    }
+
+    #[test]
+    fn parallel_descent_matches_brute_force_and_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..=3);
+            let d = rng.gen_range(1..=3u8);
+            let space = Space::uniform(n, d);
+            let count = rng.gen_range(0..25);
+            let boxes = random_instance(&mut rng, n, d, count);
+            let expect = coverage::uncovered_points(&boxes, &space);
+            let oracle = SetOracle::new(space, boxes);
+            for preload in [false, true] {
+                for threads in [1usize, 2, 4] {
+                    let out = Tetris::with_config(
+                        &oracle,
+                        TetrisConfig {
+                            preload,
+                            descent: Descent::Parallel { threads },
+                            ..Default::default()
+                        },
+                    )
+                    .run();
+                    assert_eq!(
+                        out.tuples, expect,
+                        "trial {trial} preload={preload} threads={threads}"
+                    );
+                    assert_eq!(out.stats.outputs as usize, expect.len());
+                    assert!(out.stats.par_tasks >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_check_cover_agrees_with_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        for trial in 0..20 {
+            let space = Space::uniform(2, 3);
+            let count = rng.gen_range(0..20);
+            let boxes = random_instance(&mut rng, 2, 3, count);
+            let oracle = SetOracle::new(space, boxes);
+            let (seq, _) = Tetris::reloaded(&oracle).check_cover();
+            let (par, _) = Tetris::reloaded(&oracle)
+                .descent(Descent::Parallel { threads: 4 })
+                .check_cover();
+            assert_eq!(seq, par, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn frame_saved_frontiers_repair_probes() {
+        // The incremental driver's right-sibling descents must be served
+        // by saved-frontier advances/repairs, and the probe ledger must
+        // account for every knowledge-base query.
+        let oracle = example_4_4_oracle();
+        let out = Tetris::reloaded(&oracle).run();
+        assert_eq!(
+            out.stats.probe_advances + out.stats.probe_repairs + out.stats.probe_full_walks,
+            out.stats.kb_queries
+        );
+        assert!(
+            out.stats.probe_repairs > 0,
+            "resolvent inserts between sibling descents should exercise \
+             the repair path: {:?}",
+            out.stats
+        );
     }
 
     #[test]

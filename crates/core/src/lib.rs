@@ -26,7 +26,11 @@
 //! paper-literal restart loop remains available as [`Descent::Restart`]
 //! (the Section 5 re-treading measurements depend on it), and
 //! [`Descent::RestartMemo`] layers `boxstore`'s coverage-epoch marks on
-//! top of it.
+//! top of it. [`Descent::Parallel`] spreads the same descent over a
+//! work-stealing thread pool (the `executor` crate): pending sibling
+//! frames are donated to starving workers against sharded box stores,
+//! and the output tuple sequence stays bit-identical to the sequential
+//! run (see `parallel`'s module docs for the merge protocol).
 //!
 //! ```
 //! use boxstore::SetOracle;
@@ -49,6 +53,7 @@
 pub mod balance;
 mod engine;
 pub mod klee;
+mod parallel;
 mod stats;
 mod trace;
 

@@ -25,9 +25,13 @@ pub struct TetrisStats {
     /// knowledge-base walk (`Descent::RestartMemo` only).
     pub mark_hits: u64,
     /// Knowledge-base probes answered by advancing the previous probe's
-    /// recorded frontier by one bit (same coverage epoch) instead of
-    /// re-walking the store.
+    /// recorded frontier by one bit (store unchanged since the frontier
+    /// was recorded) instead of re-walking the store.
     pub probe_advances: u64,
+    /// Knowledge-base probes answered by advancing a **frame-saved**
+    /// frontier and repairing it against the store's rolling insert log
+    /// (right-sibling descents after resolvent inserts).
+    pub probe_repairs: u64,
     /// Knowledge-base probes that performed a full store walk.
     pub probe_full_walks: u64,
     /// Boxes inserted into the knowledge base (all sources).
@@ -42,6 +46,11 @@ pub struct TetrisStats {
     pub restarts: u64,
     /// Partition rebuilds (online load-balanced mode only).
     pub rebuilds: u64,
+    /// Subtree tasks executed (`Descent::Parallel` only; 1 + donations).
+    pub par_tasks: u64,
+    /// Pending sibling frames donated to the work-stealing pool
+    /// (`Descent::Parallel` only).
+    pub par_donations: u64,
 }
 
 impl TetrisStats {
@@ -71,6 +80,7 @@ impl TetrisStats {
         self.kb_queries += other.kb_queries;
         self.mark_hits += other.mark_hits;
         self.probe_advances += other.probe_advances;
+        self.probe_repairs += other.probe_repairs;
         self.probe_full_walks += other.probe_full_walks;
         self.kb_inserts += other.kb_inserts;
         self.oracle_probes += other.oracle_probes;
@@ -78,6 +88,8 @@ impl TetrisStats {
         self.outputs += other.outputs;
         self.restarts += other.restarts;
         self.rebuilds += other.rebuilds;
+        self.par_tasks += other.par_tasks;
+        self.par_donations += other.par_donations;
         for (i, &v) in other.resolutions_by_dim.iter().enumerate() {
             if i < self.resolutions_by_dim.len() {
                 self.resolutions_by_dim[i] += v;

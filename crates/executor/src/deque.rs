@@ -1,0 +1,103 @@
+//! The per-worker work-stealing deque.
+//!
+//! The classic lock-free Chase–Lev deque needs `unsafe` (raw circular
+//! buffers, epoch reclamation); this workspace forbids unsafe code and
+//! builds offline (no crossbeam), so the deque is a mutex-guarded
+//! `VecDeque` with the same *discipline*: the owner pushes and pops at the
+//! bottom (LIFO — the most recently split, deepest, cache-hot subtree),
+//! thieves steal from the top (FIFO — the oldest, shallowest, largest
+//! subtree). Tetris tasks are coarse (a stolen frame is a whole half-box
+//! subtree), so each worker touches its deque a few thousand times per
+//! second at most and the mutex never becomes the bottleneck the way it
+//! would under fine-grained fork/join loads.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A double-ended work queue owned by one worker and stolen from by the
+/// rest of the pool.
+#[derive(Debug, Default)]
+pub struct WorkDeque<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> WorkDeque<T> {
+    /// An empty deque.
+    pub fn new() -> Self {
+        WorkDeque {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner end: push a freshly split task (bottom).
+    pub fn push(&self, task: T) {
+        self.inner.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Owner end: pop the most recently pushed task (bottom, LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Thief end: steal the oldest task (top, FIFO) — the shallowest
+    /// pending frame, i.e. the largest stealable subtree.
+    pub fn steal(&self) -> Option<T> {
+        self.inner.lock().expect("deque poisoned").pop_front()
+    }
+
+    /// Number of queued tasks (racy snapshot; scheduling hint only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+
+    /// Whether the deque is empty (racy snapshot; scheduling hint only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d = WorkDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.len(), 3);
+        // Thief takes the oldest…
+        assert_eq!(d.steal(), Some(1));
+        // …owner takes the newest.
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let d = WorkDeque::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..100 {
+                    d.push(i);
+                }
+            });
+            s.spawn(|| {
+                let mut got = 0;
+                while got < 50 {
+                    if d.steal().is_some() {
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        // 100 pushed, 50 stolen.
+        assert_eq!(d.len(), 50);
+    }
+}

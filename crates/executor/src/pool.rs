@@ -1,0 +1,318 @@
+//! The scoped-thread work-stealing pool.
+//!
+//! [`Pool::scope`] spawns `threads` scoped workers, seeds their deques,
+//! and runs the caller's work function on every task until the pool
+//! drains. Tasks may spawn further tasks ([`Worker::spawn`]), ask whether
+//! the pool is starving ([`Worker::hungry`] — the signal a Tetris descent
+//! uses to decide *when* to donate a pending sibling frame), and join a
+//! spawned task without blocking the thread ([`Worker::help_while`] runs
+//! other tasks while it waits — "help-first" joining).
+//!
+//! Termination: the pool counts in-flight tasks (queued + executing); a
+//! worker that finds no work and sees the count at zero exits. Tasks only
+//! ever wait on tasks they themselves spawned, so the wait-for relation is
+//! a forest and help-first joining cannot deadlock. A panicking task
+//! **poisons** the pool: the panicking worker's unwind releases its
+//! pending count and flips a pool-wide flag, every other worker stops
+//! taking work and exits, joins waiting in `help_while` give up (their
+//! callers see the join as cancelled), and the original panic propagates
+//! out of [`Pool::scope`] instead of hanging the run.
+
+use crate::deque::WorkDeque;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Nested `help_while` executions per worker before it prefers sleeping
+/// over grabbing more work (bounds stack growth under pathological
+/// donation chains). Not a hard stop: see the escape hatch in
+/// [`Worker::help_while`].
+const MAX_HELP_DEPTH: usize = 64;
+
+/// Shared pool state.
+struct Shared<T> {
+    deques: Vec<WorkDeque<T>>,
+    /// Tasks queued or executing. Zero ⇒ the run is complete.
+    pending: AtomicUsize,
+    /// Tasks sitting in some deque, not yet grabbed.
+    queued: AtomicUsize,
+    /// Workers currently out of work (sleeping or waiting in a join).
+    idle: AtomicUsize,
+    /// A task panicked: stop taking work, let the panic propagate.
+    poisoned: AtomicBool,
+}
+
+impl<T> Shared<T> {
+    fn grab(&self, home: usize) -> Option<T> {
+        let n = self.deques.len();
+        let task = self.deques[home]
+            .pop()
+            .or_else(|| (1..n).find_map(|step| self.deques[(home + step) % n].steal()))?;
+        self.queued.fetch_sub(1, Ordering::SeqCst);
+        Some(task)
+    }
+
+    fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+}
+
+/// The work-stealing pool. See [`Pool::scope`].
+pub struct Pool;
+
+impl Pool {
+    /// Run `seeds` (and everything they spawn) to completion on `threads`
+    /// scoped workers. Blocks until the pool drains, then joins all
+    /// workers. A panic inside any task poisons the pool (all workers
+    /// wind down) and then propagates out of this call.
+    pub fn scope<T, F>(threads: usize, seeds: Vec<T>, work: F)
+    where
+        T: Send,
+        F: Fn(T, &Worker<'_, T>) + Sync,
+    {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        let shared = Shared {
+            deques: (0..threads).map(|_| WorkDeque::new()).collect(),
+            pending: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        };
+        for (i, task) in seeds.into_iter().enumerate() {
+            shared.pending.fetch_add(1, Ordering::SeqCst);
+            shared.queued.fetch_add(1, Ordering::SeqCst);
+            shared.deques[i % threads].push(task);
+        }
+        std::thread::scope(|s| {
+            let shared = &shared;
+            let work = &work;
+            for index in 0..threads {
+                s.spawn(move || {
+                    let worker = Worker {
+                        shared,
+                        index,
+                        work,
+                        help_depth: Cell::new(0),
+                    };
+                    worker.run_to_completion();
+                });
+            }
+        });
+        debug_assert!(
+            shared.poisoned() || shared.pending.load(Ordering::SeqCst) == 0,
+            "pool drained without poisoning but tasks remain"
+        );
+    }
+}
+
+/// Releases a task's pending count even if the task panics, and marks
+/// the pool poisoned on unwind so the other workers stop instead of
+/// waiting forever for a completion that will never come.
+struct ExecuteGuard<'g> {
+    pending: &'g AtomicUsize,
+    poisoned: &'g AtomicBool,
+}
+
+impl Drop for ExecuteGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.poisoned.store(true, Ordering::SeqCst);
+        }
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A worker's handle into the pool, passed to every task execution.
+pub struct Worker<'s, T> {
+    shared: &'s Shared<T>,
+    index: usize,
+    work: &'s (dyn Fn(T, &Worker<'s, T>) + Sync),
+    help_depth: Cell<usize>,
+}
+
+impl<'s, T: Send> Worker<'s, T> {
+    /// This worker's index in `0..threads`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of workers in the pool.
+    pub fn threads(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Spawn a task onto this worker's own deque (stealable by the rest
+    /// of the pool from the opposite end).
+    pub fn spawn(&self, task: T) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.queued.fetch_add(1, Ordering::SeqCst);
+        self.shared.deques[self.index].push(task);
+    }
+
+    /// Whether the pool is starving: some worker is idle and the queues
+    /// cannot feed it. This is the donation signal — a running descent
+    /// that sees `hungry()` should split off a pending sibling frame.
+    pub fn hungry(&self) -> bool {
+        self.shared.idle.load(Ordering::Relaxed) > self.shared.queued.load(Ordering::Relaxed)
+    }
+
+    /// Help-first join: run other tasks while `waiting()` holds, until
+    /// the condition clears **or the pool is poisoned by a panic
+    /// elsewhere** — callers must treat a return with the condition
+    /// still true as a cancelled join. The waited-on task may well be
+    /// executed *by this call*.
+    ///
+    /// Beyond `MAX_HELP_DEPTH` (64) nested helps the worker prefers
+    /// sleeping (bounds stack growth) — but if the whole pool is parked
+    /// (every other worker idle) while tasks sit queued, it grabs anyway:
+    /// without that escape hatch, all workers reaching the cap at once
+    /// with their wait targets still queued would livelock.
+    pub fn help_while(&self, waiting: impl Fn() -> bool) {
+        let mut backoff = 0u32;
+        while waiting() && !self.shared.poisoned() {
+            let over_cap = self.help_depth.get() >= MAX_HELP_DEPTH;
+            let pool_parked = self.shared.idle.load(Ordering::SeqCst) + 1
+                >= self.shared.deques.len()
+                && self.shared.queued.load(Ordering::SeqCst) > 0;
+            if !over_cap || pool_parked {
+                if let Some(task) = self.shared.grab(self.index) {
+                    backoff = 0;
+                    self.execute(task);
+                    continue;
+                }
+            }
+            // Nothing runnable: advertise hunger so victims donate.
+            self.shared.idle.fetch_add(1, Ordering::SeqCst);
+            idle_wait(&mut backoff);
+            self.shared.idle.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn execute(&self, task: T) {
+        let guard = ExecuteGuard {
+            pending: &self.shared.pending,
+            poisoned: &self.shared.poisoned,
+        };
+        self.help_depth.set(self.help_depth.get() + 1);
+        (self.work)(task, self);
+        self.help_depth.set(self.help_depth.get() - 1);
+        drop(guard);
+    }
+
+    fn run_to_completion(&self) {
+        let mut backoff = 0u32;
+        loop {
+            if self.shared.poisoned() {
+                return;
+            }
+            match self.shared.grab(self.index) {
+                Some(task) => {
+                    backoff = 0;
+                    self.execute(task);
+                }
+                None => {
+                    if self.shared.pending.load(Ordering::SeqCst) == 0 {
+                        return;
+                    }
+                    self.shared.idle.fetch_add(1, Ordering::SeqCst);
+                    idle_wait(&mut backoff);
+                    self.shared.idle.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}
+
+/// Escalating idle backoff: yield a few times, then sleep in growing
+/// slices capped at 1 ms. Keeps idle workers cheap on oversubscribed
+/// hosts (CI runners, the 1-core dev container) without a condvar.
+fn idle_wait(backoff: &mut u32) {
+    if *backoff < 4 {
+        std::thread::yield_now();
+    } else {
+        let micros = 50u64 << (*backoff - 4).min(5);
+        std::thread::sleep(Duration::from_micros(micros.min(1000)));
+    }
+    *backoff += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Mutex;
+
+    #[test]
+    fn runs_all_seed_tasks() {
+        let sum = AtomicUsize::new(0);
+        Pool::scope(4, (1..=100usize).collect(), |t, _| {
+            sum.fetch_add(t, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 5050);
+    }
+
+    #[test]
+    fn spawned_tasks_run_too() {
+        // Each seed task spawns two children until a depth budget runs
+        // out: a binary fan-out of 2^7 - 1 tasks from one seed.
+        let count = AtomicUsize::new(0);
+        Pool::scope(3, vec![6u32], |depth, w| {
+            count.fetch_add(1, Ordering::SeqCst);
+            if depth > 0 {
+                w.spawn(depth - 1);
+                w.spawn(depth - 1);
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 127);
+    }
+
+    #[test]
+    fn help_while_joins_a_spawned_task() {
+        let done = AtomicBool::new(false);
+        let log = Mutex::new(Vec::new());
+        Pool::scope(2, vec![0u32], |task, w| {
+            if task == 0 {
+                // The parent spawns the child and helps until it is done —
+                // possibly by running the child itself.
+                w.spawn(1);
+                w.help_while(|| !done.load(Ordering::SeqCst));
+                log.lock().unwrap().push("parent-done");
+            } else {
+                done.store(true, Ordering::SeqCst);
+                log.lock().unwrap().push("child-done");
+            }
+        });
+        let order = log.into_inner().unwrap();
+        assert_eq!(order, vec!["child-done", "parent-done"]);
+    }
+
+    #[test]
+    fn single_worker_pool_degenerates_to_sequential() {
+        let order = Mutex::new(Vec::new());
+        Pool::scope(1, vec![1, 2, 3], |t, w| {
+            assert!(!w.hungry(), "a 1-worker pool is never hungry");
+            order.lock().unwrap().push(t);
+        });
+        // The owner drains its own deque LIFO (depth-first discipline).
+        assert_eq!(order.into_inner().unwrap(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn panicking_task_poisons_the_pool_instead_of_hanging() {
+        // A panic in one task must propagate out of Pool::scope (via the
+        // scoped-thread join), not leave the other workers spinning on a
+        // pending count that will never drain. The queued sibling tasks
+        // may or may not run; the run must *end*.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Pool::scope(4, vec![0u32, 1, 2, 3], |task, w| {
+                if task == 0 {
+                    panic!("boom in task 0");
+                }
+                // The other tasks wait on a condition that never clears —
+                // only pool poisoning can release them.
+                w.help_while(|| true);
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate");
+    }
+}

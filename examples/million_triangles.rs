@@ -5,27 +5,68 @@
 //!
 //! ```sh
 //! cargo run --release --example million_triangles            # 10⁶ edges
-//! TETRIS_EDGES=100000 cargo run --release --example million_triangles
+//! cargo run --release --example million_triangles -- --edges 100000
+//! cargo run --release --example million_triangles -- --threads 4 --seed 7
 //! ```
+//!
+//! `--edges` sets the graph size (`TETRIS_EDGES` env still works as a
+//! fallback), `--threads N` runs the listing under
+//! `Descent::Parallel { threads: N }` (default 1 = sequential), and
+//! `--seed` overrides the generator seed.
 
 use baseline::leapfrog::leapfrog_join;
 use std::time::Instant;
 use tetris_join::relation::io::read_tuples_streaming;
 use tetris_join::relation::{Relation, Schema};
-use tetris_join::tetris::Tetris;
+use tetris_join::tetris::{Descent, Tetris};
 use tetris_join::triangles::{prepared_triangle_join, triangle_spec};
 use workload::graphs::{self, Graph};
 
+fn usage(msg: &str) -> ! {
+    eprintln!("million_triangles: {msg}");
+    eprintln!("usage: million_triangles [--edges N] [--threads N] [--seed S]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let target_edges: usize = std::env::var("TETRIS_EDGES")
+    let mut target_edges: usize = std::env::var("TETRIS_EDGES")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000);
+    let mut threads: usize = 1;
+    let mut seed: u64 = 42;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--edges" => {
+                target_edges = value("--edges")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --edges value"))
+            }
+            "--threads" => {
+                threads = value("--threads")
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("bad --threads value"))
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed value"))
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
 
     // 1. Grow a skewed (preferential-attachment) graph to exactly the
     //    requested edge count.
     let start = Instant::now();
-    let graph = graphs::skewed_graph_with_edges(target_edges, 2, 42);
+    let graph = graphs::skewed_graph_with_edges(target_edges, 2, seed);
     println!(
         "generated: {} vertices, {} edges ({}-bit ids) in {:.1?}",
         graph.vertices,
@@ -78,16 +119,30 @@ fn main() {
     );
 
     // 4. Tetris: ordered triangle listing (u < v < w) via the self-join
-    //    E(A,B) ⋈ E(B,C) ⋈ E(A,C) over geometric resolutions.
+    //    E(A,B) ⋈ E(B,C) ⋈ E(A,C) over geometric resolutions —
+    //    sequential, or spread over the work-stealing pool.
     let edges: Relation = graph.edge_relation();
     let start = Instant::now();
     let join = prepared_triangle_join(&edges);
     let index_t = start.elapsed();
     let oracle = join.oracle();
     let start = Instant::now();
-    let out = Tetris::preloaded(&oracle).run();
+    let engine = if threads == 1 {
+        Tetris::preloaded(&oracle)
+    } else {
+        Tetris::preloaded(&oracle).descent(Descent::Parallel { threads })
+    };
+    let out = engine.run();
+    let mode = if threads == 1 {
+        "sequential".to_string()
+    } else {
+        format!(
+            "{threads} workers, {} tasks, {} donations",
+            out.stats.par_tasks, out.stats.par_donations
+        )
+    };
     println!(
-        "Tetris-Preloaded: {} triangles in {:.1?} (+{index_t:.1?} indexing, {} resolutions)",
+        "Tetris-Preloaded [{mode}]: {} triangles in {:.1?} (+{index_t:.1?} indexing, {} resolutions)",
         out.tuples.len(),
         start.elapsed(),
         out.stats.resolutions

@@ -174,6 +174,102 @@ fn restart_descent_is_never_cheaper_in_restarts_than_incremental() {
     }
 }
 
+/// Parallel-vs-sequential wall: `Descent::Parallel` at 2/4/8 workers must
+/// produce the exact sequential output tuple sequence (the merge sorts
+/// into lexicographic order, which *is* the sequential discovery order)
+/// on randomized spaces, across preload and caching configurations.
+/// Donation is demand-driven, so repeated runs schedule differently —
+/// every run must still land on the identical tuple set.
+#[test]
+fn parallel_descent_matches_sequential_on_random_spaces() {
+    for seed in 400..430u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = random_space(&mut rng, 10);
+        let count = rng.gen_range(0..30);
+        let boxes: Vec<DyadicBox> = (0..count).map(|_| random_box(&mut rng, &space)).collect();
+        let expect = coverage::uncovered_points(&boxes, &space);
+        let oracle = SetOracle::new(space, boxes);
+        for preload in [false, true] {
+            for cache_resolvents in [true, false] {
+                for threads in [2usize, 4, 8] {
+                    let cfg = TetrisConfig {
+                        preload,
+                        cache_resolvents,
+                        inline_outputs: false,
+                        descent: Descent::Parallel { threads },
+                        trace: false,
+                    };
+                    let r = Tetris::with_config(&oracle, cfg).run();
+                    assert_eq!(
+                        r.tuples,
+                        expect,
+                        "seed {seed}: parallel(threads={threads}, preload={preload}, \
+                         cache={cache_resolvents}) diverges from brute force \
+                         (space {:?})",
+                        space.widths()
+                    );
+                    assert_eq!(
+                        r.stats.outputs as usize,
+                        expect.len(),
+                        "seed {seed}: parallel output counter wrong"
+                    );
+                    assert_eq!(r.stats.restarts, 1, "seed {seed}: one logical pass");
+                    assert_eq!(
+                        r.stats.par_tasks,
+                        r.stats.par_donations + 1,
+                        "seed {seed}: every task beyond the root comes from a donation"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The parallel engine through the full join pipeline, against both the
+/// sequential engine and `baseline::brute`.
+#[test]
+fn parallel_join_pipeline_matches_sequential_and_brute() {
+    let width = 2u8;
+    for seed in 500..515u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dom = 1u64 << width;
+        let rel = |rng: &mut StdRng| {
+            let count = rng.gen_range(0..=12);
+            let tuples: Vec<Vec<u64>> = (0..count)
+                .map(|_| vec![rng.gen_range(0..dom), rng.gen_range(0..dom)])
+                .collect();
+            Relation::new(Schema::uniform(&["X", "Y"], width), tuples)
+        };
+        let (r, s, t) = (rel(&mut rng), rel(&mut rng), rel(&mut rng));
+        let join = PreparedJoin::builder(width)
+            .atom("R", &r, &["A", "B"])
+            .atom("S", &s, &["B", "C"])
+            .atom("T", &t, &["A", "C"])
+            .build();
+        let spec = JoinSpec::new(&["A", "B", "C"], &[width; 3])
+            .atom("R", &r, &["A", "B"])
+            .atom("S", &s, &["B", "C"])
+            .atom("T", &t, &["A", "C"]);
+        let expect = brute_force_join(&spec);
+        let oracle = join.oracle();
+        let seq = Tetris::preloaded(&oracle).run();
+        for threads in [2usize, 4, 8] {
+            let par = Tetris::preloaded(&oracle)
+                .descent(Descent::Parallel { threads })
+                .run();
+            assert_eq!(
+                par.tuples, seq.tuples,
+                "seed {seed}: threads={threads} diverges from the sequential engine"
+            );
+            let got = join.reorder_to(&["A", "B", "C"], &par.tuples);
+            assert_eq!(
+                got, expect,
+                "seed {seed}: threads={threads} diverges from baseline::brute"
+            );
+        }
+    }
+}
+
 /// Join-shaped differential: the full pipeline (SAO choice, index build,
 /// gap oracle, every engine variant) against exhaustive enumeration.
 #[test]

@@ -4,7 +4,7 @@
 //! CI, 10⁵ behind `--ignored` (run with `cargo test -- --ignored`).
 
 use baseline::leapfrog::leapfrog_join;
-use tetris_join::tetris::Tetris;
+use tetris_join::tetris::{Descent, Tetris};
 use tetris_join::triangles::{prepared_triangle_join, triangle_spec, TRIANGLE_ATTRS};
 use workload::graphs::{self, Graph};
 
@@ -86,6 +86,75 @@ fn loader_roundtrip_preserves_listings() {
     assert_eq!(
         check_graph("roundtrip original", &g),
         check_graph("roundtrip loaded", &back)
+    );
+}
+
+/// Parallel-vs-sequential triangle listings: the work-stealing descent at
+/// 2/4/8 workers must produce the bit-identical output tuple sequence on
+/// every graph family. Seeds are printed so a CI failure reproduces
+/// locally (the generators are deterministic per seed).
+#[test]
+fn parallel_listings_match_sequential_across_seeds() {
+    for seed in [31u64, 32] {
+        for (kind, g) in [
+            ("random", graphs::random_graph(1_000, 2_000, seed)),
+            ("skewed", graphs::skewed_graph_with_edges(2_000, 2, seed)),
+            (
+                "power-law",
+                graphs::power_law_graph(1_000, 0.8, 2_000, seed),
+            ),
+        ] {
+            let edges = g.edge_relation();
+            let join = prepared_triangle_join(&edges);
+            let oracle = join.oracle();
+            let seq = Tetris::preloaded(&oracle).run();
+            assert_eq!(seq.tuples.len() as u64, g.count_triangles());
+            for threads in [2usize, 4, 8] {
+                let par = Tetris::preloaded(&oracle)
+                    .descent(Descent::Parallel { threads })
+                    .run();
+                assert_eq!(
+                    par.tuples, seq.tuples,
+                    "{kind} seed={seed} threads={threads}: parallel listing \
+                     diverges from sequential"
+                );
+                assert_eq!(par.stats.outputs, seq.stats.outputs);
+            }
+        }
+    }
+}
+
+/// The ISSUE 4 acceptance criterion: ≥ 2× at 4 workers on the 10⁵-edge
+/// skewed-graph triangle workload. Wall-clock scaling needs ≥ 4 physical
+/// cores — on smaller hosts (the 1-core dev container, busy CI runners)
+/// the measurement is meaningless, so the test skips itself there and
+/// the scaling snapshot lives in `BENCH_pr4.json` / EXPERIMENTS.md §7.
+#[test]
+#[ignore = "needs ≥4 idle cores; run with cargo test --release -- --ignored"]
+fn parallel_speedup_on_skewed_1e5() {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if cores < 4 {
+        eprintln!("skipping speedup assertion: only {cores} core(s) available");
+        return;
+    }
+    let g = graphs::skewed_graph_with_edges(100_000, 2, 22);
+    let edges = g.edge_relation();
+    let join = prepared_triangle_join(&edges);
+    let oracle = join.oracle();
+    let t0 = std::time::Instant::now();
+    let seq = Tetris::preloaded(&oracle).run();
+    let seq_s = t0.elapsed().as_secs_f64();
+    let t0 = std::time::Instant::now();
+    let par = Tetris::preloaded(&oracle)
+        .descent(Descent::Parallel { threads: 4 })
+        .run();
+    let par_s = t0.elapsed().as_secs_f64();
+    assert_eq!(par.tuples, seq.tuples, "outputs must be bit-identical");
+    let speedup = seq_s / par_s;
+    assert!(
+        speedup >= 2.0,
+        "4-thread speedup {speedup:.2}x below the 2x acceptance bar \
+         (sequential {seq_s:.3}s, parallel {par_s:.3}s)"
     );
 }
 
