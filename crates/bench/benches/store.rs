@@ -1,7 +1,9 @@
-//! Microbenchmark: the multilevel dyadic tree (knowledge base) — insert
-//! and containment-query throughput, the Õ(1) operations of Lemma 4.5.
+//! Microbenchmark: the box-store backends (knowledge base) — insert and
+//! containment-query throughput, the Õ(1) operations of Lemma 4.5,
+//! A/B'd across the binary tree and the radix trie.
 
-use boxstore::BoxTree;
+use boxstore::{BoxStore, BoxTree, DescentProbe};
+use boxtrie::RadixBoxTrie;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dyadic::{DyadicBox, DyadicInterval};
 
@@ -30,24 +32,32 @@ fn make_boxes(n: usize, d: u8, count: usize, seed: u64) -> Vec<DyadicBox> {
         .collect()
 }
 
-fn bench_store(c: &mut Criterion) {
-    let mut group = c.benchmark_group("box_tree");
-    group.sample_size(20);
+fn bench_backend<S: BoxStore>(group: &mut criterion::BenchmarkGroup<'_>, tag: &str) {
     for &count in &[1_000usize, 10_000] {
         let boxes = make_boxes(3, 16, count, 99);
-        group.bench_with_input(BenchmarkId::new("insert", count), &count, |b, _| {
-            b.iter(|| {
-                let mut t = BoxTree::new(3);
-                for bx in &boxes {
-                    t.insert(bx);
-                }
-                t.len()
-            })
-        });
-        let tree: BoxTree = boxes.iter().copied().collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("insert/{tag}"), count),
+            &count,
+            |b, _| {
+                b.iter(|| {
+                    let mut t = S::new(3);
+                    for bx in &boxes {
+                        t.insert(bx);
+                    }
+                    t.len()
+                })
+            },
+        );
+        let tree: S = {
+            let mut t = S::new(3);
+            for bx in &boxes {
+                t.insert(bx);
+            }
+            t
+        };
         let probes = make_boxes(3, 16, 1000, 123);
         group.bench_with_input(
-            BenchmarkId::new("find_containing", count),
+            BenchmarkId::new(format!("find_containing/{tag}"), count),
             &count,
             |b, _| {
                 b.iter(|| {
@@ -58,7 +68,36 @@ fn bench_store(c: &mut Criterion) {
                 })
             },
         );
+        // The engine's actual probe shape: descend one path, tracked.
+        group.bench_with_input(
+            BenchmarkId::new(format!("tracked_descent/{tag}"), count),
+            &count,
+            |b, _| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    let mut probe = DescentProbe::new();
+                    for p in probes.iter().take(200) {
+                        let full = p.get(0);
+                        for len in 0..=full.len() {
+                            let t = DyadicBox::universe(3).with(0, full.truncate(len));
+                            if tree.find_containing_tracked(&t, 0, &mut probe).is_some() {
+                                hits += 1;
+                                break;
+                            }
+                        }
+                    }
+                    hits
+                })
+            },
+        );
     }
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("box_store");
+    group.sample_size(20);
+    bench_backend::<BoxTree>(&mut group, "binary");
+    bench_backend::<RadixBoxTrie>(&mut group, "radix");
     group.finish();
 }
 

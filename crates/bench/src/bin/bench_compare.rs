@@ -96,13 +96,18 @@ fn load(path: &str) -> Vec<Row> {
 
 /// Identity of a row for cross-file matching. The `graph` column (the
 /// t2-graphs family name) folds into the experiment key so random/skewed/
-/// power-law rows at the same N stay distinct, and the `threads` column
-/// (the parallel-descent sweep) folds in so each worker count is gated
-/// against its own baseline row.
+/// power-law rows at the same N stay distinct, the `backend` column (the
+/// box-store A/B sweep) folds in so binary and radix rows can never
+/// silently collide, and the `threads` column (the parallel-descent
+/// sweep) folds in so each worker count is gated against its own
+/// baseline row.
 fn key(row: &Row) -> Option<(String, u64, u64)> {
     let mut exp = row_field(row, "experiment")?.as_str()?.to_string();
     if let Some(g) = row_field(row, "graph").and_then(|v| v.as_str()) {
         exp = format!("{exp}:{g}");
+    }
+    if let Some(b) = row_field(row, "backend").and_then(|v| v.as_str()) {
+        exp = format!("{exp}:{b}");
     }
     if let Some(t) = row_field(row, "threads").and_then(|v| v.as_num()) {
         exp = format!("{exp}:t{t}");
@@ -339,6 +344,45 @@ mod tests {
         );
         let err = compare(&base, &slow, 2.0, Gate::T2Graphs).unwrap_err();
         assert!(err.contains("t2-graphs:skewed:t4"), "{err}");
+    }
+
+    #[test]
+    fn backend_column_keys_ab_rows_separately() {
+        // Binary and radix rows share (experiment:graph, N, threads); the
+        // backend column must keep them from colliding — without it the
+        // first match would gate the radix candidate against the binary
+        // baseline (or vice versa) silently.
+        let base = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","backend":"binary","threads":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000}
+{"experiment":"t2-graphs","graph":"skewed","backend":"radix","threads":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.0,"resolutions":900000}
+"#,
+        );
+        let cand = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","backend":"binary","threads":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.4,"resolutions":900000}
+{"experiment":"t2-graphs","graph":"skewed","backend":"radix","threads":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.1,"resolutions":900000}
+"#,
+        );
+        let report = compare(&base, &cand, 2.0, Gate::T2Graphs).unwrap();
+        assert!(report.contains("t2-graphs:skewed:binary:t1"), "{report}");
+        assert!(report.contains("t2-graphs:skewed:radix:t1"), "{report}");
+        // A radix-only regression fails only the radix key.
+        let slow = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","backend":"binary","threads":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.4,"resolutions":900000}
+{"experiment":"t2-graphs","graph":"skewed","backend":"radix","threads":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":2.5,"resolutions":900000}
+"#,
+        );
+        let err = compare(&base, &slow, 2.0, Gate::T2Graphs).unwrap_err();
+        assert!(err.contains("gate: t2-graphs:skewed:radix:t1"), "{err}");
+        assert!(!err.contains("gate: t2-graphs:skewed:binary:t1"), "{err}");
+        // Rows without a backend column (older snapshots) keep their old
+        // keys, so pre-backend baselines still parse and match.
+        let old = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","threads":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000}"#,
+        );
+        assert_eq!(key(&old[0]).unwrap().0, "t2-graphs:skewed:t1");
     }
 
     #[test]

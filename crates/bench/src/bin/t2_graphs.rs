@@ -1,40 +1,47 @@
 //! **T2 — the large-graph workload tier**: triangle listing on
 //! 10⁴–10⁶-edge graphs (random / skewed / power-law), Tetris-Preloaded
-//! (sequential and `Descent::Parallel`) vs Leapfrog Triejoin, verified
-//! against the sorted-adjacency ground truth and round-tripped through
-//! the streaming on-disk loader. (Preloaded is the right variant at
-//! graph scale: sparse-graph certificates are Θ(N), so Reloaded's
-//! probe-driven loading pays ~40× more resolutions here — measured at
-//! 10⁴ edges, EXPERIMENTS.md §6.)
+//! (sequential and `Descent::Parallel`, over both box-store backends) vs
+//! Leapfrog Triejoin, verified against the sorted-adjacency ground truth
+//! and round-tripped through the streaming on-disk loader. (Preloaded is
+//! the right variant at graph scale: sparse-graph certificates are Θ(N),
+//! so Reloaded's probe-driven loading pays ~40× more resolutions here —
+//! measured at 10⁴ edges, EXPERIMENTS.md §6.)
 //!
 //! Usage:
-//! `cargo run --release -p bench --bin t2_graphs [-- <tier>] [--threads L] [--seed S]`
+//! `cargo run --release -p bench --bin t2_graphs [-- <tier>]
+//!  [--threads L] [--backend L] [--seed S]`
 //! where `<tier>` is `smoke` (10⁵ edges — the CI graph-smoke job), `full`
 //! (10⁴ + 10⁵, the snapshot tier, default), `big` (adds the 10⁶-edge
-//! skewed instance: ~25 s, ~2.2 GB peak RSS), or an explicit edge count;
-//! `--threads` is a comma-separated worker sweep (default `1,4`; `1`
-//! runs the sequential incremental engine, `N > 1` runs
-//! `Descent::Parallel { threads: N }`); `--seed` overrides every
-//! generator's fixed seed, so a differential failure found elsewhere can
-//! be replayed at bench scale.
+//! skewed instance), or an explicit edge count; `--threads` is a
+//! comma-separated worker sweep (default `1,4`; `1` runs the sequential
+//! incremental engine, `N > 1` runs `Descent::Parallel { threads: N }`);
+//! `--backend` is a comma-separated backend sweep (default
+//! `binary,radix` — the A/B protocol of EXPERIMENTS.md §8); `--seed`
+//! overrides every generator's fixed seed, so a differential failure
+//! found elsewhere can be replayed at bench scale.
 //!
-//! Every row asserts `tetris == leapfrog == ground truth`, and the
-//! thread sweep asserts every parallel listing is **bit-identical** to
-//! the sequential one; any mismatch exits non-zero, so the sweep is
-//! itself a correctness gate. Machine-readable rows land in
-//! `$TETRIS_BENCH_JSONL` (experiment `t2-graphs`, one row per thread
-//! count), gated in CI by `bench_compare --gate t2-graphs` against
-//! `BENCH_pr4.json` (regeneration: EXPERIMENTS.md §7).
+//! Every row asserts `tetris == leapfrog == ground truth`, the sweep
+//! asserts every (backend × threads) listing is **bit-identical** to the
+//! first, and sequential resolution counts must match across backends
+//! exactly; any mismatch exits non-zero, so the sweep is itself a
+//! correctness gate. Machine-readable rows land in
+//! `$TETRIS_BENCH_JSONL` (experiment `t2-graphs`, one row per backend ×
+//! thread count, keyed apart by the `backend` column), gated in CI by
+//! `bench_compare --gate t2-graphs` against `BENCH_pr5.json`
+//! (regeneration: EXPERIMENTS.md §8).
 
 use baseline::leapfrog::leapfrog_join;
 use bench::{fmt_f, peak_rss_bytes, time, Table};
-use tetris_core::{Descent, Tetris};
+use boxstore::BoxTree;
+use boxtrie::RadixBoxTrie;
+use tetris_core::{Backend, Descent, Tetris, TetrisConfig};
 use tetris_join::triangles::{prepared_triangle_join, triangle_spec};
 use workload::graphs::{self, Graph};
 
 struct Args {
     tier: String,
     threads: Vec<usize>,
+    backends: Vec<Backend>,
     seed: Option<u64>,
 }
 
@@ -42,6 +49,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         tier: "full".to_string(),
         threads: vec![1, 4],
+        backends: vec![Backend::Binary, Backend::Radix],
         seed: None,
     };
     let mut it = std::env::args().skip(1);
@@ -57,6 +65,17 @@ fn parse_args() -> Args {
                             .ok()
                             .filter(|&n| n >= 1)
                             .unwrap_or_else(|| usage(&format!("bad thread count {t:?}")))
+                    })
+                    .collect();
+            }
+            "--backend" => {
+                let list = it.next().unwrap_or_else(|| usage("--backend needs a list"));
+                args.backends = list
+                    .split(',')
+                    .map(|b| {
+                        b.trim()
+                            .parse::<Backend>()
+                            .unwrap_or_else(|e| usage(&e.to_string()))
                     })
                     .collect();
             }
@@ -76,7 +95,10 @@ fn parse_args() -> Args {
 
 fn usage(msg: &str) -> ! {
     eprintln!("t2_graphs: {msg}");
-    eprintln!("usage: t2_graphs [smoke|full|big|<edge count>] [--threads 1,4,...] [--seed S]");
+    eprintln!(
+        "usage: t2_graphs [smoke|full|big|<edge count>] [--threads 1,4,...] \
+         [--backend binary,radix] [--seed S]"
+    );
     std::process::exit(2);
 }
 
@@ -92,11 +114,12 @@ fn main() {
         },
     };
     println!(
-        "== T2: large-graph triangle listing (tier: {}, threads: {:?}) ==\n",
-        args.tier, args.threads
+        "== T2: large-graph triangle listing (tier: {}, threads: {:?}, backends: {:?}) ==\n",
+        args.tier, args.threads, args.backends
     );
     let mut table = Table::new(&[
         "graph",
+        "backend",
         "threads",
         "edges",
         "vertices",
@@ -118,13 +141,13 @@ fn main() {
                 continue;
             }
             let g = generate(kind, edges, args.seed);
-            run_row(&mut table, kind, &g, &args.threads);
+            run_row(&mut table, kind, &g, &args.threads, &args.backends);
             eprintln!("  done: {kind} @ {edges} edges");
         }
     }
     table.export("t2-graphs");
     println!("{}", table.render());
-    println!("all rows: tetris == leapfrog == ground truth ✓ (all thread counts)");
+    println!("all rows: tetris == leapfrog == ground truth ✓ (all backends × thread counts)");
 }
 
 /// Deterministic instance per (kind, edge count); `--seed` overrides.
@@ -144,7 +167,7 @@ fn generate(kind: &str, edges: usize, seed: Option<u64>) -> Graph {
     }
 }
 
-fn run_row(table: &mut Table, kind: &str, g: &Graph, threads: &[usize]) {
+fn run_row(table: &mut Table, kind: &str, g: &Graph, threads: &[usize], backends: &[Backend]) {
     let edges = g.edge_relation();
     let n = 3 * edges.len();
 
@@ -181,55 +204,92 @@ fn run_row(table: &mut Table, kind: &str, g: &Graph, threads: &[usize]) {
         lf.len()
     );
 
-    // The thread sweep: every listing must be bit-identical to the first.
+    // The backend × thread sweep: every listing must be bit-identical to
+    // the first, and the sequential resolution count must not depend on
+    // the backend (the witness order is part of the BoxStore contract).
+    // `tetris_s` times the solve only — the engine is built (and the
+    // knowledge base preloaded) outside the clock, exactly as every
+    // earlier snapshot (BENCH_seed…BENCH_pr4) measured it, so rows stay
+    // ratchet-comparable across PRs.
     let mut reference: Option<Vec<Vec<u64>>> = None;
-    for &t in threads {
-        let engine = if t == 1 {
-            Tetris::preloaded(&oracle)
-        } else {
-            Tetris::preloaded(&oracle).descent(Descent::Parallel { threads: t })
-        };
-        let (out, tetris_s) = time(|| engine.run());
-        assert_eq!(
-            out.tuples.len() as u64,
-            truth,
-            "{kind}/{} edges, threads={t}: tetris listed {} triangles, ground truth {truth}",
-            g.edges.len(),
-            out.tuples.len()
-        );
-        match &reference {
-            None => reference = Some(out.tuples.clone()),
-            Some(r) => assert_eq!(
-                &out.tuples,
-                r,
-                "{kind}/{} edges: threads={t} listing diverges from threads={}",
+    let mut seq_resolutions: Option<u64> = None;
+    for &backend in backends {
+        for &t in threads {
+            let cfg = TetrisConfig {
+                preload: true,
+                descent: if t == 1 {
+                    Descent::Incremental
+                } else {
+                    Descent::Parallel { threads: t }
+                },
+                backend,
+                ..Default::default()
+            };
+            let (out, tetris_s) = match backend {
+                Backend::Binary => {
+                    let engine = Tetris::<_, BoxTree>::with_store(&oracle, cfg);
+                    time(|| engine.run())
+                }
+                Backend::Radix => {
+                    let engine = Tetris::<_, RadixBoxTrie>::with_store(&oracle, cfg);
+                    time(|| engine.run())
+                }
+            };
+            assert_eq!(
+                out.tuples.len() as u64,
+                truth,
+                "{kind}/{} edges, backend={backend}, threads={t}: tetris listed {} \
+                 triangles, ground truth {truth}",
                 g.edges.len(),
-                threads[0]
-            ),
+                out.tuples.len()
+            );
+            match &reference {
+                None => reference = Some(out.tuples.clone()),
+                Some(r) => assert_eq!(
+                    &out.tuples,
+                    r,
+                    "{kind}/{} edges: backend={backend} threads={t} listing diverges \
+                     from the first sweep entry",
+                    g.edges.len()
+                ),
+            }
+            if t == 1 {
+                match seq_resolutions {
+                    None => seq_resolutions = Some(out.stats.resolutions),
+                    Some(r) => assert_eq!(
+                        out.stats.resolutions,
+                        r,
+                        "{kind}/{} edges: backend={backend} sequential resolutions \
+                         diverge — the backends' witness orders differ",
+                        g.edges.len()
+                    ),
+                }
+            }
+            // Resolutions are the Õ-bound quantity and must never grow, so
+            // `bench_compare` hard-fails on any increase — but under
+            // `Descent::Parallel` the count depends on donation timing
+            // (documented in tests/stats_regression.rs), so parallel rows
+            // report `-` and only their wall time and triangle count gate.
+            let resolutions = if t == 1 {
+                format!("{}", out.stats.resolutions)
+            } else {
+                "-".to_string()
+            };
+            table.row(&[
+                kind.to_string(),
+                format!("{backend}"),
+                format!("{t}"),
+                format!("{}", g.edges.len()),
+                format!("{}", g.vertices),
+                format!("{n}"),
+                format!("{truth}"),
+                fmt_f(truth_s),
+                fmt_f(tetris_s),
+                resolutions,
+                fmt_f(lftj_s),
+                fmt_f(load_s),
+                fmt_f(peak_rss_bytes().map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0))),
+            ]);
         }
-        // Resolutions are the Õ-bound quantity and must never grow, so
-        // `bench_compare` hard-fails on any increase — but under
-        // `Descent::Parallel` the count depends on donation timing
-        // (documented in tests/stats_regression.rs), so parallel rows
-        // report `-` and only their wall time and triangle count gate.
-        let resolutions = if t == 1 {
-            format!("{}", out.stats.resolutions)
-        } else {
-            "-".to_string()
-        };
-        table.row(&[
-            kind.to_string(),
-            format!("{t}"),
-            format!("{}", g.edges.len()),
-            format!("{}", g.vertices),
-            format!("{n}"),
-            format!("{truth}"),
-            fmt_f(truth_s),
-            fmt_f(tetris_s),
-            resolutions,
-            fmt_f(lftj_s),
-            fmt_f(load_s),
-            fmt_f(peak_rss_bytes().map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0))),
-        ]);
     }
 }

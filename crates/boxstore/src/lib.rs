@@ -28,6 +28,14 @@
 //! descent, [`BoxTree::extract_intersecting_into`] carves the shard of a
 //! store that matters inside a donated half-box.
 //!
+//! The storage contract itself is **pluggable**: everything the engine
+//! needs is the [`BoxStore`] trait (insert, DFS-first containment probes
+//! with frontier advance/repair, epochs, shard extraction), [`BoxTree`]
+//! is its reference implementation, and the `boxtrie` crate provides a
+//! path-compressed radix alternative. The shared probe machinery
+//! ([`DescentProbe`], [`FrontierStack`], [`InsertLog`]) lives in this
+//! crate so backends differ only in their node walks.
+//!
 //! The crate also provides [`coverage`] — brute-force reference
 //! implementations used by tests and by certificate estimation.
 
@@ -37,8 +45,13 @@
 pub mod coverage;
 mod epochs;
 mod oracle;
+mod store;
 mod tree;
 
 pub use epochs::{CoverProbe, CoverageMarks};
 pub use oracle::{BoxOracle, SetOracle};
-pub use tree::{BoxTree, DescentProbe, FrontierStack};
+pub use store::{
+    is_child_at, lens_key_of_box, BoxStore, DescentProbe, FrontierStack, InsertLog, StoreTuning,
+    DEFAULT_INSERT_RING, REPAIR_CAP,
+};
+pub use tree::{BinaryEntry, BoxTree};

@@ -1,0 +1,451 @@
+//! The pluggable box-store backend contract.
+//!
+//! The Tetris engines never depend on *how* boxes are stored — they need
+//! exactly the queries of [`BoxStore`]: insert, first-hit containment
+//! probe (with the incremental frontier advance/repair fast path),
+//! coverage epochs, and shard extraction for the parallel descent. The
+//! paper's multilevel binary tree ([`crate::BoxTree`], Appendix C.1) is
+//! one implementation; `boxtrie`'s path-compressed radix trie is another.
+//! Everything an implementation shares — the probe-frontier state, the
+//! per-frame frontier stack, the rolling insert log that makes lagging
+//! frontiers repairable — lives here so backends only differ in their
+//! node walks.
+//!
+//! # The containment-order contract
+//!
+//! `find_containing` (and its tracked variant) must return the **first
+//! hit of the multilevel DFS**: stored prefixes are tried dimension by
+//! dimension in SAO order, shorter prefixes first. Two conforming
+//! backends therefore return *bit-identical witnesses* on every probe,
+//! which is what makes whole-engine A/B runs (and their resolution
+//! counts) comparable — the differential walls assert exactly this.
+
+use dyadic::{DyadicBox, MAX_DIMS};
+
+/// Default length of the rolling insert ring every backend keeps (the
+/// window of recent inserts a saved probe frontier can be repaired
+/// against). Surfaced through `TetrisConfig::insert_ring`.
+pub const DEFAULT_INSERT_RING: usize = 256;
+
+/// Maximum number of logged inserts a saved frontier may lag behind the
+/// store and still be repaired in place; older frontiers fall back to a
+/// full walk.
+pub const REPAIR_CAP: u64 = 64;
+
+/// Construction-time tuning knobs shared by all backends.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreTuning {
+    /// Length of the rolling insert ring (must be ≥ [`REPAIR_CAP`]; the
+    /// repair window must never be overwritten before it can be read).
+    pub insert_ring: usize,
+}
+
+impl Default for StoreTuning {
+    fn default() -> Self {
+        StoreTuning {
+            insert_ring: DEFAULT_INSERT_RING,
+        }
+    }
+}
+
+/// The storage contract the Tetris engines are generic over.
+///
+/// Implementations must satisfy, beyond the per-method contracts:
+///
+/// * **DFS-first witnesses** — see the module docs; witnesses must be
+///   bit-identical to [`crate::BoxTree`]'s on every reachable probe.
+/// * **Monotone epochs** — [`BoxStore::epoch`] advances exactly on novel
+///   inserts and on [`BoxStore::clear`], never otherwise (the engine's
+///   coverage memo keys on this).
+/// * **Thread sharing** — stores are probed through `&self` by many
+///   workers under the parallel descent (`Sync`), and overlay shards
+///   move between workers (`Send`).
+pub trait BoxStore: Send + Sync + Sized + std::fmt::Debug {
+    /// One recorded tree position of a failed probe's frontier. Opaque to
+    /// the engine; [`DescentProbe`] and [`FrontierStack`] just carry it.
+    type Entry: Copy + std::fmt::Debug + Send;
+
+    /// An empty store for `n`-dimensional boxes with explicit tuning.
+    fn with_tuning(n: usize, tuning: StoreTuning) -> Self;
+
+    /// An empty store for `n`-dimensional boxes (default tuning).
+    fn new(n: usize) -> Self {
+        Self::with_tuning(n, StoreTuning::default())
+    }
+
+    /// Number of dimensions.
+    fn n(&self) -> usize;
+
+    /// Number of stored boxes (exact duplicates stored once).
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of arena nodes (memory diagnostic).
+    fn node_count(&self) -> usize;
+
+    /// The coverage epoch (see [`crate::BoxTree::epoch`] for the
+    /// monotonicity contract).
+    fn epoch(&self) -> u64;
+
+    /// Remove all boxes, keeping allocated capacity. Invalidates every
+    /// saved frontier (enforced via the insert log's clear stamp).
+    fn clear(&mut self);
+
+    /// Insert a box; `true` iff it was new.
+    fn insert(&mut self, b: &DyadicBox) -> bool;
+
+    /// Find one stored box `a ⊇ b` — the multilevel DFS's first hit.
+    fn find_containing(&self, b: &DyadicBox) -> Option<DyadicBox>;
+
+    /// Whether some stored box contains `b`.
+    fn covers(&self, b: &DyadicBox) -> bool {
+        self.find_containing(b).is_some()
+    }
+
+    /// [`BoxStore::find_containing`] with the incremental-descent fast
+    /// path: failed probes record their frontier in `state`, and a probe
+    /// for the last target's one-bit child at a close-enough insert count
+    /// advances (and repairs) it instead of re-walking. Must be
+    /// witness-identical to [`BoxStore::find_containing`].
+    fn find_containing_tracked(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<Self::Entry>,
+    ) -> Option<DyadicBox>;
+
+    /// Build a shard: every stored box intersecting `target` is inserted
+    /// into `out` (cleared first). Boxes are copied verbatim, so the
+    /// shard answers every containment probe for sub-boxes of `target`
+    /// exactly as the full store would.
+    fn extract_intersecting_into(&self, target: &DyadicBox, out: &mut Self);
+
+    /// Enumerate all stored boxes (deterministic order).
+    fn iter_boxes(&self) -> Vec<DyadicBox>;
+}
+
+/// Reusable state for [`BoxStore::find_containing_tracked`]: the frontier
+/// of the last failed probe, valid for the immediate child of the
+/// recorded target. The frontier is *complete* with respect to every
+/// insert before `mark`; up to [`REPAIR_CAP`] later inserts can be
+/// repaired in from the store's rolling log, anything older falls back
+/// to a full walk.
+///
+/// The bookkeeping fields are `pub` because backend implementations live
+/// in other crates (`boxtrie`); the engine treats the whole struct as
+/// opaque apart from the diagnostic counters.
+#[derive(Debug)]
+pub struct DescentProbe<E> {
+    /// Recorded frontier positions, in DFS order.
+    pub entries: Vec<E>,
+    /// The last failed probe's target (`None` = no valid frontier).
+    pub last: Option<DyadicBox>,
+    /// The probed dimension the frontier was recorded for.
+    pub dim: u8,
+    /// The recorded target's component length at `dim`.
+    pub len: u8,
+    /// Store insert count up to which `entries` is complete.
+    pub mark: u64,
+    /// Store clear count at recording time (node ids die with a clear).
+    pub clears: u32,
+    /// Probes answered by advancing the recorded frontier (diagnostic).
+    pub advances: u64,
+    /// Probes answered by advance + insert-log repair (diagnostic).
+    pub repairs: u64,
+    /// Probes that fell back to a full walk (diagnostic).
+    pub full_walks: u64,
+}
+
+impl<E> Default for DescentProbe<E> {
+    fn default() -> Self {
+        DescentProbe {
+            entries: Vec::new(),
+            last: None,
+            dim: 0,
+            len: 0,
+            mark: 0,
+            clears: 0,
+            advances: 0,
+            repairs: 0,
+            full_walks: 0,
+        }
+    }
+}
+
+impl<E> DescentProbe<E> {
+    /// Fresh (invalid) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the recorded frontier (keeps allocated capacity).
+    pub fn invalidate(&mut self) {
+        self.last = None;
+        self.entries.clear();
+    }
+}
+
+/// Per-frame saved probe frontiers, mirroring the engine's descent stack.
+///
+/// When the skeleton splits a target it has just probed (and missed), the
+/// failed probe's frontier describes exactly the tree positions from
+/// which *both* children's probes can be answered. The engine pushes a
+/// copy here alongside the new frame; when it later descends the frame's
+/// right sibling (the 1-side half), [`FrontierStack::restore_top`] turns
+/// the saved frontier back into live [`DescentProbe`] state, and the next
+/// tracked query advances (and, if resolvent inserts happened in between,
+/// repairs) instead of re-walking the store from the root. Entries live
+/// in one arena that grows and truncates with the stack, so saving a
+/// frontier never allocates after warm-up.
+#[derive(Debug)]
+pub struct FrontierStack<E> {
+    arena: Vec<E>,
+    frames: Vec<SavedMeta>,
+}
+
+impl<E> Default for FrontierStack<E> {
+    fn default() -> Self {
+        FrontierStack {
+            arena: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SavedMeta {
+    start: usize,
+    dim: u8,
+    len: u8,
+    mark: u64,
+    clears: u32,
+}
+
+impl<E: Copy> FrontierStack<E> {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of saved frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Save the frontier of the probe that just failed (the engine calls
+    /// this exactly when it pushes the corresponding descent frame).
+    pub fn push_saved(&mut self, probe: &DescentProbe<E>) {
+        debug_assert!(probe.last.is_some(), "only failed probes have frontiers");
+        self.frames.push(SavedMeta {
+            start: self.arena.len(),
+            dim: probe.dim,
+            len: probe.len,
+            mark: probe.mark,
+            clears: probe.clears,
+        });
+        self.arena.extend_from_slice(&probe.entries);
+    }
+
+    /// Discard the top frame's saved frontier (mirrors a frame pop).
+    pub fn pop(&mut self) {
+        if let Some(m) = self.frames.pop() {
+            self.arena.truncate(m.start);
+        }
+    }
+
+    /// Drop everything (mirrors a descent teardown).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.arena.clear();
+    }
+
+    /// Restore the top frame's saved frontier into `probe` as the failed
+    /// probe of `parent` (the frame's reconstructed target), so the next
+    /// tracked query for the parent's 1-side child advances it. Returns
+    /// `false` when there is nothing to restore.
+    pub fn restore_top(&self, parent: &DyadicBox, probe: &mut DescentProbe<E>) -> bool {
+        let Some(m) = self.frames.last() else {
+            return false;
+        };
+        debug_assert_eq!(m.len, parent.get(m.dim as usize).len());
+        probe.entries.clear();
+        probe.entries.extend_from_slice(&self.arena[m.start..]);
+        probe.dim = m.dim;
+        probe.len = m.len;
+        probe.mark = m.mark;
+        probe.clears = m.clears;
+        probe.last = Some(*parent);
+        true
+    }
+}
+
+/// The rolling log of recent inserts every backend keeps: the window a
+/// lagging saved frontier is repaired against, plus the monotone insert
+/// and clear counters probe state is keyed on.
+#[derive(Clone, Debug)]
+pub struct InsertLog {
+    /// Insert `i` lives at `i % ring.len()`; allocated on first insert.
+    ring: Vec<DyadicBox>,
+    ring_len: usize,
+    /// Novel inserts ever performed (monotone; not reset by clears).
+    insert_count: u64,
+    /// Times the store was cleared (invalidates node ids and the log).
+    clears: u32,
+}
+
+impl InsertLog {
+    /// An empty log with the given ring length.
+    ///
+    /// # Panics
+    /// If `ring_len < REPAIR_CAP` — the repairable window must fit.
+    pub fn new(ring_len: usize) -> Self {
+        assert!(
+            ring_len as u64 >= REPAIR_CAP,
+            "insert ring ({ring_len}) must hold at least REPAIR_CAP ({REPAIR_CAP}) entries"
+        );
+        InsertLog {
+            ring: Vec::new(),
+            ring_len,
+            insert_count: 0,
+            clears: 0,
+        }
+    }
+
+    /// Record a novel insert of an `n`-dimensional box.
+    pub fn record(&mut self, n: usize, b: &DyadicBox) {
+        if self.ring.is_empty() {
+            self.ring.resize(self.ring_len, DyadicBox::universe(n));
+        }
+        let slot = (self.insert_count % self.ring_len as u64) as usize;
+        self.ring[slot] = *b;
+        self.insert_count += 1;
+    }
+
+    /// Stamp a store clear (keeps the monotone insert count).
+    pub fn note_clear(&mut self) {
+        self.clears += 1;
+    }
+
+    /// Novel inserts ever performed.
+    pub fn insert_count(&self) -> u64 {
+        self.insert_count
+    }
+
+    /// Clears ever performed.
+    pub fn clears(&self) -> u32 {
+        self.clears
+    }
+
+    /// How many inserts a frontier recorded at `mark` is missing.
+    pub fn lag(&self, mark: u64) -> u64 {
+        self.insert_count - mark
+    }
+
+    /// The DFS-least logged insert since `mark` that contains `b`, keyed
+    /// by its [`lens_key_of_box`] — the candidate a frontier repair
+    /// compares against the advanced frontier's own first hit.
+    ///
+    /// The caller must have checked `lag(mark) <= REPAIR_CAP`.
+    pub fn best_candidate(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        mark: u64,
+    ) -> Option<([u8; MAX_DIMS], DyadicBox)> {
+        debug_assert!(self.lag(mark) <= REPAIR_CAP);
+        let mut best: Option<([u8; MAX_DIMS], DyadicBox)> = None;
+        for i in mark..self.insert_count {
+            let c = &self.ring[(i % self.ring_len as u64) as usize];
+            if c.contains(b) {
+                let key = lens_key_of_box(c, dim);
+                if best.as_ref().is_none_or(|(k, _)| key < *k) {
+                    best = Some((key, *c));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// DFS-order key of a stored box for a probe on `dim`: the per-dimension
+/// prefix lengths through `dim` (later dimensions are λ for any box that
+/// can answer such a probe). The multilevel walk visits shorter prefixes
+/// first dimension by dimension, so comparing these keys lexicographically
+/// reproduces its first-hit order.
+pub fn lens_key_of_box(c: &DyadicBox, dim: usize) -> [u8; MAX_DIMS] {
+    let mut key = [0u8; MAX_DIMS];
+    for (i, slot) in key.iter_mut().enumerate().take(dim + 1) {
+        *slot = c.get(i).len();
+    }
+    key
+}
+
+/// Whether `b` is `last` with exactly one bit appended at `dim`.
+pub fn is_child_at(b: &DyadicBox, last: &DyadicBox, dim: usize) -> bool {
+    for i in 0..b.n() {
+        if i == dim {
+            let (bi, li) = (b.get(i), last.get(i));
+            if bi.len() != li.len() + 1 || bi.truncate(li.len()) != li {
+                return false;
+            }
+        } else if b.get(i) != last.get(i) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> DyadicBox {
+        DyadicBox::parse(s).unwrap()
+    }
+
+    #[test]
+    fn insert_log_rolls_and_ranks() {
+        let mut log = InsertLog::new(64);
+        assert_eq!(log.insert_count(), 0);
+        log.record(2, &b("0,λ"));
+        log.record(2, &b("λ,λ"));
+        log.record(2, &b("00,λ"));
+        assert_eq!(log.insert_count(), 3);
+        assert_eq!(log.lag(1), 2);
+        // The DFS-least candidate containing ⟨00,1⟩ among the lagging
+        // inserts is the shortest-prefix one, ⟨λ,λ⟩.
+        let (key, best) = log.best_candidate(&b("00,1"), 0, 0).unwrap();
+        assert_eq!(best, b("λ,λ"));
+        assert_eq!(key[0], 0);
+        // From mark 2 only ⟨00,λ⟩ is lagging.
+        let (_, best) = log.best_candidate(&b("00,1"), 0, 2).unwrap();
+        assert_eq!(best, b("00,λ"));
+        // A probe outside every lagging insert has no candidate.
+        let mut disjoint = InsertLog::new(64);
+        disjoint.record(2, &b("0,λ"));
+        assert!(disjoint.best_candidate(&b("11,1"), 0, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "REPAIR_CAP")]
+    fn undersized_ring_is_rejected() {
+        let _ = InsertLog::new(8);
+    }
+
+    #[test]
+    fn child_relation() {
+        assert!(is_child_at(&b("01,1"), &b("0,1"), 0));
+        assert!(!is_child_at(&b("11,1"), &b("0,1"), 0));
+        assert!(!is_child_at(&b("01,11"), &b("0,1"), 0));
+        assert!(is_child_at(&b("0,10"), &b("0,1"), 1));
+    }
+}

@@ -1,19 +1,12 @@
-//! The multilevel dyadic tree (paper Appendix C.1).
+//! The multilevel dyadic tree (paper Appendix C.1) — the binary
+//! [`BoxStore`] backend, and the differential oracle the radix backend
+//! (`boxtrie`) is checked against.
 
+use crate::store::{is_child_at, BoxStore, DescentProbe, InsertLog, StoreTuning, REPAIR_CAP};
 use dyadic::{DyadicBox, DyadicInterval, MAX_DIMS};
 
 /// Sentinel for "no node".
 const NONE: u32 = u32::MAX;
-
-/// Size of the rolling insert log. Repairs only ever scan [`REPAIR_CAP`]
-/// entries, so the ring just needs enough slack that a repairable window
-/// is never overwritten.
-const RING: usize = 256;
-
-/// Maximum number of logged inserts a saved frontier may lag behind the
-/// store and still be repaired in place; older frontiers fall back to a
-/// full walk (`walk_record`).
-const REPAIR_CAP: u64 = 64;
 
 /// One node of one level's dyadic (binary) tree.
 ///
@@ -61,21 +54,31 @@ pub struct BoxTree {
     n: usize,
     len: usize,
     epoch: u64,
-    /// Novel inserts ever performed (monotone; not reset by `clear`).
-    insert_count: u64,
-    /// Times the store was cleared — node ids and logged inserts from
-    /// before a clear are invalid, so probe state is keyed on this too.
-    clears: u32,
-    /// Rolling log of the last [`RING`] inserted boxes (insert `i` lives
-    /// at `i % RING`), allocated on first insert. This is what lets a
-    /// frontier saved *before* a handful of inserts be advanced+repaired
-    /// instead of re-walked.
-    ring: Vec<DyadicBox>,
+    /// Rolling log of recent inserts + the monotone insert/clear counters
+    /// probe state is keyed on. This is what lets a frontier saved
+    /// *before* a handful of inserts be advanced+repaired instead of
+    /// re-walked.
+    log: InsertLog,
+}
+
+/// One extendable tree position of a failed probe: the node reached at
+/// the target's full depth on the probed dimension, plus the stored
+/// prefix lengths chosen on the earlier dimensions (enough to rebuild the
+/// witness box on a later hit).
+#[derive(Clone, Copy, Debug)]
+pub struct BinaryEntry {
+    node: u32,
+    lens: [u8; MAX_DIMS],
 }
 
 impl BoxTree {
-    /// An empty store for `n`-dimensional boxes.
+    /// An empty store for `n`-dimensional boxes (default tuning).
     pub fn new(n: usize) -> Self {
+        Self::with_tuning(n, StoreTuning::default())
+    }
+
+    /// An empty store with an explicit insert-ring length.
+    pub fn with_tuning(n: usize, tuning: StoreTuning) -> Self {
         assert!(n >= 1, "boxes must have at least one dimension");
         let mut nodes = Vec::with_capacity(1024);
         nodes.push(Node::EMPTY); // level-0 root
@@ -85,9 +88,7 @@ impl BoxTree {
             n,
             len: 0,
             epoch: 0,
-            insert_count: 0,
-            clears: 0,
-            ring: Vec::new(),
+            log: InsertLog::new(tuning.insert_ring),
         }
     }
 
@@ -132,7 +133,7 @@ impl BoxTree {
         // stale too; advancing the epoch keeps the monotonicity contract.
         self.epoch += 1;
         // Saved frontiers hold node ids; a clear invalidates them all.
-        self.clears += 1;
+        self.log.note_clear();
     }
 
     fn alloc(&mut self) -> u32 {
@@ -191,11 +192,7 @@ impl BoxTree {
         if fresh {
             self.len += 1;
             self.epoch += 1;
-            if self.ring.is_empty() {
-                self.ring.resize(RING, DyadicBox::universe(self.n));
-            }
-            self.ring[(self.insert_count % RING as u64) as usize] = *b;
-            self.insert_count += 1;
+            self.log.record(self.n, b);
         }
         fresh
     }
@@ -292,28 +289,27 @@ impl BoxTree {
     ///
     /// A failed probe records, in `state`, the set of tree positions
     /// compatible with the target (one per combination of stored prefixes
-    /// on the earlier dimensions) together with the store's
-    /// [`BoxTree::epoch`]. When the next probe is for a **child** of the
-    /// last target (one bit appended at `dim`) *at the same epoch*, the
-    /// recorded frontier is advanced by that single bit instead of
-    /// re-walking the tree from the root. This is exact, not heuristic:
-    /// at an unchanged epoch, any witness for the child whose `dim`
-    /// component were shorter than the child's would also contain the
-    /// already-probed parent — so only positions at full depth (the
-    /// recorded ones, advanced) can produce a hit, and scanning them in
-    /// recorded (DFS) order returns the identical witness the full walk
-    /// would find.
+    /// on the earlier dimensions) together with the store's insert count.
+    /// When the next probe is for a **child** of the last target (one bit
+    /// appended at `dim`) *at the same count*, the recorded frontier is
+    /// advanced by that single bit instead of re-walking the tree from
+    /// the root. This is exact, not heuristic: at an unchanged store, any
+    /// witness for the child whose `dim` component were shorter than the
+    /// child's would also contain the already-probed parent — so only
+    /// positions at full depth (the recorded ones, advanced) can produce
+    /// a hit, and scanning them in recorded (DFS) order returns the
+    /// identical witness the full walk would find.
     pub fn find_containing_tracked(
         &self,
         b: &DyadicBox,
         dim: usize,
-        state: &mut DescentProbe,
+        state: &mut DescentProbe<BinaryEntry>,
     ) -> Option<DyadicBox> {
         debug_assert_eq!(b.n(), self.n);
         debug_assert!(dim < self.n);
         let iv = b.get(dim);
         if let Some(last) = state.last {
-            if state.clears == self.clears
+            if state.clears == self.log.clears()
                 && state.dim == dim as u8
                 && iv.len() == state.len + 1
                 && is_child_at(b, &last, dim)
@@ -321,7 +317,7 @@ impl BoxTree {
                 // How many inserts the recorded frontier is missing. The
                 // frontier is complete w.r.t. every insert before
                 // `state.mark`; the rest live in the rolling log.
-                let lag = self.insert_count - state.mark;
+                let lag = self.log.lag(state.mark);
                 if lag == 0 {
                     state.advances += 1;
                     return self.advance_probe(b, dim, state);
@@ -341,7 +337,7 @@ impl BoxTree {
         &self,
         b: &DyadicBox,
         dim: usize,
-        state: &mut DescentProbe,
+        state: &mut DescentProbe<BinaryEntry>,
     ) -> Option<DyadicBox> {
         let iv = b.get(dim);
         let bit = (iv.bits() & 1) as usize;
@@ -384,20 +380,11 @@ impl BoxTree {
         &self,
         b: &DyadicBox,
         dim: usize,
-        state: &mut DescentProbe,
+        state: &mut DescentProbe<BinaryEntry>,
     ) -> Option<DyadicBox> {
         let iv = b.get(dim);
         // Best candidate among the lagging inserts, keyed by DFS order.
-        let mut best_new: Option<([u8; MAX_DIMS], DyadicBox)> = None;
-        for i in state.mark..self.insert_count {
-            let c = &self.ring[(i % RING as u64) as usize];
-            if c.contains(b) {
-                let key = lens_key_of_box(c, dim);
-                if best_new.as_ref().is_none_or(|(k, _)| key < *k) {
-                    best_new = Some((key, *c));
-                }
-            }
-        }
+        let best_new = self.log.best_candidate(b, dim, state.mark);
         // First hit among the recorded (pre-mark) positions. Entries are
         // stored in DFS order, so the first hit is also the DFS-least.
         let bit = (iv.bits() & 1) as usize;
@@ -460,7 +447,12 @@ impl BoxTree {
     }
 
     /// Full walk that records the frontier for later advancing.
-    fn full_probe(&self, b: &DyadicBox, dim: usize, state: &mut DescentProbe) -> Option<DyadicBox> {
+    fn full_probe(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<BinaryEntry>,
+    ) -> Option<DyadicBox> {
         state.entries.clear();
         let mut lens = [0u8; MAX_DIMS];
         let mut scratch = DyadicBox::universe(self.n);
@@ -478,8 +470,8 @@ impl BoxTree {
         } else {
             state.dim = dim as u8;
             state.len = b.get(dim).len();
-            state.mark = self.insert_count;
-            state.clears = self.clears;
+            state.mark = self.log.insert_count();
+            state.clears = self.log.clears();
             state.last = Some(*b);
             None
         }
@@ -496,7 +488,7 @@ impl BoxTree {
         dim: usize,
         lens: &mut [u8; MAX_DIMS],
         scratch: &mut DyadicBox,
-        entries: &mut Vec<ProbeEntry>,
+        entries: &mut Vec<BinaryEntry>,
     ) -> bool {
         let iv = b.get(level);
         let last = level + 1 == self.n;
@@ -504,7 +496,7 @@ impl BoxTree {
         let mut k = 0u8;
         loop {
             if level == dim && k == iv.len() {
-                entries.push(ProbeEntry { node, lens: *lens });
+                entries.push(BinaryEntry { node, lens: *lens });
             }
             let nd = self.nodes[node as usize];
             if last {
@@ -715,169 +707,57 @@ impl BoxTree {
     }
 }
 
-/// One extendable tree position of a failed probe: the node reached at
-/// the target's full depth on the probed dimension, plus the stored
-/// prefix lengths chosen on the earlier dimensions (enough to rebuild the
-/// witness box on a later hit).
-#[derive(Clone, Copy, Debug)]
-struct ProbeEntry {
-    node: u32,
-    lens: [u8; MAX_DIMS],
-}
+impl BoxStore for BoxTree {
+    type Entry = BinaryEntry;
 
-/// Reusable state for [`BoxTree::find_containing_tracked`]: the frontier
-/// of the last failed probe, valid for the immediate child of the
-/// recorded target. The frontier is *complete* with respect to every
-/// insert before `mark`; up to `REPAIR_CAP` (64) later inserts can be
-/// repaired in from the store's rolling log, anything older falls back
-/// to a full walk.
-#[derive(Debug, Default)]
-pub struct DescentProbe {
-    entries: Vec<ProbeEntry>,
-    last: Option<DyadicBox>,
-    dim: u8,
-    len: u8,
-    /// `BoxTree::insert_count` up to which `entries` is complete.
-    mark: u64,
-    /// `BoxTree::clears` at recording time (node ids die with a clear).
-    clears: u32,
-    /// Probes answered by advancing the recorded frontier (diagnostic).
-    pub advances: u64,
-    /// Probes answered by advance + insert-log repair (diagnostic).
-    pub repairs: u64,
-    /// Probes that fell back to a full walk (diagnostic).
-    pub full_walks: u64,
-}
-
-impl DescentProbe {
-    /// Fresh (invalid) state.
-    pub fn new() -> Self {
-        Self::default()
+    fn with_tuning(n: usize, tuning: StoreTuning) -> Self {
+        BoxTree::with_tuning(n, tuning)
     }
 
-    /// Drop the recorded frontier (keeps allocated capacity).
-    pub fn invalidate(&mut self) {
-        self.last = None;
-        self.entries.clear();
-    }
-}
-
-/// Per-frame saved probe frontiers, mirroring the engine's descent stack.
-///
-/// When the skeleton splits a target it has just probed (and missed), the
-/// failed probe's frontier describes exactly the tree positions from
-/// which *both* children's probes can be answered. The engine pushes a
-/// copy here alongside the new frame; when it later descends the frame's
-/// right sibling (the 1-side half), [`FrontierStack::restore_top`] turns
-/// the saved frontier back into live [`DescentProbe`] state, and the next
-/// [`BoxTree::find_containing_tracked`] call advances (and, if resolvent
-/// inserts happened in between, repairs) instead of re-walking the store
-/// from the root. Entries live in one arena that grows and truncates with
-/// the stack, so saving a frontier never allocates after warm-up.
-#[derive(Debug, Default)]
-pub struct FrontierStack {
-    arena: Vec<ProbeEntry>,
-    frames: Vec<SavedMeta>,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct SavedMeta {
-    start: usize,
-    dim: u8,
-    len: u8,
-    mark: u64,
-    clears: u32,
-}
-
-impl FrontierStack {
-    /// An empty stack.
-    pub fn new() -> Self {
-        Self::default()
+    fn n(&self) -> usize {
+        self.n
     }
 
-    /// Number of saved frames.
-    pub fn len(&self) -> usize {
-        self.frames.len()
+    fn len(&self) -> usize {
+        self.len
     }
 
-    /// Whether the stack is empty.
-    pub fn is_empty(&self) -> bool {
-        self.frames.is_empty()
+    fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
-    /// Save the frontier of the probe that just failed (the engine calls
-    /// this exactly when it pushes the corresponding descent frame).
-    pub fn push_saved(&mut self, probe: &DescentProbe) {
-        debug_assert!(probe.last.is_some(), "only failed probes have frontiers");
-        self.frames.push(SavedMeta {
-            start: self.arena.len(),
-            dim: probe.dim,
-            len: probe.len,
-            mark: probe.mark,
-            clears: probe.clears,
-        });
-        self.arena.extend_from_slice(&probe.entries);
+    fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// Discard the top frame's saved frontier (mirrors a frame pop).
-    pub fn pop(&mut self) {
-        if let Some(m) = self.frames.pop() {
-            self.arena.truncate(m.start);
-        }
+    fn clear(&mut self) {
+        BoxTree::clear(self)
     }
 
-    /// Drop everything (mirrors a descent teardown).
-    pub fn clear(&mut self) {
-        self.frames.clear();
-        self.arena.clear();
+    fn insert(&mut self, b: &DyadicBox) -> bool {
+        BoxTree::insert(self, b)
     }
 
-    /// Restore the top frame's saved frontier into `probe` as the failed
-    /// probe of `parent` (the frame's reconstructed target), so the next
-    /// tracked query for the parent's 1-side child advances it. Returns
-    /// `false` when there is nothing to restore.
-    pub fn restore_top(&self, parent: &DyadicBox, probe: &mut DescentProbe) -> bool {
-        let Some(m) = self.frames.last() else {
-            return false;
-        };
-        debug_assert_eq!(m.len, parent.get(m.dim as usize).len());
-        probe.entries.clear();
-        probe.entries.extend_from_slice(&self.arena[m.start..]);
-        probe.dim = m.dim;
-        probe.len = m.len;
-        probe.mark = m.mark;
-        probe.clears = m.clears;
-        probe.last = Some(*parent);
-        true
+    fn find_containing(&self, b: &DyadicBox) -> Option<DyadicBox> {
+        BoxTree::find_containing(self, b)
     }
-}
 
-/// DFS-order key of a stored box for a probe on `dim`: the per-dimension
-/// prefix lengths through `dim` (later dimensions are λ for any box that
-/// can answer such a probe). The multilevel walk visits shorter prefixes
-/// first dimension by dimension, so comparing these keys lexicographically
-/// reproduces its first-hit order.
-fn lens_key_of_box(c: &DyadicBox, dim: usize) -> [u8; MAX_DIMS] {
-    let mut key = [0u8; MAX_DIMS];
-    for (i, slot) in key.iter_mut().enumerate().take(dim + 1) {
-        *slot = c.get(i).len();
+    fn find_containing_tracked(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<BinaryEntry>,
+    ) -> Option<DyadicBox> {
+        BoxTree::find_containing_tracked(self, b, dim, state)
     }
-    key
-}
 
-/// Whether `b` is `last` with exactly one bit appended at `dim`.
-fn is_child_at(b: &DyadicBox, last: &DyadicBox, dim: usize) -> bool {
-    for i in 0..b.n() {
-        if i == dim {
-            let (bi, li) = (b.get(i), last.get(i));
-            if bi.len() != li.len() + 1 || bi.truncate(li.len()) != li {
-                return false;
-            }
-        } else if b.get(i) != last.get(i) {
-            return false;
-        }
+    fn extract_intersecting_into(&self, target: &DyadicBox, out: &mut Self) {
+        BoxTree::extract_intersecting_into(self, target, out)
     }
-    true
+
+    fn iter_boxes(&self) -> Vec<DyadicBox> {
+        BoxTree::iter_boxes(self)
+    }
 }
 
 impl Extend<DyadicBox> for BoxTree {
@@ -905,6 +785,7 @@ impl FromIterator<DyadicBox> for BoxTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::FrontierStack;
     use dyadic::Space;
 
     fn b(s: &str) -> DyadicBox {

@@ -1,0 +1,1516 @@
+//! A **path-compressed radix-2⁴ box trie** — the cache-dense
+//! [`BoxStore`] backend.
+//!
+//! The binary [`BoxTree`](boxstore::BoxTree) walks one dyadic bit per
+//! pointer hop: a 20-bit graph-id component costs ~20 dependent loads per
+//! dimension, and the profile of the 10⁶-edge triangle sweep is dominated
+//! by exactly those chains. This crate replaces the per-bit nodes with
+//! radix nodes that consume **four bits per hop**, collapse unary,
+//! end-free chains into **skip prefixes** compared word-at-a-time, and
+//! fit in **exactly one cache line** each:
+//!
+//! * Every node owns a *chunk* — a depth-4 binary subtree. The 15
+//!   interior positions (depths 0–3 below the chunk top) are where stored
+//!   components may **end**; a 16-bit mask (`ends`) marks them, and each
+//!   marked position links to the next dimension's trie root (on the last
+//!   dimension the mark itself is the terminal). A second mask (`kids`)
+//!   marks the 16 depth-4 chunk exits with child nodes. All nodes live in
+//!   one flat arena — index based, no per-node allocation, `Sync` for the
+//!   work-stealing pool.
+//! * Links and children are stored **popcount-compressed** in a 12-slot
+//!   inline item array, so a probe hop — skip compare, end check, link or
+//!   child load — touches a single 64-byte line. The rare dense node
+//!   (> 12 items, i.e. the top of a busy trie) spills once into a
+//!   direct-indexed 31-slot block in a side arena and never moves again.
+//! * A node may carry a **skip prefix** of whole chunks (length ≡ 0 mod
+//!   4) in a `u64`: a probe matches it with one shift-xor instead of a
+//!   pointer chase per bit. Skips are *end-free* by construction — an
+//!   insert whose component ends or diverges inside a skip **splits** the
+//!   node, materializing the chunk that holds the new end.
+//!
+//! Chunks are therefore globally aligned per dimension (every node's
+//! chunk starts at a depth divisible by 4), which is what keeps insert
+//! splits local: a split rewrites one node's skip and allocates one
+//! parent.
+//!
+//! # Witness order
+//!
+//! All probe walks enumerate stored prefixes in **increasing depth per
+//! dimension, dimensions in SAO order** — the multilevel DFS order of the
+//! binary tree — so `find_containing` returns the bit-identical witness
+//! `BoxTree` would, and whole-engine runs over either backend produce
+//! identical outputs *and resolution counts* (asserted by the
+//! `differential_backend` wall).
+//!
+//! # Frontier advance under splits
+//!
+//! The incremental probe fast path saves tree positions and advances them
+//! one bit at a time (see [`boxstore::DescentProbe`]). Unlike the binary
+//! tree, inserts here can *restructure* existing nodes (splits shorten a
+//! node's skip), so every node carries a **coordinate generation** stamp
+//! that each split bumps; a saved entry whose stamp no longer matches
+//! silently falls back to a full walk. Within the repairable window
+//! ([`boxstore::REPAIR_CAP`] = 64 inserts) a node can be split at most
+//! once per insert, so the `u8` stamp cannot wrap back onto itself.
+//!
+//! ```
+//! use boxstore::BoxStore;
+//! use boxtrie::RadixBoxTrie;
+//! use dyadic::DyadicBox;
+//!
+//! let mut t = RadixBoxTrie::new(2);
+//! t.insert(&DyadicBox::parse("0,λ").unwrap());
+//! t.insert(&DyadicBox::parse("10,1").unwrap());
+//! let probe = DyadicBox::parse("01,11").unwrap();
+//! assert_eq!(t.find_containing(&probe), DyadicBox::parse("0,λ"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use boxstore::{is_child_at, BoxStore, DescentProbe, InsertLog, StoreTuning, REPAIR_CAP};
+use dyadic::{DyadicBox, DyadicInterval, MAX_DIMS};
+
+/// Dyadic bits consumed per radix hop.
+pub const CHUNK_BITS: u8 = 4;
+
+/// Children per node: `2^CHUNK_BITS`.
+const FANOUT: usize = 1 << CHUNK_BITS;
+
+/// Interior chunk positions (depths `0..CHUNK_BITS`, heap-indexed).
+const INNER: usize = FANOUT - 1;
+
+/// Slots in a spilled node's direct block: interior links + chunk exits.
+const SLOTS: usize = INNER + FANOUT;
+
+/// Inline item capacity; one more item spills the node.
+const INLINE: usize = 12;
+
+/// Sentinel for "no node / no link".
+const NONE: u32 = u32::MAX;
+
+/// One radix node: a (possibly skipped-into) depth-4 binary subtree,
+/// sized to one cache line.
+///
+/// Interior end links (for set `ends` bits, heap-index order) and chunk
+/// children (for set `kids` bits, exit order) share the popcount-indexed
+/// `items` array; when their total exceeds [`INLINE`], `items[0]` holds
+/// the index of a direct-addressed spill block instead.
+#[derive(Clone, Copy, Debug)]
+#[repr(C, align(64))]
+struct Node {
+    /// Path-compressed prefix consumed before the chunk (end-free,
+    /// length ≡ 0 mod 4, compared word-at-a-time).
+    skip_bits: u64,
+    /// Mask over the 15 interior positions where a component ends.
+    ends: u16,
+    /// Mask over the 16 chunk exits with child nodes.
+    kids: u16,
+    skip_len: u8,
+    /// Coordinate generation: bumped when a split shortens this node's
+    /// skip, invalidating saved probe entries that point here.
+    gen: u8,
+    /// Compressed [links…, children…], or `items[0]` = spill index.
+    items: [u32; INLINE],
+}
+
+impl Node {
+    const EMPTY: Node = Node {
+        skip_bits: 0,
+        ends: 0,
+        kids: 0,
+        skip_len: 0,
+        gen: 0,
+        items: [NONE; INLINE],
+    };
+
+    fn with_skip(skip_bits: u64, skip_len: u8) -> Self {
+        debug_assert!(skip_len.is_multiple_of(CHUNK_BITS));
+        Node {
+            skip_bits,
+            skip_len,
+            ..Node::EMPTY
+        }
+    }
+
+    /// Stored items (links + children).
+    #[inline]
+    fn count(&self) -> usize {
+        (self.ends.count_ones() + self.kids.count_ones()) as usize
+    }
+
+    /// Whether the items live in a spill block.
+    #[inline]
+    fn spilled(&self) -> bool {
+        self.count() > INLINE
+    }
+
+    /// Rank of interior position `idx` among the stored links.
+    #[inline]
+    fn link_rank(&self, idx: usize) -> usize {
+        (self.ends & ((1u16 << idx) - 1)).count_ones() as usize
+    }
+
+    /// Rank of chunk exit `e` among all stored items.
+    #[inline]
+    fn child_rank(&self, e: usize) -> usize {
+        (self.ends.count_ones() + (self.kids & ((1u16 << e) - 1)).count_ones()) as usize
+    }
+}
+
+/// A spilled node's direct-addressed item block (`[0..15)` interior
+/// links, `[15..31)` chunk-exit children).
+#[derive(Clone, Copy, Debug)]
+struct Spill([u32; SLOTS]);
+
+/// Value of bits `[c, c+m)` of `iv` (most-significant-first).
+#[inline]
+fn bits_of(iv: DyadicInterval, c: u8, m: u8) -> u64 {
+    debug_assert!(c + m <= iv.len());
+    if m == 0 {
+        return 0;
+    }
+    (iv.bits() >> (iv.len() - c - m)) & ((1u64 << m) - 1)
+}
+
+/// First `m` bits of an `s`-bit skip.
+#[inline]
+fn skip_top(skip_bits: u64, s: u8, m: u8) -> u64 {
+    debug_assert!(m <= s || skip_bits == 0);
+    skip_bits >> (s - m)
+}
+
+/// Heap index of the interior position at chunk depth `d`, value `v`.
+#[inline]
+fn pos_idx(d: u8, v: u64) -> usize {
+    ((1usize << d) - 1) + v as usize
+}
+
+/// Chunk depth of interior position `idx` (inverse of [`pos_idx`]).
+#[inline]
+fn idx_depth(idx: usize) -> u8 {
+    (31 - (idx as u32 + 1).leading_zeros()) as u8
+}
+
+/// `PATH[m][cv]`: the interior positions on a probe's in-chunk path —
+/// depths `0..=min(m, 3)` along the `m`-bit chunk value `cv` — as an
+/// `ends`-mask. One AND against a node's `ends` yields every component
+/// end the probe passes in this chunk; iterating its set bits in index
+/// order visits them shortest-prefix-first (at most one position per
+/// depth is on a path, and smaller indices mean shallower depths).
+static PATH: [[u16; FANOUT]; 5] = path_masks();
+
+const fn path_masks() -> [[u16; FANOUT]; 5] {
+    let mut out = [[0u16; FANOUT]; 5];
+    let mut m = 0;
+    while m <= 4 {
+        let mut cv = 0;
+        while cv < (1usize << if m > 4 { 4 } else { m }) {
+            let mut mask = 0u16;
+            let mut d = 0;
+            let dmax = if m < 3 { m } else { 3 };
+            while d <= dmax {
+                let prefix = cv >> (m - d);
+                mask |= 1 << ((1usize << d) - 1 + prefix);
+                d += 1;
+            }
+            out[m][cv] = mask;
+            cv += 1;
+        }
+        m += 1;
+    }
+    out
+}
+
+/// Whether anything is stored strictly **below** chunk position `(d, v)`
+/// of `nd` — a deeper interior end or a chunk exit under its subtree.
+/// Probe frontiers drop positions that fail this, mirroring the binary
+/// tree (whose entries die when no child node continues the path).
+#[inline]
+fn extendable_below(nd: &Node, d: u8, v: u64) -> bool {
+    let mut dd = d + 1;
+    let mut lo_v = v << 1;
+    let mut span = 2u32;
+    while dd < CHUNK_BITS {
+        let lo = pos_idx(dd, lo_v);
+        let mask = (((1u32 << span) - 1) << lo) as u16;
+        if nd.ends & mask != 0 {
+            return true;
+        }
+        dd += 1;
+        lo_v <<= 1;
+        span <<= 1;
+    }
+    let espan = 1u32 << (CHUNK_BITS - d);
+    let emask = ((((1u64 << espan) - 1) as u32) << (v << (CHUNK_BITS - d))) as u16;
+    nd.kids & emask != 0
+}
+
+/// One recorded probe position: the node whose region (skip + chunk)
+/// holds the probe target's full-depth coordinate, the depth at which
+/// that node was entered, the node's generation at record time, and the
+/// earlier-dimension prefix lengths needed to rebuild a witness.
+#[derive(Clone, Copy, Debug)]
+pub struct RadixEntry {
+    node: u32,
+    /// Bits consumed on the probed dimension before entering `node`.
+    base: u8,
+    /// `Node::gen` at record time; a mismatch forces a full walk.
+    gen: u8,
+    lens: [u8; MAX_DIMS],
+}
+
+/// A set of `n`-dimensional dyadic boxes stored as one path-compressed
+/// radix trie per dimension, chained through interior end links. See the
+/// crate docs for the layout and the witness-order contract.
+#[derive(Debug)]
+pub struct RadixBoxTrie {
+    nodes: Vec<Node>,
+    spill: Vec<Spill>,
+    n: usize,
+    len: usize,
+    epoch: u64,
+    log: InsertLog,
+}
+
+impl RadixBoxTrie {
+    /// An empty store for `n`-dimensional boxes (default tuning).
+    pub fn new(n: usize) -> Self {
+        Self::with_tuning(n, StoreTuning::default())
+    }
+
+    /// An empty store with an explicit insert-ring length.
+    pub fn with_tuning(n: usize, tuning: StoreTuning) -> Self {
+        assert!(n >= 1, "boxes must have at least one dimension");
+        let mut nodes = Vec::with_capacity(1024);
+        nodes.push(Node::EMPTY); // dimension-0 root
+        RadixBoxTrie {
+            nodes,
+            spill: Vec::new(),
+            n,
+            len: 0,
+            epoch: 0,
+            log: InsertLog::new(tuning.insert_ring),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored boxes (exact duplicates are stored once).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of arena nodes (memory diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of spilled (dense, > 12-item) nodes (memory diagnostic).
+    pub fn spill_count(&self) -> usize {
+        self.spill.len()
+    }
+
+    /// The coverage epoch (same contract as
+    /// [`BoxTree::epoch`](boxstore::BoxTree::epoch)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Remove all boxes, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node::EMPTY);
+        self.spill.clear();
+        self.len = 0;
+        self.epoch += 1;
+        self.log.note_clear();
+    }
+
+    /// The next-dimension root (or terminal placeholder) linked from
+    /// interior position `idx` — the `ends` bit must be set.
+    #[inline]
+    fn link_of(&self, nd: &Node, idx: usize) -> u32 {
+        debug_assert!(nd.ends & (1 << idx) != 0);
+        if nd.spilled() {
+            self.spill[nd.items[0] as usize].0[idx]
+        } else {
+            nd.items[nd.link_rank(idx)]
+        }
+    }
+
+    /// The child at chunk exit `e`, or `NONE`.
+    #[inline]
+    fn child_of(&self, nd: &Node, e: usize) -> u32 {
+        if nd.kids & (1 << e) == 0 {
+            return NONE;
+        }
+        if nd.spilled() {
+            self.spill[nd.items[0] as usize].0[INNER + e]
+        } else {
+            nd.items[nd.child_rank(e)]
+        }
+    }
+
+    /// Store a new item (link when `is_link`, else child) whose mask bit
+    /// is not yet set; sets the bit and spills the node on overflow.
+    fn add_item(&mut self, node: u32, is_link: bool, pos: usize, val: u32) {
+        let (ends, kids) = {
+            let nd = &self.nodes[node as usize];
+            (nd.ends, nd.kids)
+        };
+        debug_assert!(if is_link {
+            ends & (1 << pos) == 0
+        } else {
+            kids & (1 << pos) == 0
+        });
+        let cnt = (ends.count_ones() + kids.count_ones()) as usize;
+        if cnt > INLINE {
+            // Already spilled: direct write.
+            let block = self.nodes[node as usize].items[0] as usize;
+            self.spill[block].0[if is_link { pos } else { INNER + pos }] = val;
+        } else if cnt == INLINE {
+            // Spill transition: scatter the compressed items into a
+            // direct block, then add the newcomer.
+            let nd = self.nodes[node as usize];
+            let mut block = [NONE; SLOTS];
+            let mut i = 0;
+            for (idx, slot) in block.iter_mut().enumerate().take(INNER) {
+                if nd.ends & (1 << idx) != 0 {
+                    *slot = nd.items[i];
+                    i += 1;
+                }
+            }
+            for e in 0..FANOUT {
+                if nd.kids & (1 << e) != 0 {
+                    block[INNER + e] = nd.items[i];
+                    i += 1;
+                }
+            }
+            block[if is_link { pos } else { INNER + pos }] = val;
+            assert!(
+                self.spill.len() < NONE as usize,
+                "RadixBoxTrie: spill-id space (u32) exhausted"
+            );
+            let bi = self.spill.len() as u32;
+            self.spill.push(Spill(block));
+            self.nodes[node as usize].items[0] = bi;
+        } else {
+            let rank = if is_link {
+                (ends & ((1u16 << pos) - 1)).count_ones() as usize
+            } else {
+                (ends.count_ones() + (kids & ((1u16 << pos) - 1)).count_ones()) as usize
+            };
+            let ndm = &mut self.nodes[node as usize];
+            for i in (rank..cnt).rev() {
+                ndm.items[i + 1] = ndm.items[i];
+            }
+            ndm.items[rank] = val;
+        }
+        let ndm = &mut self.nodes[node as usize];
+        if is_link {
+            ndm.ends |= 1 << pos;
+        } else {
+            ndm.kids |= 1 << pos;
+        }
+    }
+
+    /// Overwrite an existing child pointer (split rewiring).
+    fn set_child(&mut self, node: u32, e: usize, val: u32) {
+        let nd = self.nodes[node as usize];
+        debug_assert!(nd.kids & (1 << e) != 0);
+        if nd.spilled() {
+            let block = nd.items[0] as usize;
+            self.spill[block].0[INNER + e] = val;
+        } else {
+            let rank = nd.child_rank(e);
+            self.nodes[node as usize].items[rank] = val;
+        }
+    }
+
+    fn alloc(&mut self, skip_bits: u64, skip_len: u8) -> u32 {
+        assert!(
+            self.nodes.len() < NONE as usize,
+            "RadixBoxTrie: node-id space (u32) exhausted"
+        );
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::with_skip(skip_bits, skip_len));
+        id
+    }
+
+    /// Split `node` so the chunk covering skip group `g` materializes:
+    /// a new parent takes the first `4g` skip bits and adopts `node`
+    /// (whose skip drops its first `4g + 4` bits) at the matching chunk
+    /// exit. Returns the new parent; the caller rewires the incoming
+    /// reference. Bumps `node`'s generation — its coordinates changed.
+    fn split(&mut self, node: u32, g: u8) -> u32 {
+        let (skip_bits, s) = {
+            let nd = &self.nodes[node as usize];
+            (nd.skip_bits, nd.skip_len)
+        };
+        let top_len = CHUNK_BITS * g;
+        debug_assert!(s.is_multiple_of(CHUNK_BITS) && top_len + CHUNK_BITS <= s);
+        let top = skip_bits >> (s - top_len);
+        let exit = ((skip_bits >> (s - top_len - CHUNK_BITS)) & (FANOUT as u64 - 1)) as usize;
+        let parent = self.alloc(top, top_len);
+        let rest = s - top_len - CHUNK_BITS;
+        let nd = &mut self.nodes[node as usize];
+        nd.skip_bits = skip_bits & ((1u64 << rest) - 1);
+        nd.skip_len = rest;
+        nd.gen = nd.gen.wrapping_add(1);
+        self.add_item(parent, false, exit, node);
+        parent
+    }
+
+    /// Walk (and create) the path of one component from `root` (a
+    /// dimension root, which never carries a skip); returns the node and
+    /// interior position index where the component ends.
+    fn descend_component(&mut self, root: u32, iv: DyadicInterval) -> (u32, usize) {
+        let len = iv.len();
+        let mut node = root;
+        let mut incoming: Option<(u32, usize)> = None;
+        let mut base: u8 = 0;
+        loop {
+            let (skip_bits, s) = {
+                let nd = &self.nodes[node as usize];
+                (nd.skip_bits, nd.skip_len)
+            };
+            let rem = len - base;
+            let m = s.min(rem);
+            let probe = bits_of(iv, base, m);
+            let pref = skip_top(skip_bits, s, m);
+            if probe != pref || rem < s {
+                // The component ends or diverges inside the skip:
+                // materialize the chunk holding that point.
+                let j = if probe == pref {
+                    rem
+                } else {
+                    let diff = probe ^ pref;
+                    m - 1 - (63 - diff.leading_zeros() as u8)
+                };
+                let p = self.split(node, j / CHUNK_BITS);
+                match incoming {
+                    Some((pn, e)) => self.set_child(pn, e, p),
+                    None => unreachable!("dimension roots never carry a skip"),
+                }
+                node = p;
+                continue;
+            }
+            let c = base + s;
+            let rem = len - c;
+            if rem >= CHUNK_BITS {
+                let e = bits_of(iv, c, CHUNK_BITS) as usize;
+                let child = self.child_of(&self.nodes[node as usize], e);
+                let child = if child == NONE {
+                    // Fresh tail: absorb every whole chunk of what
+                    // remains into the new child's skip.
+                    let after = rem - CHUNK_BITS;
+                    let sk = after - (after % CHUNK_BITS);
+                    let id = self.alloc(bits_of(iv, c + CHUNK_BITS, sk), sk);
+                    self.add_item(node, false, e, id);
+                    id
+                } else {
+                    child
+                };
+                incoming = Some((node, e));
+                node = child;
+                base = c + CHUNK_BITS;
+            } else {
+                return (node, pos_idx(rem, bits_of(iv, c, rem)));
+            }
+        }
+    }
+
+    /// Insert a box. Returns `true` if it was new.
+    ///
+    /// # Panics
+    /// If the box has the wrong dimensionality.
+    pub fn insert(&mut self, b: &DyadicBox) -> bool {
+        assert_eq!(b.n(), self.n, "box dimensionality mismatch");
+        let mut root = 0u32;
+        for dim in 0..self.n {
+            let (node, idx) = self.descend_component(root, b.get(dim));
+            let nd = self.nodes[node as usize];
+            let present = nd.ends & (1 << idx) != 0;
+            if dim + 1 < self.n {
+                root = if present {
+                    self.link_of(&nd, idx)
+                } else {
+                    let id = self.alloc(0, 0);
+                    self.add_item(node, true, idx, id);
+                    id
+                };
+            } else {
+                if !present {
+                    // Terminals store a placeholder item so the
+                    // popcount ranks stay uniform across dimensions.
+                    self.add_item(node, true, idx, 0);
+                    self.len += 1;
+                    self.epoch += 1;
+                    self.log.record(self.n, b);
+                }
+                return !present;
+            }
+        }
+        unreachable!("the loop returns at the last dimension")
+    }
+
+    /// Locate (without creating) the node + interior index of a component
+    /// end; `None` when the exact path does not exist.
+    fn locate_component(&self, root: u32, iv: DyadicInterval) -> Option<(u32, usize)> {
+        let len = iv.len();
+        let mut node = root;
+        let mut base: u8 = 0;
+        loop {
+            let nd = &self.nodes[node as usize];
+            let s = nd.skip_len;
+            let rem = len - base;
+            if rem < s {
+                return None; // would end inside an end-free skip
+            }
+            if bits_of(iv, base, s) != nd.skip_bits {
+                return None;
+            }
+            let c = base + s;
+            let rem = len - c;
+            if rem >= CHUNK_BITS {
+                let child = self.child_of(nd, bits_of(iv, c, CHUNK_BITS) as usize);
+                if child == NONE {
+                    return None;
+                }
+                node = child;
+                base = c + CHUNK_BITS;
+            } else {
+                return Some((node, pos_idx(rem, bits_of(iv, c, rem))));
+            }
+        }
+    }
+
+    /// Whether this exact box is stored.
+    pub fn contains_exact(&self, b: &DyadicBox) -> bool {
+        debug_assert_eq!(b.n(), self.n);
+        let mut root = 0u32;
+        for dim in 0..self.n {
+            let Some((node, idx)) = self.locate_component(root, b.get(dim)) else {
+                return false;
+            };
+            let nd = self.nodes[node as usize];
+            if nd.ends & (1 << idx) == 0 {
+                return false;
+            }
+            if dim + 1 < self.n {
+                root = self.link_of(&nd, idx);
+            }
+        }
+        true
+    }
+
+    /// Find one stored box `a ⊇ b` — the multilevel DFS's first hit
+    /// (bit-identical to [`boxstore::BoxTree::find_containing`]).
+    pub fn find_containing(&self, b: &DyadicBox) -> Option<DyadicBox> {
+        debug_assert_eq!(b.n(), self.n);
+        let mut scratch = DyadicBox::universe(self.n);
+        if self.first_containing(0, 0, b, &mut scratch) {
+            Some(scratch)
+        } else {
+            None
+        }
+    }
+
+    /// First-hit DFS: stored prefixes in increasing depth per dimension.
+    fn first_containing(
+        &self,
+        root: u32,
+        dim: usize,
+        b: &DyadicBox,
+        scratch: &mut DyadicBox,
+    ) -> bool {
+        let iv = b.get(dim);
+        let len = iv.len();
+        let last = dim + 1 == self.n;
+        let mut node = root;
+        let mut base: u8 = 0;
+        loop {
+            let nd = &self.nodes[node as usize];
+            let s = nd.skip_len;
+            let rem_at = len - base;
+            let m = s.min(rem_at);
+            if bits_of(iv, base, m) != skip_top(nd.skip_bits, s, m) {
+                return false;
+            }
+            if rem_at < s {
+                return false; // ends inside an end-free skip: no prefixes here
+            }
+            let c = base + s;
+            let rem = len - c;
+            let mlen = rem.min(CHUNK_BITS);
+            let cv = bits_of(iv, c, mlen) as usize;
+            let mut m = nd.ends & PATH[mlen as usize][cv];
+            while m != 0 {
+                let idx = m.trailing_zeros() as usize;
+                let d = idx_depth(idx);
+                scratch.set(dim, iv.truncate(c + d));
+                if last || self.first_containing(self.link_of(nd, idx), dim + 1, b, scratch) {
+                    return true;
+                }
+                m &= m - 1;
+            }
+            if rem < CHUNK_BITS {
+                return false;
+            }
+            let child = self.child_of(nd, cv);
+            if child == NONE {
+                return false;
+            }
+            node = child;
+            base = c + CHUNK_BITS;
+        }
+    }
+
+    /// Whether some stored box contains `b`.
+    pub fn covers(&self, b: &DyadicBox) -> bool {
+        self.find_containing(b).is_some()
+    }
+
+    /// [`RadixBoxTrie::find_containing`] with the incremental-descent
+    /// fast path (see [`boxstore::BoxTree::find_containing_tracked`] for
+    /// the advance/repair protocol — identical here, with one addition:
+    /// saved entries are generation-checked against their nodes, and any
+    /// mismatch falls back to a full walk, because an insert split may
+    /// have re-rooted a node's coordinates).
+    pub fn find_containing_tracked(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<RadixEntry>,
+    ) -> Option<DyadicBox> {
+        debug_assert_eq!(b.n(), self.n);
+        debug_assert!(dim < self.n);
+        let iv = b.get(dim);
+        if let Some(last) = state.last {
+            if state.clears == self.log.clears()
+                && state.dim == dim as u8
+                && iv.len() == state.len + 1
+                && is_child_at(b, &last, dim)
+            {
+                let lag = self.log.lag(state.mark);
+                if lag == 0 {
+                    // No inserts since the frontier was recorded ⇒ no
+                    // splits ⇒ every generation still matches.
+                    state.advances += 1;
+                    return self.advance_probe(b, dim, state);
+                }
+                if lag <= REPAIR_CAP && self.entries_current(state) {
+                    state.repairs += 1;
+                    return self.advance_repair(b, dim, state);
+                }
+            }
+        }
+        state.full_walks += 1;
+        self.full_probe(b, dim, state)
+    }
+
+    /// Whether every saved entry's node still has the recorded
+    /// coordinate generation.
+    fn entries_current(&self, state: &DescentProbe<RadixEntry>) -> bool {
+        state
+            .entries
+            .iter()
+            .all(|e| self.nodes[e.node as usize].gen == e.gen)
+    }
+
+    /// Advance one recorded position by the appended last bit of `iv`.
+    /// Returns the advanced entry, the interior index of a component end
+    /// at the new position (in the returned entry's node), and whether
+    /// the position can extend further (dead positions are dropped by the
+    /// caller, mirroring the binary tree's frontier pruning); `None` when
+    /// the path dies outright.
+    #[inline]
+    fn advance_entry(
+        &self,
+        mut e: RadixEntry,
+        iv: DyadicInterval,
+    ) -> Option<(RadixEntry, Option<usize>, bool)> {
+        let len = iv.len();
+        let nd = &self.nodes[e.node as usize];
+        debug_assert_eq!(nd.gen, e.gen);
+        let off = len - e.base;
+        let s = nd.skip_len;
+        if off <= s {
+            // Still in (or just exiting) the skip: the appended bit must
+            // match skip bit `off - 1`.
+            if (nd.skip_bits >> (s - off)) & 1 != iv.bits() & 1 {
+                return None;
+            }
+            if off == s {
+                let end = (nd.ends & 1 != 0).then_some(0usize);
+                return Some((e, end, extendable_below(nd, 0, 0)));
+            }
+            return Some((e, None, true)); // skips always lead somewhere
+        }
+        let d = off - s;
+        if d < CHUNK_BITS {
+            let v = iv.bits() & ((1 << d) - 1);
+            let idx = pos_idx(d, v);
+            let end = (nd.ends & (1 << idx) != 0).then_some(idx);
+            return Some((e, end, extendable_below(nd, d, v)));
+        }
+        debug_assert_eq!(d, CHUNK_BITS);
+        let child = self.child_of(nd, (iv.bits() & (FANOUT as u64 - 1)) as usize);
+        if child == NONE {
+            return None;
+        }
+        let cn = &self.nodes[child as usize];
+        e.node = child;
+        e.base = len;
+        e.gen = cn.gen;
+        if cn.skip_len > 0 {
+            return Some((e, None, true));
+        }
+        let end = (cn.ends & 1 != 0).then_some(0usize);
+        Some((e, end, extendable_below(cn, 0, 0)))
+    }
+
+    /// Whether the component end at `(node, idx)` on `dim` belongs to a
+    /// box with `λ` components on every later dimension.
+    fn end_hits(&self, node: u32, idx: usize, dim: usize) -> bool {
+        if dim + 1 == self.n {
+            return true; // the ends bit is the terminal
+        }
+        let nd = &self.nodes[node as usize];
+        let mut root = self.link_of(nd, idx);
+        for d in dim + 1..self.n {
+            let nd = &self.nodes[root as usize];
+            debug_assert_eq!(nd.skip_len, 0, "dimension roots never carry a skip");
+            if nd.ends & 1 == 0 {
+                return false;
+            }
+            if d + 1 == self.n {
+                return true;
+            }
+            root = self.link_of(nd, 0);
+        }
+        unreachable!("the loop returns at the last dimension")
+    }
+
+    /// Advance the recorded frontier by the one bit appended at `dim`
+    /// (store unchanged since the frontier was recorded).
+    fn advance_probe(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<RadixEntry>,
+    ) -> Option<DyadicBox> {
+        let iv = b.get(dim);
+        let mut kept = 0;
+        for i in 0..state.entries.len() {
+            let Some((e, end, keep)) = self.advance_entry(state.entries[i], iv) else {
+                continue;
+            };
+            if let Some(idx) = end {
+                if self.end_hits(e.node, idx, dim) {
+                    // Same witness the full walk's DFS would reach first.
+                    let mut w = DyadicBox::universe(self.n);
+                    for (j, &l) in e.lens.iter().enumerate().take(dim) {
+                        w.set(j, b.get(j).truncate(l));
+                    }
+                    w.set(dim, iv);
+                    state.invalidate(); // covered: the descent stops here
+                    return Some(w);
+                }
+            }
+            if keep {
+                state.entries[kept] = e;
+                kept += 1;
+            }
+        }
+        state.entries.truncate(kept);
+        state.len = iv.len();
+        state.last = Some(*b);
+        None
+    }
+
+    /// [`RadixBoxTrie::advance_probe`] for a frontier lagging by up to
+    /// [`REPAIR_CAP`] inserts: the advanced frontier's first hit is
+    /// merged with the DFS-least lagging insert from the rolling log,
+    /// exactly as the binary backend does.
+    fn advance_repair(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<RadixEntry>,
+    ) -> Option<DyadicBox> {
+        let iv = b.get(dim);
+        let best_new = self.log.best_candidate(b, dim, state.mark);
+        let mut kept = 0;
+        let mut old_hit: Option<([u8; MAX_DIMS], DyadicBox)> = None;
+        for i in 0..state.entries.len() {
+            let Some((e, end, keep)) = self.advance_entry(state.entries[i], iv) else {
+                continue;
+            };
+            if let Some(idx) = end {
+                if self.end_hits(e.node, idx, dim) {
+                    let mut w = DyadicBox::universe(self.n);
+                    let mut key = [0u8; MAX_DIMS];
+                    for (j, &l) in e.lens.iter().enumerate().take(dim) {
+                        w.set(j, b.get(j).truncate(l));
+                        key[j] = l;
+                    }
+                    w.set(dim, iv);
+                    key[dim] = iv.len();
+                    old_hit = Some((key, w));
+                    break; // entries are in DFS order: first hit is least
+                }
+            }
+            if keep {
+                state.entries[kept] = e;
+                kept += 1;
+            }
+        }
+        let hit = match (old_hit, best_new) {
+            (Some((ko, wo)), Some((kn, wn))) => Some(if kn < ko { wn } else { wo }),
+            (Some((_, w)), None) | (None, Some((_, w))) => Some(w),
+            (None, None) => None,
+        };
+        if hit.is_some() {
+            state.invalidate(); // covered: the descent stops here
+            return hit;
+        }
+        state.entries.truncate(kept);
+        state.len = iv.len();
+        state.last = Some(*b);
+        // `mark` stays put: lagging inserts are not folded into the
+        // entries, so deeper advances rescan the same log window.
+        None
+    }
+
+    /// Full walk that records the frontier for later advancing.
+    fn full_probe(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<RadixEntry>,
+    ) -> Option<DyadicBox> {
+        state.entries.clear();
+        let mut lens = [0u8; MAX_DIMS];
+        let mut scratch = DyadicBox::universe(self.n);
+        if self.walk_record(0, 0, b, dim, &mut lens, &mut scratch, &mut state.entries) {
+            state.last = None; // covered targets are never extended
+            Some(scratch)
+        } else {
+            state.dim = dim as u8;
+            state.len = b.get(dim).len();
+            state.mark = self.log.insert_count();
+            state.clears = self.log.clears();
+            state.last = Some(*b);
+            None
+        }
+    }
+
+    /// First-hit DFS that also records every position at `(dim, |b[dim]|)`
+    /// (the extendable frontier) into `entries`.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_record(
+        &self,
+        root: u32,
+        level: usize,
+        b: &DyadicBox,
+        dim: usize,
+        lens: &mut [u8; MAX_DIMS],
+        scratch: &mut DyadicBox,
+        entries: &mut Vec<RadixEntry>,
+    ) -> bool {
+        let iv = b.get(level);
+        let len = iv.len();
+        let last = level + 1 == self.n;
+        let mut node = root;
+        let mut base: u8 = 0;
+        loop {
+            let nd = &self.nodes[node as usize];
+            let s = nd.skip_len;
+            let rem_at = len - base;
+            let m = s.min(rem_at);
+            if bits_of(iv, base, m) != skip_top(nd.skip_bits, s, m) {
+                return false;
+            }
+            if rem_at < s {
+                // The probe's full depth sits inside this node's skip:
+                // record the position (advances will walk the skip bits).
+                if level == dim {
+                    entries.push(RadixEntry {
+                        node,
+                        base,
+                        gen: nd.gen,
+                        lens: *lens,
+                    });
+                }
+                return false;
+            }
+            let c = base + s;
+            let rem = len - c;
+            let mlen = rem.min(CHUNK_BITS);
+            let cv = bits_of(iv, c, mlen) as usize;
+            let mut m = nd.ends & PATH[mlen as usize][cv];
+            while m != 0 {
+                let idx = m.trailing_zeros() as usize;
+                let d = idx_depth(idx);
+                scratch.set(level, iv.truncate(c + d));
+                if last {
+                    return true;
+                }
+                lens[level] = c + d;
+                if self.walk_record(
+                    self.link_of(nd, idx),
+                    level + 1,
+                    b,
+                    dim,
+                    lens,
+                    scratch,
+                    entries,
+                ) {
+                    return true;
+                }
+                m &= m - 1;
+            }
+            if rem < CHUNK_BITS {
+                // The probe's full depth sits in this chunk; no stored
+                // prefix covered it, so record the frontier position.
+                // (On a hit the recorded frontier is discarded anyway, so
+                // recording only on the miss path preserves behaviour.)
+                if level == dim && extendable_below(nd, rem, cv as u64) {
+                    entries.push(RadixEntry {
+                        node,
+                        base,
+                        gen: nd.gen,
+                        lens: *lens,
+                    });
+                }
+                return false;
+            }
+            let child = self.child_of(nd, cv);
+            if child == NONE {
+                return false;
+            }
+            node = child;
+            base = c + CHUNK_BITS;
+        }
+    }
+
+    /// Build a shard: every stored box intersecting `target` is inserted
+    /// into `out` (cleared first) — the donation seam of the parallel
+    /// descent, same contract as
+    /// [`boxstore::BoxTree::extract_intersecting_into`].
+    pub fn extract_intersecting_into(&self, target: &DyadicBox, out: &mut RadixBoxTrie) {
+        debug_assert_eq!(target.n(), self.n);
+        assert_eq!(out.n, self.n, "shard dimensionality mismatch");
+        out.clear();
+        let mut scratch = DyadicBox::universe(self.n);
+        self.walk_intersecting(
+            0,
+            0,
+            target,
+            DyadicInterval::lambda(),
+            &mut scratch,
+            &mut |b| {
+                out.insert(b);
+            },
+        );
+    }
+
+    /// DFS over stored boxes intersecting `target` (prefix-comparable on
+    /// every dimension). `prefix` holds the component bits down to
+    /// `node`'s entry.
+    fn walk_intersecting(
+        &self,
+        node: u32,
+        dim: usize,
+        target: &DyadicBox,
+        prefix: DyadicInterval,
+        scratch: &mut DyadicBox,
+        visit: &mut impl FnMut(&DyadicBox),
+    ) {
+        let nd = &self.nodes[node as usize];
+        let tv = target.get(dim);
+        let pref = prefix.concat(&DyadicInterval::from_bits(nd.skip_bits, nd.skip_len));
+        if !pref.comparable(&tv) {
+            return;
+        }
+        let last = dim + 1 == self.n;
+        for d in 0..CHUNK_BITS {
+            for v in 0..(1u64 << d) {
+                let idx = pos_idx(d, v);
+                if nd.ends & (1 << idx) == 0 {
+                    continue;
+                }
+                let comp = pref.concat(&DyadicInterval::from_bits(v, d));
+                if !comp.comparable(&tv) {
+                    continue;
+                }
+                scratch.set(dim, comp);
+                if last {
+                    visit(scratch);
+                } else {
+                    self.walk_intersecting(
+                        self.link_of(nd, idx),
+                        dim + 1,
+                        target,
+                        DyadicInterval::lambda(),
+                        scratch,
+                        visit,
+                    );
+                }
+            }
+        }
+        for e in 0..FANOUT as u64 {
+            let child = self.child_of(nd, e as usize);
+            if child == NONE {
+                continue;
+            }
+            let p = pref.concat(&DyadicInterval::from_bits(e, CHUNK_BITS));
+            if p.comparable(&tv) {
+                self.walk_intersecting(child, dim, target, p, scratch, visit);
+            }
+        }
+    }
+
+    /// Enumerate all stored boxes (deterministic DFS order).
+    pub fn iter_boxes(&self) -> Vec<DyadicBox> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut scratch = DyadicBox::universe(self.n);
+        self.walk_all(0, 0, DyadicInterval::lambda(), &mut scratch, &mut out);
+        out
+    }
+
+    fn walk_all(
+        &self,
+        node: u32,
+        dim: usize,
+        prefix: DyadicInterval,
+        scratch: &mut DyadicBox,
+        out: &mut Vec<DyadicBox>,
+    ) {
+        let nd = &self.nodes[node as usize];
+        let pref = prefix.concat(&DyadicInterval::from_bits(nd.skip_bits, nd.skip_len));
+        let last = dim + 1 == self.n;
+        for d in 0..CHUNK_BITS {
+            for v in 0..(1u64 << d) {
+                let idx = pos_idx(d, v);
+                if nd.ends & (1 << idx) == 0 {
+                    continue;
+                }
+                let comp = pref.concat(&DyadicInterval::from_bits(v, d));
+                scratch.set(dim, comp);
+                if last {
+                    out.push(*scratch);
+                } else {
+                    self.walk_all(
+                        self.link_of(nd, idx),
+                        dim + 1,
+                        DyadicInterval::lambda(),
+                        scratch,
+                        out,
+                    );
+                }
+            }
+        }
+        for e in 0..FANOUT as u64 {
+            let child = self.child_of(nd, e as usize);
+            if child != NONE {
+                let p = pref.concat(&DyadicInterval::from_bits(e, CHUNK_BITS));
+                self.walk_all(child, dim, p, scratch, out);
+            }
+        }
+    }
+}
+
+impl BoxStore for RadixBoxTrie {
+    type Entry = RadixEntry;
+
+    fn with_tuning(n: usize, tuning: StoreTuning) -> Self {
+        RadixBoxTrie::with_tuning(n, tuning)
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn clear(&mut self) {
+        RadixBoxTrie::clear(self)
+    }
+
+    fn insert(&mut self, b: &DyadicBox) -> bool {
+        RadixBoxTrie::insert(self, b)
+    }
+
+    fn find_containing(&self, b: &DyadicBox) -> Option<DyadicBox> {
+        RadixBoxTrie::find_containing(self, b)
+    }
+
+    fn find_containing_tracked(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<RadixEntry>,
+    ) -> Option<DyadicBox> {
+        RadixBoxTrie::find_containing_tracked(self, b, dim, state)
+    }
+
+    fn extract_intersecting_into(&self, target: &DyadicBox, out: &mut Self) {
+        RadixBoxTrie::extract_intersecting_into(self, target, out)
+    }
+
+    fn iter_boxes(&self) -> Vec<DyadicBox> {
+        RadixBoxTrie::iter_boxes(self)
+    }
+}
+
+impl Extend<DyadicBox> for RadixBoxTrie {
+    fn extend<T: IntoIterator<Item = DyadicBox>>(&mut self, iter: T) {
+        for b in iter {
+            self.insert(&b);
+        }
+    }
+}
+
+impl FromIterator<DyadicBox> for RadixBoxTrie {
+    /// Builds a store from boxes; panics on an empty iterator (the
+    /// dimensionality cannot be inferred).
+    fn from_iter<T: IntoIterator<Item = DyadicBox>>(iter: T) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let first = it
+            .peek()
+            .expect("cannot infer dimensionality from an empty iterator");
+        let mut trie = RadixBoxTrie::new(first.n());
+        trie.extend(it);
+        trie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boxstore::{BoxTree, FrontierStack};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn b(s: &str) -> DyadicBox {
+        DyadicBox::parse(s).unwrap()
+    }
+
+    fn rand_box(rng: &mut StdRng, n: usize, max_len: u8) -> DyadicBox {
+        let mut bx = DyadicBox::universe(n);
+        for i in 0..n {
+            let len = rng.gen_range(0..=max_len);
+            let bits = rng.gen_range(0..(1u64 << len));
+            bx.set(i, DyadicInterval::from_bits(bits, len));
+        }
+        bx
+    }
+
+    #[test]
+    fn node_stays_one_cache_line() {
+        assert_eq!(std::mem::size_of::<Node>(), 64);
+    }
+
+    #[test]
+    fn insert_exact_lookup_and_duplicates() {
+        let mut t = RadixBoxTrie::new(2);
+        assert!(t.insert(&b("0,λ")));
+        assert!(t.insert(&b("10,1")));
+        assert!(t.insert(&b("10,0")));
+        assert!(t.insert(&b("10,001")));
+        assert!(!t.insert(&b("10,1")), "duplicate insert must report false");
+        assert_eq!(t.len(), 4);
+        assert!(t.contains_exact(&b("10,001")));
+        assert!(!t.contains_exact(&b("10,00")));
+        assert!(!t.contains_exact(&b("λ,λ")));
+        let mut all = t.iter_boxes();
+        all.sort();
+        assert_eq!(all, vec![b("0,λ"), b("10,0"), b("10,001"), b("10,1")]);
+    }
+
+    #[test]
+    fn deep_components_get_skip_compressed() {
+        // A single 20-bit path must cost a handful of nodes, not 20.
+        let mut t = RadixBoxTrie::new(1);
+        let iv = DyadicInterval::from_bits(0b1010_1100_0011_0101_1001, 20);
+        t.insert(&DyadicBox::from_intervals(&[iv]));
+        assert!(
+            t.node_count() <= 3,
+            "20-bit unary chain should compress into skips, got {} nodes",
+            t.node_count()
+        );
+        assert!(t.contains_exact(&DyadicBox::from_intervals(&[iv])));
+        assert!(t.covers(&DyadicBox::from_intervals(&[iv])));
+        assert!(!t.covers(&DyadicBox::from_intervals(&[iv.truncate(19)])));
+    }
+
+    #[test]
+    fn splits_preserve_existing_boxes() {
+        let mut t = RadixBoxTrie::new(1);
+        let deep = |s: &str| DyadicBox::parse(s).unwrap();
+        t.insert(&deep("101011000011"));
+        // Ends inside the skip at several depths force splits.
+        t.insert(&deep("10101"));
+        t.insert(&deep("1010110001"));
+        t.insert(&deep("1"));
+        for s in ["101011000011", "10101", "1010110001", "1"] {
+            assert!(t.contains_exact(&deep(s)), "{s} lost after splits");
+        }
+        assert!(!t.contains_exact(&deep("1010")));
+        let mut all = t.iter_boxes();
+        all.sort();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn dense_nodes_spill_and_stay_correct() {
+        // Pack one node far past the inline item capacity: all 16 chunk
+        // exits plus all 15 interior ends of the dimension root.
+        let mut t = RadixBoxTrie::new(1);
+        let mut expect = Vec::new();
+        for len in 0..=CHUNK_BITS {
+            for v in 0..(1u64 << len) {
+                let bx = DyadicBox::from_intervals(&[DyadicInterval::from_bits(v, len)]);
+                // Depth-4 components land in the 16 children (position 0
+                // of each); depths 0–3 are the root's interior ends.
+                t.insert(&bx);
+                expect.push(bx);
+            }
+        }
+        assert!(t.spill_count() >= 1, "the root must have spilled");
+        assert_eq!(t.len(), expect.len());
+        for bx in &expect {
+            assert!(t.contains_exact(bx), "{bx} lost in the spill transition");
+        }
+        let mut all = t.iter_boxes();
+        all.sort();
+        expect.sort();
+        assert_eq!(all, expect);
+        // Probes still see the DFS-least witness.
+        let probe = DyadicBox::from_intervals(&[DyadicInterval::from_bits(0b1011, 4)]);
+        assert_eq!(
+            t.find_containing(&probe),
+            Some(DyadicBox::from_intervals(&[DyadicInterval::lambda()]))
+        );
+    }
+
+    #[test]
+    fn agrees_with_binary_tree_randomized() {
+        // The heart of the backend contract: identical containment sets
+        // AND identical first-hit witnesses on random stores and probes,
+        // across shallow and deep (skip-exercising) domains.
+        for (seed, n, max_len) in [(7u64, 3usize, 3u8), (11, 2, 12), (13, 1, 20), (17, 4, 5)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for trial in 0..25 {
+                let stored: Vec<DyadicBox> = (0..rng.gen_range(1..50))
+                    .map(|_| rand_box(&mut rng, n, max_len))
+                    .collect();
+                let tree: BoxTree = stored.iter().copied().collect();
+                let trie: RadixBoxTrie = stored.iter().copied().collect();
+                assert_eq!(tree.len(), trie.len(), "seed {seed} trial {trial}");
+                let mut a = tree.iter_boxes();
+                let mut c = trie.iter_boxes();
+                a.sort();
+                c.sort();
+                assert_eq!(a, c, "seed {seed} trial {trial}: stored sets differ");
+                for _ in 0..60 {
+                    let probe = rand_box(&mut rng, n, max_len);
+                    assert_eq!(
+                        tree.find_containing(&probe),
+                        trie.find_containing(&probe),
+                        "seed {seed} trial {trial}: witness differs on {probe}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_probes_match_full_walks_randomized() {
+        // Mirror of the binary backend's repair wall: save a frontier,
+        // mutate the store (forcing splits), advance through the saved
+        // frontier — every answer must equal a fresh full walk, and the
+        // binary tree's witness.
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..300 {
+            let n = 3;
+            let mut trie = RadixBoxTrie::new(n);
+            let mut tree = BoxTree::new(n);
+            for _ in 0..rng.gen_range(0..20) {
+                let bx = rand_box(&mut rng, n, 9);
+                trie.insert(&bx);
+                tree.insert(&bx);
+            }
+            let plen = rng.gen_range(0..9u8);
+            let parent = DyadicBox::universe(n).with(
+                0,
+                DyadicInterval::from_bits(rng.gen_range(0..(1u64 << plen)), plen),
+            );
+            let mut probe = DescentProbe::new();
+            if trie
+                .find_containing_tracked(&parent, 0, &mut probe)
+                .is_some()
+            {
+                assert_eq!(
+                    trie.find_containing(&parent),
+                    tree.find_containing(&parent),
+                    "trial {trial}"
+                );
+                continue;
+            }
+            let mut frontiers = FrontierStack::new();
+            frontiers.push_saved(&probe);
+            for _ in 0..rng.gen_range(0..10) {
+                let bx = rand_box(&mut rng, n, 9);
+                trie.insert(&bx);
+                tree.insert(&bx);
+            }
+            for bit in 0..2u8 {
+                let child = parent.with(0, parent.get(0).child(bit));
+                let mut restored = DescentProbe::new();
+                assert!(frontiers.restore_top(&parent, &mut restored));
+                let got = trie.find_containing_tracked(&child, 0, &mut restored);
+                assert_eq!(
+                    got,
+                    trie.find_containing(&child),
+                    "trial {trial} bit {bit}: tracked probe diverges from full walk"
+                );
+                assert_eq!(
+                    got,
+                    tree.find_containing(&child),
+                    "trial {trial} bit {bit}: witness diverges from the binary tree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chained_advances_follow_a_descent() {
+        // Drive a probe down a path one bit at a time, as the engine's
+        // skeleton does, checking every tracked answer against full
+        // walks; exercises skip traversal and chunk crossings.
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..100 {
+            let n = 2;
+            let width = 14u8;
+            let mut trie = RadixBoxTrie::new(n);
+            for _ in 0..rng.gen_range(1..30) {
+                trie.insert(&rand_box(&mut rng, n, width));
+            }
+            let path = rng.gen_range(0..(1u64 << width));
+            let mut probe = DescentProbe::new();
+            for len in 0..=width {
+                let target = DyadicBox::universe(n)
+                    .with(0, DyadicInterval::from_bits(path >> (width - len), len));
+                let got = trie.find_containing_tracked(&target, 0, &mut probe);
+                assert_eq!(
+                    got,
+                    trie.find_containing(&target),
+                    "trial {trial} len {len}"
+                );
+                if got.is_some() {
+                    break; // covered: the engine would stop descending
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_intersecting_builds_an_exact_shard() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for trial in 0..60 {
+            let n = 3;
+            let stored: Vec<DyadicBox> = (0..rng.gen_range(1..40))
+                .map(|_| rand_box(&mut rng, n, 6))
+                .collect();
+            let trie: RadixBoxTrie = stored.iter().copied().collect();
+            let target = rand_box(&mut rng, n, 6);
+            let mut shard = RadixBoxTrie::new(n);
+            trie.extract_intersecting_into(&target, &mut shard);
+            let mut got = shard.iter_boxes();
+            got.sort();
+            let mut expect: Vec<DyadicBox> = stored
+                .iter()
+                .filter(|b| b.intersects(&target))
+                .copied()
+                .collect();
+            expect.sort();
+            expect.dedup();
+            assert_eq!(got, expect, "trial {trial} target {target}");
+        }
+    }
+
+    #[test]
+    fn clear_resets_and_invalidates_frontiers() {
+        let mut t = RadixBoxTrie::new(2);
+        t.insert(&b("0,λ"));
+        let parent = b("1,λ");
+        let mut probe = DescentProbe::new();
+        assert!(t.find_containing_tracked(&parent, 0, &mut probe).is_none());
+        t.clear();
+        assert!(t.is_empty());
+        assert!(!t.covers(&b("00,0")));
+        t.insert(&b("λ,λ"));
+        // The pre-clear frontier must not be trusted: the probe for the
+        // child must see the fresh universe box.
+        let child = b("10,λ");
+        assert_eq!(
+            t.find_containing_tracked(&child, 0, &mut probe),
+            Some(b("λ,λ"))
+        );
+        assert_eq!(probe.full_walks, 2, "clear must force a full walk");
+    }
+
+    #[test]
+    fn one_dimensional_store() {
+        let mut t = RadixBoxTrie::new(1);
+        t.insert(&b("01"));
+        t.insert(&b("1"));
+        assert!(t.covers(&b("011")));
+        assert!(t.covers(&b("11")));
+        assert!(!t.covers(&b("00")));
+        assert!(!t.covers(&b("0")));
+        assert_eq!(t.iter_boxes().len(), 2);
+    }
+
+    #[test]
+    fn lambda_box_contains_everything() {
+        let mut t = RadixBoxTrie::new(3);
+        t.insert(&DyadicBox::universe(3));
+        assert!(t.covers(&b("101,0,11")));
+        assert!(t.covers(&DyadicBox::universe(3)));
+    }
+
+    #[test]
+    fn epoch_advances_on_novel_inserts_only() {
+        let mut t = RadixBoxTrie::new(2);
+        let e0 = t.epoch();
+        t.insert(&b("0,λ"));
+        let e1 = t.epoch();
+        assert!(e1 > e0);
+        t.insert(&b("0,λ"));
+        assert_eq!(t.epoch(), e1, "duplicate inserts must not move the epoch");
+        t.clear();
+        assert!(t.epoch() > e1, "clears must move the epoch");
+    }
+}

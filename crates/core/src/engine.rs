@@ -17,8 +17,54 @@
 //! ([`boxstore::CoverageMarks`]) can repair it.
 
 use crate::{TetrisStats, TraceEvent};
-use boxstore::{BoxOracle, BoxTree, CoverProbe, CoverageMarks, DescentProbe, FrontierStack};
+use boxstore::{
+    BoxOracle, BoxStore, BoxTree, CoverProbe, CoverageMarks, DescentProbe, FrontierStack,
+    StoreTuning, DEFAULT_INSERT_RING,
+};
+use boxtrie::RadixBoxTrie;
 use dyadic::{resolve::ordered_resolve, DyadicBox, DyadicInterval, Space};
+
+/// Which [`BoxStore`] backend holds the knowledge base.
+///
+/// The engine itself is generic over the store type; this enum is the
+/// *runtime* selector the type-erased entry points
+/// ([`run_with_config`], [`check_cover_with_config`]) and the workload
+/// bins dispatch on. Both backends answer every probe with bit-identical
+/// witnesses (asserted by `tests/differential_backend.rs`), so selecting
+/// one is purely a constant-factor decision.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The paper's multilevel binary tree ([`boxstore::BoxTree`],
+    /// Appendix C.1) — one pointer hop per dyadic bit. The differential
+    /// oracle every other backend is checked against.
+    #[default]
+    Binary,
+    /// The path-compressed radix-2⁴ trie ([`boxtrie::RadixBoxTrie`]):
+    /// four bits per hop, unary chains collapsed into word-compared skip
+    /// prefixes, nodes in a flat arena.
+    Radix,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Binary => "binary",
+            Backend::Radix => "radix",
+        })
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "binary" | "bin" | "tree" => Ok(Backend::Binary),
+            "radix" | "trie" => Ok(Backend::Radix),
+            other => Err(format!("unknown backend {other:?} (expected binary|radix)")),
+        }
+    }
+}
 
 /// How the engine walks the skeleton between knowledge-base changes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -75,6 +121,22 @@ pub struct TetrisConfig {
     pub inline_outputs: bool,
     /// Descent strategy between knowledge-base changes.
     pub descent: Descent,
+    /// Which box-store backend holds the knowledge base. Honored by the
+    /// type-erased entries ([`run_with_config`] and friends) and the
+    /// workload bins; the generic constructor [`Tetris::with_store`]
+    /// fixes the store *type* at compile time instead, and
+    /// [`Tetris::with_config`] always pins [`Backend::Binary`].
+    pub backend: Backend,
+    /// Length of every store's rolling insert ring — the window of recent
+    /// inserts a frame-saved probe frontier can be repaired against
+    /// (default [`boxstore::DEFAULT_INSERT_RING`] = 256; must be at least
+    /// [`boxstore::REPAIR_CAP`]).
+    pub insert_ring: usize,
+    /// Cap on the insert log a parallel thief hands back to its donor at
+    /// a donation join; beyond it the merge is truncated — the log is an
+    /// optimization, any subset is sound to merge (default
+    /// [`crate::DEFAULT_MERGE_CAP`] = 4096).
+    pub merge_cap: usize,
     /// Record a [`TraceEvent`] log of every step (tests/figures only).
     pub trace: bool,
 }
@@ -86,6 +148,9 @@ impl Default for TetrisConfig {
             cache_resolvents: true,
             inline_outputs: false,
             descent: Descent::Incremental,
+            backend: Backend::Binary,
+            insert_ring: DEFAULT_INSERT_RING,
+            merge_cap: crate::parallel::DEFAULT_MERGE_CAP,
             trace: false,
         }
     }
@@ -154,14 +219,16 @@ impl Frame {
     }
 }
 
-/// The Tetris solver (Algorithms 1 + 2) over any [`BoxOracle`].
+/// The Tetris solver (Algorithms 1 + 2) over any [`BoxOracle`], generic
+/// over the knowledge-base backend `S` (default: the binary [`BoxTree`];
+/// see [`Backend`] for runtime selection).
 ///
 /// The ambient dimensions are already in **splitting attribute order**:
 /// the skeleton always splits the first thick dimension of its target.
-pub struct Tetris<'o, O: BoxOracle + ?Sized> {
+pub struct Tetris<'o, O: BoxOracle + ?Sized, S: BoxStore = BoxTree> {
     pub(crate) oracle: &'o O,
     pub(crate) space: Space,
-    pub(crate) kb: BoxTree,
+    pub(crate) kb: S,
     pub(crate) config: TetrisConfig,
     pub(crate) stats: TetrisStats,
     trace: Vec<TraceEvent>,
@@ -173,23 +240,66 @@ pub struct Tetris<'o, O: BoxOracle + ?Sized> {
     point: Vec<u64>,
     /// Incremental knowledge-base probe state (descends advance the last
     /// failed probe's frontier instead of re-walking the store).
-    probe: DescentProbe,
+    probe: DescentProbe<S::Entry>,
     /// Per-frame saved probe frontiers (incremental descents only):
     /// right-sibling descents restore these and advance+repair instead of
     /// re-walking the store.
-    frontiers: FrontierStack,
+    frontiers: FrontierStack<S::Entry>,
     /// Coverage-epoch memo ([`Descent::RestartMemo`] only).
     marks: CoverageMarks,
 }
 
 impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
-    /// Build an engine with explicit configuration.
+    /// Build a binary-backend engine with explicit configuration.
+    ///
+    /// This constructor pins `S = BoxTree` so every existing call site
+    /// infers its types; it does **not** dispatch on
+    /// [`TetrisConfig::backend`] — use [`run_with_config`] (or
+    /// [`Tetris::with_store`] with an explicit store type) for that.
     pub fn with_config(oracle: &'o O, config: TetrisConfig) -> Self {
+        debug_assert_eq!(
+            config.backend,
+            Backend::Binary,
+            "Tetris::with_config always builds the binary backend; use \
+             run_with_config (or Tetris::<_, _, S>::with_store) to honor \
+             TetrisConfig::backend"
+        );
+        Self::with_store(oracle, config)
+    }
+
+    /// `Tetris-Preloaded` (§4.3): the knowledge base starts as all of `B`.
+    pub fn preloaded(oracle: &'o O) -> Self {
+        Self::with_config(
+            oracle,
+            TetrisConfig {
+                preload: true,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// `Tetris-Reloaded` (§4.4): the knowledge base starts empty and gap
+    /// boxes are loaded on demand — the certificate-sensitive mode.
+    pub fn reloaded(oracle: &'o O) -> Self {
+        Self::with_config(oracle, TetrisConfig::default())
+    }
+}
+
+impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
+    /// Build an engine whose knowledge base lives in an explicit
+    /// [`BoxStore`] type (e.g. `Tetris::<_, RadixBoxTrie>::with_store`).
+    /// [`TetrisConfig::backend`] is *not* consulted — the type parameter
+    /// **is** the selection; the field exists for the type-erased
+    /// dispatchers.
+    pub fn with_store(oracle: &'o O, config: TetrisConfig) -> Self {
         let space = oracle.space();
+        let tuning = StoreTuning {
+            insert_ring: config.insert_ring,
+        };
         let mut engine = Tetris {
             oracle,
             space,
-            kb: BoxTree::new(space.n()),
+            kb: S::with_tuning(space.n(), tuning),
             config,
             stats: TetrisStats::new(space.n()),
             trace: Vec::new(),
@@ -210,23 +320,6 @@ impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
             assert!(supported, "preloaded mode requires an enumerable oracle");
         }
         engine
-    }
-
-    /// `Tetris-Preloaded` (§4.3): the knowledge base starts as all of `B`.
-    pub fn preloaded(oracle: &'o O) -> Self {
-        Self::with_config(
-            oracle,
-            TetrisConfig {
-                preload: true,
-                ..Default::default()
-            },
-        )
-    }
-
-    /// `Tetris-Reloaded` (§4.4): the knowledge base starts empty and gap
-    /// boxes are loaded on demand — the certificate-sensitive mode.
-    pub fn reloaded(oracle: &'o O) -> Self {
-        Self::with_config(oracle, TetrisConfig::default())
     }
 
     /// Enable/disable resolvent caching (builder style).
@@ -588,6 +681,41 @@ enum Absorb {
     Witness(DyadicBox),
     /// Tear down the stack and restart from the universe.
     Restart,
+}
+
+/// Run a full Tetris pass, dispatching on [`TetrisConfig::backend`] —
+/// the type-erased entry the workload bins use for runtime backend
+/// selection (A/B sweeps, `--backend` flags).
+pub fn run_with_config<O: BoxOracle + ?Sized>(oracle: &O, config: TetrisConfig) -> TetrisOutput {
+    match config.backend {
+        Backend::Binary => Tetris::<O, BoxTree>::with_store(oracle, config).run(),
+        Backend::Radix => Tetris::<O, RadixBoxTrie>::with_store(oracle, config).run(),
+    }
+}
+
+/// [`run_with_config`] streaming tuples to a callback instead of
+/// materializing them; returns the final stats.
+pub fn for_each_output_with_config<O: BoxOracle + ?Sized>(
+    oracle: &O,
+    config: TetrisConfig,
+    f: impl FnMut(&[u64]),
+) -> TetrisStats {
+    match config.backend {
+        Backend::Binary => Tetris::<O, BoxTree>::with_store(oracle, config).for_each_output(f),
+        Backend::Radix => Tetris::<O, RadixBoxTrie>::with_store(oracle, config).for_each_output(f),
+    }
+}
+
+/// Boolean BCP ([`Tetris::check_cover`]) dispatching on
+/// [`TetrisConfig::backend`].
+pub fn check_cover_with_config<O: BoxOracle + ?Sized>(
+    oracle: &O,
+    config: TetrisConfig,
+) -> (bool, TetrisStats) {
+    match config.backend {
+        Backend::Binary => Tetris::<O, BoxTree>::with_store(oracle, config).check_cover(),
+        Backend::Radix => Tetris::<O, RadixBoxTrie>::with_store(oracle, config).check_cover(),
+    }
 }
 
 #[cfg(test)]

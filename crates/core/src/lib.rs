@@ -57,6 +57,10 @@ mod parallel;
 mod stats;
 mod trace;
 
-pub use engine::{Descent, Tetris, TetrisConfig, TetrisOutput};
+pub use engine::{
+    check_cover_with_config, for_each_output_with_config, run_with_config, Backend, Descent,
+    Tetris, TetrisConfig, TetrisOutput,
+};
+pub use parallel::DEFAULT_MERGE_CAP;
 pub use stats::TetrisStats;
 pub use trace::TraceEvent;

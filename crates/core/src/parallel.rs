@@ -1,5 +1,7 @@
 //! The parallel skeleton descent (`Descent::Parallel`): Tetris's outer
-//! loop spread over a work-stealing thread pool.
+//! loop spread over a work-stealing thread pool, generic over the
+//! [`BoxStore`] backend (both the frozen base tree and every overlay
+//! shard build on whatever backend the engine was constructed with).
 //!
 //! # Why the output set cannot change
 //!
@@ -17,13 +19,17 @@
 //!   not entered, so no unit box is ever probed by two tasks and no
 //!   output can be double-reported.
 //! * **Sharded stores.** Every task probes the frozen pre-descent
-//!   knowledge base (the `Tetris-Preloaded` tree, shared read-only by
+//!   knowledge base (the `Tetris-Preloaded` store, shared read-only by
 //!   all workers, where frame-saved frontiers advance without ever
-//!   needing repair) plus a private overlay [`BoxTree`] shard holding
-//!   the task's loads, resolvents, and reported outputs. A donated
-//!   task's shard is seeded with [`BoxTree::extract_intersecting_into`]
-//!   from the donor's shard — the slice of the donor's knowledge that
-//!   can matter inside the donated half.
+//!   needing repair) plus a private overlay shard holding the task's
+//!   loads, resolvents, and reported outputs. A donated task's shard is
+//!   seeded with `extract_intersecting_into` from the donor's shard —
+//!   the slice of the donor's knowledge that can matter inside the
+//!   donated half. Shard stores themselves are **recycled**: a joined
+//!   thief hands its overlay back with the outcome, and each worker
+//!   keeps a scratch pool that `donate` refills (clear + re-extract)
+//!   instead of allocating a fresh store per stolen task —
+//!   `TetrisStats::par_shard_allocs` counts the allocations that remain.
 //! * **Deterministic merge.** When the donor's unwind reaches a donated
 //!   frame it joins the thief ([`executor::Worker::help_while`] — it
 //!   runs other tasks while waiting) and then treats the thief's
@@ -45,7 +51,7 @@
 
 use crate::engine::{Frame, Tetris, TetrisOutput};
 use crate::TetrisStats;
-use boxstore::{BoxOracle, BoxTree, DescentProbe, FrontierStack};
+use boxstore::{BoxOracle, BoxStore, DescentProbe, FrontierStack, StoreTuning};
 use dyadic::{resolve::ordered_resolve, DyadicBox, DyadicInterval, Space};
 use executor::{Pool, Worker};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -57,31 +63,36 @@ use std::sync::{Arc, Mutex};
 /// enough that the checks are noise on real workloads.
 const CHECK_MASK: u64 = 15;
 
-/// Cap on the resolvent log a task hands back to its donor; beyond this
-/// the merge is truncated (the log is an optimization — any subset of it
-/// is sound to merge).
-const MERGE_CAP: usize = 4096;
+/// Default cap on the resolvent log a task hands back to its donor;
+/// beyond this the merge is truncated (the log is an optimization — any
+/// subset of it is sound to merge). Surfaced through
+/// `TetrisConfig::merge_cap`.
+pub const DEFAULT_MERGE_CAP: usize = 4096;
+
+/// Retired overlay shards kept per worker for reuse; beyond this they
+/// are dropped (bounds how much arena capacity idles in the pools).
+const SCRATCH_CAP: usize = 4;
 
 /// One donated subtree: the half-box target plus the shard seeded from
 /// the donor's overlay. `cell` carries the result back (absent only for
 /// the root task, whose witness nobody joins).
-struct Task {
+struct Task<S> {
     target: DyadicBox,
-    shard: BoxTree,
-    cell: Option<Arc<DonationCell>>,
+    shard: S,
+    cell: Option<Arc<DonationCell<S>>>,
 }
 
 /// The rendezvous between a donor frame and its thief.
-struct DonationCell {
+struct DonationCell<S> {
     /// Set by the thief once `outcome` is written.
     done: AtomicBool,
     /// Set by the donor when the frame's target got covered (the stolen
     /// subtree became dead work) or the run is stopping.
     cancel: AtomicBool,
-    outcome: Mutex<Option<Outcome>>,
+    outcome: Mutex<Option<Outcome<S>>>,
 }
 
-impl DonationCell {
+impl<S> DonationCell<S> {
     fn new() -> Self {
         DonationCell {
             done: AtomicBool::new(false),
@@ -92,7 +103,7 @@ impl DonationCell {
 }
 
 /// What a completed task reports back to its donor.
-struct Outcome {
+struct Outcome<S> {
     /// A knowledge-base box covering the task's whole target (meaningful
     /// only when `cancelled` is false).
     witness: DyadicBox,
@@ -101,6 +112,8 @@ struct Outcome {
     inserts: Vec<DyadicBox>,
     /// The task observed a cancellation and unwound early.
     cancelled: bool,
+    /// The task's overlay store, handed back for reuse.
+    shard: S,
 }
 
 /// What each task contributes to the final merge: its output tuples and
@@ -108,25 +121,42 @@ struct Outcome {
 type TaskReport = (Vec<Vec<u64>>, TetrisStats);
 
 /// Run-wide shared state (borrowed by every worker via the scoped pool).
-struct ParCtx<'a, O: BoxOracle + ?Sized> {
+struct ParCtx<'a, O: BoxOracle + ?Sized, S> {
     oracle: &'a O,
     space: Space,
     /// The pre-descent knowledge base (preloaded gap set, or empty for
     /// reloaded mode), frozen for the duration of the run.
-    base: &'a BoxTree,
+    base: &'a S,
     cache_resolvents: bool,
+    /// Store tuning for freshly allocated overlay shards.
+    tuning: StoreTuning,
+    /// Cap on a thief's merge-on-return insert log.
+    merge_cap: usize,
     /// Boolean mode: flip `stop` at the first output anywhere.
     stop_on_first: bool,
     stop: &'a AtomicBool,
+    /// Per-worker pools of retired overlay shards, refilled by joins and
+    /// drained by donations (shard reuse instead of per-task allocation).
+    scratch: &'a [Mutex<Vec<S>>],
     /// Every task pushes (outputs, stats) here; merged after the pool
     /// drains.
     reports: &'a Mutex<Vec<TaskReport>>,
 }
 
+impl<O: BoxOracle + ?Sized, S: BoxStore> ParCtx<'_, O, S> {
+    /// Hand a retired shard back to `worker`'s pool (dropped when full).
+    fn retire_shard(&self, worker: usize, shard: S) {
+        let mut pool = self.scratch[worker].lock().expect("scratch lock poisoned");
+        if pool.len() < SCRATCH_CAP {
+            pool.push(shard);
+        }
+    }
+}
+
 /// Entry point used by [`Tetris::run`] & friends for
 /// [`crate::Descent::Parallel`].
-pub(crate) fn run_parallel<O: BoxOracle + ?Sized>(
-    engine: Tetris<'_, O>,
+pub(crate) fn run_parallel<O: BoxOracle + ?Sized, S: BoxStore>(
+    engine: Tetris<'_, O, S>,
     threads: usize,
     stop_on_first: bool,
 ) -> TetrisOutput {
@@ -150,19 +180,28 @@ pub(crate) fn run_parallel<O: BoxOracle + ?Sized>(
     );
     let stop = AtomicBool::new(false);
     let reports = Mutex::new(Vec::new());
+    let scratch: Vec<Mutex<Vec<S>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let tuning = StoreTuning {
+        insert_ring: config.insert_ring,
+    };
     let ctx = ParCtx {
         oracle,
         space,
         base: &kb,
         cache_resolvents: config.cache_resolvents,
+        tuning,
+        merge_cap: config.merge_cap,
         stop_on_first,
         stop: &stop,
+        scratch: &scratch,
         reports: &reports,
     };
     let n = space.n();
+    // The root task's overlay is the run's first shard allocation.
+    stats.par_shard_allocs += 1;
     let root = Task {
         target: DyadicBox::universe(n),
-        shard: BoxTree::new(n),
+        shard: S::with_tuning(n, tuning),
         cell: None,
     };
     Pool::scope(threads, vec![root], |task, worker| {
@@ -187,22 +226,22 @@ pub(crate) fn run_parallel<O: BoxOracle + ?Sized>(
 
 /// A frame of the parallel descent: the sequential [`Frame`] plus the
 /// rendezvous handle when its 1-side has been donated.
-struct ParFrame {
+struct ParFrame<S> {
     frame: Frame,
-    donated: Option<Arc<DonationCell>>,
+    donated: Option<Arc<DonationCell<S>>>,
 }
 
 /// One task's descent state: a lean re-instantiation of the sequential
 /// incremental driver against (frozen base ∪ overlay shard).
-struct SubEngine {
-    shard: BoxTree,
-    stack: Vec<ParFrame>,
+struct SubEngine<S: BoxStore> {
+    shard: S,
+    stack: Vec<ParFrame<S>>,
     /// Probe state against the frozen base: saved frontiers never need
     /// repair here, because the base cannot change mid-run.
-    base_probe: DescentProbe,
-    frontiers: FrontierStack,
+    base_probe: DescentProbe<S::Entry>,
+    frontiers: FrontierStack<S::Entry>,
     /// Probe state against the (small, mutating) overlay shard.
-    shard_probe: DescentProbe,
+    shard_probe: DescentProbe<S::Entry>,
     stats: TetrisStats,
     outputs: Vec<Vec<u64>>,
     /// Inserted boxes that escape the task's target (merge-on-return).
@@ -212,9 +251,13 @@ struct SubEngine {
     cancelled: bool,
 }
 
-fn run_task<O: BoxOracle + ?Sized>(ctx: &ParCtx<'_, O>, mut task: Task, worker: &Worker<'_, Task>) {
+fn run_task<O: BoxOracle + ?Sized, S: BoxStore>(
+    ctx: &ParCtx<'_, O, S>,
+    task: Task<S>,
+    worker: &Worker<'_, Task<S>>,
+) {
     let n = ctx.space.n();
-    let shard = std::mem::replace(&mut task.shard, BoxTree::new(n));
+    let (target, shard, cell) = (task.target, task.shard, task.cell);
     let mut eng = SubEngine {
         shard,
         stack: Vec::new(),
@@ -228,21 +271,26 @@ fn run_task<O: BoxOracle + ?Sized>(ctx: &ParCtx<'_, O>, mut task: Task, worker: 
         point: Vec::new(),
         cancelled: false,
     };
-    let witness = eng.descend(ctx, worker, &task);
+    let witness = eng.descend(ctx, worker, target, cell.as_deref());
     eng.stats.par_tasks = 1;
     eng.stats.probe_advances = eng.base_probe.advances + eng.shard_probe.advances;
     eng.stats.probe_repairs = eng.base_probe.repairs + eng.shard_probe.repairs;
     eng.stats.probe_full_walks = eng.base_probe.full_walks + eng.shard_probe.full_walks;
-    if let Some(cell) = &task.cell {
+    let shard = eng.shard;
+    if let Some(cell) = &cell {
         let mut inserts = std::mem::take(&mut eng.inserts);
         // Only facts escaping this task's region can matter to the donor.
-        inserts.retain(|b| !task.target.contains(b));
+        inserts.retain(|b| !target.contains(b));
         *cell.outcome.lock().expect("outcome lock poisoned") = Some(Outcome {
             witness,
             inserts,
             cancelled: eng.cancelled,
+            shard,
         });
         cell.done.store(true, Ordering::Release);
+    } else {
+        // The root task has no donor to hand its overlay back to.
+        ctx.retire_shard(worker.index(), shard);
     }
     ctx.reports
         .lock()
@@ -250,24 +298,24 @@ fn run_task<O: BoxOracle + ?Sized>(ctx: &ParCtx<'_, O>, mut task: Task, worker: 
         .push((eng.outputs, eng.stats));
 }
 
-impl SubEngine {
-    /// Run the descent over `task.target`; returns a witness covering the
+impl<S: BoxStore> SubEngine<S> {
+    /// Run the descent over `target`; returns a witness covering the
     /// whole target (or a placeholder when cancelled — a cancelled task's
     /// witness is never read, because its donor is itself unwinding).
     fn descend<O: BoxOracle + ?Sized>(
         &mut self,
-        ctx: &ParCtx<'_, O>,
-        worker: &Worker<'_, Task>,
-        task: &Task,
+        ctx: &ParCtx<'_, O, S>,
+        worker: &Worker<'_, Task<S>>,
+        target: DyadicBox,
+        cell: Option<&DonationCell<S>>,
     ) -> DyadicBox {
-        let target = task.target;
         let mut cur = target;
         'descend: loop {
             // ── descend until a covering witness is known.
             let mut witness = loop {
                 self.stats.skeleton_calls += 1;
                 if self.stats.skeleton_calls & CHECK_MASK == 0 {
-                    if self.should_stop(ctx, task) {
+                    if stopping(ctx, cell) {
                         return self.unwind_cancelled(target);
                     }
                     if worker.hungry() {
@@ -320,13 +368,14 @@ impl SubEngine {
                 let dim = frame.dim as usize;
                 match frame.w1 {
                     None => {
-                        if let Some(cell) = self.stack.last().and_then(|f| f.donated.clone()) {
+                        if let Some(dcell) = self.stack.last().and_then(|f| f.donated.clone()) {
                             // 0-side done, 1-side stolen: join the thief.
                             let w0 = witness;
-                            let Some(out1) = self.join(ctx, worker, task, &cell) else {
+                            let Some(out1) = self.join(ctx, worker, cell, &dcell) else {
                                 return self.unwind_cancelled(target);
                             };
-                            self.merge_returned(&target, out1.inserts);
+                            self.merge_returned(ctx, &target, out1.inserts);
+                            ctx.retire_shard(worker.index(), out1.shard);
                             let w1 = out1.witness;
                             if frame.covered_by(&w1, &cur) {
                                 self.stack.pop();
@@ -340,7 +389,7 @@ impl SubEngine {
                             );
                             self.stats.count_resolution(dim);
                             if ctx.cache_resolvents {
-                                self.insert_shard(&w);
+                                self.insert_shard(ctx, &w);
                             }
                             witness = w;
                             continue; // the resolvent covers the target
@@ -364,7 +413,7 @@ impl SubEngine {
                         );
                         self.stats.count_resolution(dim);
                         if ctx.cache_resolvents {
-                            self.insert_shard(&w);
+                            self.insert_shard(ctx, &w);
                         }
                         witness = w;
                     }
@@ -377,7 +426,7 @@ impl SubEngine {
     /// then the overlay shard.
     fn probe<O: BoxOracle + ?Sized>(
         &mut self,
-        ctx: &ParCtx<'_, O>,
+        ctx: &ParCtx<'_, O, S>,
         cur: &DyadicBox,
         probe_dim: usize,
     ) -> Option<DyadicBox> {
@@ -394,7 +443,11 @@ impl SubEngine {
     /// Handle an uncovered unit box: output it or load its gap boxes —
     /// outputs are decided by the oracle alone, which is what makes the
     /// parallel output set scheduling-independent.
-    fn absorb<O: BoxOracle + ?Sized>(&mut self, ctx: &ParCtx<'_, O>, cur: &DyadicBox) -> DyadicBox {
+    fn absorb<O: BoxOracle + ?Sized>(
+        &mut self,
+        ctx: &ParCtx<'_, O, S>,
+        cur: &DyadicBox,
+    ) -> DyadicBox {
         self.stats.oracle_probes += 1;
         let mut hits = std::mem::take(&mut self.hits);
         ctx.oracle.boxes_containing_into(cur, &mut hits);
@@ -417,7 +470,7 @@ impl SubEngine {
                 if self.shard.insert(h) {
                     self.stats.kb_inserts += 1;
                     self.stats.loaded_boxes += 1;
-                    if self.inserts.len() < MERGE_CAP {
+                    if self.inserts.len() < ctx.merge_cap {
                         self.inserts.push(*h);
                     }
                 }
@@ -429,10 +482,10 @@ impl SubEngine {
     }
 
     /// Insert a resolvent into the shard, logging it for merge-on-return.
-    fn insert_shard(&mut self, w: &DyadicBox) {
+    fn insert_shard<O: BoxOracle + ?Sized>(&mut self, ctx: &ParCtx<'_, O, S>, w: &DyadicBox) {
         if self.shard.insert(w) {
             self.stats.kb_inserts += 1;
-            if self.inserts.len() < MERGE_CAP {
+            if self.inserts.len() < ctx.merge_cap {
                 self.inserts.push(*w);
             }
         }
@@ -441,13 +494,18 @@ impl SubEngine {
     /// Merge a finished thief's insert log into this shard — resolvents
     /// and loads that escape the thief's target can answer the donor's
     /// future probes.
-    fn merge_returned(&mut self, target: &DyadicBox, inserts: Vec<DyadicBox>) {
+    fn merge_returned<O: BoxOracle + ?Sized>(
+        &mut self,
+        ctx: &ParCtx<'_, O, S>,
+        target: &DyadicBox,
+        inserts: Vec<DyadicBox>,
+    ) {
         for b in inserts {
             if self.shard.insert(&b) {
                 self.stats.kb_inserts += 1;
                 // Propagate further up the donation chain if it also
                 // escapes *our* target.
-                if !target.contains(&b) && self.inserts.len() < MERGE_CAP {
+                if !target.contains(&b) && self.inserts.len() < ctx.merge_cap {
                     self.inserts.push(b);
                 }
             }
@@ -455,11 +513,12 @@ impl SubEngine {
     }
 
     /// Donate the shallowest pending (0-side-in-progress, not yet
-    /// donated, non-trivial) frame's 1-side to the pool.
+    /// donated, non-trivial) frame's 1-side to the pool, seeding its
+    /// shard from a recycled scratch store when one is available.
     fn donate<O: BoxOracle + ?Sized>(
         &mut self,
-        ctx: &ParCtx<'_, O>,
-        worker: &Worker<'_, Task>,
+        ctx: &ParCtx<'_, O, S>,
+        worker: &Worker<'_, Task<S>>,
         cur: &DyadicBox,
     ) {
         let n = ctx.space.n();
@@ -477,7 +536,19 @@ impl SubEngine {
             if side1.first_thick_dim(&ctx.space).is_none() {
                 continue; // a unit box is not worth a task
             }
-            let mut seed = BoxTree::new(n);
+            let mut seed = match ctx.scratch[worker.index()]
+                .lock()
+                .expect("scratch lock poisoned")
+                .pop()
+            {
+                Some(s) => s,
+                None => {
+                    self.stats.par_shard_allocs += 1;
+                    S::with_tuning(n, ctx.tuning)
+                }
+            };
+            // `extract_intersecting_into` clears the shard before
+            // refilling, so a recycled store starts exact.
             self.shard.extract_intersecting_into(&side1, &mut seed);
             let cell = Arc::new(DonationCell::new());
             pf.donated = Some(cell.clone());
@@ -495,32 +566,31 @@ impl SubEngine {
     /// `None` means this task itself got cancelled while waiting.
     fn join<O: BoxOracle + ?Sized>(
         &mut self,
-        ctx: &ParCtx<'_, O>,
-        worker: &Worker<'_, Task>,
-        task: &Task,
-        cell: &Arc<DonationCell>,
-    ) -> Option<Outcome> {
-        worker.help_while(|| !cell.done.load(Ordering::Acquire) && !stopping(ctx, task));
-        if !cell.done.load(Ordering::Acquire) {
+        ctx: &ParCtx<'_, O, S>,
+        worker: &Worker<'_, Task<S>>,
+        cell: Option<&DonationCell<S>>,
+        dcell: &Arc<DonationCell<S>>,
+    ) -> Option<Outcome<S>> {
+        worker.help_while(|| !dcell.done.load(Ordering::Acquire) && !stopping(ctx, cell));
+        if !dcell.done.load(Ordering::Acquire) {
             // We stopped waiting because the run is unwinding; release
             // the thief too.
-            cell.cancel.store(true, Ordering::Relaxed);
+            dcell.cancel.store(true, Ordering::Relaxed);
             return None;
         }
-        let outcome = cell
+        let outcome = dcell
             .outcome
             .lock()
             .expect("outcome lock poisoned")
             .take()
             .expect("done implies outcome");
         if outcome.cancelled {
-            return None; // only happens when the whole run is stopping
+            // Only happens when the whole run is stopping; the shard is
+            // still good scratch.
+            ctx.retire_shard(worker.index(), outcome.shard);
+            return None;
         }
         Some(outcome)
-    }
-
-    fn should_stop<O: BoxOracle + ?Sized>(&self, ctx: &ParCtx<'_, O>, task: &Task) -> bool {
-        stopping(ctx, task)
     }
 
     /// Tear down early: propagate cancellation to every pending thief.
@@ -553,10 +623,9 @@ impl SubEngine {
     }
 }
 
-fn stopping<O: BoxOracle + ?Sized>(ctx: &ParCtx<'_, O>, task: &Task) -> bool {
-    ctx.stop.load(Ordering::Relaxed)
-        || task
-            .cell
-            .as_ref()
-            .is_some_and(|c| c.cancel.load(Ordering::Relaxed))
+fn stopping<O: BoxOracle + ?Sized, S>(
+    ctx: &ParCtx<'_, O, S>,
+    cell: Option<&DonationCell<S>>,
+) -> bool {
+    ctx.stop.load(Ordering::Relaxed) || cell.is_some_and(|c| c.cancel.load(Ordering::Relaxed))
 }

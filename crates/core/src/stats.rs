@@ -51,6 +51,12 @@ pub struct TetrisStats {
     /// Pending sibling frames donated to the work-stealing pool
     /// (`Descent::Parallel` only).
     pub par_donations: u64,
+    /// Overlay shard stores freshly allocated (`Descent::Parallel` only;
+    /// the root task plus every donation the per-worker scratch pools
+    /// could not serve — with shard reuse this stays well below
+    /// `par_donations + 1` on donation-heavy runs, and like the other
+    /// parallel cost counters it floats with scheduling).
+    pub par_shard_allocs: u64,
 }
 
 impl TetrisStats {
@@ -90,6 +96,7 @@ impl TetrisStats {
         self.rebuilds += other.rebuilds;
         self.par_tasks += other.par_tasks;
         self.par_donations += other.par_donations;
+        self.par_shard_allocs += other.par_shard_allocs;
         for (i, &v) in other.resolutions_by_dim.iter().enumerate() {
             if i < self.resolutions_by_dim.len() {
                 self.resolutions_by_dim[i] += v;

@@ -7,24 +7,28 @@
 //! cargo run --release --example million_triangles            # 10⁶ edges
 //! cargo run --release --example million_triangles -- --edges 100000
 //! cargo run --release --example million_triangles -- --threads 4 --seed 7
+//! cargo run --release --example million_triangles -- --backend radix
 //! ```
 //!
 //! `--edges` sets the graph size (`TETRIS_EDGES` env still works as a
 //! fallback), `--threads N` runs the listing under
-//! `Descent::Parallel { threads: N }` (default 1 = sequential), and
+//! `Descent::Parallel { threads: N }` (default 1 = sequential),
+//! `--backend binary|radix` selects the knowledge-base store, and
 //! `--seed` overrides the generator seed.
 
 use baseline::leapfrog::leapfrog_join;
 use std::time::Instant;
 use tetris_join::relation::io::read_tuples_streaming;
 use tetris_join::relation::{Relation, Schema};
-use tetris_join::tetris::{Descent, Tetris};
+use tetris_join::tetris::{run_with_config, Backend, Descent, TetrisConfig};
 use tetris_join::triangles::{prepared_triangle_join, triangle_spec};
 use workload::graphs::{self, Graph};
 
 fn usage(msg: &str) -> ! {
     eprintln!("million_triangles: {msg}");
-    eprintln!("usage: million_triangles [--edges N] [--threads N] [--seed S]");
+    eprintln!(
+        "usage: million_triangles [--edges N] [--threads N] [--backend binary|radix] [--seed S]"
+    );
     std::process::exit(2);
 }
 
@@ -34,6 +38,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000);
     let mut threads: usize = 1;
+    let mut backend = Backend::Binary;
     let mut seed: u64 = 42;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,6 +58,11 @@ fn main() {
                     .ok()
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage("bad --threads value"))
+            }
+            "--backend" => {
+                backend = value("--backend")
+                    .parse()
+                    .unwrap_or_else(|e: String| usage(&e))
             }
             "--seed" => {
                 seed = value("--seed")
@@ -120,24 +130,30 @@ fn main() {
 
     // 4. Tetris: ordered triangle listing (u < v < w) via the self-join
     //    E(A,B) ⋈ E(B,C) ⋈ E(A,C) over geometric resolutions —
-    //    sequential, or spread over the work-stealing pool.
+    //    sequential, or spread over the work-stealing pool, on either
+    //    box-store backend.
     let edges: Relation = graph.edge_relation();
     let start = Instant::now();
     let join = prepared_triangle_join(&edges);
     let index_t = start.elapsed();
     let oracle = join.oracle();
     let start = Instant::now();
-    let engine = if threads == 1 {
-        Tetris::preloaded(&oracle)
-    } else {
-        Tetris::preloaded(&oracle).descent(Descent::Parallel { threads })
+    let cfg = TetrisConfig {
+        preload: true,
+        descent: if threads == 1 {
+            Descent::Incremental
+        } else {
+            Descent::Parallel { threads }
+        },
+        backend,
+        ..Default::default()
     };
-    let out = engine.run();
+    let out = run_with_config(&oracle, cfg);
     let mode = if threads == 1 {
-        "sequential".to_string()
+        format!("sequential, {backend}")
     } else {
         format!(
-            "{threads} workers, {} tasks, {} donations",
+            "{threads} workers, {backend}, {} tasks, {} donations",
             out.stats.par_tasks, out.stats.par_donations
         )
     };

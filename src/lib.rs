@@ -14,6 +14,7 @@ pub mod triangles;
 
 pub use baseline;
 pub use boxstore;
+pub use boxtrie;
 pub use dyadic;
 pub use query;
 pub use relation;

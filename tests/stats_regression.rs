@@ -24,7 +24,7 @@
 use boxstore::SetOracle;
 use dyadic::{DyadicBox, Space};
 use tetris_join::prepared::PreparedJoin;
-use tetris_join::tetris::{Descent, Tetris, TetrisStats};
+use tetris_join::tetris::{Backend, Descent, Tetris, TetrisConfig, TetrisStats};
 use workload::triangle;
 
 /// The pinned counter subset: (restarts, oracle_probes, kb_inserts,
@@ -49,6 +49,25 @@ fn assert_pin(label: &str, stats: &TetrisStats, expect: Pin) {
         expect,
         "{label}: pinned counters moved — if intended, follow the update \
          protocol in tests/stats_regression.rs (actual: {stats:?})"
+    );
+}
+
+/// The store/parallel tuning constants surfaced through `TetrisConfig`
+/// are part of the engine's measured cost model: changing a default is a
+/// perf-relevant decision that must be taken deliberately (and re-run
+/// through the bench protocol), never slipped in with a refactor.
+#[test]
+fn tuning_defaults_are_pinned() {
+    assert_eq!(boxstore::DEFAULT_INSERT_RING, 256);
+    assert_eq!(boxstore::REPAIR_CAP, 64);
+    assert_eq!(tetris_core::DEFAULT_MERGE_CAP, 4096);
+    let cfg = TetrisConfig::default();
+    assert_eq!(cfg.backend, Backend::Binary);
+    assert_eq!(cfg.insert_ring, boxstore::DEFAULT_INSERT_RING);
+    assert_eq!(cfg.merge_cap, tetris_core::DEFAULT_MERGE_CAP);
+    assert_eq!(
+        boxstore::StoreTuning::default().insert_ring,
+        boxstore::DEFAULT_INSERT_RING
     );
 }
 
