@@ -1,0 +1,68 @@
+//! Ad-hoc probe-path profiler: run one skewed-graph triangle listing and
+//! dump the full counter breakdown plus phase timings — the numbers the
+//! hot-path work in EXPERIMENTS.md §9 is steered by.
+
+use boxstore::{ArenaBoxTree, BoxTree};
+use boxtrie::RadixBoxTrie;
+use std::time::Instant;
+use tetris_join::tetris::{Backend, Tetris, TetrisConfig};
+use tetris_join::triangles::prepared_triangle_join;
+use workload::graphs;
+
+fn main() {
+    let edges: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let backend: Backend = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(Backend::Binary);
+    // Seed matches the t2_graphs big-tier skewed instance so counter
+    // breakdowns line up with BENCH_pr*.json rows.
+    let g = graphs::skewed_graph_with_edges(edges, 2, 0xBEEF);
+    let rel = g.edge_relation();
+    let join = prepared_triangle_join(&rel);
+    let oracle = join.oracle();
+    let cfg = TetrisConfig {
+        preload: true,
+        backend,
+        ..Default::default()
+    };
+    // Build (incl. preload) and solve timed separately: `solve_s` is the
+    // number comparable with the t2_graphs `tetris_s` column.
+    let t0 = Instant::now();
+    let (build, out) = match backend {
+        Backend::Binary => {
+            let engine = Tetris::<_, BoxTree>::with_store(&oracle, cfg);
+            (t0.elapsed().as_secs_f64(), engine.run())
+        }
+        Backend::Radix => {
+            let engine = Tetris::<_, RadixBoxTrie>::with_store(&oracle, cfg);
+            (t0.elapsed().as_secs_f64(), engine.run())
+        }
+        Backend::Arena => {
+            let engine = Tetris::<_, ArenaBoxTree>::with_store(&oracle, cfg);
+            (t0.elapsed().as_secs_f64(), engine.run())
+        }
+    };
+    let solve = t0.elapsed().as_secs_f64() - build;
+    let s = &out.stats;
+    println!("edges={edges} backend={backend} build_s={build:.3} solve_s={solve:.3}");
+    println!(
+        "outputs={} resolutions={} splits={} skeleton={} kb_queries={}",
+        s.outputs, s.resolutions, s.splits, s.skeleton_calls, s.kb_queries
+    );
+    println!(
+        "advances={} repairs={} repair_fasts={} full_walks={}",
+        s.probe_advances, s.probe_repairs, s.probe_repair_fasts, s.probe_full_walks
+    );
+    println!(
+        "kb_inserts={} kb_insert_skips={} loaded={} oracle_probes={}",
+        s.kb_inserts, s.kb_insert_skips, s.loaded_boxes, s.oracle_probes
+    );
+    println!(
+        "ns_per_resolution={:.1}",
+        solve * 1e9 / s.resolutions.max(1) as f64
+    );
+}

@@ -32,7 +32,7 @@
 
 use baseline::leapfrog::leapfrog_join;
 use bench::{fmt_f, peak_rss_bytes, time, Table};
-use boxstore::BoxTree;
+use boxstore::{ArenaBoxTree, BoxTree};
 use boxtrie::RadixBoxTrie;
 use tetris_core::{Backend, Descent, Tetris, TetrisConfig};
 use tetris_join::triangles::{prepared_triangle_join, triangle_spec};
@@ -49,7 +49,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         tier: "full".to_string(),
         threads: vec![1, 4],
-        backends: vec![Backend::Binary, Backend::Radix],
+        backends: vec![Backend::Binary, Backend::Radix, Backend::Arena],
         seed: None,
     };
     let mut it = std::env::args().skip(1);
@@ -232,6 +232,10 @@ fn run_row(table: &mut Table, kind: &str, g: &Graph, threads: &[usize], backends
                 }
                 Backend::Radix => {
                     let engine = Tetris::<_, RadixBoxTrie>::with_store(&oracle, cfg);
+                    time(|| engine.run())
+                }
+                Backend::Arena => {
+                    let engine = Tetris::<_, ArenaBoxTree>::with_store(&oracle, cfg);
                     time(|| engine.run())
                 }
             };

@@ -1,0 +1,881 @@
+//! The arena binary backend: the multilevel dyadic tree of
+//! [`crate::BoxTree`] with cache-line-conscious node storage.
+//!
+//! Same shape, same walks, same witnesses — only the memory layout
+//! differs. A node is one 16-byte-aligned record: both child pointers
+//! plus a packed metadata word (bit 31 = terminal, bit 30 = cached
+//! λ-tail, low 30 bits = next-level id). The alignment guarantees a node
+//! never straddles a cache line, so every step of the hot walks — follow
+//! one bit, hop a `next` link, test terminal/λ — costs at most one
+//! memory access, which is the whole point at 10⁶-edge scale where the
+//! store runs to a hundred million nodes and every access is a miss.
+
+use crate::store::{
+    is_child_at, BoxStore, DescentProbe, InsertCursor, InsertLog, StoreTuning, REPAIR_CAP,
+};
+use dyadic::{DyadicBox, DyadicInterval, MAX_DIMS};
+
+/// Sentinel for "no child".
+const NONE: u32 = u32::MAX;
+
+/// Low 30 bits of the metadata word: the next-level link.
+const LINK_MASK: u32 = 0x3FFF_FFFF;
+
+/// "No next level" sentinel inside the link field.
+const NONE_LINK: u32 = LINK_MASK;
+
+/// Bit 31 of the metadata word: a box terminates here.
+const TERMINAL_BIT: u32 = 1 << 31;
+
+/// Bit 30 of the metadata word: a stored box ends through this node with
+/// `λ` components on every later dimension (the cached `lambda_tail`
+/// fact — set at insert, wiped wholesale by `clear`, never otherwise
+/// invalidated because those are the only two mutations).
+const LAMBDA_BIT: u32 = 1 << 30;
+
+/// One arena node: both child pointers and the packed metadata word,
+/// padded to 16 bytes so a node never straddles a cache line — every
+/// walk step (child follow, `next` hop, terminal/λ check) reads exactly
+/// one line.
+#[derive(Clone, Copy, Debug)]
+#[repr(align(16))]
+struct ArenaNode {
+    /// `children[bit]` follows `bit` of the current dimension.
+    children: [u32; 2],
+    /// Packed metadata: `TERMINAL_BIT | LAMBDA_BIT | next_link`.
+    meta: u32,
+}
+
+const EMPTY_NODE: ArenaNode = ArenaNode {
+    children: [NONE, NONE],
+    meta: NONE_LINK,
+};
+
+/// A set of `n`-dimensional dyadic boxes stored as a multilevel dyadic
+/// tree in a single 16-byte-per-node arena — the cache-conscious sibling
+/// of [`crate::BoxTree`], answer-identical on every query.
+///
+/// ```
+/// use boxstore::{ArenaBoxTree, BoxStore};
+/// use dyadic::DyadicBox;
+///
+/// let mut t = ArenaBoxTree::new(2);
+/// t.insert(&DyadicBox::parse("0,λ").unwrap());
+/// t.insert(&DyadicBox::parse("10,1").unwrap());
+/// let probe = DyadicBox::parse("01,11").unwrap();
+/// assert_eq!(t.find_containing(&probe), DyadicBox::parse("0,λ"));
+/// ```
+#[derive(Debug)]
+pub struct ArenaBoxTree {
+    /// The node arena, addressed by `u32` id.
+    nodes: Vec<ArenaNode>,
+    root: u32,
+    n: usize,
+    len: usize,
+    epoch: u64,
+    log: InsertLog,
+    /// Node path of the previous insert: consecutive inserts resume from
+    /// the divergence point instead of re-walking the shared prefix.
+    cursor: InsertCursor,
+}
+
+/// One extendable tree position of a failed probe (see
+/// [`crate::BinaryEntry`] — identical contents, separate type so each
+/// backend's probe state stays monomorphic).
+#[derive(Clone, Copy, Debug)]
+pub struct ArenaEntry {
+    node: u32,
+    lens: [u8; MAX_DIMS],
+}
+
+impl ArenaBoxTree {
+    /// An empty store for `n`-dimensional boxes (default tuning).
+    pub fn new(n: usize) -> Self {
+        Self::with_tuning(n, StoreTuning::default())
+    }
+
+    /// An empty store with an explicit insert-ring length.
+    pub fn with_tuning(n: usize, tuning: StoreTuning) -> Self {
+        assert!(n >= 1, "boxes must have at least one dimension");
+        let mut t = ArenaBoxTree {
+            nodes: Vec::with_capacity(1024),
+            root: 0,
+            n,
+            len: 0,
+            epoch: 0,
+            log: InsertLog::new(tuning.insert_ring),
+            cursor: InsertCursor::new(n, 0),
+        };
+        t.nodes.push(EMPTY_NODE);
+        t
+    }
+
+    /// Number of dimensions.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored boxes (exact duplicates are stored once).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of arena nodes (memory diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The coverage epoch (same contract as [`crate::BoxTree::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Remove all boxes, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(EMPTY_NODE);
+        self.root = 0;
+        self.len = 0;
+        self.epoch += 1;
+        self.log.note_clear();
+        self.cursor.invalidate(self.root);
+    }
+
+    #[inline]
+    fn next_of(&self, node: u32) -> u32 {
+        let link = self.nodes[node as usize].meta & LINK_MASK;
+        if link == NONE_LINK {
+            NONE
+        } else {
+            link
+        }
+    }
+
+    #[inline]
+    fn is_terminal(&self, node: u32) -> bool {
+        self.nodes[node as usize].meta & TERMINAL_BIT != 0
+    }
+
+    fn alloc(&mut self) -> u32 {
+        // The link field is 30 bits wide, so the id space tops out at
+        // NONE_LINK; guard rather than silently truncating ids.
+        assert!(
+            self.nodes.len() < NONE_LINK as usize,
+            "ArenaBoxTree: node-id space (30 bits) exhausted"
+        );
+        let id = self.nodes.len() as u32;
+        self.nodes.push(EMPTY_NODE);
+        id
+    }
+
+    /// Insert a box. Returns `true` if it was new.
+    ///
+    /// The walk resumes from the previous insert's cached node path at
+    /// the first diverging bit (see [`crate::BoxTree::insert`] — the
+    /// cursor protocol is identical).
+    ///
+    /// # Panics
+    /// If the box has the wrong dimensionality.
+    pub fn insert(&mut self, b: &DyadicBox) -> bool {
+        assert_eq!(b.n(), self.n, "box dimensionality mismatch");
+        let (start_dim, start_len) = self.cursor.resume_point(b);
+        let mut node = self.cursor.node_at(start_dim, start_len);
+        self.cursor.begin(b, start_dim, start_len);
+        for dim in start_dim..self.n {
+            let iv = b.get(dim);
+            let from = if dim == start_dim { start_len } else { 0 };
+            for k in from..iv.len() {
+                let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+                let child = self.nodes[node as usize].children[bit];
+                node = if child == NONE {
+                    let id = self.alloc();
+                    self.nodes[node as usize].children[bit] = id;
+                    id
+                } else {
+                    child
+                };
+                self.cursor.push(node);
+            }
+            if dim + 1 < self.n {
+                let next = self.next_of(node);
+                node = if next == NONE {
+                    let id = self.alloc();
+                    self.nodes[node as usize].meta =
+                        (self.nodes[node as usize].meta & (TERMINAL_BIT | LAMBDA_BIT)) | id;
+                    id
+                } else {
+                    next
+                };
+                self.cursor.start_dim(dim + 1, node);
+            }
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check_cursor(b);
+        // End-of-component nodes at dims ≥ the last non-λ component gain
+        // the λ-tail fact; all of them sit on the cursor path.
+        let t0 = (0..self.n)
+            .rev()
+            .find(|&i| !b.get(i).is_lambda())
+            .unwrap_or(0);
+        for i in t0..self.n {
+            let e = self.cursor.end_node(i, b);
+            self.nodes[e as usize].meta |= LAMBDA_BIT;
+        }
+        let fresh = !self.is_terminal(node);
+        self.nodes[node as usize].meta |= TERMINAL_BIT;
+        if fresh {
+            self.len += 1;
+            self.epoch += 1;
+            self.log.record(self.n, b);
+        }
+        fresh
+    }
+
+    /// Debug oracle for the insert cursor: after an insert of `b`, the
+    /// cached path must be exactly the node walk of `b` from the root.
+    #[cfg(debug_assertions)]
+    fn debug_check_cursor(&self, b: &DyadicBox) {
+        let mut node = self.root;
+        for dim in 0..self.n {
+            assert_eq!(self.cursor.node_at(dim, 0), node, "cursor level root");
+            let iv = b.get(dim);
+            for k in 0..iv.len() {
+                let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+                node = self.nodes[node as usize].children[bit];
+                assert_eq!(self.cursor.node_at(dim, k + 1), node, "cursor bit node");
+            }
+            if dim + 1 < self.n {
+                node = self.next_of(node);
+            }
+        }
+    }
+
+    /// Find one stored box `a ⊇ b`, if any — the multilevel DFS's first
+    /// hit, bit-identical to [`crate::BoxTree::find_containing`].
+    pub fn find_containing(&self, b: &DyadicBox) -> Option<DyadicBox> {
+        debug_assert_eq!(b.n(), self.n);
+        let mut scratch = DyadicBox::universe(self.n);
+        if self.first_containing(self.root, 0, b, &mut scratch) {
+            Some(scratch)
+        } else {
+            None
+        }
+    }
+
+    /// First-hit DFS: on success `scratch` holds the witness.
+    fn first_containing(
+        &self,
+        root: u32,
+        dim: usize,
+        b: &DyadicBox,
+        scratch: &mut DyadicBox,
+    ) -> bool {
+        let iv = b.get(dim);
+        let last = dim + 1 == self.n;
+        let mut node = root;
+        let mut k = 0u8;
+        loop {
+            let m = self.nodes[node as usize].meta;
+            if last {
+                if m & TERMINAL_BIT != 0 {
+                    scratch.set(dim, iv.truncate(k));
+                    return true;
+                }
+            } else if m & LINK_MASK != NONE_LINK {
+                scratch.set(dim, iv.truncate(k));
+                if self.first_containing(m & LINK_MASK, dim + 1, b, scratch) {
+                    return true;
+                }
+            }
+            if k == iv.len() {
+                return false;
+            }
+            let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+            let child = self.nodes[node as usize].children[bit];
+            if child == NONE {
+                return false;
+            }
+            node = child;
+            k += 1;
+        }
+    }
+
+    /// Whether some stored box contains `b`.
+    pub fn covers(&self, b: &DyadicBox) -> bool {
+        self.find_containing(b).is_some()
+    }
+
+    /// [`ArenaBoxTree::find_containing`] with the incremental-descent
+    /// fast path (see [`crate::BoxTree::find_containing_tracked`] — the
+    /// protocol, including the summary-pruned repair, is identical).
+    pub fn find_containing_tracked(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<ArenaEntry>,
+    ) -> Option<DyadicBox> {
+        debug_assert_eq!(b.n(), self.n);
+        debug_assert!(dim < self.n);
+        let iv = b.get(dim);
+        if let Some(last) = state.last {
+            if state.clears == self.log.clears()
+                && state.dim == dim as u8
+                && iv.len() == state.len + 1
+                && is_child_at(b, &last, dim)
+            {
+                let lag = self.log.lag(state.mark);
+                if lag == 0 {
+                    state.advances += 1;
+                    return self.advance_probe(b, dim, state);
+                }
+                if lag <= REPAIR_CAP {
+                    state.repairs += 1;
+                    if !self.log.summary_may_contain(b) {
+                        state.repair_fasts += 1;
+                        return self.advance_probe(b, dim, state);
+                    }
+                    return self.advance_repair(b, dim, state);
+                }
+            }
+        }
+        state.full_walks += 1;
+        self.full_probe(b, dim, state)
+    }
+
+    /// Advance the recorded frontier by the one bit appended at `dim`.
+    fn advance_probe(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<ArenaEntry>,
+    ) -> Option<DyadicBox> {
+        let iv = b.get(dim);
+        let bit = (iv.bits() & 1) as usize;
+        let mut kept = 0;
+        for idx in 0..state.entries.len() {
+            let mut e = state.entries[idx];
+            let child = self.nodes[e.node as usize].children[bit];
+            if child == NONE {
+                continue;
+            }
+            e.node = child;
+            if self.lambda_tail(child, dim) {
+                // Same witness the full walk's DFS would reach first.
+                let mut w = DyadicBox::universe(self.n);
+                for i in 0..dim {
+                    w.set(i, b.get(i).truncate(e.lens[i]));
+                }
+                w.set(dim, iv);
+                state.invalidate(); // covered: the descent stops here
+                return Some(w);
+            }
+            state.entries[kept] = e;
+            kept += 1;
+        }
+        state.entries.truncate(kept);
+        state.len = iv.len();
+        // The chain check proved `last == b` except the appended bit, so
+        // refresh only the probed component instead of copying the box.
+        match state.last.as_mut() {
+            Some(l) => l.set(dim, iv),
+            None => state.last = Some(*b),
+        }
+        None
+    }
+
+    /// [`ArenaBoxTree::advance_probe`] plus the insert-log repair — see
+    /// [`crate::BoxTree`]'s `advance_repair` for the merge argument.
+    fn advance_repair(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<ArenaEntry>,
+    ) -> Option<DyadicBox> {
+        let iv = b.get(dim);
+        // Containment candidates plus grafts — see the binary backend's
+        // `advance_repair`; the fold protocol is identical.
+        let mut grafts: Vec<DyadicBox> = Vec::new();
+        let best_new = self
+            .log
+            .scan_repair(b, dim, state.mark, |c| grafts.push(*c));
+        let bit = (iv.bits() & 1) as usize;
+        let mut kept = 0;
+        let mut old_hit: Option<([u8; MAX_DIMS], DyadicBox)> = None;
+        for idx in 0..state.entries.len() {
+            let mut e = state.entries[idx];
+            let child = self.nodes[e.node as usize].children[bit];
+            if child == NONE {
+                continue;
+            }
+            e.node = child;
+            if self.lambda_tail(child, dim) {
+                let mut w = DyadicBox::universe(self.n);
+                let mut key = [0u8; MAX_DIMS];
+                for (i, &len) in e.lens.iter().enumerate().take(dim) {
+                    w.set(i, b.get(i).truncate(len));
+                    key[i] = len;
+                }
+                w.set(dim, iv);
+                key[dim] = iv.len();
+                old_hit = Some((key, w));
+                break;
+            }
+            state.entries[kept] = e;
+            kept += 1;
+        }
+        let hit = match (old_hit, best_new) {
+            (Some((ko, wo)), Some((kn, wn))) => Some(if kn < ko { wn } else { wo }),
+            (Some((_, w)), None) | (None, Some((_, w))) => Some(w),
+            (None, None) => None,
+        };
+        if hit.is_some() {
+            state.invalidate(); // covered: the descent stops here
+            return hit;
+        }
+        state.entries.truncate(kept);
+        // Fold the grafts into the (DFS-ordered) entries, then advance
+        // `mark` past the window: each lagging insert is thereby examined
+        // once per chain, not once per subsequent advance.
+        for c in &grafts {
+            let node = self.graft_node(c, b, dim);
+            if state.entries.iter().any(|e| e.node == node) {
+                continue; // the position was already tracked
+            }
+            let mut lens = [0u8; MAX_DIMS];
+            for (j, slot) in lens.iter_mut().enumerate().take(dim) {
+                *slot = c.get(j).len();
+            }
+            let pos = state
+                .entries
+                .partition_point(|e| e.lens[..dim] <= lens[..dim]);
+            state.entries.insert(pos, ArenaEntry { node, lens });
+        }
+        state.mark = self.log.insert_count();
+        state.len = iv.len();
+        // As in `advance_probe`: only the probed component changed.
+        match state.last.as_mut() {
+            Some(l) => l.set(dim, iv),
+            None => state.last = Some(*b),
+        }
+        None
+    }
+
+    /// The tree node a graft's insert reached at the probed position —
+    /// see the binary backend's `graft_node`. Read-only: every node on
+    /// the path exists because `c` itself was inserted through it.
+    fn graft_node(&self, c: &DyadicBox, b: &DyadicBox, dim: usize) -> u32 {
+        let mut node = self.root;
+        for j in 0..dim {
+            let cv = c.get(j);
+            for k in 0..cv.len() {
+                let bit = ((cv.bits() >> (cv.len() - 1 - k)) & 1) as usize;
+                node = self.nodes[node as usize].children[bit];
+            }
+            node = self.next_of(node);
+        }
+        let iv = b.get(dim);
+        for k in 0..iv.len() {
+            let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+            node = self.nodes[node as usize].children[bit];
+        }
+        node
+    }
+
+    /// Whether a box ends through `node` at level `dim` with `λ`
+    /// components on every later dimension — an O(1) flag read (the
+    /// chain walk survives as the debug oracle).
+    fn lambda_tail(&self, node: u32, _dim: usize) -> bool {
+        let cached = self.nodes[node as usize].meta & LAMBDA_BIT != 0;
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(cached, self.lambda_tail_walk(node, _dim));
+        cached
+    }
+
+    /// The pre-cache chain walk, kept as the oracle for the `LAMBDA_BIT`
+    /// maintenance in [`ArenaBoxTree::insert`].
+    #[cfg(debug_assertions)]
+    fn lambda_tail_walk(&self, node: u32, dim: usize) -> bool {
+        let mut x = node;
+        for d in dim..self.n {
+            let m = self.nodes[x as usize].meta;
+            if d + 1 == self.n {
+                return m & TERMINAL_BIT != 0;
+            }
+            if m & LINK_MASK == NONE_LINK {
+                return false;
+            }
+            x = m & LINK_MASK;
+        }
+        unreachable!("loop returns at the last level")
+    }
+
+    /// Full walk that records the frontier for later advancing.
+    fn full_probe(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<ArenaEntry>,
+    ) -> Option<DyadicBox> {
+        state.entries.clear();
+        let mut lens = [0u8; MAX_DIMS];
+        let mut scratch = DyadicBox::universe(self.n);
+        if self.walk_record(
+            self.root,
+            0,
+            b,
+            dim,
+            &mut lens,
+            &mut scratch,
+            &mut state.entries,
+        ) {
+            state.last = None; // covered targets are never extended
+            Some(scratch)
+        } else {
+            state.dim = dim as u8;
+            state.len = b.get(dim).len();
+            state.mark = self.log.insert_count();
+            state.clears = self.log.clears();
+            state.last = Some(*b);
+            None
+        }
+    }
+
+    /// First-hit DFS recording every position at `(dim, |b[dim]|)`.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_record(
+        &self,
+        root: u32,
+        level: usize,
+        b: &DyadicBox,
+        dim: usize,
+        lens: &mut [u8; MAX_DIMS],
+        scratch: &mut DyadicBox,
+        entries: &mut Vec<ArenaEntry>,
+    ) -> bool {
+        let iv = b.get(level);
+        let last = level + 1 == self.n;
+        let mut node = root;
+        let mut k = 0u8;
+        loop {
+            if level == dim && k == iv.len() {
+                entries.push(ArenaEntry { node, lens: *lens });
+            }
+            let m = self.nodes[node as usize].meta;
+            if last {
+                if m & TERMINAL_BIT != 0 {
+                    scratch.set(level, iv.truncate(k));
+                    return true;
+                }
+            } else if m & LINK_MASK != NONE_LINK {
+                scratch.set(level, iv.truncate(k));
+                lens[level] = k;
+                if self.walk_record(m & LINK_MASK, level + 1, b, dim, lens, scratch, entries) {
+                    return true;
+                }
+            }
+            if k == iv.len() {
+                return false;
+            }
+            let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+            let child = self.nodes[node as usize].children[bit];
+            if child == NONE {
+                return false;
+            }
+            node = child;
+            k += 1;
+        }
+    }
+
+    /// Build a shard (see [`crate::BoxTree::extract_intersecting_into`]).
+    pub fn extract_intersecting_into(&self, target: &DyadicBox, out: &mut ArenaBoxTree) {
+        debug_assert_eq!(target.n(), self.n);
+        assert_eq!(out.n, self.n, "shard dimensionality mismatch");
+        out.clear();
+        let mut scratch = DyadicBox::universe(self.n);
+        self.walk_intersecting(
+            self.root,
+            0,
+            target,
+            DyadicInterval::lambda(),
+            &mut scratch,
+            &mut |b| {
+                out.insert(b);
+            },
+        );
+    }
+
+    /// DFS over stored boxes intersecting `target`.
+    fn walk_intersecting(
+        &self,
+        node: u32,
+        dim: usize,
+        target: &DyadicBox,
+        prefix: DyadicInterval,
+        scratch: &mut DyadicBox,
+        visit: &mut impl FnMut(&DyadicBox),
+    ) {
+        let m = self.nodes[node as usize].meta;
+        if dim + 1 == self.n {
+            if m & TERMINAL_BIT != 0 {
+                scratch.set(dim, prefix);
+                visit(scratch);
+            }
+        } else if m & LINK_MASK != NONE_LINK {
+            scratch.set(dim, prefix);
+            self.walk_intersecting(
+                m & LINK_MASK,
+                dim + 1,
+                target,
+                DyadicInterval::lambda(),
+                scratch,
+                visit,
+            );
+        }
+        let tv = target.get(dim);
+        if prefix.len() < tv.len() {
+            let k = prefix.len();
+            let bit = ((tv.bits() >> (tv.len() - 1 - k)) & 1) as u8;
+            let child = self.nodes[node as usize].children[bit as usize];
+            if child != NONE {
+                self.walk_intersecting(child, dim, target, prefix.child(bit), scratch, visit);
+            }
+        } else {
+            for bit in 0..2u8 {
+                let child = self.nodes[node as usize].children[bit as usize];
+                if child != NONE {
+                    self.walk_intersecting(child, dim, target, prefix.child(bit), scratch, visit);
+                }
+            }
+        }
+    }
+
+    /// Enumerate all stored boxes (in deterministic DFS order).
+    pub fn iter_boxes(&self) -> Vec<DyadicBox> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut scratch = DyadicBox::universe(self.n);
+        self.walk_all(
+            self.root,
+            0,
+            DyadicInterval::lambda(),
+            &mut scratch,
+            &mut out,
+        );
+        out
+    }
+
+    fn walk_all(
+        &self,
+        node: u32,
+        dim: usize,
+        prefix: DyadicInterval,
+        scratch: &mut DyadicBox,
+        out: &mut Vec<DyadicBox>,
+    ) {
+        let m = self.nodes[node as usize].meta;
+        if dim + 1 == self.n {
+            if m & TERMINAL_BIT != 0 {
+                scratch.set(dim, prefix);
+                out.push(*scratch);
+            }
+        } else if m & LINK_MASK != NONE_LINK {
+            scratch.set(dim, prefix);
+            self.walk_all(
+                m & LINK_MASK,
+                dim + 1,
+                DyadicInterval::lambda(),
+                scratch,
+                out,
+            );
+        }
+        for bit in 0..2u8 {
+            let child = self.nodes[node as usize].children[bit as usize];
+            if child != NONE {
+                self.walk_all(child, dim, prefix.child(bit), scratch, out);
+            }
+        }
+    }
+}
+
+impl BoxStore for ArenaBoxTree {
+    type Entry = ArenaEntry;
+
+    fn with_tuning(n: usize, tuning: StoreTuning) -> Self {
+        ArenaBoxTree::with_tuning(n, tuning)
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn clear(&mut self) {
+        ArenaBoxTree::clear(self)
+    }
+
+    fn insert(&mut self, b: &DyadicBox) -> bool {
+        ArenaBoxTree::insert(self, b)
+    }
+
+    fn find_containing(&self, b: &DyadicBox) -> Option<DyadicBox> {
+        ArenaBoxTree::find_containing(self, b)
+    }
+
+    fn find_containing_tracked(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<ArenaEntry>,
+    ) -> Option<DyadicBox> {
+        ArenaBoxTree::find_containing_tracked(self, b, dim, state)
+    }
+
+    fn extract_intersecting_into(&self, target: &DyadicBox, out: &mut Self) {
+        ArenaBoxTree::extract_intersecting_into(self, target, out)
+    }
+
+    fn iter_boxes(&self) -> Vec<DyadicBox> {
+        ArenaBoxTree::iter_boxes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoxTree;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn b(s: &str) -> DyadicBox {
+        DyadicBox::parse(s).unwrap()
+    }
+
+    fn random_box(rng: &mut StdRng, n: usize, width: u8) -> DyadicBox {
+        let mut bx = DyadicBox::universe(n);
+        for i in 0..n {
+            let len = rng.gen_range(0..=width);
+            let bits = rng.gen_range(0..(1u64 << len));
+            bx.set(i, DyadicInterval::from_bits(bits, len));
+        }
+        bx
+    }
+
+    #[test]
+    fn mirrors_box_tree_on_example_4_4() {
+        let mut a = ArenaBoxTree::new(2);
+        let mut t = BoxTree::new(2);
+        for s in ["λ,0", "00,λ", "λ,11", "10,1"] {
+            assert_eq!(a.insert(&b(s)), t.insert(&b(s)));
+        }
+        assert_eq!(a.len(), t.len());
+        assert_eq!(a.iter_boxes(), t.iter_boxes());
+        for s in ["00,00", "10,11", "11,00", "01,10", "λ,λ"] {
+            assert_eq!(a.find_containing(&b(s)), t.find_containing(&b(s)), "{s}");
+        }
+    }
+
+    #[test]
+    fn differential_random_vs_box_tree() {
+        // Mixed inserts/probes/clears/extracts: every observable answer
+        // must match BoxTree's, which is itself walled against the naive
+        // reference. Seed printed on failure.
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..=3);
+            let width = rng.gen_range(1..=4) as u8;
+            let mut a = ArenaBoxTree::new(n);
+            let mut t = BoxTree::new(n);
+            for step in 0..200 {
+                let ctx = format!("seed {seed} step {step} n={n} width={width}");
+                match rng.gen_range(0..10) {
+                    0..=4 => {
+                        let bx = random_box(&mut rng, n, width);
+                        assert_eq!(a.insert(&bx), t.insert(&bx), "{ctx}: insert");
+                    }
+                    5..=7 => {
+                        let bx = random_box(&mut rng, n, width);
+                        assert_eq!(
+                            a.find_containing(&bx),
+                            t.find_containing(&bx),
+                            "{ctx}: find_containing"
+                        );
+                    }
+                    8 => {
+                        let target = random_box(&mut rng, n, width);
+                        let mut sa = ArenaBoxTree::new(n);
+                        let mut st = BoxTree::new(n);
+                        a.extract_intersecting_into(&target, &mut sa);
+                        t.extract_intersecting_into(&target, &mut st);
+                        assert_eq!(sa.iter_boxes(), st.iter_boxes(), "{ctx}: extract");
+                    }
+                    _ => {
+                        if rng.gen_range(0..4) == 0 {
+                            a.clear();
+                            t.clear();
+                        }
+                        assert_eq!(a.len(), t.len(), "{ctx}: len");
+                        assert_eq!(a.epoch(), t.epoch(), "{ctx}: epoch");
+                    }
+                }
+            }
+            assert_eq!(a.iter_boxes(), t.iter_boxes(), "seed {seed}: final set");
+        }
+    }
+
+    #[test]
+    fn tracked_probes_match_untracked() {
+        // Drive a synthetic parent→child probe chain with interleaved
+        // inserts so advances, summary-pruned repairs, scan repairs, and
+        // full walks all fire; every answer must equal find_containing.
+        for seed in 100..115u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 2usize;
+            let width = 4u8;
+            let mut a = ArenaBoxTree::new(n);
+            for _ in 0..rng.gen_range(0..12) {
+                a.insert(&random_box(&mut rng, n, width));
+            }
+            let mut probe = DescentProbe::new();
+            for trial in 0..40 {
+                let dim = rng.gen_range(0..n);
+                let mut target = random_box(&mut rng, n, width);
+                for i in dim + 1..n {
+                    target.set(i, DyadicInterval::lambda());
+                }
+                let mut t = target;
+                t.set(dim, t.get(dim).truncate(0));
+                for k in 0..=target.get(dim).len() {
+                    let mut q = target;
+                    q.set(dim, target.get(dim).truncate(k));
+                    let got = a.find_containing_tracked(&q, dim, &mut probe);
+                    assert_eq!(
+                        got,
+                        a.find_containing(&q),
+                        "seed {seed} trial {trial} k={k}: tracked diverges"
+                    );
+                    if got.is_some() {
+                        break;
+                    }
+                    if rng.gen_range(0..3) == 0 {
+                        a.insert(&random_box(&mut rng, n, width));
+                    }
+                }
+            }
+            assert!(probe.advances + probe.repairs + probe.full_walks > 0);
+        }
+    }
+}

@@ -42,12 +42,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod coverage;
 mod epochs;
 mod oracle;
 mod store;
 mod tree;
 
+pub use arena::{ArenaBoxTree, ArenaEntry};
 pub use epochs::{CoverProbe, CoverageMarks};
 pub use oracle::{BoxOracle, SetOracle};
 pub use store::{

@@ -2,7 +2,9 @@
 //! [`BoxStore`] backend, and the differential oracle the radix backend
 //! (`boxtrie`) is checked against.
 
-use crate::store::{is_child_at, BoxStore, DescentProbe, InsertLog, StoreTuning, REPAIR_CAP};
+use crate::store::{
+    is_child_at, BoxStore, DescentProbe, InsertCursor, InsertLog, StoreTuning, REPAIR_CAP,
+};
 use dyadic::{DyadicBox, DyadicInterval, MAX_DIMS};
 
 /// Sentinel for "no node".
@@ -14,11 +16,19 @@ const NONE: u32 = u32::MAX;
 /// `next` points at the root of the *next level's* tree for boxes whose
 /// current component ends at this node. At the last level `next == NONE`
 /// and `terminal` marks stored boxes.
+///
+/// `lam` caches the λ-tail fact — "a stored box ends its component at
+/// this node and is λ on every later dimension" — the question every
+/// frontier advance asks per surviving entry. It is maintained on
+/// insert (the only two mutations are insert and full clear, and clears
+/// reset every node), turning an up-to-`n`-hop pointer chase into one
+/// bit read on a line the advance already touches.
 #[derive(Clone, Copy, Debug)]
 struct Node {
     children: [u32; 2],
     next: u32,
     terminal: bool,
+    lam: bool,
 }
 
 impl Node {
@@ -26,6 +36,7 @@ impl Node {
         children: [NONE, NONE],
         next: NONE,
         terminal: false,
+        lam: false,
     };
 }
 
@@ -59,6 +70,9 @@ pub struct BoxTree {
     /// *before* a handful of inserts be advanced+repaired instead of
     /// re-walked.
     log: InsertLog,
+    /// Node path of the previous insert: consecutive inserts resume from
+    /// the divergence point instead of re-walking the shared prefix.
+    cursor: InsertCursor,
 }
 
 /// One extendable tree position of a failed probe: the node reached at
@@ -89,6 +103,7 @@ impl BoxTree {
             len: 0,
             epoch: 0,
             log: InsertLog::new(tuning.insert_ring),
+            cursor: InsertCursor::new(n, 0),
         }
     }
 
@@ -132,8 +147,10 @@ impl BoxTree {
         // A clear changes the stored set, so cached positive facts become
         // stale too; advancing the epoch keeps the monotonicity contract.
         self.epoch += 1;
-        // Saved frontiers hold node ids; a clear invalidates them all.
+        // Saved frontiers hold node ids; a clear invalidates them all —
+        // including the insert cursor's cached path.
         self.log.note_clear();
+        self.cursor.invalidate(self.root);
     }
 
     fn alloc(&mut self) -> u32 {
@@ -149,33 +166,36 @@ impl BoxTree {
         id
     }
 
-    /// Descend from `node` along the bits of `iv`, creating nodes on demand;
-    /// returns the node where the interval ends.
-    fn descend_create(&mut self, mut node: u32, iv: DyadicInterval) -> u32 {
-        for k in 0..iv.len() {
-            let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
-            let child = self.nodes[node as usize].children[bit];
-            node = if child == NONE {
-                let id = self.alloc();
-                self.nodes[node as usize].children[bit] = id;
-                id
-            } else {
-                child
-            };
-        }
-        node
-    }
-
     /// Insert a box. Returns `true` if it was new, `false` if this exact
     /// box was already stored.
+    ///
+    /// The walk resumes from the previous insert's cached node path at
+    /// the first diverging bit, so the highly local resolvent/preload
+    /// streams pay only for their divergence tails, not the shared
+    /// prefixes (see the crate-private `InsertCursor` in `store.rs`).
     ///
     /// # Panics
     /// If the box has the wrong dimensionality.
     pub fn insert(&mut self, b: &DyadicBox) -> bool {
         assert_eq!(b.n(), self.n, "box dimensionality mismatch");
-        let mut node = self.root;
-        for dim in 0..self.n {
-            node = self.descend_create(node, b.get(dim));
+        let (start_dim, start_len) = self.cursor.resume_point(b);
+        let mut node = self.cursor.node_at(start_dim, start_len);
+        self.cursor.begin(b, start_dim, start_len);
+        for dim in start_dim..self.n {
+            let iv = b.get(dim);
+            let from = if dim == start_dim { start_len } else { 0 };
+            for k in from..iv.len() {
+                let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+                let child = self.nodes[node as usize].children[bit];
+                node = if child == NONE {
+                    let id = self.alloc();
+                    self.nodes[node as usize].children[bit] = id;
+                    id
+                } else {
+                    child
+                };
+                self.cursor.push(node);
+            }
             if dim + 1 < self.n {
                 let next = self.nodes[node as usize].next;
                 node = if next == NONE {
@@ -185,7 +205,20 @@ impl BoxTree {
                 } else {
                     next
                 };
+                self.cursor.start_dim(dim + 1, node);
             }
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check_cursor(b);
+        // Every end-of-component node from the last non-λ component on
+        // gains the λ-tail fact; all of them sit on the cursor path.
+        let t0 = (0..self.n)
+            .rev()
+            .find(|&i| !b.get(i).is_lambda())
+            .unwrap_or(0);
+        for i in t0..self.n {
+            let e = self.cursor.end_node(i, b);
+            self.nodes[e as usize].lam = true;
         }
         let fresh = !self.nodes[node as usize].terminal;
         self.nodes[node as usize].terminal = true;
@@ -195,6 +228,25 @@ impl BoxTree {
             self.log.record(self.n, b);
         }
         fresh
+    }
+
+    /// Debug oracle for the insert cursor: after an insert of `b`, the
+    /// cached path must be exactly the node walk of `b` from the root.
+    #[cfg(debug_assertions)]
+    fn debug_check_cursor(&self, b: &DyadicBox) {
+        let mut node = self.root;
+        for dim in 0..self.n {
+            assert_eq!(self.cursor.node_at(dim, 0), node, "cursor level root");
+            let iv = b.get(dim);
+            for k in 0..iv.len() {
+                let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+                node = self.nodes[node as usize].children[bit];
+                assert_eq!(self.cursor.node_at(dim, k + 1), node, "cursor bit node");
+            }
+            if dim + 1 < self.n {
+                node = self.nodes[node as usize].next;
+            }
+        }
     }
 
     /// Whether this exact box is stored.
@@ -324,6 +376,14 @@ impl BoxTree {
                 }
                 if lag <= REPAIR_CAP {
                     state.repairs += 1;
+                    if !self.log.summary_may_contain(b) {
+                        // The fingerprint summary proves no lagging insert
+                        // contains `b`, so the window scan would come back
+                        // empty and the advanced frontier alone decides —
+                        // exactly the lag == 0 case.
+                        state.repair_fasts += 1;
+                        return self.advance_probe(b, dim, state);
+                    }
                     return self.advance_repair(b, dim, state);
                 }
             }
@@ -364,7 +424,12 @@ impl BoxTree {
         }
         state.entries.truncate(kept);
         state.len = iv.len();
-        state.last = Some(*b);
+        // The chain check proved `last == b` except the appended bit, so
+        // refresh only the probed component instead of copying the box.
+        match state.last.as_mut() {
+            Some(l) => l.set(dim, iv),
+            None => state.last = Some(*b),
+        }
         None
     }
 
@@ -383,8 +448,14 @@ impl BoxTree {
         state: &mut DescentProbe<BinaryEntry>,
     ) -> Option<DyadicBox> {
         let iv = b.get(dim);
-        // Best candidate among the lagging inserts, keyed by DFS order.
-        let best_new = self.log.best_candidate(b, dim, state.mark);
+        // Best candidate among the lagging inserts, keyed by DFS order —
+        // plus the grafts: lagging inserts that extended the probed path
+        // below the frontier, which must join the entries so `mark` can
+        // advance past this window (see [`InsertLog::scan_repair`]).
+        let mut grafts: Vec<DyadicBox> = Vec::new();
+        let best_new = self
+            .log
+            .scan_repair(b, dim, state.mark, |c| grafts.push(*c));
         // First hit among the recorded (pre-mark) positions. Entries are
         // stored in DFS order, so the first hit is also the DFS-least.
         let bit = (iv.bits() & 1) as usize;
@@ -422,16 +493,69 @@ impl BoxTree {
             return hit;
         }
         state.entries.truncate(kept);
+        // Fold the grafts into the (DFS-ordered) entries, then advance
+        // `mark` past the window: each lagging insert is thereby examined
+        // once per chain, not once per subsequent advance.
+        for c in &grafts {
+            let node = self.graft_node(c, b, dim);
+            if state.entries.iter().any(|e| e.node == node) {
+                continue; // the position was already tracked
+            }
+            let mut lens = [0u8; MAX_DIMS];
+            for (j, slot) in lens.iter_mut().enumerate().take(dim) {
+                *slot = c.get(j).len();
+            }
+            let pos = state
+                .entries
+                .partition_point(|e| e.lens[..dim] <= lens[..dim]);
+            state.entries.insert(pos, BinaryEntry { node, lens });
+        }
+        state.mark = self.log.insert_count();
         state.len = iv.len();
-        state.last = Some(*b);
-        // `mark` stays put: the lagging inserts are not folded into the
-        // entries, so deeper advances must rescan the same log window.
+        // As in `advance_probe`: only the probed component changed.
+        match state.last.as_mut() {
+            Some(l) => l.set(dim, iv),
+            None => state.last = Some(*b),
+        }
         None
     }
 
+    /// The tree node a graft's insert reached at the probed position —
+    /// `c`'s earlier-dimension components followed by the first `|b[dim]|`
+    /// bits of the probed dimension. Read-only: every node on the path
+    /// exists because `c` itself was inserted through it.
+    fn graft_node(&self, c: &DyadicBox, b: &DyadicBox, dim: usize) -> u32 {
+        let mut node = self.root;
+        for j in 0..dim {
+            let cv = c.get(j);
+            for k in 0..cv.len() {
+                let bit = ((cv.bits() >> (cv.len() - 1 - k)) & 1) as usize;
+                node = self.nodes[node as usize].children[bit];
+            }
+            node = self.nodes[node as usize].next;
+        }
+        let iv = b.get(dim);
+        for k in 0..iv.len() {
+            let bit = ((iv.bits() >> (iv.len() - 1 - k)) & 1) as usize;
+            node = self.nodes[node as usize].children[bit];
+        }
+        node
+    }
+
     /// Whether a box ends through `node` at level `dim` with `λ`
-    /// components on every later dimension.
-    fn lambda_tail(&self, node: u32, dim: usize) -> bool {
+    /// components on every later dimension — answered from the bit
+    /// maintained by [`BoxTree::insert`], checked against the chain walk
+    /// under debug assertions.
+    fn lambda_tail(&self, node: u32, _dim: usize) -> bool {
+        let cached = self.nodes[node as usize].lam;
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(cached, self.lambda_tail_walk(node, _dim));
+        cached
+    }
+
+    /// The uncached λ-tail chain walk (debug oracle for the cached bit).
+    #[cfg(debug_assertions)]
+    fn lambda_tail_walk(&self, node: u32, dim: usize) -> bool {
         let mut x = node;
         for d in dim..self.n {
             let nd = self.nodes[x as usize];

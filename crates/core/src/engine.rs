@@ -18,8 +18,8 @@
 
 use crate::{TetrisStats, TraceEvent};
 use boxstore::{
-    BoxOracle, BoxStore, BoxTree, CoverProbe, CoverageMarks, DescentProbe, FrontierStack,
-    StoreTuning, DEFAULT_INSERT_RING,
+    ArenaBoxTree, BoxOracle, BoxStore, BoxTree, CoverProbe, CoverageMarks, DescentProbe,
+    FrontierStack, StoreTuning, DEFAULT_INSERT_RING,
 };
 use boxtrie::RadixBoxTrie;
 use dyadic::{resolve::ordered_resolve, DyadicBox, DyadicInterval, Space};
@@ -43,6 +43,11 @@ pub enum Backend {
     /// four bits per hop, unary chains collapsed into word-compared skip
     /// prefixes, nodes in a flat arena.
     Radix,
+    /// The binary tree in a packed-record arena layout
+    /// ([`boxstore::ArenaBoxTree`]): identical walks and witnesses to
+    /// `Binary`, with each node's children and metadata merged into one
+    /// 16-byte-aligned record so a visit touches a single cache line.
+    Arena,
 }
 
 impl std::fmt::Display for Backend {
@@ -50,6 +55,7 @@ impl std::fmt::Display for Backend {
         f.write_str(match self {
             Backend::Binary => "binary",
             Backend::Radix => "radix",
+            Backend::Arena => "arena",
         })
     }
 }
@@ -61,7 +67,10 @@ impl std::str::FromStr for Backend {
         match s {
             "binary" | "bin" | "tree" => Ok(Backend::Binary),
             "radix" | "trie" => Ok(Backend::Radix),
-            other => Err(format!("unknown backend {other:?} (expected binary|radix)")),
+            "arena" | "soa" => Ok(Backend::Arena),
+            other => Err(format!(
+                "unknown backend {other:?} (expected binary|radix|arena)"
+            )),
         }
     }
 }
@@ -361,6 +370,7 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
     fn sync_probe_stats(&mut self) {
         self.stats.probe_advances = self.probe.advances;
         self.stats.probe_repairs = self.probe.repairs;
+        self.stats.probe_repair_fasts = self.probe.repair_fasts;
         self.stats.probe_full_walks = self.probe.full_walks;
     }
 
@@ -456,6 +466,15 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
         // events; the restart modes tear the stack down anyway (and
         // RestartMemo may skip probes entirely, leaving nothing to save).
         let saving = !self.restarting();
+        // Witness streaming: the latest resolvent rides here instead of
+        // being inserted immediately. If the next resolution subsumes it
+        // (the common unwind shape: each resolvent contains the one it
+        // consumed), it is dropped without ever touching the store; it is
+        // flushed the moment the unwind ends, so no probe ever runs
+        // against a store missing it. Dropping a subsumed box is
+        // witness-exact: any probe it would answer is answered by the
+        // strictly DFS-earlier subsuming box (see DESIGN.md).
+        let mut pending: Option<DyadicBox> = None;
         self.stats.restarts += 1;
         self.emit(|| TraceEvent::Restart);
         'descend: loop {
@@ -543,6 +562,11 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
             loop {
                 let Some(&top) = self.stack.last() else {
                     debug_assert!(witness.contains(&universe));
+                    if let Some(p) = pending.take() {
+                        if self.kb.insert(&p) {
+                            self.stats.kb_inserts += 1;
+                        }
+                    }
                     return; // the whole space is covered
                 };
                 if top.covered_by(&witness, &cur) {
@@ -574,6 +598,13 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                         if saving && u16::from(top.len) + 1 < u16::from(self.space.width(dim)) {
                             self.frontiers.restore_top(&parent, &mut self.probe);
                         }
+                        // Leaving the unwind: materialize the in-flight
+                        // resolvent before the 1-side descent probes.
+                        if let Some(p) = pending.take() {
+                            if self.kb.insert(&p) {
+                                self.stats.kb_inserts += 1;
+                            }
+                        }
                         continue 'descend;
                     }
                     Some(w1) => {
@@ -587,8 +618,18 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                             result: w,
                             dim,
                         });
-                        if self.config.cache_resolvents && self.kb.insert(&w) {
-                            self.stats.kb_inserts += 1;
+                        if self.config.cache_resolvents {
+                            match pending.take() {
+                                Some(p) if w.contains(&p) => {
+                                    // Subsumed in flight: never materialized.
+                                    self.stats.kb_insert_skips += 1;
+                                }
+                                Some(p) => {
+                                    self.stats.kb_inserts += u64::from(self.kb.insert(&p));
+                                }
+                                None => {}
+                            }
+                            pending = Some(w);
                         }
                         witness = w;
                         // The resolvent covers the target by construction;
@@ -690,6 +731,7 @@ pub fn run_with_config<O: BoxOracle + ?Sized>(oracle: &O, config: TetrisConfig) 
     match config.backend {
         Backend::Binary => Tetris::<O, BoxTree>::with_store(oracle, config).run(),
         Backend::Radix => Tetris::<O, RadixBoxTrie>::with_store(oracle, config).run(),
+        Backend::Arena => Tetris::<O, ArenaBoxTree>::with_store(oracle, config).run(),
     }
 }
 
@@ -703,6 +745,7 @@ pub fn for_each_output_with_config<O: BoxOracle + ?Sized>(
     match config.backend {
         Backend::Binary => Tetris::<O, BoxTree>::with_store(oracle, config).for_each_output(f),
         Backend::Radix => Tetris::<O, RadixBoxTrie>::with_store(oracle, config).for_each_output(f),
+        Backend::Arena => Tetris::<O, ArenaBoxTree>::with_store(oracle, config).for_each_output(f),
     }
 }
 
@@ -715,6 +758,7 @@ pub fn check_cover_with_config<O: BoxOracle + ?Sized>(
     match config.backend {
         Backend::Binary => Tetris::<O, BoxTree>::with_store(oracle, config).check_cover(),
         Backend::Radix => Tetris::<O, RadixBoxTrie>::with_store(oracle, config).check_cover(),
+        Backend::Arena => Tetris::<O, ArenaBoxTree>::with_store(oracle, config).check_cover(),
     }
 }
 

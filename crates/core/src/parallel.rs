@@ -246,6 +246,14 @@ struct SubEngine<S: BoxStore> {
     outputs: Vec<Vec<u64>>,
     /// Inserted boxes that escape the task's target (merge-on-return).
     inserts: Vec<DyadicBox>,
+    /// Witness streaming (see the sequential driver): the latest
+    /// resolvent, not yet materialized in the shard. Dropped when the
+    /// next resolvent subsumes it, flushed whenever the unwind ends —
+    /// so the shard is complete before any probe. A dropped resolvent
+    /// also never reaches the merge-on-return log; that is sound because
+    /// any subset of the log may be merged, and exact because its
+    /// subsuming box escapes every target the dropped box escapes.
+    pending: Option<DyadicBox>,
     hits: Vec<DyadicBox>,
     point: Vec<u64>,
     cancelled: bool,
@@ -267,6 +275,7 @@ fn run_task<O: BoxOracle + ?Sized, S: BoxStore>(
         stats: TetrisStats::new(n),
         outputs: Vec::new(),
         inserts: Vec::new(),
+        pending: None,
         hits: Vec::new(),
         point: Vec::new(),
         cancelled: false,
@@ -275,6 +284,7 @@ fn run_task<O: BoxOracle + ?Sized, S: BoxStore>(
     eng.stats.par_tasks = 1;
     eng.stats.probe_advances = eng.base_probe.advances + eng.shard_probe.advances;
     eng.stats.probe_repairs = eng.base_probe.repairs + eng.shard_probe.repairs;
+    eng.stats.probe_repair_fasts = eng.base_probe.repair_fasts + eng.shard_probe.repair_fasts;
     eng.stats.probe_full_walks = eng.base_probe.full_walks + eng.shard_probe.full_walks;
     let shard = eng.shard;
     if let Some(cell) = &cell {
@@ -352,6 +362,7 @@ impl<S: BoxStore> SubEngine<S> {
                         witness.contains(&target),
                         "subtree witness must cover the task target"
                     );
+                    self.flush_pending(ctx);
                     return witness;
                 };
                 let frame = top.frame;
@@ -389,7 +400,7 @@ impl<S: BoxStore> SubEngine<S> {
                             );
                             self.stats.count_resolution(dim);
                             if ctx.cache_resolvents {
-                                self.insert_shard(ctx, &w);
+                                self.stream_resolvent(ctx, w);
                             }
                             witness = w;
                             continue; // the resolvent covers the target
@@ -404,6 +415,9 @@ impl<S: BoxStore> SubEngine<S> {
                         if usize::from(frame.len) + 1 < usize::from(ctx.space.width(dim)) {
                             self.frontiers.restore_top(&parent, &mut self.base_probe);
                         }
+                        // Leaving the unwind: materialize the in-flight
+                        // resolvent before the 1-side descent probes.
+                        self.flush_pending(ctx);
                         continue 'descend;
                     }
                     Some(w1) => {
@@ -413,7 +427,7 @@ impl<S: BoxStore> SubEngine<S> {
                         );
                         self.stats.count_resolution(dim);
                         if ctx.cache_resolvents {
-                            self.insert_shard(ctx, &w);
+                            self.stream_resolvent(ctx, w);
                         }
                         witness = w;
                     }
@@ -488,6 +502,24 @@ impl<S: BoxStore> SubEngine<S> {
             if self.inserts.len() < ctx.merge_cap {
                 self.inserts.push(*w);
             }
+        }
+    }
+
+    /// Route a fresh resolvent through the streaming slot: the previous
+    /// one is dropped if subsumed, materialized otherwise.
+    fn stream_resolvent<O: BoxOracle + ?Sized>(&mut self, ctx: &ParCtx<'_, O, S>, w: DyadicBox) {
+        match self.pending.take() {
+            Some(p) if w.contains(&p) => self.stats.kb_insert_skips += 1,
+            Some(p) => self.insert_shard(ctx, &p),
+            None => {}
+        }
+        self.pending = Some(w);
+    }
+
+    /// Materialize the in-flight resolvent (no-op when none is pending).
+    fn flush_pending<O: BoxOracle + ?Sized>(&mut self, ctx: &ParCtx<'_, O, S>) {
+        if let Some(p) = self.pending.take() {
+            self.insert_shard(ctx, &p);
         }
     }
 
@@ -595,6 +627,9 @@ impl<S: BoxStore> SubEngine<S> {
 
     /// Tear down early: propagate cancellation to every pending thief.
     fn unwind_cancelled(&mut self, target: DyadicBox) -> DyadicBox {
+        // A cancelled task probes nothing further and its witness is
+        // never read, so the in-flight resolvent can simply be dropped.
+        self.pending = None;
         for pf in &self.stack {
             if let Some(cell) = &pf.donated {
                 cell.cancel.store(true, Ordering::Relaxed);

@@ -32,10 +32,20 @@ pub struct TetrisStats {
     /// frontier and repairing it against the store's rolling insert log
     /// (right-sibling descents after resolvent inserts).
     pub probe_repairs: u64,
+    /// Repairs resolved by the insert log's 64-bit fingerprint summary
+    /// alone — the summary proved no lagging insert could contain the
+    /// probe, so the `REPAIR_CAP`-window `contains` scan was skipped
+    /// (subset of [`TetrisStats::probe_repairs`]).
+    pub probe_repair_fasts: u64,
     /// Knowledge-base probes that performed a full store walk.
     pub probe_full_walks: u64,
     /// Boxes inserted into the knowledge base (all sources).
     pub kb_inserts: u64,
+    /// Resolvents never materialized in the knowledge base because the
+    /// immediately following resolvent already contained them (witness
+    /// streaming; these would otherwise be counted in
+    /// [`TetrisStats::kb_inserts`]).
+    pub kb_insert_skips: u64,
     /// Oracle probes issued by the outer loop (Algorithm 2 line 4).
     pub oracle_probes: u64,
     /// Input gap boxes loaded from `B` into `A` (Reloaded mode).
@@ -87,8 +97,10 @@ impl TetrisStats {
         self.mark_hits += other.mark_hits;
         self.probe_advances += other.probe_advances;
         self.probe_repairs += other.probe_repairs;
+        self.probe_repair_fasts += other.probe_repair_fasts;
         self.probe_full_walks += other.probe_full_walks;
         self.kb_inserts += other.kb_inserts;
+        self.kb_insert_skips += other.kb_insert_skips;
         self.oracle_probes += other.oracle_probes;
         self.loaded_boxes += other.loaded_boxes;
         self.outputs += other.outputs;

@@ -7,9 +7,13 @@ use core::fmt;
 /// Maximum number of dimensions a [`DyadicBox`] can have.
 ///
 /// The load-balancing lift maps an `n`-dimensional problem to `2n − 2`
-/// dimensions, so 16 supports up to 9 original join attributes, which
-/// covers every query in the paper (and then some).
-pub const MAX_DIMS: usize = 16;
+/// dimensions, so 8 supports up to 5 original join attributes, which
+/// covers every query in the paper's experiments. Boxes are `Copy` values
+/// that ride through the engine's unwind, the insert ring, and the saved
+/// frontiers by the tens of millions, so the capacity is deliberately the
+/// smallest that fits the workloads: at 10⁶-edge scale roughly a fifth of
+/// solve time is box `memcpy`, linear in this constant.
+pub const MAX_DIMS: usize = 8;
 
 /// A dyadic box `b = ⟨x₁, …, xₙ⟩`: one dyadic interval per dimension.
 ///

@@ -11,25 +11,29 @@ pub const MAX_WIDTH: u8 = 63;
 
 /// A dyadic interval: a binary string `x` with `|x| ≤ d`.
 ///
-/// The string is stored as `(bits, len)` where `bits` holds the integer
-/// value of the length-`len` prefix (most significant bit of the string is
-/// the most significant bit of that integer). The empty string `λ`
-/// (`len == 0`) matches every domain value — the paper's wildcard.
+/// The string is stored as a single **navigation word**: a sentinel `1`
+/// bit followed by the string's bits, i.e. `nav = (1 << len) | bits`
+/// (most significant bit of the string just below the sentinel). The
+/// empty string `λ` is `nav == 1` and matches every domain value — the
+/// paper's wildcard. The self-delimiting encoding makes an interval one
+/// register wide: equality is a `u64` compare, truncation a shift, and a
+/// [`DyadicBox`](crate::DyadicBox) — which rides through the engine's
+/// unwind and the box stores' insert ring by the tens of millions —
+/// copies at 8 bytes per dimension instead of 16.
 ///
 /// Ordering on intervals is *lexicographic on the bitstring with shorter
 /// prefixes first* — handy for deterministic iteration; it is **not** the
 /// containment partial order (use [`DyadicInterval::contains`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DyadicInterval {
-    bits: u64,
-    len: u8,
+    nav: u64,
 }
 
 impl DyadicInterval {
     /// The empty string `λ`: the whole domain / wildcard interval.
     #[inline]
     pub const fn lambda() -> Self {
-        DyadicInterval { bits: 0, len: 0 }
+        DyadicInterval { nav: 1 }
     }
 
     /// Interval from the low `len` bits of `bits` (the bitstring reading
@@ -47,7 +51,9 @@ impl DyadicInterval {
             len == 64 || bits < (1u64 << len),
             "bits {bits:#b} do not fit in {len} bits"
         );
-        DyadicInterval { bits, len }
+        DyadicInterval {
+            nav: (1u64 << len) | bits,
+        }
     }
 
     /// The unit (full-length) interval for a point `value` in a `width`-bit
@@ -62,37 +68,34 @@ impl DyadicInterval {
         if s.len() > MAX_WIDTH as usize {
             return None;
         }
-        let mut bits = 0u64;
+        let mut nav = 1u64;
         for c in s.chars() {
-            bits = (bits << 1)
+            nav = (nav << 1)
                 | match c {
                     '0' => 0,
                     '1' => 1,
                     _ => return None,
                 };
         }
-        Some(DyadicInterval {
-            bits,
-            len: s.len() as u8,
-        })
+        Some(DyadicInterval { nav })
     }
 
     /// The integer value of the stored prefix.
     #[inline]
     pub const fn bits(&self) -> u64 {
-        self.bits
+        self.nav ^ (1u64 << self.len())
     }
 
     /// The length of the bitstring, `|x|`.
     #[inline]
     pub const fn len(&self) -> u8 {
-        self.len
+        (63 - self.nav.leading_zeros()) as u8
     }
 
     /// Whether this is `λ` (the empty string — whole domain).
     #[inline]
     pub const fn is_lambda(&self) -> bool {
-        self.len == 0
+        self.nav == 1
     }
 
     /// Alias for [`DyadicInterval::is_lambda`]: the bit*string* is empty
@@ -105,7 +108,7 @@ impl DyadicInterval {
     /// Whether this is a unit interval in a `width`-bit domain (a point).
     #[inline]
     pub const fn is_unit(&self, width: u8) -> bool {
-        self.len == width
+        self.len() == width
     }
 
     /// The point value denoted by a unit interval.
@@ -114,54 +117,47 @@ impl DyadicInterval {
     /// In debug builds if the interval is not unit for the given width.
     #[inline]
     pub fn value(&self, width: u8) -> u64 {
-        debug_assert_eq!(self.len, width, "value() on a non-unit interval");
-        self.bits
+        debug_assert_eq!(self.len(), width, "value() on a non-unit interval");
+        self.bits()
     }
 
     /// Append one bit to the string: the left (`0`) or right (`1`) half.
     #[inline]
     pub fn child(&self, bit: u8) -> Self {
         debug_assert!(bit <= 1);
-        debug_assert!(self.len < MAX_WIDTH);
+        debug_assert!(self.len() < MAX_WIDTH);
         DyadicInterval {
-            bits: (self.bits << 1) | bit as u64,
-            len: self.len + 1,
+            nav: (self.nav << 1) | bit as u64,
         }
     }
 
     /// Drop the last bit; `None` for `λ`.
     #[inline]
     pub fn parent(&self) -> Option<Self> {
-        if self.len == 0 {
+        if self.nav == 1 {
             None
         } else {
-            Some(DyadicInterval {
-                bits: self.bits >> 1,
-                len: self.len - 1,
-            })
+            Some(DyadicInterval { nav: self.nav >> 1 })
         }
     }
 
     /// The last bit of the string; `None` for `λ`.
     #[inline]
     pub fn last_bit(&self) -> Option<u8> {
-        if self.len == 0 {
+        if self.nav == 1 {
             None
         } else {
-            Some((self.bits & 1) as u8)
+            Some((self.nav & 1) as u8)
         }
     }
 
     /// The sibling interval (same parent, last bit flipped); `None` for `λ`.
     #[inline]
     pub fn sibling(&self) -> Option<Self> {
-        if self.len == 0 {
+        if self.nav == 1 {
             None
         } else {
-            Some(DyadicInterval {
-                bits: self.bits ^ 1,
-                len: self.len,
-            })
+            Some(DyadicInterval { nav: self.nav ^ 1 })
         }
     }
 
@@ -169,7 +165,10 @@ impl DyadicInterval {
     /// whether `self` (as a set) **contains** `other`.
     #[inline]
     pub fn is_prefix_of(&self, other: &Self) -> bool {
-        self.len <= other.len && (other.bits >> (other.len - self.len)) == self.bits
+        // Navigation words carry the sentinel, so prefix-of is a shift
+        // and compare on the words themselves.
+        let (sl, ol) = (self.len(), other.len());
+        sl <= ol && (other.nav >> (ol - sl)) == self.nav
     }
 
     /// Set containment: `self ⊇ other` iff `self` is a prefix of `other`.
@@ -202,16 +201,16 @@ impl DyadicInterval {
     /// Whether the point `v` of a `width`-bit domain lies in this interval.
     #[inline]
     pub fn contains_value(&self, v: u64, width: u8) -> bool {
-        debug_assert!(self.len <= width);
-        (v >> (width - self.len)) == self.bits
+        debug_assert!(self.len() <= width);
+        (v >> (width - self.len())) == self.bits()
     }
 
     /// The inclusive integer range `[lo, hi]` denoted in a `width`-bit domain.
     #[inline]
     pub fn range(&self, width: u8) -> (u64, u64) {
-        debug_assert!(self.len <= width, "interval longer than domain width");
-        let shift = width - self.len;
-        let lo = self.bits << shift;
+        debug_assert!(self.len() <= width, "interval longer than domain width");
+        let shift = width - self.len();
+        let lo = self.bits() << shift;
         let hi = lo + ((1u64 << shift) - 1);
         (lo, hi)
     }
@@ -219,22 +218,22 @@ impl DyadicInterval {
     /// Number of domain points covered in a `width`-bit domain: `2^(width-len)`.
     #[inline]
     pub fn point_count(&self, width: u8) -> u64 {
-        1u64 << (width - self.len)
+        1u64 << (width - self.len())
     }
 
     /// The longest common prefix of two intervals.
     pub fn common_prefix(&self, other: &Self) -> Self {
         let mut a = *self;
         let mut b = *other;
-        match a.len.cmp(&b.len) {
-            Ordering::Greater => a = a.truncate(b.len),
-            Ordering::Less => b = b.truncate(a.len),
+        match a.len().cmp(&b.len()) {
+            Ordering::Greater => a = a.truncate(b.len()),
+            Ordering::Less => b = b.truncate(a.len()),
             Ordering::Equal => {}
         }
-        // Drop bits until equal.
-        let x = a.bits ^ b.bits;
+        // Drop bits until equal (the sentinels cancel in the XOR).
+        let x = a.nav ^ b.nav;
         let drop = 64 - x.leading_zeros() as u8; // bits to remove
-        a.truncate(a.len - drop.min(a.len))
+        a.truncate(a.len() - drop.min(a.len()))
     }
 
     /// The prefix of the first `len` bits.
@@ -243,10 +242,9 @@ impl DyadicInterval {
     /// In debug builds if `len > self.len()`.
     #[inline]
     pub fn truncate(&self, len: u8) -> Self {
-        debug_assert!(len <= self.len);
+        debug_assert!(len <= self.len());
         DyadicInterval {
-            bits: self.bits >> (self.len - len),
-            len,
+            nav: self.nav >> (self.len() - len),
         }
     }
 
@@ -257,12 +255,11 @@ impl DyadicInterval {
     #[inline]
     pub fn concat(&self, suffix: &Self) -> Self {
         assert!(
-            self.len + suffix.len <= MAX_WIDTH,
+            self.len() + suffix.len() <= MAX_WIDTH,
             "concatenated interval too long"
         );
         DyadicInterval {
-            bits: (self.bits << suffix.len) | suffix.bits,
-            len: self.len + suffix.len,
+            nav: (self.nav << suffix.len()) | suffix.bits(),
         }
     }
 
@@ -272,28 +269,26 @@ impl DyadicInterval {
     /// In debug builds if `prefix_len > self.len()`.
     #[inline]
     pub fn suffix(&self, prefix_len: u8) -> Self {
-        debug_assert!(prefix_len <= self.len);
-        let len = self.len - prefix_len;
-        let mask = if len == 0 { 0 } else { (1u64 << len) - 1 };
+        debug_assert!(prefix_len <= self.len());
+        let len = self.len() - prefix_len;
         DyadicInterval {
-            bits: self.bits & mask,
-            len,
+            nav: (1u64 << len) | (self.nav & ((1u64 << len) - 1)),
         }
     }
 
     /// Iterator over all prefixes of `self`, from `λ` to `self` inclusive.
     pub fn prefixes(&self) -> impl Iterator<Item = DyadicInterval> + '_ {
-        (0..=self.len).map(move |l| self.truncate(l))
+        (0..=self.len()).map(move |l| self.truncate(l))
     }
 
     /// Render as a plain bitstring (`"λ"` for the empty string).
     pub fn bit_string(&self) -> String {
-        if self.len == 0 {
+        if self.nav == 1 {
             return "λ".to_string();
         }
-        (0..self.len)
+        (0..self.len())
             .map(|i| {
-                let bit = (self.bits >> (self.len - 1 - i)) & 1;
+                let bit = (self.nav >> (self.len() - 1 - i)) & 1;
                 if bit == 1 {
                     '1'
                 } else {
@@ -331,10 +326,10 @@ impl PartialOrd for DyadicInterval {
 impl Ord for DyadicInterval {
     /// Lexicographic order on bitstrings, shorter-prefix-first on ties.
     fn cmp(&self, other: &Self) -> Ordering {
-        let common = self.len.min(other.len);
-        let a = self.truncate(common).bits;
-        let b = other.truncate(common).bits;
-        a.cmp(&b).then(self.len.cmp(&other.len))
+        let common = self.len().min(other.len());
+        let a = self.truncate(common).nav;
+        let b = other.truncate(common).nav;
+        a.cmp(&b).then(self.len().cmp(&other.len()))
     }
 }
 

@@ -226,6 +226,60 @@ mod tests {
     }
 
     #[test]
+    fn overflowing_token_reports_line_and_cause() {
+        // Digit-leading but too large for u64 — must surface the parse
+        // failure with the offending line, not wrap or panic.
+        let text = "0 1\n2 99999999999999999999999999\n";
+        let err = read_relation(text.as_bytes(), Schema::uniform(&["A", "B"], 63)).unwrap_err();
+        match &err {
+            IoError::Parse { line, message } => {
+                assert_eq!(*line, 2, "{err}");
+                assert!(
+                    message.contains("99999999999999999999999999"),
+                    "cause must quote the token: {err}"
+                );
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn embedded_nul_is_rejected_not_misread() {
+        // A NUL byte is not a separator: "1\0" must fail as one bad
+        // token rather than silently loading as 1.
+        let text = "0 1\u{0}\n";
+        let err = read_relation(text.as_bytes(), Schema::uniform(&["A", "B"], 3)).unwrap_err();
+        match &err {
+            IoError::Parse { line, .. } => assert_eq!(*line, 1, "{err}"),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_final_line_still_parses() {
+        // No trailing newline: the final tuple must not be dropped.
+        let text = "0 1\n2 3";
+        let rel = read_relation(text.as_bytes(), Schema::uniform(&["A", "B"], 3)).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(&[2, 3]));
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_clean() {
+        // Windows-style dumps: the \r must be stripped, not glued onto
+        // the last token, including on a truncated final line.
+        let text = "0 1\r\n2,3\r\n# comment\r\n4\t5\r";
+        let mut flat = Vec::new();
+        let n = read_tuples_streaming(text.as_bytes(), &Schema::uniform(&["A", "B"], 3), |t| {
+            flat.extend_from_slice(t);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(flat, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
     fn streaming_reports_count_and_reuses_buffer() {
         let text = "0 1\n2 3\n4 5\n";
         let mut flat = Vec::new();

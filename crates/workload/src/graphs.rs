@@ -164,6 +164,17 @@ impl Graph {
             .strip_prefix("# tetris-graph vertices=")
             .and_then(|rest| rest.split_whitespace().next())
             .and_then(|v| v.parse().ok());
+        // Only a recognized tetris-graph header may declare an edge
+        // count; a stray "edges=" in some other first line is data noise.
+        let declared_edges: Option<u64> = if declared.is_some() {
+            first
+                .split("edges=")
+                .nth(1)
+                .and_then(|rest| rest.split_whitespace().next())
+                .and_then(|v| v.parse().ok())
+        } else {
+            None
+        };
         // Re-chain the peeked line: if it was the header it parses as a
         // comment; if it was data it is parsed as the first edge.
         let chained = std::io::Cursor::new(first.into_bytes()).chain(reader);
@@ -184,8 +195,25 @@ impl Graph {
             flat.push((u.min(v), u.max(v)));
             Ok(())
         })?;
+        let listed = flat.len();
         flat.sort_unstable();
         flat.dedup();
+        // A self-describing header pins the *distinct* edge count: a
+        // mismatch means the list carries duplicate (or missing) edges
+        // and silently deduplicating would hand benchmarks a smaller
+        // instance than the one the header promises.
+        if let Some(e) = declared_edges {
+            if flat.len() as u64 != e {
+                return Err(IoError::Parse {
+                    line: 1,
+                    message: format!(
+                        "header declares edges={e} but the list holds {} distinct edges \
+                         ({listed} listed) — duplicate or missing edges",
+                        flat.len()
+                    ),
+                });
+            }
+        }
         let vertices =
             declared.unwrap_or_else(|| flat.iter().map(|&(_, v)| v + 1).max().unwrap_or(0));
         Ok(Graph {
@@ -535,6 +563,36 @@ mod tests {
         buf.extend_from_slice(b"3 99\n");
         let err = Graph::load_from(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("declared vertex count"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_duplicate_edges_under_header() {
+        // The header promises 3 distinct edges; "1 2" and "2,1" collapse
+        // to one under normalization, so the list only holds 2 — a
+        // silently-deduplicated benchmark instance would be smaller than
+        // declared, so the load must fail instead.
+        let text = "# tetris-graph vertices=4 edges=3\n1 2\n2,1\n0 3\n";
+        let err = Graph::load_from(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("edges=3"), "{msg}");
+        assert!(msg.contains("2 distinct"), "{msg}");
+        assert!(msg.contains("3 listed"), "{msg}");
+    }
+
+    #[test]
+    fn load_rejects_missing_edges_under_header() {
+        let text = "# tetris-graph vertices=4 edges=5\n1 2\n0 3\n";
+        let err = Graph::load_from(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("edges=5"), "{err}");
+    }
+
+    #[test]
+    fn headerless_duplicates_still_dedup_silently() {
+        // Without a self-describing header there is no declared count to
+        // defend; plain SNAP-style dumps with repeated edges keep loading.
+        let text = "1 2\n2 1\n0 3\n";
+        let g = Graph::load_from(text.as_bytes()).unwrap();
+        assert_eq!(g.edges, vec![(0, 3), (1, 2)]);
     }
 
     #[test]

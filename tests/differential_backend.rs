@@ -1,6 +1,6 @@
-//! Backend-differential wall: the binary `BoxTree` and the radix
-//! `boxtrie::RadixBoxTrie` must be **indistinguishable** through the
-//! engine — bit-identical output tuple sequences, witnesses (observable
+//! Backend-differential wall: the binary `BoxTree`, the SoA
+//! `ArenaBoxTree`, and the radix `boxtrie::RadixBoxTrie` must be
+//! **indistinguishable** through the engine — bit-identical output tuple sequences, witnesses (observable
 //! as identical resolution counts per dimension: a single diverging
 //! witness changes the resolution ledger), and cost counters on every
 //! sequential engine variant, across randomized spaces up to `MAX_DIMS`
@@ -13,7 +13,7 @@
 //! platforms, so a CI failure replays exactly.
 
 use baseline::{brute::brute_force_join, JoinSpec};
-use boxstore::{coverage, BoxTree, SetOracle};
+use boxstore::{coverage, ArenaBoxTree, BoxTree, SetOracle};
 use boxtrie::RadixBoxTrie;
 use dyadic::{DyadicBox, DyadicInterval, Space, MAX_DIMS};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -96,16 +96,27 @@ fn every_sequential_variant_is_backend_identical() {
                         );
                         let bin = Tetris::<_, BoxTree>::with_store(&oracle, cfg).run();
                         let rad = Tetris::<_, RadixBoxTrie>::with_store(&oracle, cfg).run();
+                        let are = Tetris::<_, ArenaBoxTree>::with_store(&oracle, cfg).run();
                         assert_eq!(bin.tuples, expect, "{label}: binary vs brute force");
                         assert_eq!(rad.tuples, bin.tuples, "{label}: radix tuples diverge");
+                        assert_eq!(are.tuples, bin.tuples, "{label}: arena tuples diverge");
                         assert_eq!(
                             comparable(&rad.stats),
                             comparable(&bin.stats),
                             "{label}: radix counters diverge — a witness differed somewhere"
                         );
-                        // Both probe ledgers must balance regardless of
+                        assert_eq!(
+                            comparable(&are.stats),
+                            comparable(&bin.stats),
+                            "{label}: arena counters diverge — a witness differed somewhere"
+                        );
+                        // Every probe ledger must balance regardless of
                         // how the fast paths split.
-                        for (tag, s) in [("binary", &bin.stats), ("radix", &rad.stats)] {
+                        for (tag, s) in [
+                            ("binary", &bin.stats),
+                            ("radix", &rad.stats),
+                            ("arena", &are.stats),
+                        ] {
                             assert_eq!(
                                 s.probe_advances + s.probe_repairs + s.probe_full_walks,
                                 s.kb_queries,
@@ -131,8 +142,10 @@ fn check_cover_is_backend_identical() {
         let cfg = TetrisConfig::default();
         let (bin, _) = Tetris::<_, BoxTree>::with_store(&oracle, cfg).check_cover();
         let (rad, _) = Tetris::<_, RadixBoxTrie>::with_store(&oracle, cfg).check_cover();
+        let (are, _) = Tetris::<_, ArenaBoxTree>::with_store(&oracle, cfg).check_cover();
         assert_eq!(bin, covered_ref, "seed {seed}: binary check_cover wrong");
         assert_eq!(rad, bin, "seed {seed}: radix check_cover diverges");
+        assert_eq!(are, bin, "seed {seed}: arena check_cover diverges");
     }
 }
 
@@ -154,6 +167,7 @@ fn parallel_descents_are_backend_identical() {
                 };
                 let bin = Tetris::<_, BoxTree>::with_store(&oracle, cfg).run();
                 let rad = Tetris::<_, RadixBoxTrie>::with_store(&oracle, cfg).run();
+                let are = Tetris::<_, ArenaBoxTree>::with_store(&oracle, cfg).run();
                 assert_eq!(
                     bin.tuples, expect,
                     "seed {seed}: binary parallel(threads={threads}, preload={preload}) \
@@ -164,7 +178,19 @@ fn parallel_descents_are_backend_identical() {
                     "seed {seed}: radix parallel(threads={threads}, preload={preload}) \
                      diverges from binary"
                 );
-                assert_eq!(rad.stats.outputs, bin.stats.outputs, "seed {seed}");
+                assert_eq!(
+                    are.tuples, bin.tuples,
+                    "seed {seed}: arena parallel(threads={threads}, preload={preload}) \
+                     diverges from binary"
+                );
+                assert_eq!(
+                    rad.stats.outputs, bin.stats.outputs,
+                    "seed {seed} threads={threads} preload={preload}: radix output count"
+                );
+                assert_eq!(
+                    are.stats.outputs, bin.stats.outputs,
+                    "seed {seed} threads={threads} preload={preload}: arena output count"
+                );
             }
         }
     }
@@ -202,14 +228,24 @@ fn join_pipeline_is_backend_identical() {
             };
             let bin = Tetris::<_, BoxTree>::with_store(&oracle, cfg).run();
             let rad = Tetris::<_, RadixBoxTrie>::with_store(&oracle, cfg).run();
+            let are = Tetris::<_, ArenaBoxTree>::with_store(&oracle, cfg).run();
             assert_eq!(
                 rad.tuples, bin.tuples,
                 "seed {seed} preload={preload}: radix pipeline tuples diverge"
             );
             assert_eq!(
+                are.tuples, bin.tuples,
+                "seed {seed} preload={preload}: arena pipeline tuples diverge"
+            );
+            assert_eq!(
                 comparable(&rad.stats),
                 comparable(&bin.stats),
                 "seed {seed} preload={preload}: radix pipeline counters diverge"
+            );
+            assert_eq!(
+                comparable(&are.stats),
+                comparable(&bin.stats),
+                "seed {seed} preload={preload}: arena pipeline counters diverge"
             );
             let got = join.reorder_to(&["A", "B", "C"], &rad.tuples);
             assert_eq!(
@@ -224,7 +260,7 @@ fn join_pipeline_is_backend_identical() {
 fn custom_insert_ring_changes_nothing_observable() {
     // The tuning knob must affect performance only: shrinking the ring to
     // the minimum (REPAIR_CAP) or quadrupling it leaves every output and
-    // every answer-derived counter identical on both backends.
+    // every answer-derived counter identical on every backend.
     for seed in 400..415u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let space = random_space(&mut rng, 8);
@@ -239,6 +275,7 @@ fn custom_insert_ring_changes_nothing_observable() {
             };
             let bin = Tetris::<_, BoxTree>::with_store(&oracle, cfg).run();
             let rad = Tetris::<_, RadixBoxTrie>::with_store(&oracle, cfg).run();
+            let are = Tetris::<_, ArenaBoxTree>::with_store(&oracle, cfg).run();
             assert_eq!(
                 bin.tuples, reference.tuples,
                 "seed {seed} ring={insert_ring}: binary tuples moved"
@@ -246,6 +283,10 @@ fn custom_insert_ring_changes_nothing_observable() {
             assert_eq!(
                 rad.tuples, reference.tuples,
                 "seed {seed} ring={insert_ring}: radix tuples moved"
+            );
+            assert_eq!(
+                are.tuples, reference.tuples,
+                "seed {seed} ring={insert_ring}: arena tuples moved"
             );
             assert_eq!(
                 comparable(&bin.stats),
@@ -256,6 +297,11 @@ fn custom_insert_ring_changes_nothing_observable() {
                 comparable(&rad.stats),
                 comparable(&reference.stats),
                 "seed {seed} ring={insert_ring}: radix counters moved"
+            );
+            assert_eq!(
+                comparable(&are.stats),
+                comparable(&reference.stats),
+                "seed {seed} ring={insert_ring}: arena counters moved"
             );
         }
     }

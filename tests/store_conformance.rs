@@ -1,0 +1,239 @@
+//! Randomized store-conformance wall: every [`BoxStore`] backend ×
+//! every insert-ring tuning, driven through random interleavings of
+//! inserts, untracked probes, engine-shaped tracked probe chains,
+//! clears, and shard extractions — each observable answer checked
+//! against a naive reference store.
+//!
+//! The reference pins the full trait contract, not just set membership:
+//!
+//! * **DFS-first witnesses** — `find_containing` must return the
+//!   containing box that the multilevel DFS reaches first, i.e. the one
+//!   with the lexicographically least per-dimension prefix-length
+//!   vector (shortest dim-0 prefix wins, then dim 1, …).
+//! * **Tracked = untracked** — `find_containing_tracked` must be
+//!   witness-identical to `find_containing` under arbitrary interleaved
+//!   inserts and clears (frontier advance, insert-log repair, the
+//!   fingerprint-summary fast path, and full-walk fallback all fire
+//!   here).
+//! * **Exact shards** — `extract_intersecting_into` must produce
+//!   exactly the stored boxes intersecting the target.
+//! * **Monotone epochs** — content changes advance the epoch.
+//!
+//! Every assertion message carries the `(backend, seed, ring, step)`
+//! tuple, so a failure is reproducible with a one-line filter.
+
+use boxstore::{ArenaBoxTree, BoxStore, BoxTree, DescentProbe, StoreTuning, REPAIR_CAP};
+use boxtrie::RadixBoxTrie;
+use dyadic::{DyadicBox, DyadicInterval, MAX_DIMS};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The knob grid: the minimum legal ring (repair windows are never
+/// overwritten at exactly `REPAIR_CAP`), the default, and an oversized
+/// ring. Conformance must be tuning-independent.
+const RINGS: [usize; 3] = [REPAIR_CAP as usize, 256, 1024];
+
+const SEEDS_PER_CONFIG: u64 = 12;
+const STEPS_PER_SEED: usize = 300;
+
+/// Brute-force reference store: a deduplicated vector of boxes.
+#[derive(Debug, Default)]
+struct NaiveStore {
+    boxes: Vec<DyadicBox>,
+    epoch_bumps: u64,
+}
+
+impl NaiveStore {
+    fn insert(&mut self, b: &DyadicBox) -> bool {
+        if self.boxes.contains(b) {
+            return false;
+        }
+        self.boxes.push(*b);
+        self.epoch_bumps += 1;
+        true
+    }
+
+    fn clear(&mut self) {
+        if !self.boxes.is_empty() {
+            self.epoch_bumps += 1;
+        }
+        self.boxes.clear();
+    }
+
+    /// The DFS-first witness: the containing box whose prefix-length
+    /// vector is lexicographically least.
+    fn find_containing(&self, b: &DyadicBox) -> Option<DyadicBox> {
+        self.boxes
+            .iter()
+            .filter(|c| c.contains(b))
+            .min_by_key(|c| {
+                let mut key = [0u8; MAX_DIMS];
+                for (i, slot) in key.iter_mut().enumerate().take(c.n()) {
+                    *slot = c.get(i).len();
+                }
+                key
+            })
+            .copied()
+    }
+
+    fn intersecting(&self, target: &DyadicBox) -> Vec<DyadicBox> {
+        let mut out: Vec<DyadicBox> = self
+            .boxes
+            .iter()
+            .filter(|c| c.intersects(target))
+            .copied()
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn sorted(&self) -> Vec<DyadicBox> {
+        let mut out = self.boxes.clone();
+        out.sort();
+        out
+    }
+}
+
+fn random_box(rng: &mut StdRng, n: usize, width: u8) -> DyadicBox {
+    let mut bx = DyadicBox::universe(n);
+    for i in 0..n {
+        let len = rng.gen_range(0..=width);
+        let bits = rng.gen_range(0..(1u64 << len));
+        bx.set(i, DyadicInterval::from_bits(bits, len));
+    }
+    bx
+}
+
+fn sorted_boxes<S: BoxStore>(s: &S) -> Vec<DyadicBox> {
+    let mut out = s.iter_boxes();
+    out.sort();
+    out
+}
+
+/// One random op sequence against one `(backend, ring, seed)` config.
+fn conformance_run<S: BoxStore>(backend: &str, ring: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1..=3);
+    let width = rng.gen_range(2..=5) as u8;
+    let tuning = StoreTuning { insert_ring: ring };
+    let mut store = S::with_tuning(n, tuning);
+    let mut naive = NaiveStore::default();
+    // One long-lived probe state: clears and unrelated-target probes in
+    // between must be survivable (the store detects staleness itself).
+    let mut probe: DescentProbe<S::Entry> = DescentProbe::new();
+    let mut last_epoch = store.epoch();
+
+    for step in 0..STEPS_PER_SEED {
+        let ctx =
+            || format!("backend={backend} seed={seed} ring={ring} step={step} n={n} width={width}");
+        match rng.gen_range(0..20) {
+            // Inserts dominate so repair windows stay busy.
+            0..=8 => {
+                let bx = random_box(&mut rng, n, width);
+                let novel = naive.insert(&bx);
+                assert_eq!(store.insert(&bx), novel, "{}: insert novelty", ctx());
+            }
+            9..=11 => {
+                let bx = random_box(&mut rng, n, width);
+                assert_eq!(
+                    store.find_containing(&bx),
+                    naive.find_containing(&bx),
+                    "{}: untracked witness",
+                    ctx()
+                );
+            }
+            // Engine-shaped tracked chain: root-to-leaf at one dim, with
+            // inserts racing the probes so the frontier must be repaired.
+            // Skeleton probes always have λ components beyond the probed
+            // dim (later dims are still unconstrained there) — tracked
+            // probes are only defined for that shape.
+            12..=16 => {
+                let dim = rng.gen_range(0..n);
+                let mut target = random_box(&mut rng, n, width);
+                for i in dim + 1..n {
+                    target.set(i, DyadicInterval::lambda());
+                }
+                for k in 0..=target.get(dim).len() {
+                    let mut q = target;
+                    q.set(dim, target.get(dim).truncate(k));
+                    let got = store.find_containing_tracked(&q, dim, &mut probe);
+                    assert_eq!(
+                        got,
+                        naive.find_containing(&q),
+                        "{} k={k}: tracked witness",
+                        ctx()
+                    );
+                    if got.is_some() {
+                        break;
+                    }
+                    if rng.gen_range(0..3) == 0 {
+                        let bx = random_box(&mut rng, n, width);
+                        naive.insert(&bx);
+                        store.insert(&bx);
+                    }
+                }
+            }
+            17 => {
+                let target = random_box(&mut rng, n, width);
+                let mut shard = S::with_tuning(n, tuning);
+                store.extract_intersecting_into(&target, &mut shard);
+                assert_eq!(
+                    sorted_boxes(&shard),
+                    naive.intersecting(&target),
+                    "{}: extracted shard",
+                    ctx()
+                );
+            }
+            18 => {
+                store.clear();
+                naive.clear();
+                assert!(store.is_empty(), "{}: clear leaves store empty", ctx());
+            }
+            _ => {
+                assert_eq!(store.len(), naive.boxes.len(), "{}: len", ctx());
+                assert_eq!(
+                    sorted_boxes(&store),
+                    naive.sorted(),
+                    "{}: stored set",
+                    ctx()
+                );
+            }
+        }
+        let epoch = store.epoch();
+        assert!(epoch >= last_epoch, "{}: epoch must be monotone", ctx());
+        last_epoch = epoch;
+    }
+    assert_eq!(
+        sorted_boxes(&store),
+        naive.sorted(),
+        "backend={backend} seed={seed} ring={ring}: final stored set"
+    );
+    // The chains above must actually exercise the incremental paths,
+    // otherwise this wall silently stops guarding them.
+    assert!(
+        probe.advances + probe.repairs + probe.full_walks > 0,
+        "backend={backend} seed={seed} ring={ring}: no tracked probes fired"
+    );
+}
+
+fn conformance_grid<S: BoxStore>(backend: &str) {
+    for &ring in &RINGS {
+        for seed in 0..SEEDS_PER_CONFIG {
+            conformance_run::<S>(backend, ring, seed);
+        }
+    }
+}
+
+#[test]
+fn box_tree_conforms() {
+    conformance_grid::<BoxTree>("binary");
+}
+
+#[test]
+fn arena_box_tree_conforms() {
+    conformance_grid::<ArenaBoxTree>("arena");
+}
+
+#[test]
+fn radix_box_trie_conforms() {
+    conformance_grid::<RadixBoxTrie>("radix");
+}
