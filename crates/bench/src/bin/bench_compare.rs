@@ -112,6 +112,15 @@ fn key(row: &Row) -> Option<(String, u64, u64)> {
     if let Some(t) = row_field(row, "threads").and_then(|v| v.as_num()) {
         exp = format!("{exp}:t{t}");
     }
+    // The shards column (subcube-partitioned base stores) folds in only
+    // when it is not the monolithic default, so `shards=1` rows keep the
+    // exact keys of pre-sharding snapshots and stay gate-comparable
+    // against them.
+    if let Some(s) = row_field(row, "shards").and_then(|v| v.as_num()) {
+        if s != 1.0 {
+            exp = format!("{exp}:s{s}");
+        }
+    }
     let n = row_field(row, "N")?.as_num()? as u64;
     let k = row_field(row, "k").and_then(|v| v.as_num()).unwrap_or(0.0) as u64;
     Some((exp, n, k))
@@ -167,6 +176,31 @@ fn compare(
                          (> {max_ratio}x): {bs:.4}s -> {cs:.4}s",
                         bkey.0, bkey.1
                     ));
+                }
+                // Peak-RSS ratchet on gated rows. A reading can honestly
+                // be absent (`null` off-procfs, or an old snapshot with
+                // no column): such rows are *skipped*, never compared
+                // against a fabricated number.
+                let (brss, crss) = (
+                    row_field(brow, "peak_rss_mb").and_then(|v| v.as_num()),
+                    row_field(crow, "peak_rss_mb").and_then(|v| v.as_num()),
+                );
+                match (brss, crss) {
+                    (Some(brss), Some(crss)) => {
+                        if brss > 0.0 && crss / brss > max_ratio {
+                            failures.push(format!(
+                                "gate: {} N={} peak_rss_mb regressed {:.2}x \
+                                 (> {max_ratio}x): {brss:.1} MB -> {crss:.1} MB",
+                                bkey.0,
+                                bkey.1,
+                                crss / brss
+                            ));
+                        }
+                    }
+                    _ => report.push_str(&format!(
+                        "{:<28} N={:<8} peak_rss_mb unavailable on one side — skipped\n",
+                        bkey.0, bkey.1
+                    )),
                 }
             }
         }
@@ -383,6 +417,60 @@ mod tests {
             r#"{"experiment":"t2-graphs","graph":"skewed","threads":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000}"#,
         );
         assert_eq!(key(&old[0]).unwrap().0, "t2-graphs:skewed:t1");
+    }
+
+    #[test]
+    fn shards_column_folds_in_only_when_not_one() {
+        // `shards=1` rows must keep pre-sharding keys so they still
+        // match old snapshots; sharded rows get their own key.
+        let one = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","threads":1,"shards":1,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000}"#,
+        );
+        assert_eq!(key(&one[0]).unwrap().0, "t2-graphs:skewed:t1");
+        let four = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","threads":1,"shards":4,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000}"#,
+        );
+        assert_eq!(key(&four[0]).unwrap().0, "t2-graphs:skewed:t1:s4");
+        // And the sharded row gates against its own baseline row.
+        let cand = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","threads":1,"shards":4,"edges":100000,"N":300000,"triangles":421,"tetris_s":1.4,"resolutions":900000}"#,
+        );
+        assert!(compare(&four, &cand, 2.0, Gate::T2Graphs).is_ok());
+    }
+
+    #[test]
+    fn null_rss_rows_are_skipped_not_ratcheted() {
+        // A candidate measured off-procfs reports `peak_rss_mb:null`;
+        // the RSS ratchet must skip the row (and say so), not compare
+        // against a coerced 0 or fail the gate.
+        let base = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000,"peak_rss_mb":120.5}"#,
+        );
+        let cand = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.4,"resolutions":900000,"peak_rss_mb":null}"#,
+        );
+        let report = compare(&base, &cand, 2.0, Gate::T2Graphs).unwrap();
+        assert!(report.contains("peak_rss_mb unavailable"), "{report}");
+        // Symmetrically for a baseline predating the column.
+        let old_base = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000}"#,
+        );
+        let new_cand = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.4,"resolutions":900000,"peak_rss_mb":130.0}"#,
+        );
+        assert!(compare(&old_base, &new_cand, 2.0, Gate::T2Graphs).is_ok());
+    }
+
+    #[test]
+    fn rss_regression_on_a_gated_row_fails() {
+        let base = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000,"peak_rss_mb":100.0}"#,
+        );
+        let cand = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.4,"resolutions":900000,"peak_rss_mb":250.0}"#,
+        );
+        let err = compare(&base, &cand, 2.0, Gate::T2Graphs).unwrap_err();
+        assert!(err.contains("peak_rss_mb regressed"), "{err}");
     }
 
     #[test]

@@ -2,12 +2,25 @@
 //! dump the full counter breakdown plus phase timings — the numbers the
 //! hot-path work in EXPERIMENTS.md §9 is steered by.
 
-use boxstore::{ArenaBoxTree, BoxTree};
+use boxstore::{ArenaBoxTree, BoxOracle, BoxStore, BoxTree, ShardedBoxStore};
 use boxtrie::RadixBoxTrie;
 use std::time::Instant;
-use tetris_join::tetris::{Backend, Tetris, TetrisConfig};
+use tetris_join::tetris::{Backend, Tetris, TetrisConfig, TetrisOutput};
 use tetris_join::triangles::prepared_triangle_join;
 use workload::graphs;
+
+// Build (incl. preload) and solve timed separately: `solve_s` is the
+// number comparable with the t2_graphs `tetris_s` column.
+fn profile<O: BoxOracle + ?Sized, S: BoxStore>(
+    oracle: &O,
+    cfg: TetrisConfig,
+) -> (f64, f64, TetrisOutput) {
+    let t0 = Instant::now();
+    let engine = Tetris::<_, S>::with_store(oracle, cfg);
+    let build = t0.elapsed().as_secs_f64();
+    let out = engine.run();
+    (build, t0.elapsed().as_secs_f64() - build, out)
+}
 
 fn main() {
     let edges: usize = std::env::args()
@@ -18,6 +31,10 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(Backend::Binary);
+    let shards: usize = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     // Seed matches the t2_graphs big-tier skewed instance so counter
     // breakdowns line up with BENCH_pr*.json rows.
     let g = graphs::skewed_graph_with_edges(edges, 2, 0xBEEF);
@@ -27,28 +44,21 @@ fn main() {
     let cfg = TetrisConfig {
         preload: true,
         backend,
+        shards,
         ..Default::default()
     };
-    // Build (incl. preload) and solve timed separately: `solve_s` is the
-    // number comparable with the t2_graphs `tetris_s` column.
-    let t0 = Instant::now();
-    let (build, out) = match backend {
-        Backend::Binary => {
-            let engine = Tetris::<_, BoxTree>::with_store(&oracle, cfg);
-            (t0.elapsed().as_secs_f64(), engine.run())
-        }
-        Backend::Radix => {
-            let engine = Tetris::<_, RadixBoxTrie>::with_store(&oracle, cfg);
-            (t0.elapsed().as_secs_f64(), engine.run())
-        }
-        Backend::Arena => {
-            let engine = Tetris::<_, ArenaBoxTree>::with_store(&oracle, cfg);
-            (t0.elapsed().as_secs_f64(), engine.run())
-        }
+    let (build, solve, out) = match (backend, shards > 1) {
+        (Backend::Binary, false) => profile::<_, BoxTree>(&oracle, cfg),
+        (Backend::Binary, true) => profile::<_, ShardedBoxStore<BoxTree>>(&oracle, cfg),
+        (Backend::Radix, false) => profile::<_, RadixBoxTrie>(&oracle, cfg),
+        (Backend::Radix, true) => profile::<_, ShardedBoxStore<RadixBoxTrie>>(&oracle, cfg),
+        (Backend::Arena, false) => profile::<_, ArenaBoxTree>(&oracle, cfg),
+        (Backend::Arena, true) => profile::<_, ShardedBoxStore<ArenaBoxTree>>(&oracle, cfg),
     };
-    let solve = t0.elapsed().as_secs_f64() - build;
     let s = &out.stats;
-    println!("edges={edges} backend={backend} build_s={build:.3} solve_s={solve:.3}");
+    println!(
+        "edges={edges} backend={backend} shards={shards} build_s={build:.3} solve_s={solve:.3}"
+    );
     println!(
         "outputs={} resolutions={} splits={} skeleton={} kb_queries={}",
         s.outputs, s.resolutions, s.splits, s.skeleton_calls, s.kb_queries

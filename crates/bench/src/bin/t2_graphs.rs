@@ -9,16 +9,19 @@
 //!
 //! Usage:
 //! `cargo run --release -p bench --bin t2_graphs [-- <tier>]
-//!  [--threads L] [--backend L] [--seed S]`
+//!  [--threads L] [--backend L] [--shards L] [--seed S]`
 //! where `<tier>` is `smoke` (10⁵ edges — the CI graph-smoke job), `full`
 //! (10⁴ + 10⁵, the snapshot tier, default), `big` (adds the 10⁶-edge
 //! skewed instance), or an explicit edge count; `--threads` is a
 //! comma-separated worker sweep (default `1,4`; `1` runs the sequential
 //! incremental engine, `N > 1` runs `Descent::Parallel { threads: N }`);
 //! `--backend` is a comma-separated backend sweep (default
-//! `binary,radix` — the A/B protocol of EXPERIMENTS.md §8); `--seed`
-//! overrides every generator's fixed seed, so a differential failure
-//! found elsewhere can be replayed at bench scale.
+//! `binary,radix` — the A/B protocol of EXPERIMENTS.md §8); `--shards`
+//! is a comma-separated subcube shard-count sweep (default `1` =
+//! monolithic; `K > 1` wraps the backend in `ShardedBoxStore` and
+//! bulk-builds the preload per shard, on `threads` workers when the row
+//! is parallel); `--seed` overrides every generator's fixed seed, so a
+//! differential failure found elsewhere can be replayed at bench scale.
 //!
 //! Every row asserts `tetris == leapfrog == ground truth`, the sweep
 //! asserts every (backend × threads) listing is **bit-identical** to the
@@ -32,9 +35,9 @@
 
 use baseline::leapfrog::leapfrog_join;
 use bench::{fmt_f, peak_rss_bytes, time, Table};
-use boxstore::{ArenaBoxTree, BoxTree};
+use boxstore::{ArenaBoxTree, BoxOracle, BoxStore, BoxTree, ShardedBoxStore};
 use boxtrie::RadixBoxTrie;
-use tetris_core::{Backend, Descent, Tetris, TetrisConfig};
+use tetris_core::{Backend, Descent, Tetris, TetrisConfig, TetrisOutput};
 use tetris_join::triangles::{prepared_triangle_join, triangle_spec};
 use workload::graphs::{self, Graph};
 
@@ -42,6 +45,7 @@ struct Args {
     tier: String,
     threads: Vec<usize>,
     backends: Vec<Backend>,
+    shards: Vec<usize>,
     seed: Option<u64>,
 }
 
@@ -50,6 +54,7 @@ fn parse_args() -> Args {
         tier: "full".to_string(),
         threads: vec![1, 4],
         backends: vec![Backend::Binary, Backend::Radix, Backend::Arena],
+        shards: vec![1],
         seed: None,
     };
     let mut it = std::env::args().skip(1);
@@ -79,6 +84,19 @@ fn parse_args() -> Args {
                     })
                     .collect();
             }
+            "--shards" => {
+                let list = it.next().unwrap_or_else(|| usage("--shards needs a list"));
+                args.shards = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .unwrap_or_else(|| usage(&format!("bad shard count {s:?}")))
+                    })
+                    .collect();
+            }
             "--seed" => {
                 let s = it.next().unwrap_or_else(|| usage("--seed needs a value"));
                 args.seed = Some(
@@ -97,7 +115,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("t2_graphs: {msg}");
     eprintln!(
         "usage: t2_graphs [smoke|full|big|<edge count>] [--threads 1,4,...] \
-         [--backend binary,radix] [--seed S]"
+         [--backend binary,radix] [--shards 1,4,...] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -114,19 +132,22 @@ fn main() {
         },
     };
     println!(
-        "== T2: large-graph triangle listing (tier: {}, threads: {:?}, backends: {:?}) ==\n",
-        args.tier, args.threads, args.backends
+        "== T2: large-graph triangle listing (tier: {}, threads: {:?}, backends: {:?}, \
+         shards: {:?}) ==\n",
+        args.tier, args.threads, args.backends, args.shards
     );
     let mut table = Table::new(&[
         "graph",
         "backend",
         "threads",
+        "shards",
         "edges",
         "vertices",
         "N",
         "triangles",
         "truth_s",
         "tetris_s",
+        "preload_s",
         "resolutions",
         "lftj_s",
         "load_s",
@@ -141,7 +162,14 @@ fn main() {
                 continue;
             }
             let g = generate(kind, edges, args.seed);
-            run_row(&mut table, kind, &g, &args.threads, &args.backends);
+            run_row(
+                &mut table,
+                kind,
+                &g,
+                &args.threads,
+                &args.backends,
+                &args.shards,
+            );
             eprintln!("  done: {kind} @ {edges} edges");
         }
     }
@@ -167,7 +195,26 @@ fn generate(kind: &str, edges: usize, seed: Option<u64>) -> Graph {
     }
 }
 
-fn run_row(table: &mut Table, kind: &str, g: &Graph, threads: &[usize], backends: &[Backend]) {
+/// Build an engine of store type `S` (timed: this is where the preload
+/// bulk build happens) and run the solve (timed separately, comparable
+/// with every earlier snapshot's `tetris_s`).
+fn build_and_run<O: BoxOracle + ?Sized, S: BoxStore>(
+    oracle: &O,
+    cfg: TetrisConfig,
+) -> (TetrisOutput, f64, f64) {
+    let (engine, preload_s) = time(|| Tetris::<_, S>::with_store(oracle, cfg));
+    let (out, tetris_s) = time(|| engine.run());
+    (out, preload_s, tetris_s)
+}
+
+fn run_row(
+    table: &mut Table,
+    kind: &str,
+    g: &Graph,
+    threads: &[usize],
+    backends: &[Backend],
+    shard_counts: &[usize],
+) {
     let edges = g.edge_relation();
     let n = 3 * edges.len();
 
@@ -214,86 +261,100 @@ fn run_row(table: &mut Table, kind: &str, g: &Graph, threads: &[usize], backends
     let mut reference: Option<Vec<Vec<u64>>> = None;
     let mut seq_resolutions: Option<u64> = None;
     for &backend in backends {
-        for &t in threads {
-            let cfg = TetrisConfig {
-                preload: true,
-                descent: if t == 1 {
-                    Descent::Incremental
-                } else {
-                    Descent::Parallel { threads: t }
-                },
-                backend,
-                ..Default::default()
-            };
-            let (out, tetris_s) = match backend {
-                Backend::Binary => {
-                    let engine = Tetris::<_, BoxTree>::with_store(&oracle, cfg);
-                    time(|| engine.run())
-                }
-                Backend::Radix => {
-                    let engine = Tetris::<_, RadixBoxTrie>::with_store(&oracle, cfg);
-                    time(|| engine.run())
-                }
-                Backend::Arena => {
-                    let engine = Tetris::<_, ArenaBoxTree>::with_store(&oracle, cfg);
-                    time(|| engine.run())
-                }
-            };
-            assert_eq!(
-                out.tuples.len() as u64,
-                truth,
-                "{kind}/{} edges, backend={backend}, threads={t}: tetris listed {} \
-                 triangles, ground truth {truth}",
-                g.edges.len(),
-                out.tuples.len()
-            );
-            match &reference {
-                None => reference = Some(out.tuples.clone()),
-                Some(r) => assert_eq!(
-                    &out.tuples,
-                    r,
-                    "{kind}/{} edges: backend={backend} threads={t} listing diverges \
-                     from the first sweep entry",
-                    g.edges.len()
-                ),
-            }
-            if t == 1 {
-                match seq_resolutions {
-                    None => seq_resolutions = Some(out.stats.resolutions),
+        for &shards in shard_counts {
+            for &t in threads {
+                let cfg = TetrisConfig {
+                    preload: true,
+                    descent: if t == 1 {
+                        Descent::Incremental
+                    } else {
+                        Descent::Parallel { threads: t }
+                    },
+                    backend,
+                    shards,
+                    // The preload bulk build uses the row's worker count:
+                    // sequential rows build sequentially (so their
+                    // preload_s is the honest 1-thread number), parallel
+                    // rows build per-shard in parallel.
+                    preload_threads: t,
+                    ..Default::default()
+                };
+                let (out, preload_s, tetris_s) = match (backend, shards > 1) {
+                    (Backend::Binary, false) => build_and_run::<_, BoxTree>(&oracle, cfg),
+                    (Backend::Binary, true) => {
+                        build_and_run::<_, ShardedBoxStore<BoxTree>>(&oracle, cfg)
+                    }
+                    (Backend::Radix, false) => build_and_run::<_, RadixBoxTrie>(&oracle, cfg),
+                    (Backend::Radix, true) => {
+                        build_and_run::<_, ShardedBoxStore<RadixBoxTrie>>(&oracle, cfg)
+                    }
+                    (Backend::Arena, false) => build_and_run::<_, ArenaBoxTree>(&oracle, cfg),
+                    (Backend::Arena, true) => {
+                        build_and_run::<_, ShardedBoxStore<ArenaBoxTree>>(&oracle, cfg)
+                    }
+                };
+                assert_eq!(
+                    out.tuples.len() as u64,
+                    truth,
+                    "{kind}/{} edges, backend={backend}, threads={t}, shards={shards}: \
+                     tetris listed {} triangles, ground truth {truth}",
+                    g.edges.len(),
+                    out.tuples.len()
+                );
+                match &reference {
+                    None => reference = Some(out.tuples.clone()),
                     Some(r) => assert_eq!(
-                        out.stats.resolutions,
+                        &out.tuples,
                         r,
-                        "{kind}/{} edges: backend={backend} sequential resolutions \
-                         diverge — the backends' witness orders differ",
+                        "{kind}/{} edges: backend={backend} threads={t} shards={shards} \
+                         listing diverges from the first sweep entry",
                         g.edges.len()
                     ),
                 }
+                if t == 1 {
+                    match seq_resolutions {
+                        None => seq_resolutions = Some(out.stats.resolutions),
+                        Some(r) => assert_eq!(
+                            out.stats.resolutions,
+                            r,
+                            "{kind}/{} edges: backend={backend} shards={shards} sequential \
+                             resolutions diverge — the witness orders differ",
+                            g.edges.len()
+                        ),
+                    }
+                }
+                // Resolutions are the Õ-bound quantity and must never grow, so
+                // `bench_compare` hard-fails on any increase — but under
+                // `Descent::Parallel` the count depends on donation timing
+                // (documented in tests/stats_regression.rs), so parallel rows
+                // report `-` and only their wall time and triangle count gate.
+                let resolutions = if t == 1 {
+                    format!("{}", out.stats.resolutions)
+                } else {
+                    "-".to_string()
+                };
+                table.row(&[
+                    kind.to_string(),
+                    format!("{backend}"),
+                    format!("{t}"),
+                    format!("{shards}"),
+                    format!("{}", g.edges.len()),
+                    format!("{}", g.vertices),
+                    format!("{n}"),
+                    format!("{truth}"),
+                    fmt_f(truth_s),
+                    fmt_f(tetris_s),
+                    fmt_f(preload_s),
+                    resolutions,
+                    fmt_f(lftj_s),
+                    fmt_f(load_s),
+                    // An unmeasurable RSS (no procfs) is an explicit JSON
+                    // null, never a fabricated number — bench_compare
+                    // skips the ratchet for such rows.
+                    peak_rss_bytes()
+                        .map_or("null".to_string(), |b| fmt_f(b as f64 / (1024.0 * 1024.0))),
+                ]);
             }
-            // Resolutions are the Õ-bound quantity and must never grow, so
-            // `bench_compare` hard-fails on any increase — but under
-            // `Descent::Parallel` the count depends on donation timing
-            // (documented in tests/stats_regression.rs), so parallel rows
-            // report `-` and only their wall time and triangle count gate.
-            let resolutions = if t == 1 {
-                format!("{}", out.stats.resolutions)
-            } else {
-                "-".to_string()
-            };
-            table.row(&[
-                kind.to_string(),
-                format!("{backend}"),
-                format!("{t}"),
-                format!("{}", g.edges.len()),
-                format!("{}", g.vertices),
-                format!("{n}"),
-                format!("{truth}"),
-                fmt_f(truth_s),
-                fmt_f(tetris_s),
-                resolutions,
-                fmt_f(lftj_s),
-                fmt_f(load_s),
-                fmt_f(peak_rss_bytes().map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0))),
-            ]);
         }
     }
 }

@@ -146,6 +146,10 @@ pub enum JsonValue {
     Num(f64),
     /// A JSON string.
     Str(String),
+    /// JSON `null`: a measurement that could not be taken (e.g. peak
+    /// RSS off-procfs). Distinct from `0` so downstream ratchets can
+    /// skip the row instead of comparing against a fabricated number.
+    Null,
 }
 
 impl JsonValue {
@@ -153,7 +157,7 @@ impl JsonValue {
     pub fn as_num(&self) -> Option<f64> {
         match self {
             JsonValue::Num(v) => Some(*v),
-            JsonValue::Str(_) => None,
+            _ => None,
         }
     }
 
@@ -161,8 +165,13 @@ impl JsonValue {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             JsonValue::Str(s) => Some(s),
-            JsonValue::Num(_) => None,
+            _ => None,
         }
+    }
+
+    /// Whether this is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
     }
 }
 
@@ -199,11 +208,14 @@ pub fn parse_jsonl_row(line: &str) -> Option<Vec<(String, JsonValue)>> {
         let value = if *chars.peek()? == '"' {
             JsonValue::Str(parse_json_str(&mut chars)?)
         } else {
-            let mut num = String::new();
+            let mut tok = String::new();
             while matches!(chars.peek(), Some(c) if !matches!(c, ',' | '}')) {
-                num.push(chars.next()?);
+                tok.push(chars.next()?);
             }
-            JsonValue::Num(num.trim().parse().ok()?)
+            match tok.trim() {
+                "null" => JsonValue::Null,
+                num => JsonValue::Num(num.parse().ok()?),
+            }
         };
         out.push((key, value));
     }
@@ -243,8 +255,14 @@ pub fn row_field<'a>(row: &'a [(String, JsonValue)], key: &str) -> Option<&'a Js
 
 /// Encode a table cell: integers and finite floats are re-serialized
 /// from the parsed value (so `"007"` → `7` and `"+.5"` → `0.5`, always
-/// valid JSON numbers); everything else becomes an escaped JSON string.
+/// valid JSON numbers); the literal cell `"null"` becomes JSON `null`
+/// (a measurement that could not be taken — see
+/// [`JsonValue::Null`]); everything else becomes an escaped JSON
+/// string.
 fn json_cell(cell: &str) -> String {
+    if cell == "null" {
+        return "null".to_string();
+    }
     if let Ok(i) = cell.parse::<i64>() {
         return i.to_string();
     }
@@ -396,5 +414,26 @@ mod tests {
         assert!(parse_jsonl_row("{\"a\":1} trailing").is_none());
         // Empty object is fine.
         assert_eq!(parse_jsonl_row("{}"), Some(vec![]));
+        // `null` is a value; other bare words are still rejected.
+        assert!(parse_jsonl_row("{\"a\":nil}").is_none());
+    }
+
+    #[test]
+    fn null_cells_roundtrip_as_json_null() {
+        // An unmeasurable reading (e.g. peak RSS off-procfs) is emitted
+        // as the literal `null`, not a fabricated 0 — and parses back as
+        // `JsonValue::Null`, which is neither a number nor a string.
+        let mut t = Table::new(&["N", "peak_rss_mb"]);
+        t.row(&["10".into(), "null".into()]);
+        let line = t.to_jsonl();
+        assert!(
+            line.contains("\"peak_rss_mb\":null"),
+            "expected a bare null in {line:?}"
+        );
+        let row = parse_jsonl_row(line.trim()).expect("parses");
+        let rss = row_field(&row, "peak_rss_mb").unwrap();
+        assert!(rss.is_null());
+        assert_eq!(rss.as_num(), None);
+        assert_eq!(rss.as_str(), None);
     }
 }

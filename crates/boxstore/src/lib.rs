@@ -34,7 +34,11 @@
 //! is its reference implementation, and the `boxtrie` crate provides a
 //! path-compressed radix alternative. The shared probe machinery
 //! ([`DescentProbe`], [`FrontierStack`], [`InsertLog`]) lives in this
-//! crate so backends differ only in their node walks.
+//! crate so backends differ only in their node walks. On top of any of
+//! them, [`ShardedBoxStore`] partitions the dyadic space into subcubes
+//! behind a dimension-0 prefix router, turning the preload into a
+//! per-shard parallel bulk build ([`BoxStore::bulk_preload`]) while
+//! keeping every witness bit-identical.
 //!
 //! The crate also provides [`coverage`] — brute-force reference
 //! implementations used by tests and by certificate estimation.
@@ -46,12 +50,14 @@ mod arena;
 pub mod coverage;
 mod epochs;
 mod oracle;
+mod sharded;
 mod store;
 mod tree;
 
 pub use arena::{ArenaBoxTree, ArenaEntry};
 pub use epochs::{CoverProbe, CoverageMarks};
 pub use oracle::{BoxOracle, SetOracle};
+pub use sharded::ShardedBoxStore;
 pub use store::{
     is_child_at, lens_key_of_box, BoxStore, DescentProbe, FrontierStack, InsertLog, StoreTuning,
     DEFAULT_INSERT_RING, REPAIR_CAP,

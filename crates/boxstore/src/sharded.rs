@@ -1,0 +1,465 @@
+//! Subcube-partitioned box store: K inner stores behind a prefix router.
+//!
+//! [`ShardedBoxStore`] splits the dyadic space along one **route
+//! dimension** (dimension 0, the first dimension of the SAO order): the
+//! first `b = log₂K` bits of a box's dimension-0 navigation word name
+//! the subcube — and therefore the inner store — the box lives in.
+//! Boxes whose dimension-0 component is shorter than `b` bits straddle
+//! subcube boundaries and land in a small **spill** store instead.
+//!
+//! # Why prefix routing preserves DFS-first witnesses
+//!
+//! Every operation dispatches to *exactly one* shard (plus, for probes,
+//! the spill):
+//!
+//! * A stored box `a` containing a probe `b` has every component a
+//!   prefix of `b`'s, so `a`'s dimension-0 component is a prefix of
+//!   `b`'s. If `a` is routed (`|a₀| ≥ b` bits), then `b`'s dimension-0
+//!   component shares those first `b` bits — `a` lives in the shard
+//!   named by `b`'s own `b`-bit prefix. A probe too short to route can
+//!   only be contained by spill boxes.
+//! * The DFS-first witness is the containing box with the
+//!   lexicographically least per-dimension prefix-length vector, and
+//!   among boxes containing `b` that vector *determines* the box — so
+//!   merging the spill's first hit with the shard's first hit by that
+//!   key reproduces the monolithic store's answer bit for bit. Better:
+//!   spill boxes have `|a₀| < b` and routed boxes `|a₀| ≥ b`, so a
+//!   spill hit always precedes a shard hit in DFS order and the merge
+//!   is just "spill first".
+//!
+//! The payoff is the **preload**: with disjoint shards, the bulk build
+//! replays the oracle's gap-box stream once per subcube into a private
+//! inner store — no locks, no merge, and each inner tree is smaller and
+//! keeps its insert cursor hotter than one monolithic store would.
+
+use dyadic::DyadicBox;
+
+use crate::store::{lens_key_of_box, BoxStore, DescentProbe, StoreTuning};
+
+/// The dimension whose navigation-word prefix routes boxes to shards.
+///
+/// Dimension 0 is the SAO-first dimension: every box a Tetris probe or
+/// gap stream produces has its dimension-0 component populated first,
+/// which keeps the spill (boxes too short to route) small in practice.
+const ROUTE_DIM: usize = 0;
+
+/// Hard cap on the shard count (2¹² subcubes): routing bits must stay
+/// well below the 63-bit component width, and more shards than this
+/// stops paying for itself long before the cap.
+const MAX_SHARDS: usize = 4096;
+
+/// Which sub-store a box belongs to: shard `i`, or the spill when the
+/// route component is too short to name a subcube. `spill_index` (`==`
+/// shard count) is used as the spill's part id so the bulk build can
+/// treat "spill" as just one more part.
+#[inline]
+fn route(b: &DyadicBox, route_bits: u8, shard_count: usize) -> usize {
+    let c = b.get(ROUTE_DIM);
+    if c.len() < route_bits {
+        shard_count
+    } else {
+        c.truncate(route_bits).bits() as usize
+    }
+}
+
+/// A [`BoxStore`] that wraps `K = 2^route_bits` per-subcube inner stores
+/// (any backend) plus a spill store behind the dimension-0 prefix
+/// router. See the module docs for the routing theorem; constructed via
+/// [`StoreTuning::shards`] (rounded up to a power of two).
+#[derive(Debug)]
+pub struct ShardedBoxStore<S: BoxStore> {
+    n: usize,
+    /// `log₂(shards.len())`; 0 = a single shard and an unused spill.
+    route_bits: u8,
+    shards: Vec<S>,
+    spill: S,
+    /// Tuning for inner stores (with `shards` reset to 1), kept so the
+    /// bulk build can construct private per-part stores.
+    inner_tuning: StoreTuning,
+}
+
+impl<S: BoxStore> ShardedBoxStore<S> {
+    /// Index of the sub-store `b` belongs to (`shards.len()` = spill).
+    #[inline]
+    fn sub_index(&self, b: &DyadicBox) -> usize {
+        route(b, self.route_bits, self.shards.len())
+    }
+
+    /// The routed shard count (diagnostic; excludes the spill).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Boxes currently held by the spill store (diagnostic).
+    pub fn spill_len(&self) -> usize {
+        self.spill.len()
+    }
+}
+
+impl<S: BoxStore> BoxStore for ShardedBoxStore<S> {
+    type Entry = S::Entry;
+
+    fn with_tuning(n: usize, tuning: StoreTuning) -> Self {
+        let k = tuning.shards.clamp(1, MAX_SHARDS).next_power_of_two();
+        let route_bits = k.trailing_zeros() as u8;
+        let inner_tuning = StoreTuning {
+            shards: 1,
+            ..tuning
+        };
+        ShardedBoxStore {
+            n,
+            route_bits,
+            shards: (0..k).map(|_| S::with_tuning(n, inner_tuning)).collect(),
+            spill: S::with_tuning(n, inner_tuning),
+            inner_tuning,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn len(&self) -> usize {
+        self.spill.len() + self.shards.iter().map(S::len).sum::<usize>()
+    }
+
+    fn node_count(&self) -> usize {
+        self.spill.node_count() + self.shards.iter().map(S::node_count).sum::<usize>()
+    }
+
+    fn epoch(&self) -> u64 {
+        // A novel insert bumps exactly one sub-epoch; a clear bumps all
+        // of them. Either way the sum moves strictly forward, which is
+        // all the engine's coverage memo keys on.
+        self.spill.epoch() + self.shards.iter().map(S::epoch).sum::<u64>()
+    }
+
+    fn clear(&mut self) {
+        self.spill.clear();
+        for s in &mut self.shards {
+            s.clear();
+        }
+    }
+
+    fn insert(&mut self, b: &DyadicBox) -> bool {
+        let idx = self.sub_index(b);
+        if idx == self.shards.len() {
+            self.spill.insert(b)
+        } else {
+            self.shards[idx].insert(b)
+        }
+    }
+
+    fn find_containing(&self, b: &DyadicBox) -> Option<DyadicBox> {
+        let idx = self.sub_index(b);
+        if idx == self.shards.len() {
+            // Too short to route: routed boxes have strictly longer
+            // dimension-0 components and cannot contain `b`.
+            return self.spill.find_containing(b);
+        }
+        // Spill boxes have shorter dimension-0 prefixes than any routed
+        // box, so a spill hit is always the DFS-first witness.
+        self.spill
+            .find_containing(b)
+            .or_else(|| self.shards[idx].find_containing(b))
+    }
+
+    fn find_containing_tracked(
+        &self,
+        b: &DyadicBox,
+        dim: usize,
+        state: &mut DescentProbe<Self::Entry>,
+    ) -> Option<DyadicBox> {
+        let idx = self.sub_index(b);
+        // A recorded frontier only means anything to the sub-store that
+        // recorded it: node entries, the insert-count mark, and the
+        // clear stamp are all per-sub-store. Routing is deterministic,
+        // so "same sub-index as the last target" is exactly "recorded by
+        // the sub-store this probe dispatches to"; anything else must be
+        // dropped (the inner store then falls back to a full walk).
+        if let Some(last) = &state.last {
+            if self.sub_index(last) != idx {
+                state.invalidate();
+            }
+        }
+        if idx == self.shards.len() {
+            return self.spill.find_containing_tracked(b, dim, state);
+        }
+        if let Some(hit) = self.spill.find_containing(b) {
+            // DFS-first: the spill hit precedes anything the shard
+            // holds. The shard's frontier is left untouched — it stays
+            // internally consistent and simply lags until the next
+            // miss-path probe advances or rebuilds it.
+            debug_assert!(lens_key_of_box(&hit, dim)[ROUTE_DIM] < self.route_bits);
+            return Some(hit);
+        }
+        self.shards[idx].find_containing_tracked(b, dim, state)
+    }
+
+    fn extract_intersecting_into(&self, target: &DyadicBox, out: &mut Self) {
+        debug_assert_eq!(
+            self.route_bits, out.route_bits,
+            "shard extraction requires same-shape stores"
+        );
+        self.spill.extract_intersecting_into(target, &mut out.spill);
+        // A routed box intersects `target` only if its route prefix is
+        // prefix-comparable with target's dimension-0 component: one
+        // shard when the target is deep enough to route, a contiguous
+        // shard range (all subcubes below the target's short prefix)
+        // otherwise.
+        let t = target.get(ROUTE_DIM);
+        let (lo, hi) = if t.len() >= self.route_bits {
+            let i = t.truncate(self.route_bits).bits() as usize;
+            (i, i + 1)
+        } else {
+            let span = self.route_bits - t.len();
+            let base = (t.bits() as usize) << span;
+            (base, base + (1usize << span))
+        };
+        for (i, (src, dst)) in self.shards.iter().zip(&mut out.shards).enumerate() {
+            if (lo..hi).contains(&i) {
+                src.extract_intersecting_into(target, dst);
+            } else {
+                dst.clear();
+            }
+        }
+    }
+
+    fn iter_boxes(&self) -> Vec<DyadicBox> {
+        let mut out = self.spill.iter_boxes();
+        for s in &self.shards {
+            out.extend(s.iter_boxes());
+        }
+        out
+    }
+
+    fn bulk_preload<F>(&mut self, threads: usize, stream: F) -> Option<u64>
+    where
+        F: Fn(&mut dyn FnMut(&DyadicBox)) -> bool + Sync,
+    {
+        debug_assert!(self.is_empty(), "bulk_preload requires an empty store");
+        let shard_count = self.shards.len();
+        if threads <= 1 || shard_count <= 1 {
+            // Sequential routed pass: still a win over a monolithic
+            // build — each inner store is smaller and its insert cursor
+            // resumes closer to the stream's sorted order.
+            let mut count = 0u64;
+            let ok = stream(&mut |b: &DyadicBox| {
+                if self.insert(b) {
+                    count += 1;
+                }
+            });
+            return ok.then_some(count);
+        }
+        // One part per shard plus the spill (last). Each part replays
+        // the stream, keeps only its own subcube's boxes, and builds a
+        // private store — no locks, no merge, and routing is
+        // deterministic, so the assembled content (and novel-insert
+        // total) is identical to the sequential pass.
+        let (n, tuning, route_bits) = (self.n, self.inner_tuning, self.route_bits);
+        let built = executor::scoped_parts(threads, shard_count + 1, |part| {
+            let mut store = S::with_tuning(n, tuning);
+            let mut count = 0u64;
+            let ok = stream(&mut |b: &DyadicBox| {
+                if route(b, route_bits, shard_count) == part && store.insert(b) {
+                    count += 1;
+                }
+            });
+            (ok, store, count)
+        });
+        if built.iter().any(|(ok, _, _)| !ok) {
+            return None;
+        }
+        let mut total = 0u64;
+        for (i, (_, store, count)) in built.into_iter().enumerate() {
+            if i < shard_count {
+                self.shards[i] = store;
+            } else {
+                self.spill = store;
+            }
+            total += count;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::BoxTree;
+    use dyadic::DyadicInterval;
+
+    type Sharded = ShardedBoxStore<BoxTree>;
+
+    fn bx(s: &str) -> DyadicBox {
+        DyadicBox::parse(s).unwrap()
+    }
+
+    fn sharded(n: usize, shards: usize) -> Sharded {
+        Sharded::with_tuning(
+            n,
+            StoreTuning {
+                shards,
+                ..StoreTuning::default()
+            },
+        )
+    }
+
+    /// Every 2-d box with component lengths ≤ `width`.
+    fn all_boxes(width: u8) -> Vec<DyadicBox> {
+        let mut ivs = vec![DyadicInterval::lambda()];
+        for len in 1..=width {
+            for bits in 0..(1u64 << len) {
+                ivs.push(DyadicInterval::from_bits(bits, len));
+            }
+        }
+        let mut out = Vec::new();
+        for a in &ivs {
+            for b in &ivs {
+                let mut x = DyadicBox::universe(2);
+                x.set(0, *a);
+                x.set(1, *b);
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_a_power_of_two() {
+        assert_eq!(sharded(2, 1).shard_count(), 1);
+        assert_eq!(sharded(2, 3).shard_count(), 4);
+        assert_eq!(sharded(2, 4).shard_count(), 4);
+        assert_eq!(sharded(2, 9).shard_count(), 16);
+    }
+
+    #[test]
+    fn short_boxes_spill_and_deep_boxes_route() {
+        let mut s = sharded(2, 4); // route_bits = 2
+        assert!(s.insert(&bx("λ,01"))); // |c₀| = 0 < 2 → spill
+        assert!(s.insert(&bx("1,λ"))); // |c₀| = 1 < 2 → spill
+        assert!(s.insert(&bx("10,λ"))); // routes to shard 0b10
+        assert!(s.insert(&bx("1011,0"))); // routes to shard 0b10
+        assert_eq!(s.spill_len(), 2);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.shards[0b10].len(), 2);
+    }
+
+    #[test]
+    fn witnesses_match_the_unsharded_store_exhaustively() {
+        // Insert an adversarial mix (boundary boxes included), then
+        // compare every probe's witness against a monolithic BoxTree.
+        let boxes = [
+            "λ,λ", "0,λ", "1,0", "00,λ", "01,1", "10,10", "11,λ", "001,0", "110,11", "0101,λ",
+        ];
+        for shards in [1usize, 4, 16] {
+            let mut s = sharded(2, shards);
+            let mut mono = BoxTree::new(2);
+            for b in &boxes {
+                assert_eq!(s.insert(&bx(b)), mono.insert(&bx(b)), "insert {b}");
+            }
+            for probe in all_boxes(4) {
+                assert_eq!(
+                    s.find_containing(&probe),
+                    mono.find_containing(&probe),
+                    "shards={shards} probe={probe:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_box_wins_the_dfs_merge() {
+        // Regression: an unroutable (short dimension-0) box must still
+        // be found by deep routed probes, and must win the DFS merge
+        // against a routed hit because its dim-0 prefix is shorter.
+        let mut s = sharded(2, 4);
+        s.insert(&bx("1101,0")); // routed, shard 0b11
+        s.insert(&bx("1,λ")); // spill (1 bit < 2 route bits)
+        let hit = s.find_containing(&bx("1101,00")).unwrap();
+        assert_eq!(hit, bx("1,λ"), "the spill box is DFS-earlier");
+        // A probe too short to route sees only the spill.
+        assert_eq!(s.find_containing(&bx("1,0")), Some(bx("1,λ")));
+        // λ boxes are the extreme boundary case.
+        s.insert(&bx("λ,λ"));
+        assert_eq!(s.find_containing(&bx("0010,11")), Some(bx("λ,λ")));
+    }
+
+    #[test]
+    fn tracked_probes_survive_cross_shard_switches() {
+        let mut s = sharded(2, 4);
+        s.insert(&bx("00,0"));
+        s.insert(&bx("11,1"));
+        let mut probe: DescentProbe<<Sharded as BoxStore>::Entry> = DescentProbe::new();
+        // Chain within shard 0b00, then jump to shard 0b11, then to a
+        // spill-routed probe; every answer must match the untracked one.
+        for q in ["00,1", "001,1", "0011,1", "11,11", "1100,11", "0,λ", "λ,1"] {
+            let q = bx(q);
+            let dim = 1;
+            assert_eq!(
+                s.find_containing_tracked(&q, dim, &mut probe),
+                s.find_containing(&q),
+                "probe {q:?}"
+            );
+        }
+        assert!(probe.advances + probe.repairs + probe.full_walks > 0);
+    }
+
+    #[test]
+    fn extraction_covers_exactly_the_intersecting_boxes() {
+        let mut s = sharded(2, 4);
+        let all = all_boxes(3);
+        for b in &all {
+            s.insert(b);
+        }
+        for target in all_boxes(3) {
+            let mut out = sharded(2, 4);
+            s.extract_intersecting_into(&target, &mut out);
+            let mut got = out.iter_boxes();
+            got.sort();
+            let mut want: Vec<_> = all
+                .iter()
+                .filter(|c| c.intersects(&target))
+                .copied()
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "target={target:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_bulk_preload_matches_sequential() {
+        let stream_boxes = all_boxes(4);
+        // The stream repeats some boxes; novel counts must dedup the
+        // same way on both paths.
+        let stream = |sink: &mut dyn FnMut(&DyadicBox)| {
+            for b in &stream_boxes {
+                sink(b);
+            }
+            for b in stream_boxes.iter().take(7) {
+                sink(b);
+            }
+            true
+        };
+        for shards in [1usize, 4, 16] {
+            let mut seq = sharded(2, shards);
+            let n_seq = seq.bulk_preload(1, stream).unwrap();
+            let mut par = sharded(2, shards);
+            let n_par = par.bulk_preload(4, stream).unwrap();
+            assert_eq!(n_seq, n_par, "shards={shards}: novel counts");
+            assert_eq!(n_seq, stream_boxes.len() as u64);
+            let (mut a, mut b) = (seq.iter_boxes(), par.iter_boxes());
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "shards={shards}: contents");
+            assert_eq!(seq.spill_len(), par.spill_len(), "shards={shards}: spill");
+        }
+    }
+
+    #[test]
+    fn unsupported_stream_reports_none() {
+        let mut s = sharded(2, 4);
+        assert_eq!(s.bulk_preload(4, |_sink| false), None);
+        assert_eq!(s.bulk_preload(1, |_sink| false), None);
+    }
+}

@@ -38,12 +38,18 @@ pub struct StoreTuning {
     /// Length of the rolling insert ring (must be ≥ [`REPAIR_CAP`]; the
     /// repair window must never be overwritten before it can be read).
     pub insert_ring: usize,
+    /// Requested subcube shard count for [`crate::ShardedBoxStore`]
+    /// (rounded up to the next power of two; `1` = unsharded). Monolithic
+    /// backends ignore it, so the same tuning value can configure both
+    /// the sharded base and its inner stores.
+    pub shards: usize,
 }
 
 impl Default for StoreTuning {
     fn default() -> Self {
         StoreTuning {
             insert_ring: DEFAULT_INSERT_RING,
+            shards: 1,
         }
     }
 }
@@ -126,6 +132,32 @@ pub trait BoxStore: Send + Sync + Sized + std::fmt::Debug {
 
     /// Enumerate all stored boxes (deterministic order).
     fn iter_boxes(&self) -> Vec<DyadicBox>;
+
+    /// Bulk-build an **empty** store from a repeatable box stream
+    /// (`Tetris-Preloaded` knowledge-base construction).
+    ///
+    /// `stream` is called with a sink and must feed every box to it,
+    /// returning `false` if the source cannot enumerate (mirroring
+    /// [`crate::BoxOracle::for_each_box`]); it may be called several
+    /// times and must replay the same boxes in the same order each time.
+    /// Returns the number of *novel* inserts, or `None` if the stream is
+    /// unsupported. The default implementation is a single sequential
+    /// pass; partitioned backends override it to build sub-stores in
+    /// parallel on up to `threads` workers — with results required to be
+    /// identical to the sequential pass.
+    fn bulk_preload<F>(&mut self, _threads: usize, stream: F) -> Option<u64>
+    where
+        F: Fn(&mut dyn FnMut(&DyadicBox)) -> bool + Sync,
+    {
+        debug_assert!(self.is_empty(), "bulk_preload requires an empty store");
+        let mut count = 0u64;
+        let ok = stream(&mut |b: &DyadicBox| {
+            if self.insert(b) {
+                count += 1;
+            }
+        });
+        ok.then_some(count)
+    }
 }
 
 /// Reusable state for [`BoxStore::find_containing_tracked`]: the frontier
@@ -810,6 +842,34 @@ mod tests {
             log.summary_may_contain(&b("11,1")),
             "the ⟨1,λ⟩ insert is still inside the repairable window"
         );
+    }
+
+    #[test]
+    fn clear_mid_block_empties_both_summaries() {
+        // PR 7 audit: a clear that lands mid-block must invalidate BOTH
+        // rotating fingerprint blocks. The stamped `clears` counter
+        // already forces every saved frontier to a full walk, but stale
+        // summary bits would still claim a now-empty store may contain
+        // probes — harmless for soundness (false positives only), wrong
+        // as a summary. `note_clear` zeroes both blocks; pin it.
+        let mut log = InsertLog::new(256);
+        for _ in 0..REPAIR_CAP + 3 {
+            // Past one block rotation, landing mid-way into block 1.
+            log.record(2, &b("λ,λ"));
+        }
+        assert!(log.summary_may_contain(&b("0,0")));
+        log.note_clear();
+        assert_eq!(log.clears(), 1);
+        assert!(
+            !log.summary_may_contain(&b("0,0")),
+            "both summary blocks must be zeroed by a mid-block clear"
+        );
+        // The monotone insert count survives; new records repopulate the
+        // summary from scratch with no ghost bits from before the clear.
+        assert_eq!(log.insert_count(), REPAIR_CAP + 3);
+        log.record(2, &b("0,λ"));
+        assert!(log.summary_may_contain(&b("00,1")));
+        assert!(!log.summary_may_contain(&b("1,1")));
     }
 
     #[test]

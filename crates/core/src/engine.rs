@@ -19,7 +19,7 @@
 use crate::{TetrisStats, TraceEvent};
 use boxstore::{
     ArenaBoxTree, BoxOracle, BoxStore, BoxTree, CoverProbe, CoverageMarks, DescentProbe,
-    FrontierStack, StoreTuning, DEFAULT_INSERT_RING,
+    FrontierStack, ShardedBoxStore, StoreTuning, DEFAULT_INSERT_RING,
 };
 use boxtrie::RadixBoxTrie;
 use dyadic::{resolve::ordered_resolve, DyadicBox, DyadicInterval, Space};
@@ -146,6 +146,20 @@ pub struct TetrisConfig {
     /// optimization, any subset is sound to merge (default
     /// [`crate::DEFAULT_MERGE_CAP`] = 4096).
     pub merge_cap: usize,
+    /// Subcube shard count for the knowledge base (default 1 =
+    /// monolithic). With `shards > 1` the type-erased entries wrap the
+    /// selected backend in [`boxstore::ShardedBoxStore`] — the same
+    /// backend partitioned into `shards` (rounded up to a power of two)
+    /// prefix-routed subcube stores plus a boundary spill. Witnesses,
+    /// outputs, and resolution counts are bit-identical to the
+    /// monolithic store; what changes is the preload (per-shard bulk
+    /// build, parallel when [`TetrisConfig::preload_threads`] allows)
+    /// and probe locality.
+    pub shards: usize,
+    /// Worker threads for the preload bulk build (`0` = all available
+    /// cores, default 1 = sequential). Only the sharded store can use
+    /// more than one; monolithic backends build sequentially regardless.
+    pub preload_threads: usize,
     /// Record a [`TraceEvent`] log of every step (tests/figures only).
     pub trace: bool,
 }
@@ -160,6 +174,8 @@ impl Default for TetrisConfig {
             backend: Backend::Binary,
             insert_ring: DEFAULT_INSERT_RING,
             merge_cap: crate::parallel::DEFAULT_MERGE_CAP,
+            shards: 1,
+            preload_threads: 1,
             trace: false,
         }
     }
@@ -304,6 +320,7 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
         let space = oracle.space();
         let tuning = StoreTuning {
             insert_ring: config.insert_ring,
+            shards: config.shards,
         };
         let mut engine = Tetris {
             oracle,
@@ -320,13 +337,20 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
             marks: CoverageMarks::new(),
         };
         if config.preload {
-            let Tetris { kb, stats, .. } = &mut engine;
-            let supported = oracle.for_each_box(&mut |b| {
-                if kb.insert(b) {
-                    stats.kb_inserts += 1;
-                }
-            });
-            assert!(supported, "preloaded mode requires an enumerable oracle");
+            // The bulk build: sequential single pass on monolithic
+            // stores, per-shard parallel build on the sharded store when
+            // `preload_threads` allows. Novel-insert accounting is
+            // identical either way (routing is deterministic).
+            let threads = if config.preload_threads == 0 {
+                std::thread::available_parallelism().map_or(1, |p| p.get())
+            } else {
+                config.preload_threads
+            };
+            let novel = engine
+                .kb
+                .bulk_preload(threads, |sink| oracle.for_each_box(sink))
+                .expect("preloaded mode requires an enumerable oracle");
+            engine.stats.kb_inserts += novel;
         }
         engine
     }
@@ -724,15 +748,48 @@ enum Absorb {
     Restart,
 }
 
-/// Run a full Tetris pass, dispatching on [`TetrisConfig::backend`] —
-/// the type-erased entry the workload bins use for runtime backend
-/// selection (A/B sweeps, `--backend` flags).
+/// Expand `$body` once per concrete store type, binding the type alias
+/// `$store` to the selection `(TetrisConfig::backend,
+/// TetrisConfig::shards > 1)` names: the three monolithic backends, or
+/// any of them wrapped in [`boxstore::ShardedBoxStore`]. One macro so
+/// the three type-erased entries cannot drift out of sync.
+macro_rules! with_backend {
+    ($config:expr, $store:ident => $body:expr) => {
+        match ($config.backend, $config.shards > 1) {
+            (Backend::Binary, false) => {
+                type $store = BoxTree;
+                $body
+            }
+            (Backend::Binary, true) => {
+                type $store = ShardedBoxStore<BoxTree>;
+                $body
+            }
+            (Backend::Radix, false) => {
+                type $store = RadixBoxTrie;
+                $body
+            }
+            (Backend::Radix, true) => {
+                type $store = ShardedBoxStore<RadixBoxTrie>;
+                $body
+            }
+            (Backend::Arena, false) => {
+                type $store = ArenaBoxTree;
+                $body
+            }
+            (Backend::Arena, true) => {
+                type $store = ShardedBoxStore<ArenaBoxTree>;
+                $body
+            }
+        }
+    };
+}
+
+/// Run a full Tetris pass, dispatching on [`TetrisConfig::backend`] and
+/// [`TetrisConfig::shards`] — the type-erased entry the workload bins
+/// use for runtime backend selection (A/B sweeps, `--backend` /
+/// `--shards` flags).
 pub fn run_with_config<O: BoxOracle + ?Sized>(oracle: &O, config: TetrisConfig) -> TetrisOutput {
-    match config.backend {
-        Backend::Binary => Tetris::<O, BoxTree>::with_store(oracle, config).run(),
-        Backend::Radix => Tetris::<O, RadixBoxTrie>::with_store(oracle, config).run(),
-        Backend::Arena => Tetris::<O, ArenaBoxTree>::with_store(oracle, config).run(),
-    }
+    with_backend!(config, S => Tetris::<O, S>::with_store(oracle, config).run())
 }
 
 /// [`run_with_config`] streaming tuples to a callback instead of
@@ -742,24 +799,16 @@ pub fn for_each_output_with_config<O: BoxOracle + ?Sized>(
     config: TetrisConfig,
     f: impl FnMut(&[u64]),
 ) -> TetrisStats {
-    match config.backend {
-        Backend::Binary => Tetris::<O, BoxTree>::with_store(oracle, config).for_each_output(f),
-        Backend::Radix => Tetris::<O, RadixBoxTrie>::with_store(oracle, config).for_each_output(f),
-        Backend::Arena => Tetris::<O, ArenaBoxTree>::with_store(oracle, config).for_each_output(f),
-    }
+    with_backend!(config, S => Tetris::<O, S>::with_store(oracle, config).for_each_output(f))
 }
 
 /// Boolean BCP ([`Tetris::check_cover`]) dispatching on
-/// [`TetrisConfig::backend`].
+/// [`TetrisConfig::backend`] and [`TetrisConfig::shards`].
 pub fn check_cover_with_config<O: BoxOracle + ?Sized>(
     oracle: &O,
     config: TetrisConfig,
 ) -> (bool, TetrisStats) {
-    match config.backend {
-        Backend::Binary => Tetris::<O, BoxTree>::with_store(oracle, config).check_cover(),
-        Backend::Radix => Tetris::<O, RadixBoxTrie>::with_store(oracle, config).check_cover(),
-        Backend::Arena => Tetris::<O, ArenaBoxTree>::with_store(oracle, config).check_cover(),
-    }
+    with_backend!(config, S => Tetris::<O, S>::with_store(oracle, config).check_cover())
 }
 
 #[cfg(test)]

@@ -181,8 +181,12 @@ pub(crate) fn run_parallel<O: BoxOracle + ?Sized, S: BoxStore>(
     let stop = AtomicBool::new(false);
     let reports = Mutex::new(Vec::new());
     let scratch: Vec<Mutex<Vec<S>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    // Overlay shards are built with the same tuning as the base so
+    // `extract_intersecting_into` pairs same-shape stores (the sharded
+    // store requires matching route widths).
     let tuning = StoreTuning {
         insert_ring: config.insert_ring,
+        shards: config.shards,
     };
     let ctx = ParCtx {
         oracle,

@@ -1,0 +1,98 @@
+//! Scoped bulk-build entry point: a deterministic parallel-for over a
+//! fixed set of independent parts.
+//!
+//! The work-stealing [`Pool`](crate::Pool) is built for *dynamic* task
+//! graphs (descents that spawn and join). A bulk build — the sharded
+//! `Tetris-Preloaded` knowledge-base construction — is the opposite
+//! shape: a known number of independent parts, each producing one value,
+//! with no spawning and no stealing granularity below a part. This
+//! module provides exactly that: [`scoped_parts`] runs one closure per
+//! part on scoped workers and returns the results **in part order**, so
+//! the assembled output is identical no matter how parts were scheduled.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `work(part)` for every `part in 0..parts` on up to `threads`
+/// scoped workers and return the results in part order.
+///
+/// * Parts are claimed from a shared counter, so a slow part never
+///   blocks the others; results land in their own slots, so the output
+///   order (and therefore anything assembled from it) is deterministic
+///   regardless of scheduling.
+/// * With `threads <= 1` (or a single part) the loop runs inline on the
+///   caller's thread — no worker is spawned, which keeps single-core
+///   callers allocation- and synchronization-free.
+/// * A panic inside `work` propagates out of the call (via the scoped
+///   join), never leaving detached workers behind.
+pub fn scoped_parts<R, F>(threads: usize, parts: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.max(1).min(parts);
+    if workers <= 1 {
+        return (0..parts).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..parts).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let part = next.fetch_add(1, Ordering::SeqCst);
+                if part >= parts {
+                    return;
+                }
+                let r = work(part);
+                *slots[part].lock().expect("part slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("part slot poisoned")
+                .expect("every part below the counter was built")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_part_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = scoped_parts(threads, 13, |p| p * p);
+            assert_eq!(out, (0..13).map(|p| p * p).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_parts_is_empty() {
+        let out: Vec<usize> = scoped_parts(4, 0, |p| p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        // The inline path must not skip parts or reorder them.
+        let out = scoped_parts(1, 5, |p| p + 100);
+        assert_eq!(out, vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn panicking_part_propagates() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scoped_parts(3, 8, |p| {
+                if p == 5 {
+                    panic!("boom in part 5");
+                }
+                p
+            })
+        }));
+        assert!(result.is_err(), "the panic must propagate");
+    }
+}

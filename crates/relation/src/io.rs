@@ -334,4 +334,43 @@ mod tests {
         assert_eq!(back, rel);
         let _ = std::fs::remove_file(&path);
     }
+
+    #[test]
+    fn eof_exactly_at_buffer_boundary_keeps_the_last_tuple() {
+        // `BufReader` refills its 8 KiB buffer mid-line when a line
+        // straddles the boundary; a file that ends EXACTLY at a refill
+        // boundary with no trailing newline is the classic case where a
+        // sloppy loop drops the final tuple. Pin that every tuple —
+        // including the newline-free last one — is parsed and counted.
+        let schema = Schema::uniform(&["U", "V"], 63);
+        for &target in &[8192usize, 16384] {
+            let mut text = String::new();
+            let mut rows = 0u64;
+            // Fixed 12-byte lines make the boundary arithmetic exact.
+            while text.len() + 12 <= target {
+                text.push_str(&format!("{:05} {:05}\n", rows, rows + 1));
+                rows += 1;
+            }
+            // Pad the front with a comment so the total hits the target,
+            // then strip the final newline: EOF lands on the boundary.
+            let pad = target - text.len();
+            assert!(pad >= 2, "chosen targets leave room for a comment line");
+            let text = format!("#{}\n{text}", " ".repeat(pad - 2));
+            let mut bytes = text.into_bytes();
+            assert_eq!(bytes.pop(), Some(b'\n'));
+            bytes.push(b'0');
+            assert_eq!(bytes.len(), target);
+            let mut seen = Vec::new();
+            let n = read_tuples_streaming(bytes.as_slice(), &schema, |t| {
+                seen.push((t[0], t[1]));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(n as u64, rows, "target={target}: tuple count");
+            // The last line lost its newline and gained a padding digit:
+            // (rows-1, (rows)*10) — present iff the boundary-straddling
+            // final read was not dropped.
+            assert_eq!(seen.last(), Some(&(rows - 1, rows * 10)), "target={target}");
+        }
+    }
 }

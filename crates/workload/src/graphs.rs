@@ -160,21 +160,45 @@ impl Graph {
         let mut reader = BufReader::new(reader);
         let mut first = String::new();
         reader.read_line(&mut first)?;
-        let declared: Option<u64> = first
-            .strip_prefix("# tetris-graph vertices=")
-            .and_then(|rest| rest.split_whitespace().next())
-            .and_then(|v| v.parse().ok());
-        // Only a recognized tetris-graph header may declare an edge
-        // count; a stray "edges=" in some other first line is data noise.
-        let declared_edges: Option<u64> = if declared.is_some() {
-            first
-                .split("edges=")
-                .nth(1)
-                .and_then(|rest| rest.split_whitespace().next())
-                .and_then(|v| v.parse().ok())
-        } else {
-            None
-        };
+        // A line starting with the tetris-graph magic IS a header: if its
+        // fields then fail to parse, the file is corrupt (truncated write,
+        // bad concatenation) and must be rejected — treating it as a
+        // comment would silently drop the vertex/edge-count validation
+        // the self-describing format exists for.
+        let (declared, declared_edges): (Option<u64>, Option<u64>) =
+            if first.starts_with("# tetris-graph ") || first.trim_end() == "# tetris-graph" {
+                let field = |key: &str| -> Option<&str> {
+                    first
+                        .split(key)
+                        .nth(1)
+                        .and_then(|rest| rest.split_whitespace().next())
+                };
+                let vertices: u64 =
+                    field("vertices=")
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| IoError::Parse {
+                            line: 1,
+                            message: format!(
+                                "malformed tetris-graph header {:?}: expected \
+                             `# tetris-graph vertices=V edges=E`",
+                                first.trim_end()
+                            ),
+                        })?;
+                let edges: u64 = field("edges=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| IoError::Parse {
+                        line: 1,
+                        message: format!(
+                            "tetris-graph header {:?} is missing a parseable `edges=` \
+                             count — truncated header?",
+                            first.trim_end()
+                        ),
+                    })?;
+                (Some(vertices), Some(edges))
+            } else {
+                // A stray "edges=" in some other first line is data noise.
+                (None, None)
+            };
         // Re-chain the peeked line: if it was the header it parses as a
         // comment; if it was data it is parsed as the first edge.
         let chained = std::io::Cursor::new(first.into_bytes()).chain(reader);
@@ -584,6 +608,100 @@ mod tests {
         let text = "# tetris-graph vertices=4 edges=5\n1 2\n0 3\n";
         let err = Graph::load_from(text.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("edges=5"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_truncated_header() {
+        // A truncated write can cut the header mid-field; the magic prefix
+        // makes it unmistakably a header, so losing its counts must be a
+        // hard error, not a silent downgrade to "comment".
+        for text in [
+            "# tetris-graph\n0 1\n",
+            "# tetris-graph vertices=4\n0 1\n",
+            "# tetris-graph vertices=4 edges=\n0 1\n",
+            "# tetris-graph vertices=4 edg\n0 1\n",
+        ] {
+            let err = Graph::load_from(text.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("line 1"), "{text:?}: {msg}");
+            assert!(
+                msg.contains("edges=") || msg.contains("malformed"),
+                "{text:?}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbled_header_counts() {
+        let text = "# tetris-graph vertices=abc edges=3\n0 1\n";
+        let err = Graph::load_from(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("malformed"), "{msg}");
+    }
+
+    #[test]
+    fn header_lookalike_comments_still_pass() {
+        // "# tetris-graphs ..." is a comment, not a header: the magic
+        // token requires a word boundary.
+        let text = "# tetris-graphs use vertices=9 edges=9 notation\n0 1\n";
+        let g = Graph::load_from(text.as_bytes()).unwrap();
+        assert_eq!(g.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn load_rejects_count_mismatch_at_buffer_boundary_eof() {
+        // Craft a file that ends EXACTLY on the reader's 8 KiB buffer
+        // boundary with no trailing newline, whose header over-declares
+        // the edge count by one. The last line must still be parsed (not
+        // dropped at the boundary) and the mismatch still rejected.
+        // The vertex bound must also cover the final line's id after the
+        // boundary-padding digit below multiplies it by ten.
+        let header = "# tetris-graph vertices=1000000 edges=";
+        for &target in &[8192usize, 16384] {
+            let mut body = String::new();
+            let mut edges = 0u64;
+            // Fixed-width 11-byte lines ("xxxxx yyyyy") keep the total
+            // length arithmetic exact.
+            while body.len() + 12 <= target {
+                body.push_str(&format!("{:05} {:05}\n", edges, edges + 50_000));
+                edges += 1;
+            }
+            // Swap the final newline for padding inside the last line so
+            // the file ends mid-token-free but newline-free at `target`.
+            let text = loop {
+                let head = format!("{header}{}\n", edges + 1);
+                let total = head.len() + body.len();
+                if total == target {
+                    break format!("{head}{body}");
+                }
+                if total > target {
+                    // Drop one body line and retry with more padding room.
+                    body.truncate(body.len() - 12);
+                    edges -= 1;
+                    continue;
+                }
+                // Pad with comment bytes on the header line.
+                break format!(
+                    "{header}{} {}\n{body}",
+                    edges + 1,
+                    "#".repeat(target - total - 1)
+                );
+            };
+            let mut text = text.into_bytes();
+            // Strip the trailing newline, then pad back to the boundary
+            // with a digit so the final line ends at EOF mid-buffer-edge.
+            assert_eq!(text.pop(), Some(b'\n'));
+            text.push(b'0');
+            assert_eq!(text.len(), target, "constructed file must hit the boundary");
+            let err = Graph::load_from(text.as_slice()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("distinct"), "target={target}: {msg}");
+            // The declared count is edges+1, the body holds exactly
+            // `edges` distinct edges — confirm the last (newline-free)
+            // line was counted rather than dropped at the boundary.
+            assert!(msg.contains(&format!("{edges} distinct")), "{msg}");
+        }
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! Every assertion message carries the `(backend, seed, ring, step)`
 //! tuple, so a failure is reproducible with a one-line filter.
 
-use boxstore::{ArenaBoxTree, BoxStore, BoxTree, DescentProbe, StoreTuning, REPAIR_CAP};
+use boxstore::{
+    ArenaBoxTree, BoxStore, BoxTree, DescentProbe, ShardedBoxStore, StoreTuning, REPAIR_CAP,
+};
 use boxtrie::RadixBoxTrie;
 use dyadic::{DyadicBox, DyadicInterval, MAX_DIMS};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -109,12 +111,12 @@ fn sorted_boxes<S: BoxStore>(s: &S) -> Vec<DyadicBox> {
     out
 }
 
-/// One random op sequence against one `(backend, ring, seed)` config.
-fn conformance_run<S: BoxStore>(backend: &str, ring: usize, seed: u64) {
+/// One random op sequence against one `(backend, tuning, seed)` config.
+fn conformance_run<S: BoxStore>(backend: &str, tuning: StoreTuning, seed: u64) {
+    let ring = tuning.insert_ring;
     let mut rng = StdRng::seed_from_u64(seed);
     let n = rng.gen_range(1..=3);
     let width = rng.gen_range(2..=5) as u8;
-    let tuning = StoreTuning { insert_ring: ring };
     let mut store = S::with_tuning(n, tuning);
     let mut naive = NaiveStore::default();
     // One long-lived probe state: clears and unrelated-target probes in
@@ -218,9 +220,126 @@ fn conformance_run<S: BoxStore>(backend: &str, ring: usize, seed: u64) {
 fn conformance_grid<S: BoxStore>(backend: &str) {
     for &ring in &RINGS {
         for seed in 0..SEEDS_PER_CONFIG {
-            conformance_run::<S>(backend, ring, seed);
+            let tuning = StoreTuning {
+                insert_ring: ring,
+                ..StoreTuning::default()
+            };
+            conformance_run::<S>(backend, tuning, seed);
         }
     }
+}
+
+/// The sharded column: the full ring grid × shard counts, one run per
+/// seed. `shards == 1` pins the degenerate single-shard router to the
+/// same contract as the monolithic stores.
+fn sharded_conformance_grid<S: BoxStore>(backend: &str) {
+    for &shards in &[1usize, 4, 16] {
+        for &ring in &RINGS {
+            for seed in 0..SEEDS_PER_CONFIG {
+                let tuning = StoreTuning {
+                    insert_ring: ring,
+                    shards,
+                };
+                conformance_run::<ShardedBoxStore<S>>(
+                    &format!("sharded({shards})-{backend}"),
+                    tuning,
+                    seed,
+                );
+            }
+        }
+    }
+}
+
+/// Directed clear-at-wrap scenario (PR 7 audit): drive the insert log
+/// past a ring wrap and a fingerprint-block rotation, `clear()`
+/// mid-block with a live tracked frontier, then keep probing — the
+/// stale frontier must be detected via the clear stamp and every answer
+/// must still match the reference.
+fn clear_at_wrap_run<S: BoxStore>(backend: &str, tuning: StoreTuning) {
+    let n = 2;
+    let ring = tuning.insert_ring;
+    let mut store = S::with_tuning(n, tuning);
+    let mut naive = NaiveStore::default();
+    let mut probe: DescentProbe<S::Entry> = DescentProbe::new();
+
+    // Enumerate distinct 2-d boxes deterministically (width ≤ 4 gives
+    // 31² = 961, plenty past one 64-entry wrap).
+    let mut ivs = vec![DyadicInterval::lambda()];
+    for len in 1..=4u8 {
+        for bits in 0..(1u64 << len) {
+            ivs.push(DyadicInterval::from_bits(bits, len));
+        }
+    }
+    let boxes: Vec<DyadicBox> = ivs
+        .iter()
+        .flat_map(|a| {
+            ivs.iter().map(move |b| {
+                let mut x = DyadicBox::universe(2);
+                x.set(0, *a);
+                x.set(1, *b);
+                x
+            })
+        })
+        .collect();
+
+    let check = |store: &S,
+                 naive: &NaiveStore,
+                 probe: &mut DescentProbe<S::Entry>,
+                 probes: &[DyadicBox],
+                 when: &str| {
+        for q in probes {
+            assert_eq!(
+                store.find_containing_tracked(q, n - 1, probe),
+                naive.find_containing(q),
+                "backend={backend} ring={ring} {when}: tracked witness for {q:?}"
+            );
+        }
+    };
+
+    // Phase 1: wrap the ring (ring + 37 inserts lands mid fingerprint
+    // block), probing as we go so the frontier is live at the clear.
+    let wrap_inserts = ring + 37;
+    for (i, bx) in boxes.iter().take(wrap_inserts).enumerate() {
+        assert_eq!(store.insert(bx), naive.insert(bx), "insert {bx:?}");
+        if i % 16 == 0 {
+            check(&store, &naive, &mut probe, &boxes[200..204], "pre-clear");
+        }
+    }
+
+    // Phase 2: clear mid-block. Every saved frontier and both summary
+    // blocks are now stale; the store must notice on its own.
+    store.clear();
+    naive.clear();
+    assert!(store.is_empty());
+    check(&store, &naive, &mut probe, &boxes[..8], "post-clear");
+
+    // Phase 3: rebuild past another wrap; answers must track the
+    // reference with no ghosts from before the clear.
+    for bx in boxes.iter().skip(300).take(ring + 10) {
+        assert_eq!(store.insert(bx), naive.insert(bx), "re-insert {bx:?}");
+    }
+    check(&store, &naive, &mut probe, &boxes[290..330], "post-rebuild");
+    assert!(
+        probe.advances + probe.repairs + probe.full_walks > 0,
+        "backend={backend}: no tracked probes fired"
+    );
+}
+
+fn clear_at_wrap_grid<S: BoxStore>(backend: &str) {
+    // The minimum legal ring forces the tightest wrap; the default ring
+    // exercises a mid-ring clear.
+    for &ring in &[REPAIR_CAP as usize, 256] {
+        let tuning = StoreTuning {
+            insert_ring: ring,
+            ..StoreTuning::default()
+        };
+        clear_at_wrap_run::<S>(backend, tuning);
+    }
+    let sharded = StoreTuning {
+        insert_ring: REPAIR_CAP as usize,
+        shards: 4,
+    };
+    clear_at_wrap_run::<ShardedBoxStore<S>>(&format!("sharded(4)-{backend}"), sharded);
 }
 
 #[test]
@@ -236,4 +355,85 @@ fn arena_box_tree_conforms() {
 #[test]
 fn radix_box_trie_conforms() {
     conformance_grid::<RadixBoxTrie>("radix");
+}
+
+#[test]
+fn sharded_box_tree_conforms() {
+    sharded_conformance_grid::<BoxTree>("binary");
+}
+
+#[test]
+fn sharded_arena_box_tree_conforms() {
+    sharded_conformance_grid::<ArenaBoxTree>("arena");
+}
+
+#[test]
+fn sharded_radix_box_trie_conforms() {
+    sharded_conformance_grid::<RadixBoxTrie>("radix");
+}
+
+#[test]
+fn clear_at_wrap_box_tree() {
+    clear_at_wrap_grid::<BoxTree>("binary");
+}
+
+#[test]
+fn clear_at_wrap_arena_box_tree() {
+    clear_at_wrap_grid::<ArenaBoxTree>("arena");
+}
+
+#[test]
+fn clear_at_wrap_radix_box_trie() {
+    clear_at_wrap_grid::<RadixBoxTrie>("radix");
+}
+
+#[test]
+fn sharded_boundary_boxes_win_the_merge() {
+    // Regression for the spill path: boxes too short to route (short
+    // dimension-0 prefixes, λ included) must be found by arbitrarily
+    // deep probes in any shard, and must win the DFS merge against
+    // routed hits — their dimension-0 prefix is strictly shorter.
+    let tuning = StoreTuning {
+        insert_ring: 256,
+        shards: 16, // route_bits = 4: lengths 0..=3 all spill
+    };
+    let mut store: ShardedBoxStore<BoxTree> = ShardedBoxStore::with_tuning(2, tuning);
+    let mut naive = NaiveStore::default();
+    let parse = |s: &str| DyadicBox::parse(s).unwrap();
+    for s in [
+        "λ,λ", "0,1", "11,λ", "101,01", // all spill (|c₀| < 4)
+        "1010,λ", "01100,11", "111111,0", // routed
+    ] {
+        let bx = parse(s);
+        assert_eq!(store.insert(&bx), naive.insert(&bx));
+    }
+    let mut probe: DescentProbe<<ShardedBoxStore<BoxTree> as BoxStore>::Entry> =
+        DescentProbe::new();
+    for s in [
+        "101011,00",
+        "0,λ",
+        "λ,111",
+        "111111,01",
+        "01100,110",
+        "1010,0",
+        "110000,1",
+        "101,010",
+    ] {
+        let q = parse(s);
+        assert_eq!(
+            store.find_containing(&q),
+            naive.find_containing(&q),
+            "untracked {s}"
+        );
+        assert_eq!(
+            store.find_containing_tracked(&q, 1, &mut probe),
+            naive.find_containing(&q),
+            "tracked {s}"
+        );
+    }
+    // The deep probe's witness is the spill's ⟨λ,λ⟩ — spill beats shard.
+    assert_eq!(
+        store.find_containing(&parse("111111,01")),
+        Some(parse("λ,λ"))
+    );
 }
