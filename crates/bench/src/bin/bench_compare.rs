@@ -103,6 +103,14 @@ fn load(path: &str) -> Vec<Row> {
 /// baseline row.
 fn key(row: &Row) -> Option<(String, u64, u64)> {
     let mut exp = row_field(row, "experiment")?.as_str()?.to_string();
+    // The query-zoo column folds in only for non-triangle rows, so the
+    // triangle rows of every pre-zoo snapshot (which have no `query`
+    // field at all) keep their exact keys and stay gate-comparable.
+    if let Some(q) = row_field(row, "query").and_then(|v| v.as_str()) {
+        if q != "triangle" {
+            exp = format!("{exp}:q={q}");
+        }
+    }
     if let Some(g) = row_field(row, "graph").and_then(|v| v.as_str()) {
         exp = format!("{exp}:{g}");
     }
@@ -322,6 +330,37 @@ mod tests {
         );
         let report = compare(&rows(T2_BASE), &cand, 2.0, Gate::T2Graphs).unwrap();
         assert!(report.contains("t2-graphs:skewed"), "{report}");
+    }
+
+    #[test]
+    fn query_column_keys_zoo_rows_apart_from_triangle_rows() {
+        // A 4-cycle row shares graph/N with the baseline triangle row but
+        // must NOT be compared against it (its output count differs);
+        // an explicit query="triangle" row must keep the pre-zoo key and
+        // still gate against the query-less baseline.
+        let cand = rows(
+            r#"
+{"experiment":"t2-graphs","query":"triangle","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.0,"resolutions":900000}
+{"experiment":"t2-graphs","query":"4-cycle","graph":"skewed","edges":100000,"N":300000,"triangles":77777,"tetris_s":1.0,"resolutions":12345}
+"#,
+        );
+        let report = compare(&rows(T2_BASE), &cand, 2.0, Gate::T2Graphs).unwrap();
+        assert!(report.contains("t2-graphs:skewed"), "{report}");
+        // And when the baseline itself carries the zoo row, counts gate.
+        let base2 = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000}
+{"experiment":"t2-graphs","query":"4-cycle","graph":"skewed","edges":100000,"N":300000,"triangles":77777,"tetris_s":1.5,"resolutions":12345}
+"#,
+        );
+        let bad = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.0,"resolutions":900000}
+{"experiment":"t2-graphs","query":"4-cycle","graph":"skewed","edges":100000,"N":300000,"triangles":77778,"tetris_s":1.0,"resolutions":12345}
+"#,
+        );
+        let err = compare(&base2, &bad, 2.0, Gate::T2Graphs).unwrap_err();
+        assert!(err.contains("triangle count changed"), "{err}");
     }
 
     #[test]

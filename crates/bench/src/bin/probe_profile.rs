@@ -1,26 +1,14 @@
 //! Ad-hoc probe-path profiler: run one skewed-graph triangle listing and
 //! dump the full counter breakdown plus phase timings — the numbers the
 //! hot-path work in EXPERIMENTS.md §9 is steered by.
+//!
+//! Execution goes through the plan layer's single dispatcher
+//! ([`plan::PreparedQuery::execute`]); this bin contains no per-backend
+//! match.
 
-use boxstore::{ArenaBoxTree, BoxOracle, BoxStore, BoxTree, ShardedBoxStore};
-use boxtrie::RadixBoxTrie;
-use std::time::Instant;
-use tetris_join::tetris::{Backend, Tetris, TetrisConfig, TetrisOutput};
+use tetris_join::tetris::{Backend, TetrisConfig};
 use tetris_join::triangles::prepared_triangle_join;
 use workload::graphs;
-
-// Build (incl. preload) and solve timed separately: `solve_s` is the
-// number comparable with the t2_graphs `tetris_s` column.
-fn profile<O: BoxOracle + ?Sized, S: BoxStore>(
-    oracle: &O,
-    cfg: TetrisConfig,
-) -> (f64, f64, TetrisOutput) {
-    let t0 = Instant::now();
-    let engine = Tetris::<_, S>::with_store(oracle, cfg);
-    let build = t0.elapsed().as_secs_f64();
-    let out = engine.run();
-    (build, t0.elapsed().as_secs_f64() - build, out)
-}
 
 fn main() {
     let edges: usize = std::env::args()
@@ -40,22 +28,18 @@ fn main() {
     let g = graphs::skewed_graph_with_edges(edges, 2, 0xBEEF);
     let rel = g.edge_relation();
     let join = prepared_triangle_join(&rel);
-    let oracle = join.oracle();
     let cfg = TetrisConfig {
         preload: true,
         backend,
         shards,
         ..Default::default()
     };
-    let (build, solve, out) = match (backend, shards > 1) {
-        (Backend::Binary, false) => profile::<_, BoxTree>(&oracle, cfg),
-        (Backend::Binary, true) => profile::<_, ShardedBoxStore<BoxTree>>(&oracle, cfg),
-        (Backend::Radix, false) => profile::<_, RadixBoxTrie>(&oracle, cfg),
-        (Backend::Radix, true) => profile::<_, ShardedBoxStore<RadixBoxTrie>>(&oracle, cfg),
-        (Backend::Arena, false) => profile::<_, ArenaBoxTree>(&oracle, cfg),
-        (Backend::Arena, true) => profile::<_, ShardedBoxStore<ArenaBoxTree>>(&oracle, cfg),
-    };
-    let s = &out.stats;
+    // Build (incl. preload) and solve timed separately by the plan
+    // layer: `solve_s` is the number comparable with the t2_graphs
+    // `tetris_s` column.
+    let run = join.execute(cfg);
+    let (build, solve) = (run.preload_s, run.solve_s);
+    let s = &run.output.stats;
     println!(
         "edges={edges} backend={backend} shards={shards} build_s={build:.3} solve_s={solve:.3}"
     );

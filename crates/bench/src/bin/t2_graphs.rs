@@ -1,24 +1,29 @@
-//! **T2 — the large-graph workload tier**: triangle listing on
-//! 10⁴–10⁶-edge graphs (random / skewed / power-law), Tetris-Preloaded
-//! (sequential and `Descent::Parallel`, over both box-store backends) vs
-//! Leapfrog Triejoin, verified against the sorted-adjacency ground truth
-//! and round-tripped through the streaming on-disk loader. (Preloaded is
-//! the right variant at graph scale: sparse-graph certificates are Θ(N),
-//! so Reloaded's probe-driven loading pays ~40× more resolutions here —
-//! measured at 10⁴ edges, EXPERIMENTS.md §6.)
+//! **T2 — the large-graph workload tier**: the query zoo on 10⁴–10⁶-edge
+//! graphs (random / skewed / power-law), Tetris-Preloaded (sequential
+//! and `Descent::Parallel`, over all box-store backends) vs Leapfrog
+//! Triejoin from the *same* query plan, every row verified against an
+//! independent ground-truth counter. Queries: ordered `triangle`
+//! listing (the default — byte-compatible with every pre-zoo snapshot),
+//! monotone `4-cycle`, `4-clique`, and `lw3` (random Loomis–Whitney-3,
+//! not graph-derived). (Preloaded is the right variant at graph scale:
+//! sparse-graph certificates are Θ(N), so Reloaded's probe-driven
+//! loading pays ~40× more resolutions here — measured at 10⁴ edges,
+//! EXPERIMENTS.md §6.)
 //!
 //! Usage:
 //! `cargo run --release -p bench --bin t2_graphs [-- <tier>]
-//!  [--threads L] [--backend L] [--shards L] [--seed S]`
+//!  [--query L] [--threads L] [--backend L] [--shards L] [--seed S]`
 //! where `<tier>` is `smoke` (10⁵ edges — the CI graph-smoke job), `full`
 //! (10⁴ + 10⁵, the snapshot tier, default), `big` (adds the 10⁶-edge
-//! skewed instance), or an explicit edge count; `--threads` is a
+//! skewed instance), or an explicit edge count; `--query` is a
+//! comma-separated query sweep over `triangle,4-cycle,4-clique,lw3`
+//! (default `triangle`; `all` runs the whole zoo); `--threads` is a
 //! comma-separated worker sweep (default `1,4`; `1` runs the sequential
 //! incremental engine, `N > 1` runs `Descent::Parallel { threads: N }`);
 //! `--backend` is a comma-separated backend sweep (default
-//! `binary,radix` — the A/B protocol of EXPERIMENTS.md §8); `--shards`
-//! is a comma-separated subcube shard-count sweep (default `1` =
-//! monolithic; `K > 1` wraps the backend in `ShardedBoxStore` and
+//! `binary,radix,arena` — the A/B protocol of EXPERIMENTS.md §8);
+//! `--shards` is a comma-separated subcube shard-count sweep (default
+//! `1` = monolithic; `K > 1` wraps the backend in `ShardedBoxStore` and
 //! bulk-builds the preload per shard, on `threads` workers when the row
 //! is parallel); `--seed` overrides every generator's fixed seed, so a
 //! differential failure found elsewhere can be replayed at bench scale.
@@ -28,21 +33,28 @@
 //! first, and sequential resolution counts must match across backends
 //! exactly; any mismatch exits non-zero, so the sweep is itself a
 //! correctness gate. Machine-readable rows land in
-//! `$TETRIS_BENCH_JSONL` (experiment `t2-graphs`, one row per backend ×
-//! thread count, keyed apart by the `backend` column), gated in CI by
-//! `bench_compare --gate t2-graphs` against `BENCH_pr5.json`
-//! (regeneration: EXPERIMENTS.md §8).
+//! `$TETRIS_BENCH_JSONL` (experiment `t2-graphs`, one row per query ×
+//! backend × thread count, keyed apart by the `query` and `backend`
+//! columns; the `triangles` column holds the output count of whichever
+//! query the row ran), gated in CI by `bench_compare --gate t2-graphs`
+//! against `BENCH_pr8.json` (regeneration: EXPERIMENTS.md §8).
+//!
+//! All execution goes through the `plan` crate's generic
+//! plan → prepare → execute pipeline — this bin contains no per-backend
+//! dispatch and no per-query engine code.
 
-use baseline::leapfrog::leapfrog_join;
 use bench::{fmt_f, peak_rss_bytes, time, Table};
-use boxstore::{ArenaBoxTree, BoxOracle, BoxStore, BoxTree, ShardedBoxStore};
-use boxtrie::RadixBoxTrie;
-use tetris_core::{Backend, Descent, Tetris, TetrisConfig, TetrisOutput};
-use tetris_join::triangles::{prepared_triangle_join, triangle_spec};
+use plan::{zoo, PreparedQuery};
+use tetris_core::{Backend, Descent, TetrisConfig};
 use workload::graphs::{self, Graph};
+use workload::loomis;
+
+const GRAPH_QUERIES: [&str; 3] = ["triangle", "4-cycle", "4-clique"];
+const ALL_QUERIES: [&str; 4] = ["triangle", "4-cycle", "4-clique", "lw3"];
 
 struct Args {
     tier: String,
+    queries: Vec<String>,
     threads: Vec<usize>,
     backends: Vec<Backend>,
     shards: Vec<usize>,
@@ -52,6 +64,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         tier: "full".to_string(),
+        queries: vec!["triangle".to_string()],
         threads: vec![1, 4],
         backends: vec![Backend::Binary, Backend::Radix, Backend::Arena],
         shards: vec![1],
@@ -60,6 +73,20 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--query" => {
+                let list = it.next().unwrap_or_else(|| usage("--query needs a list"));
+                args.queries = list
+                    .split(',')
+                    .flat_map(|q| match q.trim() {
+                        "all" | "zoo" => ALL_QUERIES.iter().map(|s| s.to_string()).collect(),
+                        q if ALL_QUERIES.contains(&q) => vec![q.to_string()],
+                        other => usage(&format!(
+                            "unknown query {other:?} (expected {})",
+                            ALL_QUERIES.join("/")
+                        )),
+                    })
+                    .collect();
+            }
             "--threads" => {
                 let list = it.next().unwrap_or_else(|| usage("--threads needs a list"));
                 args.threads = list
@@ -114,8 +141,8 @@ fn parse_args() -> Args {
 fn usage(msg: &str) -> ! {
     eprintln!("t2_graphs: {msg}");
     eprintln!(
-        "usage: t2_graphs [smoke|full|big|<edge count>] [--threads 1,4,...] \
-         [--backend binary,radix] [--shards 1,4,...] [--seed S]"
+        "usage: t2_graphs [smoke|full|big|<edge count>] [--query triangle,4-cycle,4-clique,lw3] \
+         [--threads 1,4,...] [--backend binary,radix,arena] [--shards 1,4,...] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -132,11 +159,12 @@ fn main() {
         },
     };
     println!(
-        "== T2: large-graph triangle listing (tier: {}, threads: {:?}, backends: {:?}, \
-         shards: {:?}) ==\n",
-        args.tier, args.threads, args.backends, args.shards
+        "== T2: large-graph query zoo (tier: {}, queries: {:?}, threads: {:?}, \
+         backends: {:?}, shards: {:?}) ==\n",
+        args.tier, args.queries, args.threads, args.backends, args.shards
     );
     let mut table = Table::new(&[
+        "query",
         "graph",
         "backend",
         "threads",
@@ -153,7 +181,27 @@ fn main() {
         "load_s",
         "peak_rss_mb",
     ]);
+    let graph_queries: Vec<&str> = args
+        .queries
+        .iter()
+        .map(|q| q.as_str())
+        .filter(|q| GRAPH_QUERIES.contains(q))
+        .collect();
     for &edges in &edge_tiers {
+        if args.queries.iter().any(|q| q == "lw3") {
+            run_lw3_row(
+                &mut table,
+                edges,
+                args.seed,
+                &args.threads,
+                &args.backends,
+                &args.shards,
+            );
+            eprintln!("  done: lw3 @ {edges} tuples/atom");
+        }
+        if graph_queries.is_empty() {
+            continue;
+        }
         for kind in ["random", "skewed", "power-law"] {
             // The 10⁶ tier pins only the skewed instance (the paper's
             // motivating shape); the other families stay at ≤ 10⁵ to keep
@@ -162,20 +210,13 @@ fn main() {
                 continue;
             }
             let g = generate(kind, edges, args.seed);
-            run_row(
-                &mut table,
-                kind,
-                &g,
-                &args.threads,
-                &args.backends,
-                &args.shards,
-            );
+            roundtrip_loader(kind, &g, &mut table, &graph_queries, &args);
             eprintln!("  done: {kind} @ {edges} edges");
         }
     }
     table.export("t2-graphs");
     println!("{}", table.render());
-    println!("all rows: tetris == leapfrog == ground truth ✓ (all backends × thread counts)");
+    println!("all rows: tetris == leapfrog == ground truth ✓ (all queries × backends × threads)");
 }
 
 /// Deterministic instance per (kind, edge count); `--seed` overrides.
@@ -195,38 +236,9 @@ fn generate(kind: &str, edges: usize, seed: Option<u64>) -> Graph {
     }
 }
 
-/// Build an engine of store type `S` (timed: this is where the preload
-/// bulk build happens) and run the solve (timed separately, comparable
-/// with every earlier snapshot's `tetris_s`).
-fn build_and_run<O: BoxOracle + ?Sized, S: BoxStore>(
-    oracle: &O,
-    cfg: TetrisConfig,
-) -> (TetrisOutput, f64, f64) {
-    let (engine, preload_s) = time(|| Tetris::<_, S>::with_store(oracle, cfg));
-    let (out, tetris_s) = time(|| engine.run());
-    (out, preload_s, tetris_s)
-}
-
-fn run_row(
-    table: &mut Table,
-    kind: &str,
-    g: &Graph,
-    threads: &[usize],
-    backends: &[Backend],
-    shard_counts: &[usize],
-) {
-    let edges = g.edge_relation();
-    let n = 3 * edges.len();
-
-    let (truth, truth_s) = time(|| g.count_triangles());
-
-    let join = prepared_triangle_join(&edges);
-    let oracle = join.oracle();
-
-    let spec = triangle_spec(&edges);
-    let (lf, lftj_s) = time(|| leapfrog_join(&spec).0);
-
-    // Streaming-loader round trip at full scale.
+/// Round-trip the graph through the streaming on-disk loader (timed once
+/// per instance), then run every requested graph query on it.
+fn roundtrip_loader(kind: &str, g: &Graph, table: &mut Table, queries: &[&str], args: &Args) {
     // Pid-qualified so concurrent sweeps (CI + a developer run) don't
     // race on the same temp file.
     let path = std::env::temp_dir().join(format!(
@@ -243,21 +255,117 @@ fn run_row(
     );
     assert_eq!(back.vertices, g.vertices);
 
+    let edges = g.edge_relation();
+    for &q in queries {
+        let (truth, truth_s) = time(|| match q {
+            "triangle" => g.count_triangles(),
+            "4-cycle" => g.count_four_cycles(),
+            "4-clique" => g.count_four_cliques(),
+            other => unreachable!("unknown graph query {other}"),
+        });
+        let prepared = match q {
+            "triangle" => zoo::triangle(&edges),
+            "4-cycle" => zoo::four_cycle(&edges),
+            "4-clique" => zoo::k_clique(&edges, 4),
+            other => unreachable!("unknown graph query {other}"),
+        }
+        .prepare();
+        run_sweep(
+            table,
+            &prepared,
+            RowMeta {
+                query: q,
+                graph: kind,
+                edges: g.edges.len(),
+                vertices: g.vertices,
+                truth,
+                truth_s,
+                load_s,
+            },
+            &args.threads,
+            &args.backends,
+            &args.shards,
+        );
+    }
+}
+
+/// The Loomis–Whitney-3 row: not graph-derived — a random LW(3) instance
+/// sized to the tier (`edges` tuples per atom over a `2^⌈⅔·log₂ edges⌉`
+/// domain, so the expected output stays Θ(edges)), verified against the
+/// pairwise hash-join counter.
+fn run_lw3_row(
+    table: &mut Table,
+    edges: usize,
+    seed: Option<u64>,
+    threads: &[usize],
+    backends: &[Backend],
+    shards: &[usize],
+) {
+    let width = ((2.0 / 3.0) * (edges.max(8) as f64).log2()).ceil() as u8;
+    let inst = loomis::random_loomis_whitney(3, edges, width, seed.unwrap_or(0x1F3D));
+    let (truth, truth_s) = time(|| loomis::count_lw3_hash_join(&inst));
+    let refs: Vec<&relation::Relation> = inst.rels.iter().collect();
+    let prepared = zoo::loomis_whitney(&refs).prepare();
+    let n: usize = inst.rels.iter().map(|r| r.len()).sum();
+    debug_assert_eq!(n, prepared.input_size());
+    run_sweep(
+        table,
+        &prepared,
+        RowMeta {
+            query: "lw3",
+            graph: "lw-random",
+            edges,
+            vertices: 1u64 << width,
+            truth,
+            truth_s,
+            load_s: 0.0,
+        },
+        threads,
+        backends,
+        shards,
+    );
+}
+
+struct RowMeta<'a> {
+    query: &'a str,
+    graph: &'a str,
+    edges: usize,
+    vertices: u64,
+    truth: u64,
+    truth_s: f64,
+    load_s: f64,
+}
+
+/// The backend × shards × threads sweep for one prepared query: every
+/// listing must be bit-identical to the first (and to leapfrog's, which
+/// answers the same plan in the same SAO coordinates), and the
+/// sequential resolution count must not depend on the backend (the
+/// witness order is part of the BoxStore contract). `tetris_s` times the
+/// solve only — the engine is built (and the knowledge base preloaded)
+/// outside the clock, exactly as every earlier snapshot
+/// (BENCH_seed…BENCH_pr7) measured it, so rows stay ratchet-comparable
+/// across PRs.
+fn run_sweep(
+    table: &mut Table,
+    prepared: &PreparedQuery,
+    meta: RowMeta<'_>,
+    threads: &[usize],
+    backends: &[Backend],
+    shard_counts: &[usize],
+) {
+    let n = prepared.input_size();
+    let (lf, lftj_s) = time(|| prepared.leapfrog().0);
     assert_eq!(
         lf.len() as u64,
-        truth,
-        "{kind}/{} edges: leapfrog listed {} triangles, ground truth {truth}",
-        g.edges.len(),
-        lf.len()
+        meta.truth,
+        "{}/{}/{} edges: leapfrog listed {} tuples, ground truth {}",
+        meta.query,
+        meta.graph,
+        meta.edges,
+        lf.len(),
+        meta.truth
     );
 
-    // The backend × thread sweep: every listing must be bit-identical to
-    // the first, and the sequential resolution count must not depend on
-    // the backend (the witness order is part of the BoxStore contract).
-    // `tetris_s` times the solve only — the engine is built (and the
-    // knowledge base preloaded) outside the clock, exactly as every
-    // earlier snapshot (BENCH_seed…BENCH_pr4) measured it, so rows stay
-    // ratchet-comparable across PRs.
     let mut reference: Option<Vec<Vec<u64>>> = None;
     let mut seq_resolutions: Option<u64> = None;
     for &backend in backends {
@@ -279,47 +387,40 @@ fn run_row(
                     preload_threads: t,
                     ..Default::default()
                 };
-                let (out, preload_s, tetris_s) = match (backend, shards > 1) {
-                    (Backend::Binary, false) => build_and_run::<_, BoxTree>(&oracle, cfg),
-                    (Backend::Binary, true) => {
-                        build_and_run::<_, ShardedBoxStore<BoxTree>>(&oracle, cfg)
-                    }
-                    (Backend::Radix, false) => build_and_run::<_, RadixBoxTrie>(&oracle, cfg),
-                    (Backend::Radix, true) => {
-                        build_and_run::<_, ShardedBoxStore<RadixBoxTrie>>(&oracle, cfg)
-                    }
-                    (Backend::Arena, false) => build_and_run::<_, ArenaBoxTree>(&oracle, cfg),
-                    (Backend::Arena, true) => {
-                        build_and_run::<_, ShardedBoxStore<ArenaBoxTree>>(&oracle, cfg)
-                    }
-                };
+                let run = prepared.execute(cfg);
+                let out = run.output;
+                let ctx = format!(
+                    "{}/{}/{} edges, backend={backend}, threads={t}, shards={shards}",
+                    meta.query, meta.graph, meta.edges
+                );
                 assert_eq!(
                     out.tuples.len() as u64,
-                    truth,
-                    "{kind}/{} edges, backend={backend}, threads={t}, shards={shards}: \
-                     tetris listed {} triangles, ground truth {truth}",
-                    g.edges.len(),
-                    out.tuples.len()
+                    meta.truth,
+                    "{ctx}: tetris listed {} tuples, ground truth {}",
+                    out.tuples.len(),
+                    meta.truth
                 );
                 match &reference {
-                    None => reference = Some(out.tuples.clone()),
+                    None => {
+                        // Both engines emit SAO coordinates in lex order,
+                        // so the listings must agree byte-for-byte.
+                        assert_eq!(
+                            out.tuples, lf,
+                            "{ctx}: tetris and leapfrog listings diverge"
+                        );
+                        reference = Some(out.tuples.clone());
+                    }
                     Some(r) => assert_eq!(
-                        &out.tuples,
-                        r,
-                        "{kind}/{} edges: backend={backend} threads={t} shards={shards} \
-                         listing diverges from the first sweep entry",
-                        g.edges.len()
+                        &out.tuples, r,
+                        "{ctx}: listing diverges from the first sweep entry"
                     ),
                 }
                 if t == 1 {
                     match seq_resolutions {
                         None => seq_resolutions = Some(out.stats.resolutions),
                         Some(r) => assert_eq!(
-                            out.stats.resolutions,
-                            r,
-                            "{kind}/{} edges: backend={backend} shards={shards} sequential \
-                             resolutions diverge — the witness orders differ",
-                            g.edges.len()
+                            out.stats.resolutions, r,
+                            "{ctx}: sequential resolutions diverge — the witness orders differ"
                         ),
                     }
                 }
@@ -327,27 +428,28 @@ fn run_row(
                 // `bench_compare` hard-fails on any increase — but under
                 // `Descent::Parallel` the count depends on donation timing
                 // (documented in tests/stats_regression.rs), so parallel rows
-                // report `-` and only their wall time and triangle count gate.
+                // report `-` and only their wall time and output count gate.
                 let resolutions = if t == 1 {
                     format!("{}", out.stats.resolutions)
                 } else {
                     "-".to_string()
                 };
                 table.row(&[
-                    kind.to_string(),
+                    meta.query.to_string(),
+                    meta.graph.to_string(),
                     format!("{backend}"),
                     format!("{t}"),
                     format!("{shards}"),
-                    format!("{}", g.edges.len()),
-                    format!("{}", g.vertices),
+                    format!("{}", meta.edges),
+                    format!("{}", meta.vertices),
                     format!("{n}"),
-                    format!("{truth}"),
-                    fmt_f(truth_s),
-                    fmt_f(tetris_s),
-                    fmt_f(preload_s),
+                    format!("{}", meta.truth),
+                    fmt_f(meta.truth_s),
+                    fmt_f(run.solve_s),
+                    fmt_f(run.preload_s),
                     resolutions,
                     fmt_f(lftj_s),
-                    fmt_f(load_s),
+                    fmt_f(meta.load_s),
                     // An unmeasurable RSS (no procfs) is an explicit JSON
                     // null, never a fabricated number — bench_compare
                     // skips the ratchet for such rows.

@@ -784,12 +784,64 @@ macro_rules! with_backend {
     };
 }
 
+/// A fully built, type-erased engine: the store is chosen, the knowledge
+/// base is preloaded (when the config asks), and exactly one terminal
+/// call remains. [`prepare_with_config`] is the **only** place the
+/// `(Backend, shards > 1)` selection is expanded — every runtime
+/// dispatch in the workspace (the plan layer's `PreparedQuery`, the
+/// bench bins, the examples) routes through it, so the six store types
+/// cannot drift apart across call sites.
+///
+/// The terminal methods consume the engine (`Box<Self>`), mirroring the
+/// by-value [`Tetris::run`] family.
+pub trait PreparedEngine<'o> {
+    /// Run the full pass, materializing output tuples.
+    fn run(self: Box<Self>) -> TetrisOutput;
+    /// Run the full pass streaming tuples to `f`; returns final stats.
+    fn for_each_output(self: Box<Self>, f: &mut dyn FnMut(&[u64])) -> TetrisStats;
+    /// Boolean Box Cover Problem: stop at the first witness tuple.
+    fn check_cover(self: Box<Self>) -> (bool, TetrisStats);
+    /// Boxes currently in the knowledge base (after any preload).
+    fn knowledge_size(&self) -> usize;
+}
+
+impl<'o, O: BoxOracle + ?Sized, S: BoxStore> PreparedEngine<'o> for Tetris<'o, O, S> {
+    fn run(self: Box<Self>) -> TetrisOutput {
+        (*self).run()
+    }
+
+    fn for_each_output(self: Box<Self>, f: &mut dyn FnMut(&[u64])) -> TetrisStats {
+        (*self).for_each_output(f)
+    }
+
+    fn check_cover(self: Box<Self>) -> (bool, TetrisStats) {
+        (*self).check_cover()
+    }
+
+    fn knowledge_size(&self) -> usize {
+        Tetris::knowledge_size(self)
+    }
+}
+
+/// Build an engine for `oracle`, dispatching on [`TetrisConfig::backend`]
+/// and [`TetrisConfig::shards`] — the single runtime entry point behind
+/// which the backend match lives. Building includes the preload bulk
+/// build when [`TetrisConfig::preload`] is set, so callers can time the
+/// preload (this call) and the solve (the terminal [`PreparedEngine`]
+/// call) separately.
+pub fn prepare_with_config<'o, O: BoxOracle + ?Sized>(
+    oracle: &'o O,
+    config: TetrisConfig,
+) -> Box<dyn PreparedEngine<'o> + 'o> {
+    with_backend!(config, S => Box::new(Tetris::<O, S>::with_store(oracle, config)))
+}
+
 /// Run a full Tetris pass, dispatching on [`TetrisConfig::backend`] and
 /// [`TetrisConfig::shards`] — the type-erased entry the workload bins
 /// use for runtime backend selection (A/B sweeps, `--backend` /
 /// `--shards` flags).
 pub fn run_with_config<O: BoxOracle + ?Sized>(oracle: &O, config: TetrisConfig) -> TetrisOutput {
-    with_backend!(config, S => Tetris::<O, S>::with_store(oracle, config).run())
+    prepare_with_config(oracle, config).run()
 }
 
 /// [`run_with_config`] streaming tuples to a callback instead of
@@ -797,9 +849,9 @@ pub fn run_with_config<O: BoxOracle + ?Sized>(oracle: &O, config: TetrisConfig) 
 pub fn for_each_output_with_config<O: BoxOracle + ?Sized>(
     oracle: &O,
     config: TetrisConfig,
-    f: impl FnMut(&[u64]),
+    mut f: impl FnMut(&[u64]),
 ) -> TetrisStats {
-    with_backend!(config, S => Tetris::<O, S>::with_store(oracle, config).for_each_output(f))
+    prepare_with_config(oracle, config).for_each_output(&mut f)
 }
 
 /// Boolean BCP ([`Tetris::check_cover`]) dispatching on
@@ -808,7 +860,7 @@ pub fn check_cover_with_config<O: BoxOracle + ?Sized>(
     oracle: &O,
     config: TetrisConfig,
 ) -> (bool, TetrisStats) {
-    with_backend!(config, S => Tetris::<O, S>::with_store(oracle, config).check_cover())
+    prepare_with_config(oracle, config).check_cover()
 }
 
 #[cfg(test)]

@@ -58,8 +58,8 @@ mod stats;
 mod trace;
 
 pub use engine::{
-    check_cover_with_config, for_each_output_with_config, run_with_config, Backend, Descent,
-    Tetris, TetrisConfig, TetrisOutput,
+    check_cover_with_config, for_each_output_with_config, prepare_with_config, run_with_config,
+    Backend, Descent, PreparedEngine, Tetris, TetrisConfig, TetrisOutput,
 };
 pub use parallel::DEFAULT_MERGE_CAP;
 pub use stats::TetrisStats;

@@ -45,25 +45,8 @@ impl Graph {
         }
         // The CSR build below needs edges oriented `u < v` and sorted by
         // (u, v) so each vertex's forward-adjacency run comes out sorted
-        // for binary search. The generators and the loader guarantee
-        // that, but `edges` is a pub field — normalize defensively
-        // (reorient, sort, dedup, drop self-loops) rather than silently
-        // undercounting on a hand-built instance.
-        let canonical =
-            self.edges.iter().all(|&(u, v)| u < v) && self.edges.windows(2).all(|w| w[0] < w[1]);
-        let sorted_edges: std::borrow::Cow<'_, [(u64, u64)]> = if canonical {
-            std::borrow::Cow::Borrowed(&self.edges)
-        } else {
-            let mut e: Vec<(u64, u64)> = self
-                .edges
-                .iter()
-                .filter(|&&(u, v)| u != v)
-                .map(|&(u, v)| (u.min(v), u.max(v)))
-                .collect();
-            e.sort_unstable();
-            e.dedup();
-            std::borrow::Cow::Owned(e)
-        };
+        // for binary search — see [`Graph::canonical_edges`].
+        let sorted_edges = self.canonical_edges();
         let edges: &[(u64, u64)] = &sorted_edges;
         if edges.is_empty() {
             return 0;
@@ -119,6 +102,205 @@ impl Graph {
             for &(c, d) in self.edges.iter().filter(|&&(x, _)| x == b) {
                 debug_assert_eq!(c, b);
                 if set.contains(&(a, d)) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Edges oriented `u < v`, sorted, deduplicated, self-loops dropped —
+    /// borrowed when the `edges` field is already canonical (the
+    /// generators and loader guarantee it), rebuilt defensively otherwise.
+    fn canonical_edges(&self) -> std::borrow::Cow<'_, [(u64, u64)]> {
+        let canonical =
+            self.edges.iter().all(|&(u, v)| u < v) && self.edges.windows(2).all(|w| w[0] < w[1]);
+        if canonical {
+            std::borrow::Cow::Borrowed(&self.edges)
+        } else {
+            let mut e: Vec<(u64, u64)> = self
+                .edges
+                .iter()
+                .filter(|&&(u, v)| u != v)
+                .map(|&(u, v)| (u.min(v), u.max(v)))
+                .collect();
+            e.sort_unstable();
+            e.dedup();
+            std::borrow::Cow::Owned(e)
+        }
+    }
+
+    /// Count **monotone 4-cycles**: quadruples `a < b < c < d` with edges
+    /// `{a,b}, {b,c}, {c,d}, {a,d}` — exactly the output of the query-zoo
+    /// 4-cycle join `E(A,B) ⋈ E(B,C) ⋈ E(C,D) ⋈ E(A,D)` over the oriented
+    /// edge relation. Each (unlabeled) 4-cycle contributes at most once:
+    /// only the one of its three cyclic orders that agrees with the
+    /// sorted vertex order.
+    ///
+    /// Sorted-adjacency counting in `O(Σ deg²) = O(E·d_max)`: for each
+    /// top vertex `d`, walk the 2-paths `d–x–b` with `x, b < d`; a common
+    /// neighbor `x < b` can play `a`, one with `b < x` can play `c`, and
+    /// the quadruples for a fixed `(b, d)` multiply the two tallies.
+    pub fn count_four_cycles(&self) -> u64 {
+        let edges = self.canonical_edges();
+        let edges: &[(u64, u64)] = &edges;
+        if edges.is_empty() {
+            return 0;
+        }
+        // CSR over the FULL adjacency (both directions) — the 2-path walk
+        // needs every neighbor of x, not just forward ones.
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) + 1)
+            .max()
+            .expect("non-empty edge list") as usize;
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, v) in edges {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut adj = vec![0u64; 2 * edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        let neighbors = |x: u64| &adj[offsets[x as usize]..offsets[x as usize + 1]];
+        // Per-d scratch tallies, reset via the touched list (not a full
+        // sweep) so the whole pass stays O(Σ deg²).
+        let mut low = vec![0u64; n]; // x < b candidates for `a`
+        let mut mid = vec![0u64; n]; // b < x candidates for `c`
+        let mut touched: Vec<usize> = Vec::new();
+        let mut count = 0u64;
+        for d in 0..n as u64 {
+            for &x in neighbors(d).iter().filter(|&&x| x < d) {
+                for &b in neighbors(x).iter().filter(|&&b| b < d) {
+                    let bi = b as usize;
+                    if low[bi] == 0 && mid[bi] == 0 {
+                        touched.push(bi);
+                    }
+                    if x < b {
+                        low[bi] += 1;
+                    } else {
+                        mid[bi] += 1;
+                    }
+                }
+            }
+            for &bi in &touched {
+                count += low[bi] * mid[bi];
+                low[bi] = 0;
+                mid[bi] = 0;
+            }
+            touched.clear();
+        }
+        count
+    }
+
+    /// Brute-force quadratic reference for [`Graph::count_four_cycles`]:
+    /// all pairs of disjoint edges `(a,b), (c,d)` with `b < c`, closed by
+    /// `{b,c}` and `{a,d}`. `O(E²)` — the pin for the fast path on small
+    /// graphs.
+    #[doc(hidden)]
+    pub fn count_four_cycles_quadratic(&self) -> u64 {
+        let edges = self.canonical_edges();
+        let set: BTreeSet<(u64, u64)> = edges.iter().copied().collect();
+        let mut count = 0u64;
+        for &(a, b) in set.iter() {
+            for &(c, d) in set.iter() {
+                if b < c && set.contains(&(b, c)) && set.contains(&(a, d)) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Count 4-cliques: quadruples `a < b < c < d` with all six edges
+    /// present — the output of the query-zoo 4-clique join (all-pairs
+    /// atoms over the oriented edge relation list each clique exactly
+    /// once).
+    ///
+    /// For every edge `(a, b)` intersect the sorted forward adjacencies
+    /// of `a` and `b` (candidates `> b`), then close each candidate pair
+    /// by binary search.
+    pub fn count_four_cliques(&self) -> u64 {
+        let edges = self.canonical_edges();
+        let edges: &[(u64, u64)] = &edges;
+        if edges.is_empty() {
+            return 0;
+        }
+        // CSR over forward neighbors (v > u), runs sorted by construction.
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) + 1)
+            .max()
+            .expect("non-empty edge list") as usize;
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut adj = vec![0u64; edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        let neighbors = |x: u64| &adj[offsets[x as usize]..offsets[x as usize + 1]];
+        let mut count = 0u64;
+        let mut common: Vec<u64> = Vec::new();
+        for &(a, b) in edges {
+            // Sorted-merge intersection of N⁺(a) and N⁺(b), both > b.
+            common.clear();
+            let (na, nb) = (neighbors(a), neighbors(b));
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < na.len() && j < nb.len() {
+                match na[i].cmp(&nb[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if na[i] > b {
+                            common.push(na[i]);
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            for (k, &c) in common.iter().enumerate() {
+                for &d in &common[k + 1..] {
+                    if neighbors(c).binary_search(&d).is_ok() {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Brute-force quadratic reference for [`Graph::count_four_cliques`]:
+    /// all pairs of edges `(a,b), (c,d)` with `b < c`, closed by the four
+    /// cross edges. `O(E²)`.
+    #[doc(hidden)]
+    pub fn count_four_cliques_quadratic(&self) -> u64 {
+        let edges = self.canonical_edges();
+        let set: BTreeSet<(u64, u64)> = edges.iter().copied().collect();
+        let mut count = 0u64;
+        for &(a, b) in set.iter() {
+            for &(c, d) in set.iter() {
+                if b < c
+                    && set.contains(&(a, c))
+                    && set.contains(&(a, d))
+                    && set.contains(&(b, c))
+                    && set.contains(&(b, d))
+                {
                     count += 1;
                 }
             }
@@ -479,6 +661,77 @@ mod tests {
                 g.count_triangles(),
                 g.count_triangles_quadratic(),
                 "family #{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn four_cycle_count_on_known_graphs() {
+        // The square 0-1-2-3-0 (monotone orientation): exactly one.
+        let square = Graph {
+            edges: vec![(0, 1), (1, 2), (2, 3), (0, 3)],
+            vertices: 4,
+            width: 2,
+        };
+        assert_eq!(square.count_four_cycles(), 1);
+        assert_eq!(square.count_four_cycles_quadratic(), 1);
+        // The square 0-1-3-2-0: a 4-cycle, but its cyclic order disagrees
+        // with the sorted vertex order, so the monotone count is 0.
+        let twisted = Graph {
+            edges: vec![(0, 1), (1, 3), (2, 3), (0, 2)],
+            vertices: 4,
+            width: 2,
+        };
+        assert_eq!(twisted.count_four_cycles(), 0);
+        assert_eq!(twisted.count_four_cycles_quadratic(), 0);
+        // K4: the three 4-cycles include exactly one monotone one; one
+        // 4-clique.
+        let k4 = Graph {
+            edges: vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+            vertices: 4,
+            width: 2,
+        };
+        assert_eq!(k4.count_four_cycles(), 1);
+        assert_eq!(k4.count_four_cliques(), 1);
+        assert_eq!(k4.count_four_cliques_quadratic(), 1);
+        // K5: C(5,4) = 5 four-cliques, 5 monotone 4-cycles.
+        let k5 = Graph {
+            edges: (0..5u64)
+                .flat_map(|u| ((u + 1)..5).map(move |v| (u, v)))
+                .collect(),
+            vertices: 5,
+            width: 3,
+        };
+        assert_eq!(k5.count_four_cliques(), 5);
+        assert_eq!(k5.count_four_cycles(), 5);
+    }
+
+    #[test]
+    fn fast_zoo_counts_pin_to_quadratic_references() {
+        for (i, g) in [
+            random_graph(24, 60, 11),
+            random_graph(40, 180, 12),
+            skewed_graph(60, 3, 13),
+            skewed_graph_with_edges(150, 2, 14),
+            power_law_graph(50, 0.8, 120, 15),
+            Graph {
+                edges: vec![],
+                vertices: 2,
+                width: 1,
+            },
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(
+                g.count_four_cycles(),
+                g.count_four_cycles_quadratic(),
+                "4-cycles, family #{i}"
+            );
+            assert_eq!(
+                g.count_four_cliques(),
+                g.count_four_cliques_quadratic(),
+                "4-cliques, family #{i}"
             );
         }
     }

@@ -35,6 +35,31 @@ impl LoomisWhitneyInstance {
     }
 }
 
+/// Independent LW(3) ground truth by pairwise hash join: group `rels[1]`
+/// (over `(A,C)`) by `A`, then for each `(a,b) ∈ rels[2]` extend with
+/// every `c` adjacent to `a` and probe `(b,c)` against `rels[0]`'s hash
+/// set. Set semantics throughout (relations are deduplicated on build),
+/// so the count equals the zoo join's output size.
+pub fn count_lw3_hash_join(inst: &LoomisWhitneyInstance) -> u64 {
+    assert_eq!(inst.n, 3, "hash-join truth is wired for LW(3)");
+    use std::collections::{HashMap, HashSet};
+    // Atom i omits attribute i of (A, B, C):
+    //   rels[0] over (B, C), rels[1] over (A, C), rels[2] over (A, B).
+    let bc: HashSet<(u64, u64)> = inst.rels[0].tuples().map(|t| (t[0], t[1])).collect();
+    let mut c_by_a: HashMap<u64, Vec<u64>> = HashMap::new();
+    for t in inst.rels[1].tuples() {
+        c_by_a.entry(t[0]).or_default().push(t[1]);
+    }
+    let mut count = 0u64;
+    for t in inst.rels[2].tuples() {
+        let (a, b) = (t[0], t[1]);
+        if let Some(cs) = c_by_a.get(&a) {
+            count += cs.iter().filter(|&&c| bc.contains(&(b, c))).count() as u64;
+        }
+    }
+    count
+}
+
 /// Random LW(n) instance: each relation gets `tuples_per_atom` random
 /// `(n−1)`-tuples. Deterministic in `seed`.
 pub fn random_loomis_whitney(
@@ -116,5 +141,28 @@ mod tests {
             }
         }
         assert_eq!(count, 2);
+        assert_eq!(count_lw3_hash_join(&inst), 2);
+    }
+
+    #[test]
+    fn hash_join_truth_matches_nested_loop_on_random_instances() {
+        for seed in [1u64, 2, 3] {
+            let inst = random_loomis_whitney(3, 80, 3, seed);
+            let dom = 1u64 << inst.width;
+            let mut brute = 0u64;
+            for a in 0..dom {
+                for b in 0..dom {
+                    for c in 0..dom {
+                        if inst.rels[0].contains(&[b, c])
+                            && inst.rels[1].contains(&[a, c])
+                            && inst.rels[2].contains(&[a, b])
+                        {
+                            brute += 1;
+                        }
+                    }
+                }
+            }
+            assert_eq!(count_lw3_hash_join(&inst), brute, "seed {seed}");
+        }
     }
 }

@@ -16,12 +16,11 @@
 //! `--backend binary|radix` selects the knowledge-base store, and
 //! `--seed` overrides the generator seed.
 
-use baseline::leapfrog::leapfrog_join;
 use std::time::Instant;
 use tetris_join::relation::io::read_tuples_streaming;
 use tetris_join::relation::{Relation, Schema};
-use tetris_join::tetris::{run_with_config, Backend, Descent, TetrisConfig};
-use tetris_join::triangles::{prepared_triangle_join, triangle_spec};
+use tetris_join::tetris::{Backend, Descent, TetrisConfig};
+use tetris_join::triangles::prepared_triangle_join;
 use workload::graphs::{self, Graph};
 
 fn usage(msg: &str) -> ! {
@@ -130,14 +129,13 @@ fn main() {
 
     // 4. Tetris: ordered triangle listing (u < v < w) via the self-join
     //    E(A,B) ⋈ E(B,C) ⋈ E(A,C) over geometric resolutions —
-    //    sequential, or spread over the work-stealing pool, on either
-    //    box-store backend.
+    //    sequential, or spread over the work-stealing pool, on any
+    //    box-store backend. The whole execution goes through the plan
+    //    layer's generic pipeline (no per-backend dispatch here).
     let edges: Relation = graph.edge_relation();
     let start = Instant::now();
     let join = prepared_triangle_join(&edges);
     let index_t = start.elapsed();
-    let oracle = join.oracle();
-    let start = Instant::now();
     let cfg = TetrisConfig {
         preload: true,
         descent: if threads == 1 {
@@ -148,7 +146,8 @@ fn main() {
         backend,
         ..Default::default()
     };
-    let out = run_with_config(&oracle, cfg);
+    let run = join.execute(cfg);
+    let out = &run.output;
     let mode = if threads == 1 {
         format!("sequential, {backend}")
     } else {
@@ -158,9 +157,11 @@ fn main() {
         )
     };
     println!(
-        "Tetris-Preloaded [{mode}]: {} triangles in {:.1?} (+{index_t:.1?} indexing, {} resolutions)",
+        "Tetris-Preloaded [{mode}]: {} triangles in {:.1}s solve + {:.1}s preload \
+         (+{index_t:.1?} indexing, {} resolutions)",
         out.tuples.len(),
-        start.elapsed(),
+        run.solve_s,
+        run.preload_s,
         out.stats.resolutions
     );
     assert_eq!(
@@ -169,16 +170,16 @@ fn main() {
         "tetris output must equal the hardened ground truth"
     );
 
-    // 5. Leapfrog Triejoin for comparison.
-    let spec = triangle_spec(&edges);
+    // 5. Leapfrog Triejoin for comparison, answering the same plan.
     let start = Instant::now();
-    let (lf, _) = leapfrog_join(&spec);
+    let (lf, _) = join.leapfrog();
     println!(
         "Leapfrog Triejoin: {} triangles in {:.1?}",
         lf.len(),
         start.elapsed()
     );
     assert_eq!(lf.len() as u64, truth);
+    assert_eq!(lf, out.tuples, "both engines list in SAO-lex order");
 
     println!("\nall listings agree with the ground truth ✓");
 }

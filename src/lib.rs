@@ -5,6 +5,7 @@
 //! * [`boxstore`] — the multilevel dyadic tree knowledge base.
 //! * [`relation`] — relations, trie & dyadic-tree indexes, gap oracles.
 //! * [`query`] — hypergraphs, widths, AGM bound, tree decompositions.
+//! * [`plan`] — the plan → prepare → execute pipeline and the query zoo.
 //! * [`tetris`] — the Tetris algorithm and its variants.
 //! * [`baseline`] — comparison join algorithms.
 //! * [`workload`] — instance generators for tests and benchmarks.
@@ -16,6 +17,7 @@ pub use baseline;
 pub use boxstore;
 pub use boxtrie;
 pub use dyadic;
+pub use plan;
 pub use query;
 pub use relation;
 pub use tetris_core as tetris;

@@ -1,7 +1,10 @@
 //! High-level join pipeline: from named relations to a running Tetris.
 //!
-//! [`PreparedJoin`] wires the workspace together the way the paper's
-//! theorems require:
+//! This module is now a thin façade over the [`plan`] crate's generic
+//! **plan → prepare → execute** pipeline; the historical names
+//! [`PreparedJoin`] / [`PreparedJoinBuilder`] are aliases kept so every
+//! existing call site keeps compiling. The pipeline wires the workspace
+//! together the way the paper's theorems require:
 //!
 //! 1. build the query hypergraph and pick a **splitting attribute order**
 //!    (reverse GYO order for α-acyclic queries per Theorem D.8, reverse
@@ -27,240 +30,18 @@
 //! assert_eq!(tuples, vec![vec![1, 2, 3]]);
 //! ```
 
-use query::Hypergraph;
-use relation::{IndexedRelation, JoinOracle, Relation};
+pub use plan::{ExtraIndex, PlanRun, QueryPlan, SaoPolicy, SaoSource};
 
-/// Extra physical indexes to build per atom.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ExtraIndex {
-    /// Only the SAO-consistent trie (the default).
-    None,
-    /// Also build a dyadic-tree (quadtree-style) index.
-    Dyadic,
-    /// Also build tries in every rotation of the SAO-consistent order.
-    AllTrieRotations,
-}
+/// Historical name for [`plan::PreparedQuery`].
+pub type PreparedJoin = plan::PreparedQuery;
 
-/// Builder for [`PreparedJoin`].
-pub struct PreparedJoinBuilder<'a> {
-    width: u8,
-    atoms: Vec<(String, &'a Relation, Vec<String>)>,
-    sao: Option<Vec<String>>,
-    extra: ExtraIndex,
-}
-
-impl<'a> PreparedJoinBuilder<'a> {
-    /// Bind an atom: the relation's columns play the named attributes.
-    pub fn atom(mut self, name: &str, rel: &'a Relation, attrs: &[&str]) -> Self {
-        assert_eq!(attrs.len(), rel.arity(), "atom {name}: arity mismatch");
-        self.atoms.push((
-            name.to_string(),
-            rel,
-            attrs.iter().map(|s| s.to_string()).collect(),
-        ));
-        self
-    }
-
-    /// Force a specific SAO instead of the automatic width-minimizing one.
-    pub fn sao(mut self, order: &[&str]) -> Self {
-        self.sao = Some(order.iter().map(|s| s.to_string()).collect());
-        self
-    }
-
-    /// Request extra indexes per relation.
-    pub fn extra_index(mut self, extra: ExtraIndex) -> Self {
-        self.extra = extra;
-        self
-    }
-
-    /// Analyze the query, choose the SAO, build all indexes.
-    pub fn build(self) -> PreparedJoin {
-        // Collect attributes in first-mention order.
-        let mut attrs: Vec<String> = Vec::new();
-        for (_, _, names) in &self.atoms {
-            for a in names {
-                if !attrs.contains(a) {
-                    attrs.push(a.clone());
-                }
-            }
-        }
-        assert!(!attrs.is_empty(), "a join needs at least one attribute");
-        // Hypergraph over first-mention positions.
-        let attr_refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
-        let edges: Vec<Vec<&str>> = self
-            .atoms
-            .iter()
-            .map(|(_, _, names)| names.iter().map(|s| s.as_str()).collect())
-            .collect();
-        let edge_refs: Vec<&[&str]> = edges.iter().map(|e| e.as_slice()).collect();
-        let h = Hypergraph::new(&attr_refs, &edge_refs);
-
-        let sao: Vec<String> = match self.sao {
-            Some(s) => {
-                assert_eq!(s.len(), attrs.len(), "SAO must cover all attributes");
-                for a in &s {
-                    assert!(attrs.contains(a), "SAO names unknown attribute {a:?}");
-                }
-                s
-            }
-            None => {
-                let order = match h.sao_for_acyclic() {
-                    Some(o) => o,
-                    None => query::treewidth::sao_of_min_width(&h).1,
-                };
-                order.into_iter().map(|i| attrs[i].clone()).collect()
-            }
-        };
-
-        // Index each relation: trie in SAO-consistent column order.
-        let sao_pos = |a: &str| sao.iter().position(|x| x == a).expect("attr in SAO");
-        let mut indexed = Vec::new();
-        let mut bindings = Vec::new();
-        for (name, rel, names) in &self.atoms {
-            let mut cols: Vec<usize> = (0..rel.arity()).collect();
-            cols.sort_by_key(|&c| sao_pos(&names[c]));
-            let mut ir = IndexedRelation::with_trie((*rel).clone(), &cols);
-            match self.extra {
-                ExtraIndex::None => {}
-                ExtraIndex::Dyadic => ir = ir.add_dyadic(),
-                ExtraIndex::AllTrieRotations => {
-                    for r in 1..rel.arity() {
-                        let rotated: Vec<usize> = cols
-                            .iter()
-                            .cycle()
-                            .skip(r)
-                            .take(rel.arity())
-                            .copied()
-                            .collect();
-                        ir = ir.add_trie(&rotated);
-                    }
-                }
-            }
-            indexed.push(ir);
-            bindings.push((name.clone(), names.clone()));
-        }
-
-        PreparedJoin {
-            width: self.width,
-            sao,
-            hypergraph: h,
-            indexed,
-            bindings,
-        }
-    }
-}
-
-/// A join query with chosen SAO and built indexes, ready to run.
-pub struct PreparedJoin {
-    width: u8,
-    sao: Vec<String>,
-    hypergraph: Hypergraph,
-    indexed: Vec<IndexedRelation>,
-    bindings: Vec<(String, Vec<String>)>,
-}
-
-impl PreparedJoin {
-    /// Start building a join whose attributes all have `width` bits.
-    pub fn builder<'a>(width: u8) -> PreparedJoinBuilder<'a> {
-        PreparedJoinBuilder {
-            width,
-            atoms: Vec::new(),
-            sao: None,
-            extra: ExtraIndex::None,
-        }
-    }
-
-    /// Build from query text like `"R(A,B), S(B,C), T(A,C)"`, resolving
-    /// each relation symbol through `resolver`.
-    ///
-    /// ```
-    /// use relation::{Relation, Schema};
-    /// use tetris_join::prepared::PreparedJoin;
-    ///
-    /// let e = Relation::new(Schema::uniform(&["X", "Y"], 2), vec![vec![0, 1]]);
-    /// let join = PreparedJoin::from_query_text("R(A,B), S(B,C)", 2, |_| &e)
-    ///     .expect("parses");
-    /// assert_eq!(join.sao().len(), 3);
-    /// ```
-    pub fn from_query_text<'a>(
-        text: &str,
-        width: u8,
-        resolver: impl Fn(&str) -> &'a Relation,
-    ) -> Result<PreparedJoin, String> {
-        let parsed = query::parse_query(text)?;
-        let mut builder = Self::builder(width);
-        for atom in &parsed.atoms {
-            let rel = resolver(&atom.name);
-            let attrs: Vec<&str> = atom.attrs.iter().map(|s| s.as_str()).collect();
-            if attrs.len() != rel.arity() {
-                return Err(format!(
-                    "atom {} has {} attributes but relation has arity {}",
-                    atom.name,
-                    attrs.len(),
-                    rel.arity()
-                ));
-            }
-            builder = builder.atom(&atom.name, rel, &attrs);
-        }
-        Ok(builder.build())
-    }
-
-    /// The chosen splitting attribute order.
-    pub fn sao(&self) -> &[String] {
-        &self.sao
-    }
-
-    /// The query hypergraph (vertices in first-mention order).
-    pub fn hypergraph(&self) -> &Hypergraph {
-        &self.hypergraph
-    }
-
-    /// The indexed relations, in atom order.
-    pub fn indexed(&self) -> &[IndexedRelation] {
-        &self.indexed
-    }
-
-    /// Total input tuples `N`.
-    pub fn input_size(&self) -> usize {
-        self.indexed.iter().map(|ir| ir.relation().len()).sum()
-    }
-
-    /// Build the gap oracle (dimensions in SAO order).
-    pub fn oracle(&self) -> JoinOracle<'_> {
-        let sao_refs: Vec<&str> = self.sao.iter().map(|s| s.as_str()).collect();
-        let widths = vec![self.width; self.sao.len()];
-        let mut q = JoinOracle::new(&sao_refs, &widths);
-        for (ir, (name, attrs)) in self.indexed.iter().zip(&self.bindings) {
-            let attr_refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
-            q = q.atom(name, ir, &attr_refs);
-        }
-        q
-    }
-
-    /// Reorder SAO-coordinate tuples into a caller attribute order.
-    pub fn reorder_to(&self, attrs: &[&str], tuples: &[Vec<u64>]) -> Vec<Vec<u64>> {
-        let perm: Vec<usize> = attrs
-            .iter()
-            .map(|a| {
-                self.sao
-                    .iter()
-                    .position(|s| s == a)
-                    .unwrap_or_else(|| panic!("unknown attribute {a:?}"))
-            })
-            .collect();
-        let mut out: Vec<Vec<u64>> = tuples
-            .iter()
-            .map(|t| perm.iter().map(|&p| t[p]).collect())
-            .collect();
-        out.sort_unstable();
-        out
-    }
-}
+/// Historical name for [`plan::QueryPlanBuilder`].
+pub type PreparedJoinBuilder<'a> = plan::QueryPlanBuilder<'a>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use relation::Schema;
+    use relation::{Relation, Schema};
 
     #[test]
     fn acyclic_query_gets_reverse_gyo_sao() {
@@ -272,6 +53,7 @@ mod tests {
             .build();
         assert_eq!(join.sao().len(), 3);
         assert!(join.hypergraph().is_alpha_acyclic());
+        assert_eq!(join.sao_source(), SaoSource::AcyclicGyo);
         // The SAO must have elimination width 1 when reversed.
         let pos: Vec<usize> = join
             .sao()
@@ -292,6 +74,7 @@ mod tests {
             .atom("S", &e, &["B", "C"])
             .atom("T", &e, &["A", "C"])
             .build();
+        assert_eq!(join.sao_source(), SaoSource::MinWidth);
         let mut elim: Vec<usize> = join
             .sao()
             .iter()
@@ -333,5 +116,21 @@ mod tests {
             .sao(&["B", "A"])
             .build();
         assert_eq!(join.sao(), &["B".to_string(), "A".to_string()]);
+        assert_eq!(join.sao_source(), SaoSource::Forced);
+    }
+
+    #[test]
+    fn fhtw_policy_picks_a_valid_order() {
+        let e = Relation::new(Schema::uniform(&["X", "Y"], 2), vec![vec![0, 1]]);
+        let join = PreparedJoin::builder(2)
+            .atom("R", &e, &["A", "B"])
+            .atom("S", &e, &["B", "C"])
+            .atom("T", &e, &["A", "C"])
+            .sao_policy(SaoPolicy::Fhtw)
+            .build();
+        assert_eq!(join.sao_source(), SaoSource::Fhtw);
+        assert_eq!(join.sao().len(), 3);
+        // The triangle's fhtw is 3/2, recorded as plan metadata.
+        assert!((join.fhtw().unwrap() - 1.5).abs() < 1e-9);
     }
 }
