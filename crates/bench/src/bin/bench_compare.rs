@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! bench_compare <baseline.jsonl> <candidate.jsonl> [--max-ratio R] [--gate skew400|t2-graphs]
+//! bench_compare --check-profile <profile.jsonl>
 //! ```
 //!
 //! Rows are keyed by `(experiment[:graph], N, k)`; every key present in
@@ -25,8 +26,28 @@
 //! increase is a correctness-of-cost regression, not noise) and
 //! `triangles` must be **equal** (listing output is deterministic — a
 //! mismatch is a correctness bug, never noise).
+//!
+//! **Profile rows** (experiment names ending in `-profile`, written by
+//! `t2_graphs --profile`) are ledger evidence, not ratchet material:
+//! their wall cells include metrics-on overhead and their parallel
+//! counters are scheduling-dependent, so `compare` *skips* them with an
+//! explicit report line (mirroring the null-RSS skip semantics) whether
+//! or not the other snapshot carries them. They are checked instead by
+//! `--check-profile`, which asserts the ledger-balance invariants on
+//! every row of a profile file: each histogram's total must equal its
+//! counter column (`depth_hist` ↔ `resolutions`, `walk_hist` ↔
+//! `kb_queries`, `repair_hist` ↔ `repairs`, `donate_hist` ↔
+//! `donations`), sequential monolithic rows must balance `advances +
+//! repairs + full_walks == kb_queries` exactly, and the memory ledger
+//! must be present and sane. Sharded rows (`shards > 1`) only bound the
+//! probe sum from above: the `ShardedBoxStore` wrapper answers
+//! boundary-spill hits with an *untracked* inner lookup, so tracked
+//! probes undercount queries there. Parallel rows bound it at
+//! `2·kb_queries` (frozen base + overlay shard per query) and, when
+//! monolithic, from below at `kb_queries`.
 
 use bench::{parse_jsonl_row, row_field, JsonValue};
+use obs::Pow2Histogram;
 
 /// The skew400 gate row: skew triangle at m = 400 (N = 3·(2·400+1) = 2403).
 const GATE_N: f64 = 2403.0;
@@ -44,7 +65,8 @@ enum Gate {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mut paths, mut max_ratio, mut gate) = (Vec::new(), 2.0f64, Gate::Skew400);
+    let (mut paths, mut max_ratio, mut gate, mut profile_mode) =
+        (Vec::new(), 2.0f64, Gate::Skew400, false);
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--max-ratio" {
@@ -58,14 +80,31 @@ fn main() {
                 Some("t2-graphs") => Gate::T2Graphs,
                 other => panic!("--gate must be skew400 or t2-graphs, got {other:?}"),
             };
+        } else if a == "--check-profile" {
+            profile_mode = true;
         } else {
             paths.push(a.clone());
         }
     }
+    if profile_mode {
+        if paths.len() != 1 {
+            eprintln!("usage: bench_compare --check-profile <profile.jsonl>");
+            std::process::exit(2);
+        }
+        match check_profile(&load(&paths[0])) {
+            Ok(report) => println!("{report}"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if paths.len() != 2 {
         eprintln!(
             "usage: bench_compare <baseline.jsonl> <candidate.jsonl> \
-             [--max-ratio R] [--gate skew400|t2-graphs]"
+             [--max-ratio R] [--gate skew400|t2-graphs] | \
+             bench_compare --check-profile <profile.jsonl>"
         );
         std::process::exit(2);
     }
@@ -144,6 +183,15 @@ fn is_t2_gate(row: &Row) -> bool {
         && row_field(row, "edges").and_then(|v| v.as_num()) >= Some(T2_GATE_EDGES)
 }
 
+/// Profile rows (experiment `*-profile`): metrics-on ledger evidence
+/// whose wall and counter cells must never be ratcheted — see the module
+/// docs and [`check_profile`].
+fn is_profile_row(row: &Row) -> bool {
+    row_field(row, "experiment")
+        .and_then(|v| v.as_str())
+        .is_some_and(|e| e.ends_with("-profile"))
+}
+
 /// Pure comparison logic (unit-tested below): `Ok(report)` when the gate
 /// holds, `Err(report)` when it fails.
 fn compare(
@@ -157,6 +205,18 @@ fn compare(
     let mut failures = Vec::new();
     for brow in baseline {
         let Some(bkey) = key(brow) else { continue };
+        // Skipped *before* the candidate lookup, so a profile experiment
+        // present on only one side (older snapshots predate them) is
+        // skipped identically to one present on both — an explicit
+        // report line, never a failure (the null-RSS semantics).
+        if is_profile_row(brow) {
+            report.push_str(&format!(
+                "{:<28} N={:<8} profile row — ledger-checked by --check-profile, \
+                 not ratcheted\n",
+                bkey.0, bkey.1
+            ));
+            continue;
+        }
         let Some(crow) = candidate.iter().find(|c| key(c).as_ref() == Some(&bkey)) else {
             continue;
         };
@@ -253,6 +313,127 @@ fn compare(
     }
     if failures.is_empty() {
         Ok(format!("{report}bench_compare: OK (gate ≤ {max_ratio}x)"))
+    } else {
+        Err(format!(
+            "{report}bench_compare: FAIL\n{}",
+            failures.join("\n")
+        ))
+    }
+}
+
+/// A `*_hist` cell parsed back into a histogram. Single-bucket CSVs
+/// (e.g. `"0"` or `"8"`) serialize as JSON numbers, longer ones as
+/// strings — both shapes must parse.
+fn hist_field(row: &Row, key: &str) -> Option<Pow2Histogram> {
+    match row_field(row, key)? {
+        JsonValue::Str(s) => Pow2Histogram::from_csv(s),
+        JsonValue::Num(n) => Pow2Histogram::from_csv(&format!("{}", *n as u64)),
+        JsonValue::Null => None,
+    }
+}
+
+/// Ledger-invariant check over a profile file (`--check-profile`): every
+/// row must balance its histograms against its counters, exactly where
+/// the engine guarantees exactness and within the documented envelope
+/// where scheduling makes counts vary. `Ok(report)` iff every row holds
+/// and at least one row was checked.
+fn check_profile(rows: &[Row]) -> Result<String, String> {
+    let mut report = String::new();
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for row in rows {
+        if !is_profile_row(row) {
+            continue;
+        }
+        let label = key(row).map_or_else(|| "?".to_string(), |k| format!("{} N={}", k.0, k.1));
+        let num = |k: &str| row_field(row, k).and_then(|v| v.as_num());
+        let mut fail = |msg: String| failures.push(format!("{label}: {msg}"));
+        let (Some(resolutions), Some(kb_queries)) = (num("resolutions"), num("kb_queries")) else {
+            fail("missing resolutions/kb_queries columns".to_string());
+            continue;
+        };
+        let threads = num("threads").unwrap_or(1.0);
+        let shards = num("shards").unwrap_or(1.0);
+        // Histogram totals equal their counter columns — exact in every
+        // mode (each observation site fires once per counted event).
+        for (hist_col, counter_col, counter) in [
+            ("depth_hist", "resolutions", resolutions),
+            ("walk_hist", "kb_queries", kb_queries),
+            ("repair_hist", "repairs", num("repairs").unwrap_or(-1.0)),
+            ("donate_hist", "donations", num("donations").unwrap_or(-1.0)),
+        ] {
+            match hist_field(row, hist_col) {
+                Some(h) => {
+                    if h.total() as f64 != counter {
+                        fail(format!(
+                            "{hist_col} total {} != {counter_col} {counter}",
+                            h.total()
+                        ));
+                    }
+                }
+                None => fail(format!("missing or malformed {hist_col}")),
+            }
+        }
+        let probes = num("advances").unwrap_or(-1.0)
+            + num("repairs").unwrap_or(-1.0)
+            + num("full_walks").unwrap_or(-1.0);
+        if threads == 1.0 {
+            // The sequential ledger-balance wall: every KB query is
+            // answered by exactly one of advance / repair / full walk —
+            // except through the sharded wrapper, whose boundary-spill
+            // hits answer untracked, so tracked probes only bound from
+            // above there.
+            if shards == 1.0 && probes != kb_queries {
+                fail(format!(
+                    "sequential probes (advances+repairs+full_walks = {probes}) \
+                     != kb_queries {kb_queries}"
+                ));
+            }
+            if probes > kb_queries {
+                fail(format!(
+                    "sequential probes {probes} exceed kb_queries {kb_queries}"
+                ));
+            }
+            if num("donations") != Some(0.0) {
+                fail("sequential row reports donations".to_string());
+            }
+            if num("task_spans") != Some(0.0) {
+                fail("sequential row reports task spans".to_string());
+            }
+        } else {
+            // Parallel probes hit the frozen base and the overlay shard:
+            // at most two tracked probes per KB query, at least one when
+            // the stores are monolithic (sharded spill hits untracked).
+            if probes > 2.0 * kb_queries || (shards == 1.0 && probes < kb_queries) {
+                fail(format!(
+                    "parallel probes {probes} outside [kb_queries, 2·kb_queries] \
+                     = [{kb_queries}, {}]",
+                    2.0 * kb_queries
+                ));
+            }
+            if num("task_spans").unwrap_or(0.0) < 1.0 {
+                fail("parallel row reports no task spans".to_string());
+            }
+        }
+        // The memory ledger: present, and bytes can't undercut one byte
+        // per node (profile rows are preloaded, so the store is nonempty).
+        match (num("mem_nodes"), num("mem_bytes")) {
+            (Some(nodes), Some(bytes)) if nodes >= 1.0 && bytes >= nodes => {}
+            (Some(nodes), Some(bytes)) => fail(format!(
+                "memory ledger implausible: nodes={nodes} bytes={bytes}"
+            )),
+            _ => fail("missing mem_nodes/mem_bytes columns".to_string()),
+        }
+        checked += 1;
+        report.push_str(&format!("{label:<44} ledger balanced\n"));
+    }
+    if checked == 0 {
+        failures.push("no profile rows (experiment *-profile) found".to_string());
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "{report}bench_compare: OK ({checked} profile rows, all ledger invariants hold)"
+        ))
     } else {
         Err(format!(
             "{report}bench_compare: FAIL\n{}",
@@ -519,5 +700,106 @@ mod tests {
         );
         let err = compare(&rows(T2_BASE), &cand, 2.0, Gate::T2Graphs).unwrap_err();
         assert!(err.contains("missing"), "{err}");
+    }
+
+    /// A balanced sequential profile row and a balanced parallel one.
+    const PROFILE_OK: &str = r#"
+{"experiment":"t2-profile","query":"triangle","graph":"skewed","backend":"binary","threads":1,"shards":1,"edges":100000,"N":300000,"preload_s":0.5,"solve_s":1.0,"task_spans":0,"task_secs":0,"resolutions":4,"kb_queries":8,"advances":5,"repairs":2,"full_walks":1,"donations":0,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":"0,2","donate_hist":0,"mem_nodes":10,"mem_bytes":160,"mem_depth":5}
+{"experiment":"t2-profile","query":"triangle","graph":"skewed","backend":"binary","threads":4,"shards":1,"edges":100000,"N":300000,"preload_s":0.5,"solve_s":0.4,"task_spans":3,"task_secs":0.9,"resolutions":4,"kb_queries":8,"advances":9,"repairs":0,"full_walks":2,"donations":2,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":0,"donate_hist":2,"mem_nodes":10,"mem_bytes":160,"mem_depth":5}
+"#;
+
+    #[test]
+    fn check_profile_passes_on_balanced_rows() {
+        let report = check_profile(&rows(PROFILE_OK)).unwrap();
+        assert!(report.contains("2 profile rows"), "{report}");
+        // Sequential and parallel rows key apart via the threads column.
+        assert!(report.contains("t2-profile:skewed:binary:t1"), "{report}");
+        assert!(report.contains("t2-profile:skewed:binary:t4"), "{report}");
+    }
+
+    #[test]
+    fn check_profile_fails_on_histogram_counter_mismatch() {
+        // depth_hist totals 3 but resolutions says 4.
+        let bad = rows(
+            r#"{"experiment":"t2-profile","graph":"skewed","threads":1,"N":300000,"resolutions":4,"kb_queries":8,"advances":5,"repairs":2,"full_walks":1,"donations":0,"depth_hist":"0,1,2","walk_hist":"4,2,2","repair_hist":"0,2","donate_hist":0,"mem_nodes":10,"mem_bytes":160}"#,
+        );
+        let err = check_profile(&bad).unwrap_err();
+        assert!(err.contains("depth_hist total 3 != resolutions 4"), "{err}");
+    }
+
+    #[test]
+    fn check_profile_fails_on_sequential_probe_imbalance() {
+        // advances+repairs+full_walks = 7 != kb_queries = 8.
+        let bad = rows(
+            r#"{"experiment":"t2-profile","graph":"skewed","threads":1,"N":300000,"resolutions":4,"kb_queries":8,"advances":4,"repairs":2,"full_walks":1,"donations":0,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":"0,2","donate_hist":0,"mem_nodes":10,"mem_bytes":160}"#,
+        );
+        let err = check_profile(&bad).unwrap_err();
+        assert!(err.contains("!= kb_queries"), "{err}");
+    }
+
+    #[test]
+    fn check_profile_relaxes_sequential_balance_on_sharded_stores() {
+        // Same 7-probe deficit, but shards=4: the sharded wrapper answers
+        // boundary-spill hits untracked, so probes <= kb_queries is the
+        // invariant there — the row must pass.
+        let sharded = rows(
+            r#"{"experiment":"t2-profile","graph":"skewed","threads":1,"shards":4,"N":300000,"task_spans":0,"resolutions":4,"kb_queries":8,"advances":4,"repairs":2,"full_walks":1,"donations":0,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":"0,2","donate_hist":0,"mem_nodes":10,"mem_bytes":160}"#,
+        );
+        let report = check_profile(&sharded).unwrap();
+        assert!(report.contains("1 profile rows"), "{report}");
+        // But the upper bound still holds: more tracked probes than KB
+        // queries is impossible sequentially, sharded or not.
+        let bad = rows(
+            r#"{"experiment":"t2-profile","graph":"skewed","threads":1,"shards":4,"N":300000,"task_spans":0,"resolutions":4,"kb_queries":8,"advances":7,"repairs":2,"full_walks":1,"donations":0,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":"0,2","donate_hist":0,"mem_nodes":10,"mem_bytes":160}"#,
+        );
+        let err = check_profile(&bad).unwrap_err();
+        assert!(err.contains("exceed kb_queries"), "{err}");
+    }
+
+    #[test]
+    fn check_profile_bounds_parallel_probes_and_requires_task_spans() {
+        // 17 probes > 2 × 8 kb_queries, and no task spans recorded.
+        let bad = rows(
+            r#"{"experiment":"t2-profile","graph":"skewed","threads":4,"N":300000,"task_spans":0,"resolutions":4,"kb_queries":8,"advances":15,"repairs":0,"full_walks":2,"donations":0,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":0,"donate_hist":0,"mem_nodes":10,"mem_bytes":160}"#,
+        );
+        let err = check_profile(&bad).unwrap_err();
+        assert!(err.contains("outside [kb_queries"), "{err}");
+        assert!(err.contains("no task spans"), "{err}");
+    }
+
+    #[test]
+    fn check_profile_requires_at_least_one_row() {
+        // Non-profile rows don't count.
+        let err = check_profile(&rows(T2_BASE)).unwrap_err();
+        assert!(err.contains("no profile rows"), "{err}");
+    }
+
+    #[test]
+    fn profile_rows_are_skipped_not_ratcheted() {
+        // A profile row 10x slower with grown "resolutions" (metrics-on,
+        // scheduling-dependent) must not fail the gate — it is skipped
+        // with a report line, like a null-RSS reading. The t2-graphs row
+        // still gates normally.
+        let base = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000}
+{"experiment":"t2-profile","graph":"skewed","threads":4,"edges":100000,"N":300000,"tetris_s":1.5,"resolutions":900000}
+"#,
+        );
+        let cand = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.4,"resolutions":900000}
+{"experiment":"t2-profile","graph":"skewed","threads":4,"edges":100000,"N":300000,"tetris_s":15.0,"resolutions":950000}
+"#,
+        );
+        let report = compare(&base, &cand, 2.0, Gate::T2Graphs).unwrap();
+        assert!(report.contains("not ratcheted"), "{report}");
+        // Same when the candidate predates profile rows entirely (the
+        // skip happens before the candidate lookup).
+        let old_cand = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.4,"resolutions":900000}"#,
+        );
+        let report = compare(&base, &old_cand, 2.0, Gate::T2Graphs).unwrap();
+        assert!(report.contains("not ratcheted"), "{report}");
     }
 }

@@ -1,28 +1,47 @@
-//! Ad-hoc probe-path profiler: run one skewed-graph triangle listing and
-//! dump the full counter breakdown plus phase timings — the numbers the
-//! hot-path work in EXPERIMENTS.md §9 is steered by.
+//! Ad-hoc probe-path profiler: run one skewed-graph triangle listing
+//! with `TetrisConfig::obs` on and dump the merged [`obs::Ledger`] —
+//! phase spans, counter breakdown, the four engine histograms, and the
+//! knowledge base's memory ledger. A thin consumer of the obs layer:
+//! every number printed here comes from the `PlanRun` (no private
+//! timing or counting plumbing of its own), so it can never drift from
+//! what `t2_graphs --profile` records.
+//!
+//! Usage: `probe_profile [edges] [backend] [shards] [threads]`
 //!
 //! Execution goes through the plan layer's single dispatcher
 //! ([`plan::PreparedQuery::execute`]); this bin contains no per-backend
 //! match.
 
-use tetris_join::tetris::{Backend, TetrisConfig};
+use obs::{Phase, Pow2Histogram};
+use tetris_join::tetris::{Backend, Descent, TetrisConfig};
 use tetris_join::triangles::prepared_triangle_join;
 use workload::graphs;
 
+/// Render one histogram as `bucket-range: count` lines (skipping empty
+/// buckets), plus its total for eyeballing the ledger-balance walls.
+fn print_hist(name: &str, h: &Pow2Histogram, against: &str, total: u64) {
+    println!("{name} (total={} == {against}={total}):", h.total());
+    for (k, &c) in h.buckets().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let range = match k {
+            0 => "0".to_string(),
+            1 => "1".to_string(),
+            k => format!("{}..{}", 1u64 << (k - 1), (1u64 << k) - 1),
+        };
+        println!("  {range:>24}  {c}");
+    }
+}
+
 fn main() {
-    let edges: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
-    let backend: Backend = std::env::args()
-        .nth(2)
+    let arg = |i: usize| std::env::args().nth(i);
+    let edges: usize = arg(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let backend: Backend = arg(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(Backend::Binary);
-    let shards: usize = std::env::args()
-        .nth(3)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let shards: usize = arg(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let threads: usize = arg(4).and_then(|s| s.parse().ok()).unwrap_or(1);
     // Seed matches the t2_graphs big-tier skewed instance so counter
     // breakdowns line up with BENCH_pr*.json rows.
     let g = graphs::skewed_graph_with_edges(edges, 2, 0xBEEF);
@@ -32,16 +51,26 @@ fn main() {
         preload: true,
         backend,
         shards,
+        descent: if threads == 1 {
+            Descent::Incremental
+        } else {
+            Descent::Parallel { threads }
+        },
+        preload_threads: threads,
+        obs: true,
         ..Default::default()
     };
-    // Build (incl. preload) and solve timed separately by the plan
-    // layer: `solve_s` is the number comparable with the t2_graphs
-    // `tetris_s` column.
     let run = join.execute(cfg);
-    let (build, solve) = (run.preload_s, run.solve_s);
     let s = &run.output.stats;
+    let l = run.output.obs.as_ref().expect("obs was requested");
+    let mem = run.mem.expect("obs was requested");
+    println!("edges={edges} backend={backend} shards={shards} threads={threads}");
     println!(
-        "edges={edges} backend={backend} shards={shards} build_s={build:.3} solve_s={solve:.3}"
+        "preload_s={:.3} solve_s={:.3} task_slices={} task_secs={:.3}",
+        l.span(Phase::Preload).secs,
+        l.span(Phase::Solve).secs,
+        l.span(Phase::Task).count,
+        l.span(Phase::Task).secs,
     );
     println!(
         "outputs={} resolutions={} splits={} skeleton={} kb_queries={}",
@@ -52,11 +81,21 @@ fn main() {
         s.probe_advances, s.probe_repairs, s.probe_repair_fasts, s.probe_full_walks
     );
     println!(
-        "kb_inserts={} kb_insert_skips={} loaded={} oracle_probes={}",
-        s.kb_inserts, s.kb_insert_skips, s.loaded_boxes, s.oracle_probes
+        "kb_inserts={} kb_insert_skips={} loaded={} oracle_probes={} donations={}",
+        s.kb_inserts, s.kb_insert_skips, s.loaded_boxes, s.oracle_probes, s.par_donations
+    );
+    println!(
+        "kb mem: nodes={} bytes={} max_depth={}",
+        mem.nodes, mem.bytes, mem.max_depth
     );
     println!(
         "ns_per_resolution={:.1}",
-        solve * 1e9 / s.resolutions.max(1) as f64
+        run.solve_s * 1e9 / s.resolutions.max(1) as f64
     );
+    print_hist("depth_hist", &l.depth, "resolutions", s.resolutions);
+    print_hist("walk_hist", &l.walk, "kb_queries", s.kb_queries);
+    print_hist("repair_hist", &l.repair, "repairs", s.probe_repairs);
+    if s.par_donations > 0 {
+        print_hist("donate_hist", &l.donation, "donations", s.par_donations);
+    }
 }

@@ -26,7 +26,15 @@
 //! `1` = monolithic; `K > 1` wraps the backend in `ShardedBoxStore` and
 //! bulk-builds the preload per shard, on `threads` workers when the row
 //! is parallel); `--seed` overrides every generator's fixed seed, so a
-//! differential failure found elsewhere can be replayed at bench scale.
+//! differential failure found elsewhere can be replayed at bench scale;
+//! `--profile <path>` turns on `TetrisConfig::obs` for every sweep run
+//! and writes one `t2-profile` JSONL row per sweep row to `<path>` (and
+//! appends the same rows to `$TETRIS_BENCH_JSONL`): per-phase spans,
+//! the four engine histograms as CSV cells, and the knowledge base's
+//! `mem_stats` ledger — parsed back by `bench_compare --check-profile`.
+//! Metrics-on runs pay the (small, measured — EXPERIMENTS.md §12)
+//! observation overhead, so snapshot wall-time rows are regenerated
+//! *without* `--profile`.
 //!
 //! Every row asserts `tetris == leapfrog == ground truth`, the sweep
 //! asserts every (backend × threads) listing is **bit-identical** to the
@@ -52,6 +60,38 @@ use workload::loomis;
 const GRAPH_QUERIES: [&str; 3] = ["triangle", "4-cycle", "4-clique"];
 const ALL_QUERIES: [&str; 4] = ["triangle", "4-cycle", "4-clique", "lw3"];
 
+/// Columns of a `--profile` row (experiment `t2-profile`, one row per
+/// sweep row). The `*_hist` cells are `Pow2Histogram::to_csv` strings;
+/// `bench_compare --check-profile` parses them back and asserts the
+/// ledger-balance invariants against the counter columns.
+const PROFILE_COLS: [&str; 25] = [
+    "experiment",
+    "query",
+    "graph",
+    "backend",
+    "threads",
+    "shards",
+    "edges",
+    "N",
+    "preload_s",
+    "solve_s",
+    "task_spans",
+    "task_secs",
+    "resolutions",
+    "kb_queries",
+    "advances",
+    "repairs",
+    "full_walks",
+    "donations",
+    "depth_hist",
+    "walk_hist",
+    "repair_hist",
+    "donate_hist",
+    "mem_nodes",
+    "mem_bytes",
+    "mem_depth",
+];
+
 struct Args {
     tier: String,
     queries: Vec<String>,
@@ -59,6 +99,7 @@ struct Args {
     backends: Vec<Backend>,
     shards: Vec<usize>,
     seed: Option<u64>,
+    profile: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -69,6 +110,7 @@ fn parse_args() -> Args {
         backends: vec![Backend::Binary, Backend::Radix, Backend::Arena],
         shards: vec![1],
         seed: None,
+        profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -131,6 +173,9 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| usage(&format!("bad seed {s:?} (expected a u64)"))),
                 );
             }
+            "--profile" => {
+                args.profile = Some(it.next().unwrap_or_else(|| usage("--profile needs a path")));
+            }
             other if !other.starts_with('-') => args.tier = other.to_string(),
             other => usage(&format!("unknown flag {other:?}")),
         }
@@ -142,7 +187,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("t2_graphs: {msg}");
     eprintln!(
         "usage: t2_graphs [smoke|full|big|<edge count>] [--query triangle,4-cycle,4-clique,lw3] \
-         [--threads 1,4,...] [--backend binary,radix,arena] [--shards 1,4,...] [--seed S]"
+         [--threads 1,4,...] [--backend binary,radix,arena] [--shards 1,4,...] [--seed S] \
+         [--profile <path>]"
     );
     std::process::exit(2);
 }
@@ -181,6 +227,7 @@ fn main() {
         "load_s",
         "peak_rss_mb",
     ]);
+    let mut profile: Option<Table> = args.profile.as_ref().map(|_| Table::new(&PROFILE_COLS));
     let graph_queries: Vec<&str> = args
         .queries
         .iter()
@@ -191,6 +238,7 @@ fn main() {
         if args.queries.iter().any(|q| q == "lw3") {
             run_lw3_row(
                 &mut table,
+                &mut profile,
                 edges,
                 args.seed,
                 &args.threads,
@@ -210,11 +258,29 @@ fn main() {
                 continue;
             }
             let g = generate(kind, edges, args.seed);
-            roundtrip_loader(kind, &g, &mut table, &graph_queries, &args);
+            roundtrip_loader(kind, &g, &mut table, &mut profile, &graph_queries, &args);
             eprintln!("  done: {kind} @ {edges} edges");
         }
     }
     table.export("t2-graphs");
+    if let (Some(path), Some(pt)) = (&args.profile, &profile) {
+        // The profile table carries its own `experiment` column, so the
+        // file is self-describing; the same rows are appended verbatim
+        // to $TETRIS_BENCH_JSONL (not via Table::export, which would
+        // prepend a second experiment column).
+        std::fs::write(path, pt.to_jsonl()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        if let Ok(snap) = std::env::var("TETRIS_BENCH_JSONL") {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&snap)
+                .unwrap_or_else(|e| panic!("append {snap}: {e}"));
+            f.write_all(pt.to_jsonl().as_bytes())
+                .unwrap_or_else(|e| panic!("append {snap}: {e}"));
+        }
+        println!("profile rows (experiment t2-profile) -> {path}");
+    }
     println!("{}", table.render());
     println!("all rows: tetris == leapfrog == ground truth ✓ (all queries × backends × threads)");
 }
@@ -238,7 +304,14 @@ fn generate(kind: &str, edges: usize, seed: Option<u64>) -> Graph {
 
 /// Round-trip the graph through the streaming on-disk loader (timed once
 /// per instance), then run every requested graph query on it.
-fn roundtrip_loader(kind: &str, g: &Graph, table: &mut Table, queries: &[&str], args: &Args) {
+fn roundtrip_loader(
+    kind: &str,
+    g: &Graph,
+    table: &mut Table,
+    profile: &mut Option<Table>,
+    queries: &[&str],
+    args: &Args,
+) {
     // Pid-qualified so concurrent sweeps (CI + a developer run) don't
     // race on the same temp file.
     let path = std::env::temp_dir().join(format!(
@@ -272,6 +345,7 @@ fn roundtrip_loader(kind: &str, g: &Graph, table: &mut Table, queries: &[&str], 
         .prepare();
         run_sweep(
             table,
+            profile,
             &prepared,
             RowMeta {
                 query: q,
@@ -295,6 +369,7 @@ fn roundtrip_loader(kind: &str, g: &Graph, table: &mut Table, queries: &[&str], 
 /// pairwise hash-join counter.
 fn run_lw3_row(
     table: &mut Table,
+    profile: &mut Option<Table>,
     edges: usize,
     seed: Option<u64>,
     threads: &[usize],
@@ -310,6 +385,7 @@ fn run_lw3_row(
     debug_assert_eq!(n, prepared.input_size());
     run_sweep(
         table,
+        profile,
         &prepared,
         RowMeta {
             query: "lw3",
@@ -347,6 +423,7 @@ struct RowMeta<'a> {
 /// across PRs.
 fn run_sweep(
     table: &mut Table,
+    profile: &mut Option<Table>,
     prepared: &PreparedQuery,
     meta: RowMeta<'_>,
     threads: &[usize],
@@ -385,6 +462,10 @@ fn run_sweep(
                     // preload_s is the honest 1-thread number), parallel
                     // rows build per-shard in parallel.
                     preload_threads: t,
+                    // Profiled sweeps run metrics-on; snapshot wall rows
+                    // are regenerated without --profile, so the ratchet
+                    // never compares on against off.
+                    obs: profile.is_some(),
                     ..Default::default()
                 };
                 let run = prepared.execute(cfg);
@@ -456,6 +537,38 @@ fn run_sweep(
                     peak_rss_bytes()
                         .map_or("null".to_string(), |b| fmt_f(b as f64 / (1024.0 * 1024.0))),
                 ]);
+                if let Some(pt) = profile {
+                    let l = out.obs.as_ref().expect("profile sweeps run with obs on");
+                    let mem = run.mem.expect("profile sweeps read mem_stats");
+                    let task = l.span(obs::Phase::Task);
+                    pt.row(&[
+                        "t2-profile".to_string(),
+                        meta.query.to_string(),
+                        meta.graph.to_string(),
+                        format!("{backend}"),
+                        format!("{t}"),
+                        format!("{shards}"),
+                        format!("{}", meta.edges),
+                        format!("{n}"),
+                        fmt_f(run.preload_s),
+                        fmt_f(run.solve_s),
+                        format!("{}", task.count),
+                        fmt_f(task.secs),
+                        format!("{}", out.stats.resolutions),
+                        format!("{}", out.stats.kb_queries),
+                        format!("{}", out.stats.probe_advances),
+                        format!("{}", out.stats.probe_repairs),
+                        format!("{}", out.stats.probe_full_walks),
+                        format!("{}", out.stats.par_donations),
+                        l.depth.to_csv(),
+                        l.walk.to_csv(),
+                        l.repair.to_csv(),
+                        l.donation.to_csv(),
+                        format!("{}", mem.nodes),
+                        format!("{}", mem.bytes),
+                        format!("{}", mem.max_depth),
+                    ]);
+                }
             }
         }
     }

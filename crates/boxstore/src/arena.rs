@@ -335,6 +335,7 @@ impl ArenaBoxTree {
                 }
                 if lag <= REPAIR_CAP {
                     state.repairs += 1;
+                    state.last_repair_window = lag;
                     if !self.log.summary_may_contain(b) {
                         state.repair_fasts += 1;
                         return self.advance_probe(b, dim, state);
@@ -718,6 +719,31 @@ impl BoxStore for ArenaBoxTree {
 
     fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    fn mem_stats(&self) -> obs::MemStats {
+        // Same tree shape as `BoxTree`: one parent link per node, so a
+        // single stack walk from the root visits each node once.
+        let mut max_depth = 0u64;
+        let mut stack: Vec<(u32, u64)> = vec![(self.root, 0)];
+        while let Some((id, d)) = stack.pop() {
+            max_depth = max_depth.max(d);
+            let node = &self.nodes[id as usize];
+            for child in node.children {
+                if child != NONE {
+                    stack.push((child, d + 1));
+                }
+            }
+            let link = node.meta & LINK_MASK;
+            if link != NONE_LINK {
+                stack.push((link, d + 1));
+            }
+        }
+        obs::MemStats {
+            nodes: self.nodes.len() as u64,
+            bytes: (self.nodes.len() * std::mem::size_of::<ArenaNode>()) as u64,
+            max_depth,
+        }
     }
 
     fn epoch(&self) -> u64 {

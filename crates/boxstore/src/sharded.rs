@@ -127,6 +127,17 @@ impl<S: BoxStore> BoxStore for ShardedBoxStore<S> {
         self.spill.node_count() + self.shards.iter().map(S::node_count).sum::<usize>()
     }
 
+    fn mem_stats(&self) -> obs::MemStats {
+        // Nodes and bytes sum across sub-stores; depth takes the max —
+        // a probe routes to one shard (plus the spill), it never chains
+        // through them.
+        let mut m = self.spill.mem_stats();
+        for s in &self.shards {
+            m.absorb(&s.mem_stats());
+        }
+        m
+    }
+
     fn epoch(&self) -> u64 {
         // A novel insert bumps exactly one sub-epoch; a clear bumps all
         // of them. Either way the sum moves strictly forward, which is

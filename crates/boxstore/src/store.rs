@@ -93,6 +93,14 @@ pub trait BoxStore: Send + Sync + Sized + std::fmt::Debug {
     /// Number of arena nodes (memory diagnostic).
     fn node_count(&self) -> usize;
 
+    /// The store's memory ledger: arena nodes, `size_of`-exact bytes
+    /// held by those arenas, and the longest root-to-node link chain in
+    /// hops (the walk an adversarial full probe would pay). An O(nodes)
+    /// traversal — a diagnostic for profile reports, never called on
+    /// the hot path. Sharded wrappers sum nodes/bytes and max depths
+    /// across sub-stores.
+    fn mem_stats(&self) -> obs::MemStats;
+
     /// The coverage epoch (see [`crate::BoxTree::epoch`] for the
     /// monotonicity contract).
     fn epoch(&self) -> u64;
@@ -194,6 +202,11 @@ pub struct DescentProbe<E> {
     pub repair_fasts: u64,
     /// Probes that fell back to a full walk (diagnostic).
     pub full_walks: u64,
+    /// Insert-log lag of the most recent repair — the repair-window
+    /// size. Written at every `repairs` increment, so an observer that
+    /// sees `repairs` grow across a tracked call reads the window the
+    /// repair scanned here (diagnostic; backends only write it).
+    pub last_repair_window: u64,
 }
 
 impl<E> Default for DescentProbe<E> {
@@ -209,6 +222,7 @@ impl<E> Default for DescentProbe<E> {
             repairs: 0,
             repair_fasts: 0,
             full_walks: 0,
+            last_repair_window: 0,
         }
     }
 }

@@ -376,6 +376,7 @@ impl BoxTree {
                 }
                 if lag <= REPAIR_CAP {
                     state.repairs += 1;
+                    state.last_repair_window = lag;
                     if !self.log.summary_may_contain(b) {
                         // The fingerprint summary proves no lagging insert
                         // contains `b`, so the window scan would come back
@@ -848,6 +849,28 @@ impl BoxStore for BoxTree {
 
     fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    fn mem_stats(&self) -> obs::MemStats {
+        // Every node has exactly one parent link (child or `next`), so
+        // the arena is a tree rooted at `root` and one stack walk visits
+        // each node once.
+        let mut max_depth = 0u64;
+        let mut stack: Vec<(u32, u64)> = vec![(self.root, 0)];
+        while let Some((id, d)) = stack.pop() {
+            max_depth = max_depth.max(d);
+            let node = &self.nodes[id as usize];
+            for link in [node.children[0], node.children[1], node.next] {
+                if link != NONE {
+                    stack.push((link, d + 1));
+                }
+            }
+        }
+        obs::MemStats {
+            nodes: self.nodes.len() as u64,
+            bytes: (self.nodes.len() * std::mem::size_of::<Node>()) as u64,
+            max_depth,
+        }
     }
 
     fn epoch(&self) -> u64 {

@@ -710,6 +710,7 @@ impl RadixBoxTrie {
                 }
                 if lag <= REPAIR_CAP && self.entries_current(state) {
                     state.repairs += 1;
+                    state.last_repair_window = lag;
                     if !self.log.summary_may_contain(b) {
                         // Summary-pruned repair: no lagging insert can
                         // contain `b`, so the advanced frontier alone
@@ -1164,6 +1165,39 @@ impl BoxStore for RadixBoxTrie {
 
     fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    fn mem_stats(&self) -> obs::MemStats {
+        // Interior `ends` links advance to the next dimension's root
+        // (except at the last dimension, where they are terminal
+        // placeholders — never followed); chunk children stay within the
+        // dimension. Each node has one parent link, so the walk visits
+        // each node once. Spill blocks are a side arena: counted in
+        // nodes/bytes, not in depth (they are addressed through their
+        // owning node, not chained).
+        let mut max_depth = 0u64;
+        let mut stack: Vec<(u32, usize, u64)> = vec![(0, 0, 0)];
+        while let Some((id, dim, d)) = stack.pop() {
+            max_depth = max_depth.max(d);
+            let nd = self.nodes[id as usize];
+            for idx in 0..INNER {
+                if nd.ends & (1 << idx) != 0 && dim + 1 < self.n {
+                    stack.push((self.link_of(&nd, idx), dim + 1, d + 1));
+                }
+            }
+            for e in 0..FANOUT {
+                let child = self.child_of(&nd, e);
+                if child != NONE {
+                    stack.push((child, dim, d + 1));
+                }
+            }
+        }
+        obs::MemStats {
+            nodes: (self.nodes.len() + self.spill.len()) as u64,
+            bytes: (self.nodes.len() * std::mem::size_of::<Node>()
+                + self.spill.len() * std::mem::size_of::<Spill>()) as u64,
+            max_depth,
+        }
     }
 
     fn epoch(&self) -> u64 {

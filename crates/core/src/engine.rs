@@ -23,6 +23,7 @@ use boxstore::{
 };
 use boxtrie::RadixBoxTrie;
 use dyadic::{resolve::ordered_resolve, DyadicBox, DyadicInterval, Space};
+use obs::ObsSink;
 
 /// Which [`BoxStore`] backend holds the knowledge base.
 ///
@@ -162,6 +163,14 @@ pub struct TetrisConfig {
     pub preload_threads: usize,
     /// Record a [`TraceEvent`] log of every step (tests/figures only).
     pub trace: bool,
+    /// Collect an [`obs::Ledger`] of phase spans and power-of-two
+    /// histograms (resolution depth, probe walk length, repair window,
+    /// donated-shard size) alongside the counters. Off by default: with
+    /// `obs: false` the engine holds no ledger and every observation
+    /// site is a single `if let` on a `None` — the hot path is
+    /// bit-identical in outputs and counters either way (observation
+    /// never perturbs witness order; see DESIGN.md).
+    pub obs: bool,
 }
 
 impl Default for TetrisConfig {
@@ -177,6 +186,7 @@ impl Default for TetrisConfig {
             shards: 1,
             preload_threads: 1,
             trace: false,
+            obs: false,
         }
     }
 }
@@ -191,6 +201,9 @@ pub struct TetrisOutput {
     pub stats: TetrisStats,
     /// Trace events (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
+    /// Observability ledger (`None` unless [`TetrisConfig::obs`] was
+    /// set). Parallel runs merge every worker's ledger into this one.
+    pub obs: Option<Box<obs::Ledger>>,
 }
 
 /// One suspended `TetrisSkeleton` invocation: the split target is *not*
@@ -272,6 +285,10 @@ pub struct Tetris<'o, O: BoxOracle + ?Sized, S: BoxStore = BoxTree> {
     frontiers: FrontierStack<S::Entry>,
     /// Coverage-epoch memo ([`Descent::RestartMemo`] only).
     marks: CoverageMarks,
+    /// Observability ledger ([`TetrisConfig::obs`] only); the
+    /// `Option<Box<_>>` [`obs::ObsSink`] impl makes each observation
+    /// site a single branch when off.
+    pub(crate) obs: Option<Box<obs::Ledger>>,
 }
 
 impl<'o, O: BoxOracle + ?Sized> Tetris<'o, O> {
@@ -335,6 +352,7 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
             probe: DescentProbe::new(),
             frontiers: FrontierStack::new(),
             marks: CoverageMarks::new(),
+            obs: config.obs.then(Box::default),
         };
         if config.preload {
             // The bulk build: sequential single pass on monolithic
@@ -439,6 +457,7 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
             tuples,
             stats: self.stats,
             trace: self.trace,
+            obs: self.obs,
         }
     }
 
@@ -528,10 +547,17 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                 }
                 if !known_uncovered {
                     self.stats.kb_queries += 1;
-                    if let Some(a) =
-                        self.kb
-                            .find_containing_tracked(&cur, probe_dim, &mut self.probe)
-                    {
+                    let repairs_before = self.probe.repairs;
+                    let hit = self
+                        .kb
+                        .find_containing_tracked(&cur, probe_dim, &mut self.probe);
+                    if let Some(l) = &mut self.obs {
+                        l.observe_walk(self.probe.entries.len() as u64);
+                        if self.probe.repairs > repairs_before {
+                            l.observe_repair(self.probe.last_repair_window);
+                        }
+                    }
+                    if let Some(a) = hit {
                         debug_assert_eq!(self.kb.find_containing(&cur), Some(a));
                         self.emit(|| TraceEvent::CoveredBy {
                             target: cur,
@@ -636,6 +662,9 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                             "Lemma C.1 invariant violated: witnesses must be ordered-resolvable",
                         );
                         self.stats.count_resolution(dim);
+                        if let Some(l) = &mut self.obs {
+                            l.observe_depth(self.stack.len() as u64);
+                        }
                         self.emit(|| TraceEvent::Resolve {
                             w1,
                             w2: witness,
@@ -803,6 +832,11 @@ pub trait PreparedEngine<'o> {
     fn check_cover(self: Box<Self>) -> (bool, TetrisStats);
     /// Boxes currently in the knowledge base (after any preload).
     fn knowledge_size(&self) -> usize;
+    /// The knowledge base's memory ledger ([`BoxStore::mem_stats`]):
+    /// arena nodes, exact bytes, deepest link chain. Cheap relative to a
+    /// solve but it walks every node — meant for once-per-run reporting,
+    /// not the hot path.
+    fn mem_stats(&self) -> obs::MemStats;
 }
 
 impl<'o, O: BoxOracle + ?Sized, S: BoxStore> PreparedEngine<'o> for Tetris<'o, O, S> {
@@ -820,6 +854,10 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> PreparedEngine<'o> for Tetris<'o, O
 
     fn knowledge_size(&self) -> usize {
         Tetris::knowledge_size(self)
+    }
+
+    fn mem_stats(&self) -> obs::MemStats {
+        self.kb.mem_stats()
     }
 }
 

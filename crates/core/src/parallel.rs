@@ -54,6 +54,7 @@ use crate::TetrisStats;
 use boxstore::{BoxOracle, BoxStore, DescentProbe, FrontierStack, StoreTuning};
 use dyadic::{resolve::ordered_resolve, DyadicBox, DyadicInterval, Space};
 use executor::{Pool, Worker};
+use obs::{Ledger, ObsSink, Phase};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -116,9 +117,10 @@ struct Outcome<S> {
     shard: S,
 }
 
-/// What each task contributes to the final merge: its output tuples and
-/// its execution counters.
-type TaskReport = (Vec<Vec<u64>>, TetrisStats);
+/// What each task contributes to the final merge: its output tuples,
+/// its execution counters, and its observability ledger (`None` unless
+/// `TetrisConfig::obs` is set).
+type TaskReport = (Vec<Vec<u64>>, TetrisStats, Option<Box<Ledger>>);
 
 /// Run-wide shared state (borrowed by every worker via the scoped pool).
 struct ParCtx<'a, O: BoxOracle + ?Sized, S> {
@@ -132,6 +134,9 @@ struct ParCtx<'a, O: BoxOracle + ?Sized, S> {
     tuning: StoreTuning,
     /// Cap on a thief's merge-on-return insert log.
     merge_cap: usize,
+    /// Each task carries its own [`Ledger`] when set (merged at report
+    /// collection — the hot path never shares one).
+    obs: bool,
     /// Boolean mode: flip `stop` at the first output anywhere.
     stop_on_first: bool,
     stop: &'a AtomicBool,
@@ -171,6 +176,7 @@ pub(crate) fn run_parallel<O: BoxOracle + ?Sized, S: BoxStore>(
         kb,
         config,
         mut stats,
+        obs: mut run_obs,
         ..
     } = engine;
     assert!(
@@ -195,6 +201,7 @@ pub(crate) fn run_parallel<O: BoxOracle + ?Sized, S: BoxStore>(
         cache_resolvents: config.cache_resolvents,
         tuning,
         merge_cap: config.merge_cap,
+        obs: config.obs,
         stop_on_first,
         stop: &stop,
         scratch: &scratch,
@@ -214,8 +221,11 @@ pub(crate) fn run_parallel<O: BoxOracle + ?Sized, S: BoxStore>(
     // One logical outer-loop pass, like the sequential incremental driver.
     stats.restarts += 1;
     let mut tuples = Vec::new();
-    for (outs, s) in reports.into_inner().expect("report lock poisoned") {
+    for (outs, s, ledger) in reports.into_inner().expect("report lock poisoned") {
         stats.absorb(&s);
+        if let (Some(acc), Some(l)) = (&mut run_obs, &ledger) {
+            acc.absorb(l);
+        }
         tuples.extend(outs);
     }
     // Tasks partition the space, so the streams are disjoint; the sorted
@@ -225,6 +235,7 @@ pub(crate) fn run_parallel<O: BoxOracle + ?Sized, S: BoxStore>(
         tuples,
         stats,
         trace: Vec::new(),
+        obs: run_obs,
     }
 }
 
@@ -261,6 +272,8 @@ struct SubEngine<S: BoxStore> {
     hits: Vec<DyadicBox>,
     point: Vec<u64>,
     cancelled: bool,
+    /// This task's private observability ledger (`ParCtx::obs` only).
+    obs: Option<Box<Ledger>>,
 }
 
 fn run_task<O: BoxOracle + ?Sized, S: BoxStore>(
@@ -283,8 +296,16 @@ fn run_task<O: BoxOracle + ?Sized, S: BoxStore>(
         hits: Vec::new(),
         point: Vec::new(),
         cancelled: false,
+        obs: ctx.obs.then(Box::default),
     };
+    // Time the task slice (root task or served donation) around the
+    // descent only — donation seeding and joins inside it count toward
+    // the slice, the report bookkeeping below does not.
+    let slice_start = ctx.obs.then(std::time::Instant::now);
     let witness = eng.descend(ctx, worker, target, cell.as_deref());
+    if let (Some(t0), Some(l)) = (slice_start, &mut eng.obs) {
+        l.record_span(Phase::Task, t0.elapsed().as_secs_f64());
+    }
     eng.stats.par_tasks = 1;
     eng.stats.probe_advances = eng.base_probe.advances + eng.shard_probe.advances;
     eng.stats.probe_repairs = eng.base_probe.repairs + eng.shard_probe.repairs;
@@ -309,7 +330,7 @@ fn run_task<O: BoxOracle + ?Sized, S: BoxStore>(
     ctx.reports
         .lock()
         .expect("report lock poisoned")
-        .push((eng.outputs, eng.stats));
+        .push((eng.outputs, eng.stats, eng.obs));
 }
 
 impl<S: BoxStore> SubEngine<S> {
@@ -403,6 +424,9 @@ impl<S: BoxStore> SubEngine<S> {
                                  must be ordered-resolvable",
                             );
                             self.stats.count_resolution(dim);
+                            if let Some(l) = &mut self.obs {
+                                l.observe_depth(self.stack.len() as u64);
+                            }
                             if ctx.cache_resolvents {
                                 self.stream_resolvent(ctx, w);
                             }
@@ -430,6 +454,9 @@ impl<S: BoxStore> SubEngine<S> {
                              ordered-resolvable",
                         );
                         self.stats.count_resolution(dim);
+                        if let Some(l) = &mut self.obs {
+                            l.observe_depth(self.stack.len() as u64);
+                        }
                         if ctx.cache_resolvents {
                             self.stream_resolvent(ctx, w);
                         }
@@ -448,14 +475,36 @@ impl<S: BoxStore> SubEngine<S> {
         cur: &DyadicBox,
         probe_dim: usize,
     ) -> Option<DyadicBox> {
-        if let Some(a) = ctx
+        // Repairs are observed per tracked call (a call repairs at most
+        // once), so the repair histogram's total equals `probe_repairs`
+        // exactly; the walk histogram gets one observation per KB query
+        // — the frontier entries across whichever probes ran for it.
+        let base_repairs = self.base_probe.repairs;
+        let hit = ctx
             .base
-            .find_containing_tracked(cur, probe_dim, &mut self.base_probe)
-        {
+            .find_containing_tracked(cur, probe_dim, &mut self.base_probe);
+        if let Some(l) = &mut self.obs {
+            if self.base_probe.repairs > base_repairs {
+                l.observe_repair(self.base_probe.last_repair_window);
+            }
+        }
+        if let Some(a) = hit {
+            if let Some(l) = &mut self.obs {
+                l.observe_walk(self.base_probe.entries.len() as u64);
+            }
             return Some(a);
         }
-        self.shard
-            .find_containing_tracked(cur, probe_dim, &mut self.shard_probe)
+        let shard_repairs = self.shard_probe.repairs;
+        let hit = self
+            .shard
+            .find_containing_tracked(cur, probe_dim, &mut self.shard_probe);
+        if let Some(l) = &mut self.obs {
+            if self.shard_probe.repairs > shard_repairs {
+                l.observe_repair(self.shard_probe.last_repair_window);
+            }
+            l.observe_walk((self.base_probe.entries.len() + self.shard_probe.entries.len()) as u64);
+        }
+        hit
     }
 
     /// Handle an uncovered unit box: output it or load its gap boxes —
@@ -586,6 +635,9 @@ impl<S: BoxStore> SubEngine<S> {
             // `extract_intersecting_into` clears the shard before
             // refilling, so a recycled store starts exact.
             self.shard.extract_intersecting_into(&side1, &mut seed);
+            if let Some(l) = &mut self.obs {
+                l.observe_donation(seed.len() as u64);
+            }
             let cell = Arc::new(DonationCell::new());
             pf.donated = Some(cell.clone());
             self.stats.par_donations += 1;

@@ -1,0 +1,435 @@
+//! Zero-dependency observability layer for the Tetris engine stack:
+//! wall-clock **phase spans**, power-of-two-bucket **histograms**, and
+//! per-backend **memory ledgers** — everything ROADMAP items 1–3 need as
+//! evidence, with nothing the metrics-off hot path has to pay for.
+//!
+//! # Design
+//!
+//! * Observations go through the [`ObsSink`] trait, whose methods all
+//!   default to no-ops. The engine stores an `Option<Box<Ledger>>`
+//!   (`None` unless `TetrisConfig::obs` is set), and the blanket
+//!   [`ObsSink`] impls for `Option<T>` and `Box<T>` turn every call
+//!   site into a single `is_some` branch when metrics are off — no
+//!   allocation, no locks, no time syscalls. [`NullSink`] is the
+//!   zero-sized witness that a sink can compile to nothing at all.
+//! * Each worker owns its own [`Ledger`]; parallel runs merge them with
+//!   [`Ledger::absorb`] when task reports are collected — exactly the
+//!   `TetrisStats::absorb` discipline, so the hot path never touches a
+//!   shared ledger.
+//! * Histograms use power-of-two buckets (bucket 0 holds the value 0,
+//!   bucket `k ≥ 1` holds `[2^(k-1), 2^k)`), so one `u64` array covers
+//!   everything from repair-window lags (≤ 64) to donated-shard sizes
+//!   (millions) with no configuration.
+//!
+//! The serialized surface (the `*_hist` cells of profile rows, parsed
+//! back by `bench_compare --check-profile`) is the comma-joined bucket
+//! counts of [`Pow2Histogram::to_csv`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Number of buckets in a [`Pow2Histogram`]: bucket 0 plus one bucket
+/// per power of two up to `2^30`; larger values clamp into the last
+/// bucket.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A fixed-size histogram with power-of-two buckets.
+///
+/// Bucket 0 counts observations of the exact value `0`; bucket `k` for
+/// `1 ≤ k < HIST_BUCKETS-1` counts values in `[2^(k-1), 2^k)` (i.e. the
+/// bucket index is the bit length of the value); the last bucket absorbs
+/// everything `≥ 2^(HIST_BUCKETS-2)`. Observing and merging never
+/// allocate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Pow2Histogram {
+    buckets: [u64; HIST_BUCKETS],
+}
+
+/// The bucket a value lands in: its bit length, clamped.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+impl Pow2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one observation of `v`.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Element-wise merge of another histogram into this one.
+    pub fn absorb(&mut self, other: &Pow2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Comma-joined bucket counts, truncated after the last non-zero
+    /// bucket (`"0"` for an empty histogram) — the profile-row cell
+    /// format, parsed back by [`Pow2Histogram::from_csv`].
+    pub fn to_csv(&self) -> String {
+        let last = self.buckets.iter().rposition(|&c| c != 0).unwrap_or(0);
+        self.buckets[..=last]
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parse a [`Pow2Histogram::to_csv`] cell back into a histogram.
+    /// Returns `None` on malformed input or too many buckets.
+    pub fn from_csv(s: &str) -> Option<Self> {
+        let mut h = Pow2Histogram::new();
+        for (i, tok) in s.split(',').enumerate() {
+            if i >= HIST_BUCKETS {
+                return None;
+            }
+            h.buckets[i] = tok.trim().parse().ok()?;
+        }
+        Some(h)
+    }
+}
+
+/// The engine phases a wall-clock span can be attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Knowledge-base construction (engine build incl. preload).
+    Preload,
+    /// The resolution loop proper.
+    Solve,
+    /// One parallel worker's task slice (root task or served donation).
+    Task,
+}
+
+/// Number of [`Phase`] variants (spans are stored in a fixed array).
+pub const PHASES: usize = 3;
+
+/// Accumulated wall-clock spans for one phase: how many spans were
+/// recorded and their total length.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpanTotals {
+    /// Spans recorded.
+    pub count: u64,
+    /// Total seconds across those spans.
+    pub secs: f64,
+}
+
+/// Memory ledger of one box-store backend: what `BoxStore::mem_stats`
+/// reports, and what the sharded wrapper sums across its sub-stores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Arena nodes allocated (the backend's `node_count`, plus side
+    /// arenas like the radix spill pool).
+    pub nodes: u64,
+    /// Bytes held by those node arenas (`size_of`-exact for the node
+    /// records; excludes the insert ring and transient scratch).
+    pub bytes: u64,
+    /// Longest link chain from a root to any node, in hops — the walk an
+    /// adversarial full probe would pay.
+    pub max_depth: u64,
+}
+
+impl MemStats {
+    /// Merge a sub-store's ledger (shard summing: nodes and bytes add,
+    /// depths take the max — probes fan out by prefix, they don't chain
+    /// through shards).
+    pub fn absorb(&mut self, other: &MemStats) {
+        self.nodes += other.nodes;
+        self.bytes += other.bytes;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
+/// One worker's metrics: the four engine histograms plus per-phase span
+/// totals. Plain data — merged with [`Ledger::absorb`] at scope end,
+/// never shared across threads.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Ledger {
+    /// Resolution depth: descent-stack height at each resolution.
+    pub depth: Pow2Histogram,
+    /// Probe walk length: frontier entries recorded by each KB query.
+    pub walk: Pow2Histogram,
+    /// Repair window size: insert-log lag of each repaired probe.
+    pub repair: Pow2Histogram,
+    /// Donated-shard size: boxes seeded into each donation's overlay.
+    pub donation: Pow2Histogram,
+    /// Wall-clock span totals, indexed by [`Phase`] discriminant.
+    pub spans: [SpanTotals; PHASES],
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The span totals recorded for `phase`.
+    pub fn span(&self, phase: Phase) -> SpanTotals {
+        self.spans[phase as usize]
+    }
+
+    /// Merge another worker's ledger into this one.
+    pub fn absorb(&mut self, other: &Ledger) {
+        self.depth.absorb(&other.depth);
+        self.walk.absorb(&other.walk);
+        self.repair.absorb(&other.repair);
+        self.donation.absorb(&other.donation);
+        for (a, b) in self.spans.iter_mut().zip(&other.spans) {
+            a.count += b.count;
+            a.secs += b.secs;
+        }
+    }
+}
+
+/// Where the engine's observation sites report to.
+///
+/// Every method defaults to a no-op, so a sink type pays only for what
+/// it overrides — and the blanket `Option<T>` impl makes a disabled
+/// sink one branch per site. Observation sites must never influence
+/// control flow: a sink sees values, it cannot answer anything.
+pub trait ObsSink {
+    /// A resolution happened with the descent stack `depth` frames tall.
+    #[inline]
+    fn observe_depth(&mut self, _depth: u64) {}
+    /// A KB query finished having recorded `len` frontier entries.
+    #[inline]
+    fn observe_walk(&mut self, _len: u64) {}
+    /// A probe was repaired against a `window`-insert log lag.
+    #[inline]
+    fn observe_repair(&mut self, _window: u64) {}
+    /// A donation seeded an overlay shard with `boxes` boxes.
+    #[inline]
+    fn observe_donation(&mut self, _boxes: u64) {}
+    /// A phase span of `secs` wall-clock seconds completed.
+    #[inline]
+    fn record_span(&mut self, _phase: Phase, _secs: f64) {}
+}
+
+/// The sink that observes nothing: a zero-sized type whose methods are
+/// the trait's default no-ops — the "compiles to nothing" witness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl ObsSink for NullSink {}
+
+impl ObsSink for Ledger {
+    #[inline]
+    fn observe_depth(&mut self, depth: u64) {
+        self.depth.observe(depth);
+    }
+    #[inline]
+    fn observe_walk(&mut self, len: u64) {
+        self.walk.observe(len);
+    }
+    #[inline]
+    fn observe_repair(&mut self, window: u64) {
+        self.repair.observe(window);
+    }
+    #[inline]
+    fn observe_donation(&mut self, boxes: u64) {
+        self.donation.observe(boxes);
+    }
+    #[inline]
+    fn record_span(&mut self, phase: Phase, secs: f64) {
+        let s = &mut self.spans[phase as usize];
+        s.count += 1;
+        s.secs += secs;
+    }
+}
+
+impl<T: ObsSink + ?Sized> ObsSink for Box<T> {
+    #[inline]
+    fn observe_depth(&mut self, depth: u64) {
+        (**self).observe_depth(depth);
+    }
+    #[inline]
+    fn observe_walk(&mut self, len: u64) {
+        (**self).observe_walk(len);
+    }
+    #[inline]
+    fn observe_repair(&mut self, window: u64) {
+        (**self).observe_repair(window);
+    }
+    #[inline]
+    fn observe_donation(&mut self, boxes: u64) {
+        (**self).observe_donation(boxes);
+    }
+    #[inline]
+    fn record_span(&mut self, phase: Phase, secs: f64) {
+        (**self).record_span(phase, secs);
+    }
+}
+
+/// A disabled sink (`None`) is one branch per site; an enabled one
+/// forwards. This is the impl the engine's `Option<Box<Ledger>>` field
+/// rides on.
+impl<T: ObsSink> ObsSink for Option<T> {
+    #[inline]
+    fn observe_depth(&mut self, depth: u64) {
+        if let Some(s) = self {
+            s.observe_depth(depth);
+        }
+    }
+    #[inline]
+    fn observe_walk(&mut self, len: u64) {
+        if let Some(s) = self {
+            s.observe_walk(len);
+        }
+    }
+    #[inline]
+    fn observe_repair(&mut self, window: u64) {
+        if let Some(s) = self {
+            s.observe_repair(window);
+        }
+    }
+    #[inline]
+    fn observe_donation(&mut self, boxes: u64) {
+        if let Some(s) = self {
+            s.observe_donation(boxes);
+        }
+    }
+    #[inline]
+    fn record_span(&mut self, phase: Phase, secs: f64) {
+        if let Some(s) = self {
+            s.record_span(phase, secs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_bit_lengths() {
+        // Bucket 0 is the value 0; bucket k is [2^(k-1), 2^k).
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        for k in 1..HIST_BUCKETS - 1 {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            assert_eq!(bucket_of(lo), k, "lower edge of bucket {k}");
+            assert_eq!(bucket_of(hi), k, "upper edge of bucket {k}");
+        }
+        // Everything past the top boundary clamps into the last bucket.
+        assert_eq!(bucket_of(1 << (HIST_BUCKETS - 2)), HIST_BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn observe_total_and_merge() {
+        let mut a = Pow2Histogram::new();
+        a.observe(0);
+        a.observe(1);
+        a.observe(7);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[3], 1);
+        let mut b = Pow2Histogram::new();
+        b.observe(7);
+        b.observe(1 << 20);
+        b.absorb(&a);
+        assert_eq!(b.total(), 5);
+        assert_eq!(b.buckets()[3], 2);
+        assert_eq!(b.buckets()[21], 1);
+    }
+
+    #[test]
+    fn csv_roundtrip_truncates_after_last_nonzero() {
+        let mut h = Pow2Histogram::new();
+        assert_eq!(h.to_csv(), "0");
+        h.observe(0);
+        h.observe(5);
+        let csv = h.to_csv();
+        assert_eq!(csv, "1,0,0,1");
+        let back = Pow2Histogram::from_csv(&csv).unwrap();
+        assert_eq!(back, h);
+        assert!(Pow2Histogram::from_csv("1,x").is_none());
+        assert!(Pow2Histogram::from_csv(&"0,".repeat(HIST_BUCKETS + 1)).is_none());
+    }
+
+    #[test]
+    fn ledger_routes_and_absorbs() {
+        let mut l = Ledger::new();
+        l.observe_depth(4);
+        l.observe_walk(100);
+        l.observe_repair(3);
+        l.observe_donation(0);
+        l.record_span(Phase::Preload, 0.5);
+        l.record_span(Phase::Task, 0.25);
+        l.record_span(Phase::Task, 0.25);
+        assert_eq!(l.depth.total(), 1);
+        assert_eq!(l.walk.total(), 1);
+        assert_eq!(l.repair.total(), 1);
+        assert_eq!(l.donation.total(), 1);
+        assert_eq!(l.span(Phase::Task).count, 2);
+        assert!((l.span(Phase::Task).secs - 0.5).abs() < 1e-12);
+        assert_eq!(l.span(Phase::Solve).count, 0);
+
+        let mut m = Ledger::new();
+        m.observe_depth(4);
+        m.record_span(Phase::Task, 1.0);
+        m.absorb(&l);
+        assert_eq!(m.depth.total(), 2);
+        assert_eq!(m.span(Phase::Task).count, 3);
+        assert!((m.span(Phase::Task).secs - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_sink_is_zero_sized_and_inert() {
+        assert_eq!(std::mem::size_of::<NullSink>(), 0);
+        let mut s = NullSink;
+        s.observe_depth(1);
+        s.observe_walk(2);
+        s.observe_repair(3);
+        s.observe_donation(4);
+        s.record_span(Phase::Solve, 1.0);
+        // Nothing to assert on NullSink itself — the point is it has no
+        // state. The Option impl must be one branch when disabled:
+        let mut off: Option<Ledger> = None;
+        off.observe_depth(9);
+        off.record_span(Phase::Solve, 9.0);
+        assert!(off.is_none());
+        let mut on: Option<Box<Ledger>> = Some(Box::default());
+        on.observe_depth(9);
+        assert_eq!(on.as_ref().unwrap().depth.total(), 1);
+    }
+
+    #[test]
+    fn mem_stats_absorb_sums_and_maxes() {
+        let mut m = MemStats {
+            nodes: 10,
+            bytes: 160,
+            max_depth: 5,
+        };
+        m.absorb(&MemStats {
+            nodes: 3,
+            bytes: 48,
+            max_depth: 9,
+        });
+        assert_eq!(m.nodes, 13);
+        assert_eq!(m.bytes, 208);
+        assert_eq!(m.max_depth, 9);
+        m.absorb(&MemStats::default());
+        assert_eq!(m.max_depth, 9);
+    }
+}

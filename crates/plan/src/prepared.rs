@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use baseline::leapfrog::{leapfrog_join, LeapfrogStats};
 use baseline::JoinSpec;
+use obs::ObsSink;
 use query::Hypergraph;
 use relation::{IndexedRelation, JoinOracle, Relation};
 use tetris_core::{prepare_with_config, TetrisConfig, TetrisOutput, TetrisStats};
@@ -31,13 +32,19 @@ pub enum ExtraIndex {
 /// One execution of a prepared query, with the preload and solve phases
 /// timed separately (the split every bench row reports).
 pub struct PlanRun {
-    /// The engine output: tuples in SAO coordinates, stats, trace.
+    /// The engine output: tuples in SAO coordinates, stats, trace, and
+    /// (under `TetrisConfig::obs`) the merged observability ledger with
+    /// the `Preload`/`Solve` spans recorded from this run's timers.
     pub output: TetrisOutput,
     /// Seconds spent constructing the engine (preloading the knowledge
     /// base when `config.preload` is set).
     pub preload_s: f64,
     /// Seconds spent in the resolution loop proper.
     pub solve_s: f64,
+    /// The knowledge base's memory ledger, read after engine
+    /// construction (post-preload, pre-solve). `None` unless
+    /// `TetrisConfig::obs` is set.
+    pub mem: Option<obs::MemStats>,
 }
 
 /// A join query with chosen SAO and built indexes, ready to run.
@@ -209,13 +216,25 @@ impl PreparedQuery {
         let t0 = Instant::now();
         let engine = prepare_with_config(&oracle, config);
         let preload_s = t0.elapsed().as_secs_f64();
+        // The memory ledger is read between the phases: post-preload, so
+        // a preloaded store is fully built, pre-solve, so the walk is
+        // not racing the resolution loop.
+        let mem = config.obs.then(|| engine.mem_stats());
         let t1 = Instant::now();
-        let output = engine.run();
+        let mut output = engine.run();
         let solve_s = t1.elapsed().as_secs_f64();
+        // The ledger's Preload/Solve spans are these same two timers —
+        // the engine cannot record them itself (construction and the
+        // terminal call are separate dispatches by design).
+        if let Some(l) = &mut output.obs {
+            l.record_span(obs::Phase::Preload, preload_s);
+            l.record_span(obs::Phase::Solve, solve_s);
+        }
         PlanRun {
             output,
             preload_s,
             solve_s,
+            mem,
         }
     }
 

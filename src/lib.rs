@@ -8,6 +8,7 @@
 //! * [`plan`] — the plan → prepare → execute pipeline and the query zoo.
 //! * [`tetris`] — the Tetris algorithm and its variants.
 //! * [`baseline`] — comparison join algorithms.
+//! * [`obs`] — opt-in metrics: phase spans, counters, histograms.
 //! * [`workload`] — instance generators for tests and benchmarks.
 
 pub mod prepared;
@@ -17,6 +18,7 @@ pub use baseline;
 pub use boxstore;
 pub use boxtrie;
 pub use dyadic;
+pub use obs;
 pub use plan;
 pub use query;
 pub use relation;

@@ -207,6 +207,58 @@ fn skew_triangle_m8_counters_are_pinned() {
     assert_eq!(rel.stats.kb_inserts + rel.stats.kb_insert_skips, 329);
 }
 
+/// The observability histograms (PR 9) pinned on the same two fixed
+/// instances, as bucket CSVs (`obs::Pow2Histogram::to_csv`: bucket 0 is
+/// value 0, bucket k counts values in `[2^(k-1), 2^k)`).
+///
+/// These follow the same update protocol as the counter pins above —
+/// and because each histogram's total IS a pinned counter (depth ↔
+/// `resolutions`, walk ↔ `kb_queries`, repair ↔ `probe_repairs`), a
+/// histogram pin can only move in a PR where the counter pin moved or
+/// the *distribution* shifted (e.g. a probe-layer change that keeps the
+/// query count but changes walk lengths). Both are engine-behaviour
+/// changes that must be taken deliberately.
+#[test]
+fn obs_histograms_are_pinned() {
+    let cfg = TetrisConfig {
+        preload: true,
+        obs: true,
+        ..Default::default()
+    };
+
+    let oracle = example_4_4();
+    let out = Tetris::with_config(&oracle, cfg).run();
+    let l = out.obs.as_ref().expect("obs requested");
+    assert_eq!(l.depth.to_csv(), "0,1,5,2", "ex4.4 resolution depths");
+    assert_eq!(l.walk.to_csv(), "6,9,2", "ex4.4 probe walk lengths");
+    assert_eq!(l.repair.to_csv(), "0,0,1", "ex4.4 repair windows");
+
+    let width = 6u8;
+    let inst = triangle::skew_triangle(8, width);
+    let join = PreparedJoin::builder(width)
+        .atom("R", &inst.r, &["A", "B"])
+        .atom("S", &inst.s, &["B", "C"])
+        .atom("T", &inst.t, &["A", "C"])
+        .build();
+    let run = join.execute(cfg);
+    let l = run.output.obs.as_ref().expect("obs requested");
+    assert_eq!(
+        l.depth.to_csv(),
+        "0,1,2,19,103,58",
+        "skew(8) resolution depths"
+    );
+    assert_eq!(l.walk.to_csv(), "160,90,117", "skew(8) probe walk lengths");
+    assert_eq!(
+        l.repair.to_csv(),
+        "0,0,36,49,46,4,1",
+        "skew(8) repair windows"
+    );
+    // The memory ledger on the preloaded binary store is as pinnable as
+    // any counter: nodes and bytes are decided by the insert sequence.
+    let mem = run.mem.expect("obs requested");
+    assert_eq!((mem.nodes, mem.bytes, mem.max_depth), (443, 7088, 14));
+}
+
 /// Which `TetrisStats` counters the parallel descent pins and which it
 /// lets float.
 ///
