@@ -8,6 +8,8 @@
 //! ```text
 //! bench_compare <baseline.jsonl> <candidate.jsonl> [--max-ratio R] [--gate skew400|t2-graphs]
 //! bench_compare --check-profile <profile.jsonl>
+//! bench_compare --check-chrome <trace.json>
+//! bench_compare --check-provenance <provenance.jsonl>
 //! ```
 //!
 //! Rows are keyed by `(experiment[:graph], N, k)`; every key present in
@@ -45,9 +47,31 @@
 //! probes undercount queries there. Parallel rows bound it at
 //! `2·kb_queries` (frozen base + overlay shard per query) and, when
 //! monolithic, from below at `kb_queries`.
+//!
+//! Rows carrying an `attr` cell (the SAO-prefix attribution ledger,
+//! written since PR 10) additionally must balance: the per-prefix
+//! resolution counts sum to the row's `resolutions` column **exactly in
+//! every mode** (the attribution site is adjacent to the resolution
+//! counter and worker ledgers merge losslessly), re-resolutions never
+//! exceed resolutions, attributed inserts never exceed `kb_inserts`
+//! (preload bulk builds are unattributed), and repair hits never exceed
+//! `repairs`. The report names each row's top-3 hottest prefixes.
+//!
+//! `--check-chrome` validates a `t2_graphs --trace-out` file: a Chrome
+//! trace-event JSON array with one complete (`"ph":"X"`) event object
+//! per line, every event carrying numeric `ts`/`dur`/`pid`/`tid` — each
+//! line is re-parsed with the same flat-object JSONL parser the
+//! snapshots use. `--check-provenance` validates a `t2_graphs
+//! --provenance` file: every `t2-provenance` row must carry the replay
+//! fields (query, generator seed, backend/shards/threads, counters) and
+//! an attribution ledger balancing its own `resolutions` column.
+//! Provenance rows are replay metadata, never ratchet material —
+//! `compare` skips them with an explicit report line just like profile
+//! rows (they are not written to snapshots, but a stray append must
+//! never gate).
 
 use bench::{parse_jsonl_row, row_field, JsonValue};
-use obs::Pow2Histogram;
+use obs::{AttributionLedger, Pow2Histogram};
 
 /// The skew400 gate row: skew triangle at m = 400 (N = 3·(2·400+1) = 2403).
 const GATE_N: f64 = 2403.0;
@@ -65,8 +89,8 @@ enum Gate {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mut paths, mut max_ratio, mut gate, mut profile_mode) =
-        (Vec::new(), 2.0f64, Gate::Skew400, false);
+    let (mut paths, mut max_ratio, mut gate) = (Vec::new(), 2.0f64, Gate::Skew400);
+    let (mut profile_mode, mut chrome_mode, mut provenance_mode) = (false, false, false);
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--max-ratio" {
@@ -82,16 +106,35 @@ fn main() {
             };
         } else if a == "--check-profile" {
             profile_mode = true;
+        } else if a == "--check-chrome" {
+            chrome_mode = true;
+        } else if a == "--check-provenance" {
+            provenance_mode = true;
         } else {
             paths.push(a.clone());
         }
     }
-    if profile_mode {
-        if paths.len() != 1 {
-            eprintln!("usage: bench_compare --check-profile <profile.jsonl>");
+    let check_modes = [
+        (profile_mode, "--check-profile"),
+        (chrome_mode, "--check-chrome"),
+        (provenance_mode, "--check-provenance"),
+    ];
+    if let Some((_, flag)) = check_modes.iter().find(|(on, _)| *on) {
+        if paths.len() != 1 || check_modes.iter().filter(|(on, _)| *on).count() != 1 {
+            eprintln!("usage: bench_compare {flag} <file>");
             std::process::exit(2);
         }
-        match check_profile(&load(&paths[0])) {
+        let result = if chrome_mode {
+            let path = &paths[0];
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            check_chrome(&text)
+        } else if provenance_mode {
+            check_provenance(&load(&paths[0]))
+        } else {
+            check_profile(&load(&paths[0]))
+        };
+        match result {
             Ok(report) => println!("{report}"),
             Err(report) => {
                 eprintln!("{report}");
@@ -104,7 +147,9 @@ fn main() {
         eprintln!(
             "usage: bench_compare <baseline.jsonl> <candidate.jsonl> \
              [--max-ratio R] [--gate skew400|t2-graphs] | \
-             bench_compare --check-profile <profile.jsonl>"
+             bench_compare --check-profile <profile.jsonl> | \
+             bench_compare --check-chrome <trace.json> | \
+             bench_compare --check-provenance <provenance.jsonl>"
         );
         std::process::exit(2);
     }
@@ -192,6 +237,17 @@ fn is_profile_row(row: &Row) -> bool {
         .is_some_and(|e| e.ends_with("-profile"))
 }
 
+/// Provenance rows (experiment `*-provenance`): replayable run records
+/// from `t2_graphs --provenance`. They are written to their own file,
+/// never to the snapshot — but a stray append must never gate, so
+/// `compare` skips them explicitly (they also lack the `N` column, so
+/// this is belt and suspenders over the key() skip).
+fn is_provenance_row(row: &Row) -> bool {
+    row_field(row, "experiment")
+        .and_then(|v| v.as_str())
+        .is_some_and(|e| e.ends_with("-provenance"))
+}
+
 /// Pure comparison logic (unit-tested below): `Ok(report)` when the gate
 /// holds, `Err(report)` when it fails.
 fn compare(
@@ -204,6 +260,13 @@ fn compare(
     let mut gate_checked = false;
     let mut failures = Vec::new();
     for brow in baseline {
+        if is_provenance_row(brow) {
+            report.push_str(
+                "provenance row — replay metadata, checked by --check-provenance, \
+                 not ratcheted\n",
+            );
+            continue;
+        }
         let Some(bkey) = key(brow) else { continue };
         // Skipped *before* the candidate lookup, so a profile experiment
         // present on only one side (older snapshots predate them) is
@@ -424,6 +487,31 @@ fn check_profile(rows: &[Row]) -> Result<String, String> {
             )),
             _ => fail("missing mem_nodes/mem_bytes columns".to_string()),
         }
+        // The attribution cell (profiles emitted since the provenance
+        // work carry one; older snapshots are tolerated with a visible
+        // skip line, never a silent pass).
+        match row_field(row, "attr") {
+            Some(_) => {
+                if let Some(attr) = check_attr(row, "repairs", &mut fail) {
+                    let top: Vec<String> = attr
+                        .top_k(3)
+                        .into_iter()
+                        .map(|(i, r)| format!("{}:{}", attr.label(i), r.resolutions))
+                        .collect();
+                    report.push_str(&format!(
+                        "{label:<44} hottest prefixes  {}\n",
+                        if top.is_empty() {
+                            "-".to_string()
+                        } else {
+                            top.join("  ")
+                        }
+                    ));
+                }
+            }
+            None => report.push_str(&format!(
+                "{label:<44} no attr cell (pre-attribution profile) — skipped\n"
+            )),
+        }
         checked += 1;
         report.push_str(&format!("{label:<44} ledger balanced\n"));
     }
@@ -433,6 +521,200 @@ fn check_profile(rows: &[Row]) -> Result<String, String> {
     if failures.is_empty() {
         Ok(format!(
             "{report}bench_compare: OK ({checked} profile rows, all ledger invariants hold)"
+        ))
+    } else {
+        Err(format!(
+            "{report}bench_compare: FAIL\n{}",
+            failures.join("\n")
+        ))
+    }
+}
+
+/// The attribution-ledger invariants shared by profile and provenance
+/// rows: the `attr` cell parses, its per-prefix resolutions sum to the
+/// row's `resolutions` column **exactly** (the attribution site is
+/// adjacent to the resolution counter and worker ledgers merge
+/// losslessly, so this holds in every backend × sharding × thread
+/// mode), re-resolutions never exceed resolutions (each re-derivation
+/// was first a resolution), attributed inserts never exceed
+/// `kb_inserts` (preload bulk builds are deliberately unattributed),
+/// and repair hits never exceed the row's repair counter (a hit is a
+/// repair whose window scan surfaced a containing box). Violations go
+/// through `fail`; the parsed ledger comes back for reporting.
+fn check_attr(
+    row: &Row,
+    repairs_col: &str,
+    fail: &mut dyn FnMut(String),
+) -> Option<AttributionLedger> {
+    let num = |k: &str| row_field(row, k).and_then(|v| v.as_num());
+    let Some(csv) = row_field(row, "attr").and_then(|v| v.as_str()) else {
+        fail("missing attr cell".to_string());
+        return None;
+    };
+    let Some(attr) = AttributionLedger::from_csv(csv) else {
+        fail(format!("malformed attr cell: {csv}"));
+        return None;
+    };
+    match num("resolutions") {
+        Some(res) if attr.resolutions() as f64 == res => {}
+        other => fail(format!(
+            "attr resolutions {} != resolutions column {other:?} \
+             (the prefix sum is exact in every mode)",
+            attr.resolutions()
+        )),
+    }
+    if attr.re_resolutions() > attr.resolutions() {
+        fail(format!(
+            "attr re_resolutions {} exceed attr resolutions {}",
+            attr.re_resolutions(),
+            attr.resolutions()
+        ));
+    }
+    if let Some(kb) = num("kb_inserts") {
+        if attr.inserts() as f64 > kb {
+            fail(format!(
+                "attr inserts {} exceed kb_inserts {kb}",
+                attr.inserts()
+            ));
+        }
+    }
+    if let Some(reps) = num(repairs_col) {
+        if attr.repair_hits() as f64 > reps {
+            fail(format!(
+                "attr repair_hits {} exceed {repairs_col} {reps}",
+                attr.repair_hits()
+            ));
+        }
+    }
+    Some(attr)
+}
+
+/// Well-formedness check over a `t2_graphs --trace-out` file
+/// (`--check-chrome`): a Chrome trace-event JSON array with one event
+/// object per line, each a complete event (`"ph":"X"`) carrying string
+/// `name`/`cat` and numeric `ts`/`dur`/`pid`/`tid` — every line is
+/// re-parsed with the same flat-object parser the snapshots use.
+/// `Ok(report)` iff every event holds and at least one event exists.
+fn check_chrome(text: &str) -> Result<String, String> {
+    let mut failures = Vec::new();
+    let trimmed = text.trim();
+    if !(trimmed.starts_with('[') && trimmed.ends_with(']')) {
+        failures.push("file is not a JSON array".to_string());
+    }
+    let mut events = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        let mut fail = |msg: String| failures.push(format!("line {}: {msg}", i + 1));
+        let Some(ev) = parse_jsonl_row(line) else {
+            fail("not a flat JSON event object".to_string());
+            continue;
+        };
+        events += 1;
+        for f in ["name", "cat", "ph"] {
+            if row_field(&ev, f).and_then(|v| v.as_str()).is_none() {
+                fail(format!("missing string field {f}"));
+            }
+        }
+        match row_field(&ev, "ph").and_then(|v| v.as_str()) {
+            Some("X") | None => {}
+            Some(ph) => fail(format!("ph {ph:?} is not a complete event")),
+        }
+        for f in ["ts", "dur", "pid", "tid"] {
+            if row_field(&ev, f).and_then(|v| v.as_num()).is_none() {
+                fail(format!("missing numeric field {f}"));
+            }
+        }
+    }
+    if events == 0 {
+        failures.push("no trace events found".to_string());
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "bench_compare: OK ({events} chrome trace events, all well-formed)"
+        ))
+    } else {
+        Err(format!("bench_compare: FAIL\n{}", failures.join("\n")))
+    }
+}
+
+/// Fields a provenance row must carry to replay its run: the workload
+/// half stamped by `t2_graphs` (generator, seed, snapshot) and the
+/// config + counter-ledger half stamped by `plan::PlanRun::provenance`.
+const REPLAY_FIELDS: [&str; 21] = [
+    "graph",
+    "edges",
+    "seed",
+    "snapshot",
+    "query",
+    "sao",
+    "width",
+    "input_tuples",
+    "backend",
+    "descent",
+    "threads",
+    "shards",
+    "preload",
+    "obs",
+    "preload_s",
+    "solve_s",
+    "resolutions",
+    "kb_queries",
+    "kb_inserts",
+    "outputs",
+    "attr",
+];
+
+/// Replay-record check over a `t2_graphs --provenance` file
+/// (`--check-provenance`): every row must identify itself as
+/// `t2-provenance`, carry all [`REPLAY_FIELDS`], and its attribution
+/// ledger must balance its own counter columns (provenance sweeps
+/// always run with the observer on, so the cell is mandatory here —
+/// unlike profiles). `Ok(report)` iff every row holds and at least one
+/// row was checked.
+fn check_provenance(rows: &[Row]) -> Result<String, String> {
+    let mut report = String::new();
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let s = |k: &str| {
+            row_field(row, k)
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string()
+        };
+        let n = |k: &str| row_field(row, k).and_then(|v| v.as_num()).unwrap_or(0.0);
+        let label = format!(
+            "row {} {}/{}/{} s{} t{}",
+            i + 1,
+            s("query"),
+            s("graph"),
+            s("backend"),
+            n("shards"),
+            n("threads"),
+        );
+        let mut fail = |msg: String| failures.push(format!("{label}: {msg}"));
+        if row_field(row, "experiment").and_then(|v| v.as_str()) != Some("t2-provenance") {
+            fail("experiment is not t2-provenance".to_string());
+            continue;
+        }
+        for f in REPLAY_FIELDS {
+            if row_field(row, f).is_none() {
+                fail(format!("missing replay field {f}"));
+            }
+        }
+        check_attr(row, "probe_repairs", &mut fail);
+        checked += 1;
+        report.push_str(&format!("{label:<44} replayable\n"));
+    }
+    if checked == 0 {
+        failures.push("no t2-provenance rows found".to_string());
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "{report}bench_compare: OK ({checked} provenance rows, all replayable)"
         ))
     } else {
         Err(format!(
@@ -702,10 +984,12 @@ mod tests {
         assert!(err.contains("missing"), "{err}");
     }
 
-    /// A balanced sequential profile row and a balanced parallel one.
+    /// A balanced sequential profile row and a balanced parallel one,
+    /// both carrying balanced attribution cells (Σ prefix resolutions
+    /// == resolutions, inserts ≤ kb_inserts, repair hits ≤ repairs).
     const PROFILE_OK: &str = r#"
-{"experiment":"t2-profile","query":"triangle","graph":"skewed","backend":"binary","threads":1,"shards":1,"edges":100000,"N":300000,"preload_s":0.5,"solve_s":1.0,"task_spans":0,"task_secs":0,"resolutions":4,"kb_queries":8,"advances":5,"repairs":2,"full_walks":1,"donations":0,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":"0,2","donate_hist":0,"mem_nodes":10,"mem_bytes":160,"mem_depth":5}
-{"experiment":"t2-profile","query":"triangle","graph":"skewed","backend":"binary","threads":4,"shards":1,"edges":100000,"N":300000,"preload_s":0.5,"solve_s":0.4,"task_spans":3,"task_secs":0.9,"resolutions":4,"kb_queries":8,"advances":9,"repairs":0,"full_walks":2,"donations":2,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":0,"donate_hist":2,"mem_nodes":10,"mem_bytes":160,"mem_depth":5}
+{"experiment":"t2-profile","query":"triangle","graph":"skewed","backend":"binary","threads":1,"shards":1,"edges":100000,"N":300000,"preload_s":0.5,"solve_s":1.0,"task_spans":0,"task_secs":0,"resolutions":4,"kb_queries":8,"kb_inserts":5,"advances":5,"repairs":2,"full_walks":1,"donations":0,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":"0,2","donate_hist":0,"mem_nodes":10,"mem_bytes":160,"mem_depth":5,"attr":"k8|3:2,1,2,0|s:2,0,1,1"}
+{"experiment":"t2-profile","query":"triangle","graph":"skewed","backend":"binary","threads":4,"shards":1,"edges":100000,"N":300000,"preload_s":0.5,"solve_s":0.4,"task_spans":3,"task_secs":0.9,"resolutions":4,"kb_queries":8,"kb_inserts":5,"advances":9,"repairs":0,"full_walks":2,"donations":2,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":0,"donate_hist":2,"mem_nodes":10,"mem_bytes":160,"mem_depth":5,"attr":"k8|7:4,1,3,0"}
 "#;
 
     #[test]
@@ -715,6 +999,47 @@ mod tests {
         // Sequential and parallel rows key apart via the threads column.
         assert!(report.contains("t2-profile:skewed:binary:t1"), "{report}");
         assert!(report.contains("t2-profile:skewed:binary:t4"), "{report}");
+        // The attribution report names each row's hottest prefixes, in
+        // k-bit label form, hottest first.
+        assert!(report.contains("hottest prefixes"), "{report}");
+        assert!(report.contains("00000011:2"), "{report}");
+        assert!(report.contains("short:2"), "{report}");
+        assert!(report.contains("00000111:4"), "{report}");
+    }
+
+    #[test]
+    fn check_profile_fails_on_unbalanced_or_malformed_attr() {
+        // Prefix resolutions sum to 3 but the counter column says 4.
+        let unbalanced = rows(
+            r#"{"experiment":"t2-profile","graph":"skewed","threads":1,"N":300000,"resolutions":4,"kb_queries":8,"kb_inserts":5,"advances":5,"repairs":2,"full_walks":1,"donations":0,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":"0,2","donate_hist":0,"mem_nodes":10,"mem_bytes":160,"attr":"k8|3:2,0,2,0|s:1,0,1,0"}"#,
+        );
+        let err = check_profile(&unbalanced).unwrap_err();
+        assert!(err.contains("attr resolutions 3"), "{err}");
+        // A cell that does not parse is a failure, not a silent skip.
+        let malformed = rows(
+            r#"{"experiment":"t2-profile","graph":"skewed","threads":1,"N":300000,"resolutions":4,"kb_queries":8,"advances":5,"repairs":2,"full_walks":1,"donations":0,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":"0,2","donate_hist":0,"mem_nodes":10,"mem_bytes":160,"attr":"q9|nope"}"#,
+        );
+        let err = check_profile(&malformed).unwrap_err();
+        assert!(err.contains("malformed attr cell"), "{err}");
+        // Companion counters are bounded by their engine columns.
+        let excess = rows(
+            r#"{"experiment":"t2-profile","graph":"skewed","threads":1,"N":300000,"resolutions":4,"kb_queries":8,"kb_inserts":2,"advances":5,"repairs":1,"full_walks":2,"donations":0,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":"0,1","donate_hist":0,"mem_nodes":10,"mem_bytes":160,"attr":"k8|3:4,0,3,2"}"#,
+        );
+        let err = check_profile(&excess).unwrap_err();
+        assert!(err.contains("attr inserts 3 exceed kb_inserts 2"), "{err}");
+        assert!(err.contains("attr repair_hits 2 exceed repairs 1"), "{err}");
+    }
+
+    #[test]
+    fn check_profile_tolerates_missing_attr_with_a_visible_skip() {
+        // Pre-attribution profile rows (older snapshots) have no attr
+        // cell: the row still ledger-checks, and the report says the
+        // attribution was skipped rather than silently passing.
+        let old = rows(
+            r#"{"experiment":"t2-profile","graph":"skewed","threads":1,"N":300000,"task_spans":0,"resolutions":4,"kb_queries":8,"advances":5,"repairs":2,"full_walks":1,"donations":0,"depth_hist":"0,1,3","walk_hist":"4,2,2","repair_hist":"0,2","donate_hist":0,"mem_nodes":10,"mem_bytes":160}"#,
+        );
+        let report = check_profile(&old).unwrap();
+        assert!(report.contains("no attr cell"), "{report}");
     }
 
     #[test]
@@ -801,5 +1126,97 @@ mod tests {
         );
         let report = compare(&base, &old_cand, 2.0, Gate::T2Graphs).unwrap();
         assert!(report.contains("not ratcheted"), "{report}");
+    }
+
+    #[test]
+    fn provenance_rows_are_skipped_not_ratcheted() {
+        // A stray provenance append (replay metadata, not a benchmark)
+        // must never gate — skipped with a visible line, and the real
+        // t2-graphs row still gates normally.
+        let base = rows(
+            r#"
+{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.5,"resolutions":900000}
+{"experiment":"t2-provenance","graph":"skewed","edges":100000,"seed":48879,"query":"triangle","backend":"binary","threads":1,"resolutions":900000}
+"#,
+        );
+        let cand = rows(
+            r#"{"experiment":"t2-graphs","graph":"skewed","edges":100000,"N":300000,"triangles":421,"tetris_s":1.4,"resolutions":900000}"#,
+        );
+        let report = compare(&base, &cand, 2.0, Gate::T2Graphs).unwrap();
+        assert!(report.contains("replay metadata"), "{report}");
+    }
+
+    #[test]
+    fn check_chrome_accepts_the_exporters_output() {
+        // Round-trip: build a trace through obs::chrome and verify the
+        // emitted JSON with the same parser CI uses (pins the
+        // one-event-per-line contract the obs module documents).
+        use obs::{chrome::ChromeTrace, Ledger, ObsSink, Phase};
+        let mut l = Ledger::new();
+        l.record_span(Phase::Preload, 0.25);
+        l.record_span(Phase::Solve, 1.5);
+        l.record_span(Phase::Task, 0.75);
+        let mut ct = ChromeTrace::new();
+        ct.push_run("triangle/skewed/binaryx1t2@100000", &l, 1);
+        let report = check_chrome(&ct.to_json()).unwrap();
+        assert!(report.contains("3 chrome trace events"), "{report}");
+    }
+
+    #[test]
+    fn check_chrome_fails_on_malformed_or_empty_traces() {
+        // An empty array is loadable but useless — a traced sweep that
+        // recorded nothing is a failure, not a pass.
+        let err = check_chrome("[\n]\n").unwrap_err();
+        assert!(err.contains("no trace events"), "{err}");
+        // A non-complete phase or a missing lane field fails by line.
+        let err = check_chrome(
+            "[\n{\"name\":\"a\",\"cat\":\"phase\",\"ph\":\"B\",\"ts\":0,\"dur\":1,\"pid\":1,\"tid\":0},\n{\"name\":\"b\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":0,\"pid\":1,\"tid\":0}\n]\n",
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("line 2") && err.contains("not a complete event"),
+            "{err}"
+        );
+        assert!(
+            err.contains("line 3") && err.contains("missing numeric field dur"),
+            "{err}"
+        );
+        // Not an array at all.
+        let err = check_chrome("{\"name\":\"a\"}\n").unwrap_err();
+        assert!(err.contains("not a JSON array"), "{err}");
+    }
+
+    /// A replayable provenance row: every [`REPLAY_FIELDS`] entry plus a
+    /// balanced attribution cell.
+    const PROVENANCE_OK: &str = r#"
+{"experiment":"t2-provenance","graph":"skewed","edges":100000,"seed":48879,"snapshot":"-","query":"triangle","sao":"A,B,C","width":20,"input_tuples":300000,"backend":"binary","descent":"incremental","threads":1,"shards":1,"preload":1,"obs":"true","preload_s":0.5,"solve_s":1.0,"resolutions":4,"kb_queries":8,"kb_inserts":5,"probe_repairs":2,"outputs":421,"attr":"k8|3:2,1,2,0|s:2,0,1,1"}
+"#;
+
+    #[test]
+    fn check_provenance_passes_on_replayable_rows() {
+        let report = check_provenance(&rows(PROVENANCE_OK)).unwrap();
+        assert!(report.contains("1 provenance rows"), "{report}");
+        assert!(report.contains("triangle/skewed/binary"), "{report}");
+    }
+
+    #[test]
+    fn check_provenance_fails_on_missing_fields_or_unbalanced_attr() {
+        // Strip the generator seed: the run is no longer replayable.
+        let no_seed = rows(&PROVENANCE_OK.replace("\"seed\":48879,", ""));
+        let err = check_provenance(&no_seed).unwrap_err();
+        assert!(err.contains("missing replay field seed"), "{err}");
+        // Unlike profiles, provenance sweeps always run with the
+        // observer on — a missing attr cell is a failure here.
+        let no_attr = rows(&PROVENANCE_OK.replace(",\"attr\":\"k8|3:2,1,2,0|s:2,0,1,1\"", ""));
+        let err = check_provenance(&no_attr).unwrap_err();
+        assert!(err.contains("missing replay field attr"), "{err}");
+        assert!(err.contains("missing attr cell"), "{err}");
+        // An attribution ledger that does not balance its own counters.
+        let unbalanced = rows(&PROVENANCE_OK.replace("\"resolutions\":4", "\"resolutions\":5"));
+        let err = check_provenance(&unbalanced).unwrap_err();
+        assert!(err.contains("attr resolutions 4"), "{err}");
+        // A file of non-provenance rows has nothing to certify.
+        let err = check_provenance(&rows(T2_BASE)).unwrap_err();
+        assert!(err.contains("experiment is not t2-provenance"), "{err}");
     }
 }

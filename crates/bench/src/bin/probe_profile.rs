@@ -1,10 +1,13 @@
 //! Ad-hoc probe-path profiler: run one skewed-graph triangle listing
 //! with `TetrisConfig::obs` on and dump the merged [`obs::Ledger`] —
-//! phase spans, counter breakdown, the four engine histograms, and the
-//! knowledge base's memory ledger. A thin consumer of the obs layer:
-//! every number printed here comes from the `PlanRun` (no private
-//! timing or counting plumbing of its own), so it can never drift from
-//! what `t2_graphs --profile` records.
+//! phase spans, counter breakdown, the four engine histograms, the
+//! SAO-prefix attribution table (which dimension-0 subtrees hold the
+//! resolution/re-resolution/repair work), the flight recorder's
+//! kept/dropped accounting (sequential runs trace with the default
+//! bounded ring), and the knowledge base's memory ledger. A thin
+//! consumer of the obs layer: every number printed here comes from the
+//! `PlanRun` (no private timing or counting plumbing of its own), so it
+//! can never drift from what `t2_graphs --profile` records.
 //!
 //! Usage: `probe_profile [edges] [backend] [shards] [threads]`
 //!
@@ -58,6 +61,10 @@ fn main() {
         },
         preload_threads: threads,
         obs: true,
+        // Trace sequential runs so the flight-recorder accounting has
+        // something to report; the default bounded ring makes this safe
+        // at any edge count.
+        trace: threads == 1,
         ..Default::default()
     };
     let run = join.execute(cfg);
@@ -97,5 +104,37 @@ fn main() {
     print_hist("repair_hist", &l.repair, "repairs", s.probe_repairs);
     if s.par_donations > 0 {
         print_hist("donate_hist", &l.donation, "donations", s.par_donations);
+    }
+    // Attribution: which dimension-0 subtrees (k-bit nav prefixes) hold
+    // the work. The resolutions column sums to the counter above exactly
+    // in every mode.
+    println!(
+        "attr (k={} prefix bits; Σres={} == resolutions):",
+        l.attr.prefix_bits(),
+        l.attr.resolutions()
+    );
+    println!(
+        "  {:>24}  {:>12} {:>12} {:>12} {:>12}",
+        "prefix", "resolutions", "re_res", "inserts", "repair_hits"
+    );
+    for (i, r) in l.attr.top_k(8) {
+        println!(
+            "  {:>24}  {:>12} {:>12} {:>12} {:>12}",
+            l.attr.label(i),
+            r.resolutions,
+            r.re_resolutions,
+            r.inserts,
+            r.repair_hits
+        );
+    }
+    // Flight recorder: how much of the run the bounded ring kept.
+    if s.trace_recorded > 0 {
+        println!(
+            "flight recorder: kept={} dropped={} ({:.1}% of {} recorded)",
+            run.output.trace.len(),
+            s.trace_dropped,
+            100.0 * s.trace_dropped as f64 / s.trace_recorded as f64,
+            s.trace_recorded
+        );
     }
 }

@@ -34,7 +34,15 @@
 //! `mem_stats` ledger — parsed back by `bench_compare --check-profile`.
 //! Metrics-on runs pay the (small, measured — EXPERIMENTS.md §12)
 //! observation overhead, so snapshot wall-time rows are regenerated
-//! *without* `--profile`.
+//! *without* `--profile`. `--trace-out <path>` writes a Chrome
+//! trace-event JSON file (Perfetto / `chrome://tracing` loadable) with
+//! one process lane per sweep run — phase spans on thread 0, sampled
+//! task frames on thread 1; `--provenance <path>` writes one replayable
+//! `t2-provenance` JSONL row per sweep run (full `TetrisConfig`,
+//! generator seed and parameters, every counter, the attribution
+//! ledger, and the snapshot path) — validated in CI by `bench_compare
+//! --check-provenance`. Either flag turns `TetrisConfig::obs` on for
+//! the sweep, exactly like `--profile`.
 //!
 //! Every row asserts `tetris == leapfrog == ground truth`, the sweep
 //! asserts every (backend × threads) listing is **bit-identical** to the
@@ -61,10 +69,11 @@ const GRAPH_QUERIES: [&str; 3] = ["triangle", "4-cycle", "4-clique"];
 const ALL_QUERIES: [&str; 4] = ["triangle", "4-cycle", "4-clique", "lw3"];
 
 /// Columns of a `--profile` row (experiment `t2-profile`, one row per
-/// sweep row). The `*_hist` cells are `Pow2Histogram::to_csv` strings;
+/// sweep row). The `*_hist` cells are `Pow2Histogram::to_csv` strings
+/// and `attr` is an `AttributionLedger::to_csv` string;
 /// `bench_compare --check-profile` parses them back and asserts the
 /// ledger-balance invariants against the counter columns.
-const PROFILE_COLS: [&str; 25] = [
+const PROFILE_COLS: [&str; 27] = [
     "experiment",
     "query",
     "graph",
@@ -79,6 +88,7 @@ const PROFILE_COLS: [&str; 25] = [
     "task_secs",
     "resolutions",
     "kb_queries",
+    "kb_inserts",
     "advances",
     "repairs",
     "full_walks",
@@ -87,6 +97,7 @@ const PROFILE_COLS: [&str; 25] = [
     "walk_hist",
     "repair_hist",
     "donate_hist",
+    "attr",
     "mem_nodes",
     "mem_bytes",
     "mem_depth",
@@ -100,6 +111,30 @@ struct Args {
     shards: Vec<usize>,
     seed: Option<u64>,
     profile: Option<String>,
+    trace_out: Option<String>,
+    provenance: Option<String>,
+}
+
+/// Optional per-sweep output sinks beyond the wall table. Any of them
+/// being active turns `TetrisConfig::obs` on for every sweep run (the
+/// chrome lanes and provenance ledgers are read from the run's merged
+/// `Ledger`), so snapshot wall rows are regenerated with all three off.
+struct Sinks {
+    profile: Option<Table>,
+    chrome: Option<obs::chrome::ChromeTrace>,
+    /// Built lazily on the first record — its columns are the provenance
+    /// field names the `plan` crate emits, so the bin never hardcodes
+    /// them; `provenance_on` carries the request until then.
+    provenance: Option<Table>,
+    provenance_on: bool,
+    /// Sweep-run counter — each run gets its own chrome pid lane.
+    runs: u64,
+}
+
+impl Sinks {
+    fn obs_on(&self) -> bool {
+        self.profile.is_some() || self.chrome.is_some() || self.provenance_on
+    }
 }
 
 fn parse_args() -> Args {
@@ -111,6 +146,8 @@ fn parse_args() -> Args {
         shards: vec![1],
         seed: None,
         profile: None,
+        trace_out: None,
+        provenance: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -176,6 +213,18 @@ fn parse_args() -> Args {
             "--profile" => {
                 args.profile = Some(it.next().unwrap_or_else(|| usage("--profile needs a path")));
             }
+            "--trace-out" => {
+                args.trace_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
+                );
+            }
+            "--provenance" => {
+                args.provenance = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--provenance needs a path")),
+                );
+            }
             other if !other.starts_with('-') => args.tier = other.to_string(),
             other => usage(&format!("unknown flag {other:?}")),
         }
@@ -188,7 +237,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: t2_graphs [smoke|full|big|<edge count>] [--query triangle,4-cycle,4-clique,lw3] \
          [--threads 1,4,...] [--backend binary,radix,arena] [--shards 1,4,...] [--seed S] \
-         [--profile <path>]"
+         [--profile <path>] [--trace-out <path>] [--provenance <path>]"
     );
     std::process::exit(2);
 }
@@ -227,7 +276,13 @@ fn main() {
         "load_s",
         "peak_rss_mb",
     ]);
-    let mut profile: Option<Table> = args.profile.as_ref().map(|_| Table::new(&PROFILE_COLS));
+    let mut sinks = Sinks {
+        profile: args.profile.as_ref().map(|_| Table::new(&PROFILE_COLS)),
+        chrome: args.trace_out.as_ref().map(|_| Default::default()),
+        provenance: None,
+        provenance_on: args.provenance.is_some(),
+        runs: 0,
+    };
     let graph_queries: Vec<&str> = args
         .queries
         .iter()
@@ -238,7 +293,7 @@ fn main() {
         if args.queries.iter().any(|q| q == "lw3") {
             run_lw3_row(
                 &mut table,
-                &mut profile,
+                &mut sinks,
                 edges,
                 args.seed,
                 &args.threads,
@@ -258,12 +313,12 @@ fn main() {
                 continue;
             }
             let g = generate(kind, edges, args.seed);
-            roundtrip_loader(kind, &g, &mut table, &mut profile, &graph_queries, &args);
+            roundtrip_loader(kind, &g, &mut table, &mut sinks, &graph_queries, &args);
             eprintln!("  done: {kind} @ {edges} edges");
         }
     }
     table.export("t2-graphs");
-    if let (Some(path), Some(pt)) = (&args.profile, &profile) {
+    if let (Some(path), Some(pt)) = (&args.profile, &sinks.profile) {
         // The profile table carries its own `experiment` column, so the
         // file is self-describing; the same rows are appended verbatim
         // to $TETRIS_BENCH_JSONL (not via Table::export, which would
@@ -281,23 +336,47 @@ fn main() {
         }
         println!("profile rows (experiment t2-profile) -> {path}");
     }
+    if let (Some(path), Some(ct)) = (&args.trace_out, &sinks.chrome) {
+        // Chrome trace-event JSON (array flavour) — load in Perfetto or
+        // chrome://tracing. One pid lane per sweep run.
+        std::fs::write(path, ct.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!(
+            "chrome trace ({} events over {} runs) -> {path}",
+            ct.events().len(),
+            sinks.runs
+        );
+    }
+    if let (Some(path), Some(pv)) = (&args.provenance, &sinks.provenance) {
+        // Replayable run records (experiment t2-provenance). Written to
+        // the requested path only — never appended to the snapshot, so
+        // the ratchet never sees them; `bench_compare --check-provenance`
+        // validates the file in CI.
+        std::fs::write(path, pv.to_jsonl()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("provenance rows (experiment t2-provenance) -> {path}");
+    }
     println!("{}", table.render());
     println!("all rows: tetris == leapfrog == ground truth ✓ (all queries × backends × threads)");
 }
 
+/// The fixed per-family generator seed (`--seed` overrides) — recorded
+/// in every provenance row so a run can be replayed exactly.
+fn default_seed(kind: &str) -> u64 {
+    match kind {
+        "random" => 0xC0FFEE,
+        "skewed" => 0xBEEF,
+        "power-law" => 0xF00D,
+        "lw-random" => 0x1F3D,
+        other => unreachable!("unknown instance kind {other}"),
+    }
+}
+
 /// Deterministic instance per (kind, edge count); `--seed` overrides.
 fn generate(kind: &str, edges: usize, seed: Option<u64>) -> Graph {
+    let seed = seed.unwrap_or_else(|| default_seed(kind));
     match kind {
-        "random" => {
-            graphs::random_graph((edges / 2).max(4) as u64, edges, seed.unwrap_or(0xC0FFEE))
-        }
-        "skewed" => graphs::skewed_graph_with_edges(edges, 2, seed.unwrap_or(0xBEEF)),
-        "power-law" => graphs::power_law_graph(
-            (edges / 2).max(4) as u64,
-            0.8,
-            edges,
-            seed.unwrap_or(0xF00D),
-        ),
+        "random" => graphs::random_graph((edges / 2).max(4) as u64, edges, seed),
+        "skewed" => graphs::skewed_graph_with_edges(edges, 2, seed),
+        "power-law" => graphs::power_law_graph((edges / 2).max(4) as u64, 0.8, edges, seed),
         other => unreachable!("unknown graph kind {other}"),
     }
 }
@@ -308,7 +387,7 @@ fn roundtrip_loader(
     kind: &str,
     g: &Graph,
     table: &mut Table,
-    profile: &mut Option<Table>,
+    sinks: &mut Sinks,
     queries: &[&str],
     args: &Args,
 ) {
@@ -345,7 +424,7 @@ fn roundtrip_loader(
         .prepare();
         run_sweep(
             table,
-            profile,
+            sinks,
             &prepared,
             RowMeta {
                 query: q,
@@ -355,6 +434,7 @@ fn roundtrip_loader(
                 truth,
                 truth_s,
                 load_s,
+                seed: args.seed.unwrap_or_else(|| default_seed(kind)),
             },
             &args.threads,
             &args.backends,
@@ -369,7 +449,7 @@ fn roundtrip_loader(
 /// pairwise hash-join counter.
 fn run_lw3_row(
     table: &mut Table,
-    profile: &mut Option<Table>,
+    sinks: &mut Sinks,
     edges: usize,
     seed: Option<u64>,
     threads: &[usize],
@@ -377,7 +457,8 @@ fn run_lw3_row(
     shards: &[usize],
 ) {
     let width = ((2.0 / 3.0) * (edges.max(8) as f64).log2()).ceil() as u8;
-    let inst = loomis::random_loomis_whitney(3, edges, width, seed.unwrap_or(0x1F3D));
+    let eff_seed = seed.unwrap_or_else(|| default_seed("lw-random"));
+    let inst = loomis::random_loomis_whitney(3, edges, width, eff_seed);
     let (truth, truth_s) = time(|| loomis::count_lw3_hash_join(&inst));
     let refs: Vec<&relation::Relation> = inst.rels.iter().collect();
     let prepared = zoo::loomis_whitney(&refs).prepare();
@@ -385,7 +466,7 @@ fn run_lw3_row(
     debug_assert_eq!(n, prepared.input_size());
     run_sweep(
         table,
-        profile,
+        sinks,
         &prepared,
         RowMeta {
             query: "lw3",
@@ -395,6 +476,7 @@ fn run_lw3_row(
             truth,
             truth_s,
             load_s: 0.0,
+            seed: eff_seed,
         },
         threads,
         backends,
@@ -410,6 +492,8 @@ struct RowMeta<'a> {
     truth: u64,
     truth_s: f64,
     load_s: f64,
+    /// The effective generator seed (family default or `--seed`).
+    seed: u64,
 }
 
 /// The backend × shards × threads sweep for one prepared query: every
@@ -423,7 +507,7 @@ struct RowMeta<'a> {
 /// across PRs.
 fn run_sweep(
     table: &mut Table,
-    profile: &mut Option<Table>,
+    sinks: &mut Sinks,
     prepared: &PreparedQuery,
     meta: RowMeta<'_>,
     threads: &[usize],
@@ -462,14 +546,15 @@ fn run_sweep(
                     // preload_s is the honest 1-thread number), parallel
                     // rows build per-shard in parallel.
                     preload_threads: t,
-                    // Profiled sweeps run metrics-on; snapshot wall rows
-                    // are regenerated without --profile, so the ratchet
-                    // never compares on against off.
-                    obs: profile.is_some(),
+                    // Profiled/traced/provenance sweeps run metrics-on;
+                    // snapshot wall rows are regenerated with all three
+                    // sinks off, so the ratchet never compares on
+                    // against off.
+                    obs: sinks.obs_on(),
                     ..Default::default()
                 };
                 let run = prepared.execute(cfg);
-                let out = run.output;
+                let out = &run.output;
                 let ctx = format!(
                     "{}/{}/{} edges, backend={backend}, threads={t}, shards={shards}",
                     meta.query, meta.graph, meta.edges
@@ -537,7 +622,8 @@ fn run_sweep(
                     peak_rss_bytes()
                         .map_or("null".to_string(), |b| fmt_f(b as f64 / (1024.0 * 1024.0))),
                 ]);
-                if let Some(pt) = profile {
+                sinks.runs += 1;
+                if let Some(pt) = &mut sinks.profile {
                     let l = out.obs.as_ref().expect("profile sweeps run with obs on");
                     let mem = run.mem.expect("profile sweeps read mem_stats");
                     let task = l.span(obs::Phase::Task);
@@ -556,6 +642,7 @@ fn run_sweep(
                         fmt_f(task.secs),
                         format!("{}", out.stats.resolutions),
                         format!("{}", out.stats.kb_queries),
+                        format!("{}", out.stats.kb_inserts),
                         format!("{}", out.stats.probe_advances),
                         format!("{}", out.stats.probe_repairs),
                         format!("{}", out.stats.probe_full_walks),
@@ -564,10 +651,38 @@ fn run_sweep(
                         l.walk.to_csv(),
                         l.repair.to_csv(),
                         l.donation.to_csv(),
+                        l.attr.to_csv(),
                         format!("{}", mem.nodes),
                         format!("{}", mem.bytes),
                         format!("{}", mem.max_depth),
                     ]);
+                }
+                if let Some(ct) = &mut sinks.chrome {
+                    let l = out.obs.as_ref().expect("traced sweeps run with obs on");
+                    let name = format!(
+                        "{}/{}/{backend}x{shards}t{t}@{}",
+                        meta.query, meta.graph, meta.edges
+                    );
+                    ct.push_run(&name, l, sinks.runs);
+                }
+                if sinks.provenance_on {
+                    let mut rec: Vec<(&str, String)> = vec![
+                        ("experiment", "t2-provenance".to_string()),
+                        ("graph", meta.graph.to_string()),
+                        ("edges", meta.edges.to_string()),
+                        ("seed", meta.seed.to_string()),
+                        (
+                            "snapshot",
+                            std::env::var("TETRIS_BENCH_JSONL").unwrap_or_else(|_| "-".into()),
+                        ),
+                    ];
+                    rec.extend(run.provenance(prepared));
+                    let pv = sinks.provenance.get_or_insert_with(|| {
+                        let cols: Vec<&str> = rec.iter().map(|(f, _)| *f).collect();
+                        Table::new(&cols)
+                    });
+                    let vals: Vec<String> = rec.into_iter().map(|(_, v)| v).collect();
+                    pv.row(&vals);
                 }
             }
         }

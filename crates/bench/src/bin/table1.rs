@@ -7,7 +7,7 @@
 
 use baseline::{leapfrog::leapfrog_join, pairwise, yannakakis::yannakakis_join, JoinSpec};
 use bench::{fit_exponent, fmt_f, time, Table};
-use tetris_core::Tetris;
+use tetris_core::{Tetris, TetrisConfig};
 use tetris_join::prepared::PreparedJoin;
 use workload::{cycles, paths, triangle};
 
@@ -48,6 +48,7 @@ fn t1_acyclic() {
     let mut ns = Vec::new();
     let mut res = Vec::new();
     let mut times = Vec::new();
+    let mut attrs = Vec::new();
     for &n in &[500usize, 1000, 2000, 4000, 8000] {
         let chain = paths::random_chain(3, n, width, 7);
         let join = PreparedJoin::builder(width)
@@ -57,6 +58,21 @@ fn t1_acyclic() {
             .build();
         let oracle = join.oracle();
         let (out, secs) = time(|| Tetris::preloaded(&oracle).run());
+        // Untimed obs re-run: where in the A-subtree does the work sit?
+        // (The timed run above stays metrics-off; same oracle, same SAO,
+        // so the attribution is exact for the timed figures too.)
+        let obs_out = Tetris::with_config(
+            &oracle,
+            TetrisConfig {
+                preload: true,
+                obs: true,
+                ..Default::default()
+            },
+        )
+        .run();
+        let l = obs_out.obs.as_ref().expect("obs was requested");
+        assert_eq!(obs_out.stats.resolutions, out.stats.resolutions);
+        attrs.push((3 * n, l.attr.clone()));
         let spec = JoinSpec::new(&["A", "B", "C", "D"], &[width; 4])
             .atom("R", &chain[0], &["A", "B"])
             .atom("S", &chain[1], &["B", "C"])
@@ -86,6 +102,36 @@ fn t1_acyclic() {
         fmt_f(fit_exponent(&ns, &res)),
         fmt_f(fit_exponent(&ns, &times)),
     );
+    // The per-prefix attribution across the sweep: which dimension-0
+    // subtrees (first attribute of the SAO, k-bit nav prefixes) hold the
+    // superlinear resolution growth. Per-prefix fitted exponents against
+    // N+Z let EXPERIMENTS.md name the hot subtrees instead of guessing.
+    println!(
+        "attribution by A-subtree (k={} prefix bits; res/re_res per prefix, hottest-at-largest-N first):",
+        attrs.last().map_or(0, |(_, a)| a.prefix_bits()),
+    );
+    if let Some((_, last)) = attrs.last() {
+        for (row, _) in last.top_k(6) {
+            let series: Vec<String> = attrs
+                .iter()
+                .map(|(n, a)| {
+                    let r = a.rows()[row];
+                    format!("N={n}:{}/{}", r.resolutions, r.re_resolutions)
+                })
+                .collect();
+            let per_prefix: Vec<f64> = attrs
+                .iter()
+                .map(|(_, a)| a.rows()[row].resolutions as f64)
+                .collect();
+            println!(
+                "  {:>8}  {}  ~ (N+Z)^{}",
+                last.label(row),
+                series.join("  "),
+                fmt_f(fit_exponent(&ns, &per_prefix)),
+            );
+        }
+    }
+    println!();
 }
 
 /// Row 2: arbitrary queries within the AGM bound — the skewed triangle

@@ -336,6 +336,7 @@ impl ArenaBoxTree {
                 if lag <= REPAIR_CAP {
                     state.repairs += 1;
                     state.last_repair_window = lag;
+                    state.last_repair_hit = false;
                     if !self.log.summary_may_contain(b) {
                         state.repair_fasts += 1;
                         return self.advance_probe(b, dim, state);
@@ -404,6 +405,7 @@ impl ArenaBoxTree {
         let best_new = self
             .log
             .scan_repair(b, dim, state.mark, |c| grafts.push(*c));
+        state.last_repair_hit = best_new.is_some();
         let bit = (iv.bits() & 1) as usize;
         let mut kept = 0;
         let mut old_hit: Option<([u8; MAX_DIMS], DyadicBox)> = None;

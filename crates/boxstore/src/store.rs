@@ -207,6 +207,12 @@ pub struct DescentProbe<E> {
     /// sees `repairs` grow across a tracked call reads the window the
     /// repair scanned here (diagnostic; backends only write it).
     pub last_repair_window: u64,
+    /// Whether the most recent repair's window scan surfaced a lagging
+    /// insert containing the probe. Written at every `repairs`
+    /// increment, so an observer that sees `repairs` grow across a
+    /// tracked call reads here whether that repair actually changed the
+    /// answer (diagnostic; backends only write it).
+    pub last_repair_hit: bool,
 }
 
 impl<E> Default for DescentProbe<E> {
@@ -223,6 +229,7 @@ impl<E> Default for DescentProbe<E> {
             repair_fasts: 0,
             full_walks: 0,
             last_repair_window: 0,
+            last_repair_hit: false,
         }
     }
 }

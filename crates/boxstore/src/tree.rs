@@ -377,6 +377,7 @@ impl BoxTree {
                 if lag <= REPAIR_CAP {
                     state.repairs += 1;
                     state.last_repair_window = lag;
+                    state.last_repair_hit = false;
                     if !self.log.summary_may_contain(b) {
                         // The fingerprint summary proves no lagging insert
                         // contains `b`, so the window scan would come back
@@ -457,6 +458,7 @@ impl BoxTree {
         let best_new = self
             .log
             .scan_repair(b, dim, state.mark, |c| grafts.push(*c));
+        state.last_repair_hit = best_new.is_some();
         // First hit among the recorded (pre-mark) positions. Entries are
         // stored in DFS order, so the first hit is also the DFS-least.
         let bit = (iv.bits() & 1) as usize;

@@ -112,7 +112,7 @@ pub enum Descent {
 }
 
 /// Configuration of a [`Tetris`] run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TetrisConfig {
     /// Preload the knowledge base with the oracle's full box set
     /// (`Tetris-Preloaded`, §4.3). Requires [`BoxOracle::enumerate`].
@@ -161,8 +161,26 @@ pub struct TetrisConfig {
     /// cores, default 1 = sequential). Only the sharded store can use
     /// more than one; monolithic backends build sequentially regardless.
     pub preload_threads: usize,
-    /// Record a [`TraceEvent`] log of every step (tests/figures only).
+    /// Record [`TraceEvent`]s through a bounded [`obs::FlightRecorder`]
+    /// ring. The ring keeps the most recent [`TetrisConfig::trace_capacity`]
+    /// accepted events and accounts for everything it evicts
+    /// (`TetrisStats::trace_recorded` / `trace_dropped`), so tracing is
+    /// safe at graph scale — no unbounded `Vec` growth.
     pub trace: bool,
+    /// Flight-recorder ring capacity (default
+    /// [`obs::DEFAULT_TRACE_CAPACITY`]; must be positive). The worked
+    /// paper examples fit the default without wrapping, so their traces
+    /// are byte-identical to the old unbounded channel.
+    pub trace_capacity: usize,
+    /// Event-kind bitmask for the flight recorder (bit positions are the
+    /// [`TraceEvent::kind`] indices, default all kinds). A masked-out
+    /// event is never even constructed.
+    pub trace_kinds: u32,
+    /// Minimum descent-stack depth for a trace event to be recorded
+    /// (default 0 = everything). Raising the floor focuses the bounded
+    /// ring on the deep leaf-level region — exactly where the T1.1
+    /// re-resolution blowup lives (EXPERIMENTS.md §12–§13).
+    pub trace_depth_floor: u64,
     /// Collect an [`obs::Ledger`] of phase spans and power-of-two
     /// histograms (resolution depth, probe walk length, repair window,
     /// donated-shard size) alongside the counters. Off by default: with
@@ -186,6 +204,9 @@ impl Default for TetrisConfig {
             shards: 1,
             preload_threads: 1,
             trace: false,
+            trace_capacity: obs::DEFAULT_TRACE_CAPACITY,
+            trace_kinds: u32::MAX,
+            trace_depth_floor: 0,
             obs: false,
         }
     }
@@ -199,7 +220,10 @@ pub struct TetrisOutput {
     pub tuples: Vec<Vec<u64>>,
     /// Execution counters.
     pub stats: TetrisStats,
-    /// Trace events (empty unless tracing was enabled).
+    /// Trace events drained from the flight recorder, oldest first
+    /// (empty unless tracing was enabled; when the bounded ring wrapped,
+    /// this is the **tail** of the run and `stats.trace_dropped` says how
+    /// many earlier events were evicted).
     pub trace: Vec<TraceEvent>,
     /// Observability ledger (`None` unless [`TetrisConfig::obs`] was
     /// set). Parallel runs merge every worker's ledger into this one.
@@ -257,6 +281,26 @@ impl Frame {
     }
 }
 
+/// Build the bounded trace channel a config asks for (`None` when
+/// untraced — those runs allocate nothing for tracing).
+fn recorder_for(config: &TetrisConfig) -> Option<obs::FlightRecorder<TraceEvent>> {
+    config.trace.then(|| {
+        obs::FlightRecorder::with_policy(
+            config.trace_capacity,
+            config.trace_kinds,
+            config.trace_depth_floor,
+        )
+    })
+}
+
+/// The dimension-0 navigation word of a box — the attribution ledger's
+/// row key. The obs crate is dyadic-free, so observation sites hand in
+/// the raw `u64` word.
+#[inline]
+pub(crate) fn nav0(b: &DyadicBox) -> u64 {
+    b.get(0).nav_word()
+}
+
 /// The Tetris solver (Algorithms 1 + 2) over any [`BoxOracle`], generic
 /// over the knowledge-base backend `S` (default: the binary [`BoxTree`];
 /// see [`Backend`] for runtime selection).
@@ -269,7 +313,11 @@ pub struct Tetris<'o, O: BoxOracle + ?Sized, S: BoxStore = BoxTree> {
     pub(crate) kb: S,
     pub(crate) config: TetrisConfig,
     pub(crate) stats: TetrisStats,
-    trace: Vec<TraceEvent>,
+    /// Bounded trace channel ([`TetrisConfig::trace`] only): a
+    /// fixed-capacity ring in place of the old unbounded `Vec`, so traced
+    /// runs stay usable at graph scale. `None` on untraced runs — they
+    /// allocate nothing for tracing.
+    trace: Option<obs::FlightRecorder<TraceEvent>>,
     /// Suspended skeleton invocations, outermost first.
     stack: Vec<Frame>,
     /// Scratch buffer for oracle answers (reused across probes).
@@ -345,7 +393,7 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
             kb: S::with_tuning(space.n(), tuning),
             config,
             stats: TetrisStats::new(space.n()),
-            trace: Vec::new(),
+            trace: recorder_for(&config),
             stack: Vec::new(),
             hits: Vec::new(),
             point: Vec::new(),
@@ -395,6 +443,7 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
     /// Enable tracing (builder style).
     pub fn traced(mut self) -> Self {
         self.config.trace = true;
+        self.trace = recorder_for(&self.config);
         self
     }
 
@@ -408,20 +457,28 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
         self.kb.len()
     }
 
-    /// Copy incremental-probe diagnostics into the run counters.
+    /// Copy incremental-probe and flight-recorder diagnostics into the
+    /// run counters.
     fn sync_probe_stats(&mut self) {
         self.stats.probe_advances = self.probe.advances;
         self.stats.probe_repairs = self.probe.repairs;
         self.stats.probe_repair_fasts = self.probe.repair_fasts;
         self.stats.probe_full_walks = self.probe.full_walks;
+        if let Some(r) = &self.trace {
+            self.stats.trace_recorded = r.recorded();
+            self.stats.trace_dropped = r.dropped();
+        }
     }
 
     /// Trace only when enabled — the event is never even constructed on
-    /// untraced runs (hot-path allocation/copy discipline).
+    /// untraced runs, or when the recorder's kind mask / depth floor
+    /// rejects it (hot-path allocation/copy discipline). `kind` is the
+    /// event's [`TraceEvent::kind`] index; the depth offered is the
+    /// current descent-stack height.
     #[inline]
-    fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
-        if self.config.trace {
-            self.trace.push(f());
+    fn emit(&mut self, kind: u32, f: impl FnOnce() -> TraceEvent) {
+        if let Some(r) = &mut self.trace {
+            r.record(kind, self.stack.len() as u64, f);
         }
     }
 
@@ -456,7 +513,12 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
         TetrisOutput {
             tuples,
             stats: self.stats,
-            trace: self.trace,
+            // Untraced runs carry `None` and allocate nothing here —
+            // `Vec::default()` has capacity 0 (pinned by test).
+            trace: self
+                .trace
+                .map(obs::FlightRecorder::drain)
+                .unwrap_or_default(),
             obs: self.obs,
         }
     }
@@ -519,7 +581,7 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
         // strictly DFS-earlier subsuming box (see DESIGN.md).
         let mut pending: Option<DyadicBox> = None;
         self.stats.restarts += 1;
-        self.emit(|| TraceEvent::Restart);
+        self.emit(TraceEvent::KIND_RESTART, || TraceEvent::Restart);
         'descend: loop {
             // ── descend: drill into `cur` until a covering witness is
             // known or an uncovered unit box is absorbed.
@@ -532,7 +594,7 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                     match self.marks.probe(&cur, &self.space, self.kb.epoch()) {
                         CoverProbe::Covered(w) => {
                             self.stats.mark_hits += 1;
-                            self.emit(|| TraceEvent::CoveredBy {
+                            self.emit(TraceEvent::KIND_COVERED, || TraceEvent::CoveredBy {
                                 target: cur,
                                 witness: w,
                             });
@@ -555,11 +617,14 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                         l.observe_walk(self.probe.entries.len() as u64);
                         if self.probe.repairs > repairs_before {
                             l.observe_repair(self.probe.last_repair_window);
+                            if self.probe.last_repair_hit {
+                                l.observe_repair_hit_at(nav0(&cur));
+                            }
                         }
                     }
                     if let Some(a) = hit {
                         debug_assert_eq!(self.kb.find_containing(&cur), Some(a));
-                        self.emit(|| TraceEvent::CoveredBy {
+                        self.emit(TraceEvent::KIND_COVERED, || TraceEvent::CoveredBy {
                             target: cur,
                             witness: a,
                         });
@@ -576,7 +641,10 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                 }
                 if let Some(dim) = thick {
                     self.stats.splits += 1;
-                    self.emit(|| TraceEvent::Split { target: cur, dim });
+                    self.emit(TraceEvent::KIND_SPLIT, || TraceEvent::Split {
+                        target: cur,
+                        dim,
+                    });
                     let iv = cur.get(dim);
                     self.stack.push(Frame {
                         dim: dim as u8,
@@ -603,7 +671,7 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                         self.frontiers.clear();
                         cur = universe;
                         self.stats.restarts += 1;
-                        self.emit(|| TraceEvent::Restart);
+                        self.emit(TraceEvent::KIND_RESTART, || TraceEvent::Restart);
                         continue 'descend;
                     }
                 }
@@ -615,6 +683,11 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                     if let Some(p) = pending.take() {
                         if self.kb.insert(&p) {
                             self.stats.kb_inserts += 1;
+                            if let Some(l) = &mut self.obs {
+                                l.observe_insert_at(nav0(&p));
+                            }
+                        } else if let Some(l) = &mut self.obs {
+                            l.observe_re_resolution_at(nav0(&p));
                         }
                     }
                     return; // the whole space is covered
@@ -653,6 +726,11 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                         if let Some(p) = pending.take() {
                             if self.kb.insert(&p) {
                                 self.stats.kb_inserts += 1;
+                                if let Some(l) = &mut self.obs {
+                                    l.observe_insert_at(nav0(&p));
+                                }
+                            } else if let Some(l) = &mut self.obs {
+                                l.observe_re_resolution_at(nav0(&p));
                             }
                         }
                         continue 'descend;
@@ -664,8 +742,9 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                         self.stats.count_resolution(dim);
                         if let Some(l) = &mut self.obs {
                             l.observe_depth(self.stack.len() as u64);
+                            l.observe_resolution_at(nav0(&w));
                         }
-                        self.emit(|| TraceEvent::Resolve {
+                        self.emit(TraceEvent::KIND_RESOLVE, || TraceEvent::Resolve {
                             w1,
                             w2: witness,
                             result: w,
@@ -678,7 +757,17 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
                                     self.stats.kb_insert_skips += 1;
                                 }
                                 Some(p) => {
-                                    self.stats.kb_inserts += u64::from(self.kb.insert(&p));
+                                    if self.kb.insert(&p) {
+                                        self.stats.kb_inserts += 1;
+                                        if let Some(l) = &mut self.obs {
+                                            l.observe_insert_at(nav0(&p));
+                                        }
+                                    } else if let Some(l) = &mut self.obs {
+                                        // The resolvent re-derived a box
+                                        // the store already holds verbatim
+                                        // — the T1.1 re-resolution signal.
+                                        l.observe_re_resolution_at(nav0(&p));
+                                    }
                                 }
                                 None => {}
                             }
@@ -698,20 +787,23 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
     fn absorb(&mut self, cur: &DyadicBox, on_output: &mut impl FnMut(&[u64]) -> bool) -> Absorb {
         let restarting = self.restarting();
         if restarting {
-            self.emit(|| TraceEvent::Uncovered(*cur));
+            self.emit(TraceEvent::KIND_UNCOVERED, || TraceEvent::Uncovered(*cur));
         }
         self.stats.oracle_probes += 1;
         let mut hits = std::mem::take(&mut self.hits);
         self.oracle.boxes_containing_into(cur, &mut hits);
         let out = if hits.is_empty() {
             self.stats.outputs += 1;
-            self.emit(|| TraceEvent::Output(*cur));
+            self.emit(TraceEvent::KIND_OUTPUT, || TraceEvent::Output(*cur));
             let mut point = std::mem::take(&mut self.point);
             cur.write_point(&self.space, &mut point);
             let stop = on_output(&point);
             self.point = point;
             if self.kb.insert(cur) {
                 self.stats.kb_inserts += 1;
+                if let Some(l) = &mut self.obs {
+                    l.observe_insert_at(nav0(cur));
+                }
             }
             if stop {
                 Absorb::Stop
@@ -722,12 +814,18 @@ impl<'o, O: BoxOracle + ?Sized, S: BoxStore> Tetris<'o, O, S> {
             }
         } else {
             let count = hits.len();
-            self.emit(|| TraceEvent::Load { probe: *cur, count });
+            self.emit(TraceEvent::KIND_LOAD, || TraceEvent::Load {
+                probe: *cur,
+                count,
+            });
             for h in &hits {
                 debug_assert!(h.contains(cur), "oracle returned a non-covering box");
                 if self.kb.insert(h) {
                     self.stats.kb_inserts += 1;
                     self.stats.loaded_boxes += 1;
+                    if let Some(l) = &mut self.obs {
+                        l.observe_insert_at(nav0(h));
+                    }
                 }
             }
             if restarting {
@@ -1106,6 +1204,106 @@ mod tests {
         assert_eq!(out.trace.capacity(), 0);
         let traced = Tetris::reloaded(&oracle).traced().run();
         assert!(!traced.trace.is_empty());
+        // Untraced runs never touch the recorder counters.
+        let plain = Tetris::reloaded(&oracle).run();
+        assert_eq!(plain.stats.trace_recorded, 0);
+        assert_eq!(plain.stats.trace_dropped, 0);
+    }
+
+    #[test]
+    fn tiny_trace_capacity_keeps_the_tail_and_counts_drops() {
+        let oracle = example_4_4_oracle();
+        // Reference: an unbounded-enough ring holds every event.
+        let full = Tetris::reloaded(&oracle).traced().run();
+        let total = full.trace.len() as u64;
+        assert_eq!(full.stats.trace_recorded, total);
+        assert_eq!(full.stats.trace_dropped, 0);
+        // A tiny ring wraps: it keeps exactly the most recent `cap`
+        // events and accounts for every eviction.
+        for cap in [1usize, 2, 4, 7] {
+            let out = Tetris::with_config(
+                &oracle,
+                TetrisConfig {
+                    trace: true,
+                    trace_capacity: cap,
+                    ..Default::default()
+                },
+            )
+            .run();
+            let kept = (total as usize).min(cap);
+            assert_eq!(out.trace.len(), kept, "cap {cap}");
+            assert_eq!(out.stats.trace_recorded, total, "cap {cap}");
+            assert_eq!(out.stats.trace_dropped, total - kept as u64, "cap {cap}");
+            // The survivors are the *tail* of the full event stream, in
+            // order — a flight recorder keeps the most recent history.
+            assert_eq!(
+                out.trace,
+                full.trace[full.trace.len() - kept..],
+                "cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_kind_mask_and_depth_floor_filter_without_counting_drops() {
+        let oracle = example_4_4_oracle();
+        let full = Tetris::reloaded(&oracle).traced().run();
+        let resolves = full
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Resolve { .. }))
+            .count() as u64;
+        assert!(resolves > 0);
+        // Mask down to Resolve events only: filtered events are never
+        // constructed, never recorded, and never counted as drops.
+        let masked = Tetris::with_config(
+            &oracle,
+            TetrisConfig {
+                trace: true,
+                trace_kinds: 1 << TraceEvent::KIND_RESOLVE,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(masked
+            .trace
+            .iter()
+            .all(|e| matches!(e, TraceEvent::Resolve { .. })));
+        assert_eq!(masked.stats.trace_recorded, resolves);
+        assert_eq!(masked.stats.trace_dropped, 0);
+        // A depth floor above the whole run records nothing; stats stay
+        // identical to the untraced run apart from the recorder fields.
+        let floored = Tetris::with_config(
+            &oracle,
+            TetrisConfig {
+                trace: true,
+                trace_depth_floor: 64,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(floored.trace.is_empty());
+        assert_eq!(floored.stats.trace_recorded, 0);
+        // Floor 1 drops exactly the depth-0 events (the restarts and any
+        // top-of-stack steps) while keeping the deep resolution region.
+        let floor1 = Tetris::with_config(
+            &oracle,
+            TetrisConfig {
+                trace: true,
+                trace_depth_floor: 1,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(!floor1
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Restart)));
+        assert!(floor1.stats.trace_recorded < full.stats.trace_recorded);
+        assert!(floor1
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Resolve { .. })));
     }
 
     #[test]

@@ -49,7 +49,7 @@
 //! stats-regression wall pins `outputs` (and the tuples themselves) and
 //! documents every other counter as scheduling-dependent.
 
-use crate::engine::{Frame, Tetris, TetrisOutput};
+use crate::engine::{nav0, Frame, Tetris, TetrisOutput};
 use crate::TetrisStats;
 use boxstore::{BoxOracle, BoxStore, DescentProbe, FrontierStack, StoreTuning};
 use dyadic::{resolve::ordered_resolve, DyadicBox, DyadicInterval, Space};
@@ -426,6 +426,7 @@ impl<S: BoxStore> SubEngine<S> {
                             self.stats.count_resolution(dim);
                             if let Some(l) = &mut self.obs {
                                 l.observe_depth(self.stack.len() as u64);
+                                l.observe_resolution_at(nav0(&w));
                             }
                             if ctx.cache_resolvents {
                                 self.stream_resolvent(ctx, w);
@@ -456,6 +457,7 @@ impl<S: BoxStore> SubEngine<S> {
                         self.stats.count_resolution(dim);
                         if let Some(l) = &mut self.obs {
                             l.observe_depth(self.stack.len() as u64);
+                            l.observe_resolution_at(nav0(&w));
                         }
                         if ctx.cache_resolvents {
                             self.stream_resolvent(ctx, w);
@@ -486,6 +488,9 @@ impl<S: BoxStore> SubEngine<S> {
         if let Some(l) = &mut self.obs {
             if self.base_probe.repairs > base_repairs {
                 l.observe_repair(self.base_probe.last_repair_window);
+                if self.base_probe.last_repair_hit {
+                    l.observe_repair_hit_at(nav0(cur));
+                }
             }
         }
         if let Some(a) = hit {
@@ -501,6 +506,9 @@ impl<S: BoxStore> SubEngine<S> {
         if let Some(l) = &mut self.obs {
             if self.shard_probe.repairs > shard_repairs {
                 l.observe_repair(self.shard_probe.last_repair_window);
+                if self.shard_probe.last_repair_hit {
+                    l.observe_repair_hit_at(nav0(cur));
+                }
             }
             l.observe_walk((self.base_probe.entries.len() + self.shard_probe.entries.len()) as u64);
         }
@@ -526,6 +534,9 @@ impl<S: BoxStore> SubEngine<S> {
             self.point = point;
             if self.shard.insert(cur) {
                 self.stats.kb_inserts += 1;
+                if let Some(l) = &mut self.obs {
+                    l.observe_insert_at(nav0(cur));
+                }
             }
             if ctx.stop_on_first {
                 ctx.stop.store(true, Ordering::Relaxed);
@@ -537,6 +548,9 @@ impl<S: BoxStore> SubEngine<S> {
                 if self.shard.insert(h) {
                     self.stats.kb_inserts += 1;
                     self.stats.loaded_boxes += 1;
+                    if let Some(l) = &mut self.obs {
+                        l.observe_insert_at(nav0(h));
+                    }
                     if self.inserts.len() < ctx.merge_cap {
                         self.inserts.push(*h);
                     }
@@ -552,9 +566,19 @@ impl<S: BoxStore> SubEngine<S> {
     fn insert_shard<O: BoxOracle + ?Sized>(&mut self, ctx: &ParCtx<'_, O, S>, w: &DyadicBox) {
         if self.shard.insert(w) {
             self.stats.kb_inserts += 1;
+            if let Some(l) = &mut self.obs {
+                l.observe_insert_at(nav0(w));
+            }
             if self.inserts.len() < ctx.merge_cap {
                 self.inserts.push(*w);
             }
+        } else if let Some(l) = &mut self.obs {
+            // The resolvent re-derived a box this task's shard already
+            // holds verbatim — the per-task re-resolution signal (the
+            // frozen base is not consulted, so a cross-task duplicate
+            // does not count; the attribution wall's sequential runs
+            // carry the exact figure).
+            l.observe_re_resolution_at(nav0(w));
         }
     }
 
@@ -588,6 +612,12 @@ impl<S: BoxStore> SubEngine<S> {
         for b in inserts {
             if self.shard.insert(&b) {
                 self.stats.kb_inserts += 1;
+                // Merge-on-return copies are real store inserts (they
+                // count toward `kb_inserts`) but not re-derivations, so
+                // a duplicate here is *not* a re-resolution.
+                if let Some(l) = &mut self.obs {
+                    l.observe_insert_at(nav0(&b));
+                }
                 // Propagate further up the donation chain if it also
                 // escapes *our* target.
                 if !target.contains(&b) && self.inserts.len() < ctx.merge_cap {

@@ -67,6 +67,13 @@ pub struct TetrisStats {
     /// `par_donations + 1` on donation-heavy runs, and like the other
     /// parallel cost counters it floats with scheduling).
     pub par_shard_allocs: u64,
+    /// Trace events accepted by the flight recorder over the run
+    /// (held + evicted; 0 on untraced runs).
+    pub trace_recorded: u64,
+    /// Accepted trace events later evicted by ring wrap-around —
+    /// `trace_recorded - trace_dropped` events survive in
+    /// `TetrisOutput::trace` (0 on untraced runs).
+    pub trace_dropped: u64,
 }
 
 impl TetrisStats {
@@ -109,6 +116,8 @@ impl TetrisStats {
         self.par_tasks += other.par_tasks;
         self.par_donations += other.par_donations;
         self.par_shard_allocs += other.par_shard_allocs;
+        self.trace_recorded += other.trace_recorded;
+        self.trace_dropped += other.trace_dropped;
         for (i, &v) in other.resolutions_by_dim.iter().enumerate() {
             if i < self.resolutions_by_dim.len() {
                 self.resolutions_by_dim[i] += v;

@@ -86,6 +86,14 @@ impl DyadicInterval {
         self.nav ^ (1u64 << self.len())
     }
 
+    /// The raw navigation word `(1 << len) | bits` — the self-delimiting
+    /// encoding itself. Observers key on this word without reassembling
+    /// it (e.g. the obs attribution ledger's SAO-prefix rows); `λ` is 1.
+    #[inline]
+    pub const fn nav_word(&self) -> u64 {
+        self.nav
+    }
+
     /// The length of the bitstring, `|x|`.
     #[inline]
     pub const fn len(&self) -> u8 {

@@ -1,7 +1,9 @@
 //! Zero-dependency observability layer for the Tetris engine stack:
-//! wall-clock **phase spans**, power-of-two-bucket **histograms**, and
-//! per-backend **memory ledgers** — everything ROADMAP items 1–3 need as
-//! evidence, with nothing the metrics-off hot path has to pay for.
+//! wall-clock **phase spans**, power-of-two-bucket **histograms**,
+//! per-backend **memory ledgers**, a per-subtree **attribution ledger**,
+//! a bounded **flight recorder**, and a Chrome-trace **span exporter** —
+//! everything ROADMAP items 1–3 and 5 need as evidence, with nothing the
+//! metrics-off hot path has to pay for.
 //!
 //! # Design
 //!
@@ -15,15 +17,22 @@
 //! * Each worker owns its own [`Ledger`]; parallel runs merge them with
 //!   [`Ledger::absorb`] when task reports are collected — exactly the
 //!   `TetrisStats::absorb` discipline, so the hot path never touches a
-//!   shared ledger.
+//!   shared ledger. The [`AttributionLedger`] rides inside the [`Ledger`]
+//!   and merges the same way.
 //! * Histograms use power-of-two buckets (bucket 0 holds the value 0,
 //!   bucket `k ≥ 1` holds `[2^(k-1), 2^k)`), so one `u64` array covers
 //!   everything from repair-window lags (≤ 64) to donated-shard sizes
 //!   (millions) with no configuration.
+//! * The [`FlightRecorder`] is generic over its event type (this crate
+//!   sits below the crate that defines the engine's trace events): a
+//!   fixed-capacity ring that keeps the **most recent** accepted events,
+//!   filters by an event-kind bitmask and a descent-depth floor, and
+//!   accounts for everything it rejects or evicts.
 //!
-//! The serialized surface (the `*_hist` cells of profile rows, parsed
-//! back by `bench_compare --check-profile`) is the comma-joined bucket
-//! counts of [`Pow2Histogram::to_csv`].
+//! The serialized surface (the `*_hist` and `attr` cells of profile
+//! rows, parsed back by `bench_compare --check-profile`) is the
+//! comma-joined bucket counts of [`Pow2Histogram::to_csv`] and the
+//! row list of [`AttributionLedger::to_csv`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -156,8 +165,386 @@ impl MemStats {
     }
 }
 
-/// One worker's metrics: the four engine histograms plus per-phase span
-/// totals. Plain data — merged with [`Ledger::absorb`] at scope end,
+/// Default SAO-prefix width of an [`AttributionLedger`]: resolutions are
+/// attributed to the first 8 bits of the resolution site's dimension-0
+/// navigation word (256 subtree rows plus one short-box spill row).
+pub const ATTR_PREFIX_BITS: u32 = 8;
+
+/// One attribution row: what happened under one dimension-0 subtree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttrRow {
+    /// Resolutions whose resolvent's dimension-0 interval lies in this
+    /// subtree. Sums to `TetrisStats::resolutions` across all rows.
+    pub resolutions: u64,
+    /// Resolvents that materialized **identical** to a box already in
+    /// the knowledge base (the store insert found it verbatim) — the
+    /// re-derivation work the Õ(N+Z) bound says should not pile up.
+    pub re_resolutions: u64,
+    /// Engine-side store inserts that were novel (resolvents, outputs,
+    /// and loaded gap boxes; preload bulk construction is not an engine
+    /// insert site and is deliberately excluded).
+    pub inserts: u64,
+    /// Probe repairs whose insert-log window scan surfaced a containing
+    /// lagging insert (a repair that actually changed the answer, not
+    /// just re-synced the frontier).
+    pub repair_hits: u64,
+}
+
+impl AttrRow {
+    /// True when every counter is zero (the row is omitted from CSV).
+    pub fn is_empty(&self) -> bool {
+        self.resolutions == 0
+            && self.re_resolutions == 0
+            && self.inserts == 0
+            && self.repair_hits == 0
+    }
+
+    fn absorb(&mut self, other: &AttrRow) {
+        self.resolutions += other.resolutions;
+        self.re_resolutions += other.re_resolutions;
+        self.inserts += other.inserts;
+        self.repair_hits += other.repair_hits;
+    }
+}
+
+/// Per-SAO-prefix attribution of resolution work.
+///
+/// Rows are keyed by the first `k` bits of a box's **dimension-0
+/// navigation word** (`nav = (1 << len) | bits`, the self-delimiting
+/// encoding used by the dyadic layer) — i.e. by the depth-`k` subtree of
+/// the SAO's first attribute that the box sits under. Boxes whose
+/// dimension-0 interval is shorter than `k` bits land in a dedicated
+/// **short row** (index [`AttributionLedger::short_row`]), mirroring the
+/// sharded store's boundary-spill convention, so every observation has
+/// exactly one row and the ledger stays balanced: the `resolutions`
+/// column sums to `TetrisStats::resolutions` in every descent mode.
+///
+/// This crate has no dyadic dependency, so observers hand in the raw
+/// `u64` navigation word; [`AttributionLedger::row_of`] decodes it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttributionLedger {
+    k: u32,
+    rows: Vec<AttrRow>,
+}
+
+impl Default for AttributionLedger {
+    fn default() -> Self {
+        Self::with_prefix_bits(ATTR_PREFIX_BITS)
+    }
+}
+
+impl AttributionLedger {
+    /// An empty ledger with the default prefix width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty ledger attributing to `k`-bit prefixes, `1 ≤ k ≤ 16`
+    /// (`2^k + 1` rows are allocated eagerly so observing never does).
+    pub fn with_prefix_bits(k: u32) -> Self {
+        assert!(
+            (1..=16).contains(&k),
+            "attribution prefix width {k} not in 1..=16"
+        );
+        AttributionLedger {
+            k,
+            rows: vec![AttrRow::default(); (1usize << k) + 1],
+        }
+    }
+
+    /// The configured prefix width in bits.
+    pub fn prefix_bits(&self) -> u32 {
+        self.k
+    }
+
+    /// Index of the spill row for boxes whose dimension-0 interval is
+    /// shorter than the prefix width (including `λ`).
+    pub fn short_row(&self) -> usize {
+        1usize << self.k
+    }
+
+    /// The row a dimension-0 navigation word attributes to: the top `k`
+    /// bits of its interval when long enough, else the short row. The
+    /// value `0` is not a valid navigation word and also spills.
+    #[inline]
+    pub fn row_of(&self, nav0: u64) -> usize {
+        if nav0 <= 1 {
+            return self.short_row();
+        }
+        let len = 63 - nav0.leading_zeros();
+        if len < self.k {
+            return self.short_row();
+        }
+        let bits = nav0 ^ (1u64 << len);
+        (bits >> (len - self.k)) as usize
+    }
+
+    /// All rows; index [`AttributionLedger::short_row`] is the spill row.
+    pub fn rows(&self) -> &[AttrRow] {
+        &self.rows
+    }
+
+    /// Attribute one resolution to `nav0`'s subtree.
+    #[inline]
+    pub fn count_resolution(&mut self, nav0: u64) {
+        let row = self.row_of(nav0);
+        self.rows[row].resolutions += 1;
+    }
+
+    /// Attribute one identical-box re-resolution to `nav0`'s subtree.
+    #[inline]
+    pub fn count_re_resolution(&mut self, nav0: u64) {
+        let row = self.row_of(nav0);
+        self.rows[row].re_resolutions += 1;
+    }
+
+    /// Attribute one novel engine-side store insert to `nav0`'s subtree.
+    #[inline]
+    pub fn count_insert(&mut self, nav0: u64) {
+        let row = self.row_of(nav0);
+        self.rows[row].inserts += 1;
+    }
+
+    /// Attribute one answer-changing probe repair to `nav0`'s subtree.
+    #[inline]
+    pub fn count_repair_hit(&mut self, nav0: u64) {
+        let row = self.row_of(nav0);
+        self.rows[row].repair_hits += 1;
+    }
+
+    /// Total resolutions across all rows — the balance wall's left side
+    /// (must equal `TetrisStats::resolutions` in every mode).
+    pub fn resolutions(&self) -> u64 {
+        self.rows.iter().map(|r| r.resolutions).sum()
+    }
+
+    /// Total identical-box re-resolutions across all rows.
+    pub fn re_resolutions(&self) -> u64 {
+        self.rows.iter().map(|r| r.re_resolutions).sum()
+    }
+
+    /// Total novel engine-side inserts across all rows.
+    pub fn inserts(&self) -> u64 {
+        self.rows.iter().map(|r| r.inserts).sum()
+    }
+
+    /// Total answer-changing repairs across all rows.
+    pub fn repair_hits(&self) -> u64 {
+        self.rows.iter().map(|r| r.repair_hits).sum()
+    }
+
+    /// Merge another worker's ledger (prefix widths must match — both
+    /// sides come from the same engine configuration).
+    pub fn absorb(&mut self, other: &AttributionLedger) {
+        assert_eq!(
+            self.k, other.k,
+            "cannot merge attribution ledgers of different prefix widths"
+        );
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            a.absorb(b);
+        }
+    }
+
+    /// Human-readable label for a row index: the `k`-bit prefix as a bit
+    /// string, or `"short"` for the spill row.
+    pub fn label(&self, row: usize) -> String {
+        if row == self.short_row() {
+            return "short".to_string();
+        }
+        (0..self.k)
+            .rev()
+            .map(|b| if (row >> b) & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+
+    /// The `n` hottest non-empty rows by resolutions (ties broken by row
+    /// index), as `(row_index, row)` pairs.
+    pub fn top_k(&self, n: usize) -> Vec<(usize, AttrRow)> {
+        let mut hot: Vec<(usize, AttrRow)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(i, r)| (i, *r))
+            .collect();
+        hot.sort_by(|a, b| b.1.resolutions.cmp(&a.1.resolutions).then(a.0.cmp(&b.0)));
+        hot.truncate(n);
+        hot
+    }
+
+    /// Serialize as the profile-row cell format: a `k<width>` header
+    /// followed by one `|`-separated entry per non-empty row,
+    /// `<row>:<resolutions>,<re_resolutions>,<inserts>,<repair_hits>`,
+    /// where `<row>` is the decimal prefix value or `s` for the short
+    /// row. An empty ledger is just the header.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("k{}", self.k);
+        for (i, r) in self.rows.iter().enumerate() {
+            if r.is_empty() {
+                continue;
+            }
+            let key = if i == self.short_row() {
+                "s".to_string()
+            } else {
+                i.to_string()
+            };
+            out.push_str(&format!(
+                "|{key}:{},{},{},{}",
+                r.resolutions, r.re_resolutions, r.inserts, r.repair_hits
+            ));
+        }
+        out
+    }
+
+    /// Parse an [`AttributionLedger::to_csv`] cell back. Returns `None`
+    /// on a malformed header, prefix width out of range, row index out
+    /// of range, or a row without exactly four counters.
+    pub fn from_csv(s: &str) -> Option<Self> {
+        let mut toks = s.split('|');
+        let head = toks.next()?;
+        let k: u32 = head.strip_prefix('k')?.trim().parse().ok()?;
+        if !(1..=16).contains(&k) {
+            return None;
+        }
+        let mut l = AttributionLedger::with_prefix_bits(k);
+        for tok in toks {
+            let (key, vals) = tok.split_once(':')?;
+            let idx = if key == "s" {
+                l.short_row()
+            } else {
+                let i: usize = key.trim().parse().ok()?;
+                if i >= l.short_row() {
+                    return None;
+                }
+                i
+            };
+            let mut cs = vals.split(',');
+            let row = &mut l.rows[idx];
+            row.resolutions = cs.next()?.trim().parse().ok()?;
+            row.re_resolutions = cs.next()?.trim().parse().ok()?;
+            row.inserts = cs.next()?.trim().parse().ok()?;
+            row.repair_hits = cs.next()?.trim().parse().ok()?;
+            if cs.next().is_some() {
+                return None;
+            }
+        }
+        Some(l)
+    }
+}
+
+/// Default [`FlightRecorder`] capacity: large enough that the worked
+/// paper examples and smoke-tier traces never wrap, small enough that a
+/// traced graph-tier run stays a bounded ring instead of an unbounded
+/// `Vec` (the PR 9 failure mode).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// A bounded flight recorder: a fixed-capacity ring that keeps the most
+/// recent accepted events.
+///
+/// Events are offered with an event **kind** (a small integer, bit
+/// position in the kind mask) and the descent **depth** they occurred
+/// at. An event is *filtered* (constructor closure never runs) when its
+/// kind bit is off in the mask or its depth is below the floor; an
+/// accepted event may later be *dropped* (evicted) when the ring wraps.
+/// `recorded = len + dropped` always holds, so a consumer can tell
+/// exactly how much of the run it is looking at.
+///
+/// Generic over the event type: this crate sits below the crate that
+/// defines the engine's trace events.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder<E> {
+    buf: std::collections::VecDeque<E>,
+    cap: usize,
+    kind_mask: u32,
+    depth_floor: u64,
+    recorded: u64,
+    dropped: u64,
+    filtered: u64,
+}
+
+impl<E> FlightRecorder<E> {
+    /// A recorder of `cap` events accepting every kind at every depth.
+    pub fn new(cap: usize) -> Self {
+        Self::with_policy(cap, u32::MAX, 0)
+    }
+
+    /// A recorder of `cap` events accepting only kinds whose bit is set
+    /// in `kind_mask`, at depths `≥ depth_floor`.
+    pub fn with_policy(cap: usize, kind_mask: u32, depth_floor: u64) -> Self {
+        assert!(cap > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            buf: std::collections::VecDeque::with_capacity(cap),
+            cap,
+            kind_mask,
+            depth_floor,
+            recorded: 0,
+            dropped: 0,
+            filtered: 0,
+        }
+    }
+
+    /// Offer one event. The closure is only invoked when the event
+    /// passes the kind mask and depth floor; returns whether it did.
+    /// On a full ring the oldest event is evicted and counted dropped.
+    #[inline]
+    pub fn record(&mut self, kind: u32, depth: u64, ev: impl FnOnce() -> E) -> bool {
+        if (self.kind_mask >> kind.min(31)) & 1 == 0 || depth < self.depth_floor {
+            self.filtered += 1;
+            return false;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev());
+        self.recorded += 1;
+        true
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events accepted over the run (held + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Accepted events later evicted by ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events rejected by the kind mask or depth floor (never built).
+    pub fn filtered(&self) -> u64 {
+        self.filtered
+    }
+
+    /// Iterate the held events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.buf.iter()
+    }
+
+    /// Consume the recorder, yielding the held events oldest-first.
+    pub fn drain(self) -> Vec<E> {
+        self.buf.into_iter().collect()
+    }
+}
+
+/// One worker's metrics: the four engine histograms, the attribution
+/// ledger, per-phase span totals, and a bounded sample of individual
+/// spans. Plain data — merged with [`Ledger::absorb`] at scope end,
 /// never shared across threads.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Ledger {
@@ -169,9 +556,18 @@ pub struct Ledger {
     pub repair: Pow2Histogram,
     /// Donated-shard size: boxes seeded into each donation's overlay.
     pub donation: Pow2Histogram,
+    /// Per-SAO-prefix attribution of resolutions/inserts/repairs.
+    pub attr: AttributionLedger,
     /// Wall-clock span totals, indexed by [`Phase`] discriminant.
     pub spans: [SpanTotals; PHASES],
+    /// The first [`SPAN_SAMPLE_CAP`] individual spans (phase, seconds),
+    /// for the Chrome exporter's frame lanes. The totals above stay
+    /// exact regardless of how much this sample truncates.
+    pub span_samples: Vec<(Phase, f64)>,
 }
+
+/// How many individual spans a [`Ledger`] samples for Chrome export.
+pub const SPAN_SAMPLE_CAP: usize = 512;
 
 impl Ledger {
     /// An empty ledger.
@@ -190,10 +586,14 @@ impl Ledger {
         self.walk.absorb(&other.walk);
         self.repair.absorb(&other.repair);
         self.donation.absorb(&other.donation);
+        self.attr.absorb(&other.attr);
         for (a, b) in self.spans.iter_mut().zip(&other.spans) {
             a.count += b.count;
             a.secs += b.secs;
         }
+        let room = SPAN_SAMPLE_CAP.saturating_sub(self.span_samples.len());
+        self.span_samples
+            .extend(other.span_samples.iter().take(room));
     }
 }
 
@@ -219,6 +619,23 @@ pub trait ObsSink {
     /// A phase span of `secs` wall-clock seconds completed.
     #[inline]
     fn record_span(&mut self, _phase: Phase, _secs: f64) {}
+    /// A resolution produced a resolvent whose dimension-0 navigation
+    /// word is `nav0` (called exactly once per counted resolution, so
+    /// the attribution rows sum to `resolutions` in every mode).
+    #[inline]
+    fn observe_resolution_at(&mut self, _nav0: u64) {}
+    /// A resolvent with dimension-0 navigation word `nav0` materialized
+    /// identical to a box already stored (the insert found it verbatim).
+    #[inline]
+    fn observe_re_resolution_at(&mut self, _nav0: u64) {}
+    /// An engine-side store insert of a novel box with dimension-0
+    /// navigation word `nav0` succeeded.
+    #[inline]
+    fn observe_insert_at(&mut self, _nav0: u64) {}
+    /// A probe repair at the box with dimension-0 navigation word `nav0`
+    /// surfaced a containing lagging insert (an answer-changing repair).
+    #[inline]
+    fn observe_repair_hit_at(&mut self, _nav0: u64) {}
 }
 
 /// The sink that observes nothing: a zero-sized type whose methods are
@@ -250,6 +667,25 @@ impl ObsSink for Ledger {
         let s = &mut self.spans[phase as usize];
         s.count += 1;
         s.secs += secs;
+        if self.span_samples.len() < SPAN_SAMPLE_CAP {
+            self.span_samples.push((phase, secs));
+        }
+    }
+    #[inline]
+    fn observe_resolution_at(&mut self, nav0: u64) {
+        self.attr.count_resolution(nav0);
+    }
+    #[inline]
+    fn observe_re_resolution_at(&mut self, nav0: u64) {
+        self.attr.count_re_resolution(nav0);
+    }
+    #[inline]
+    fn observe_insert_at(&mut self, nav0: u64) {
+        self.attr.count_insert(nav0);
+    }
+    #[inline]
+    fn observe_repair_hit_at(&mut self, nav0: u64) {
+        self.attr.count_repair_hit(nav0);
     }
 }
 
@@ -273,6 +709,22 @@ impl<T: ObsSink + ?Sized> ObsSink for Box<T> {
     #[inline]
     fn record_span(&mut self, phase: Phase, secs: f64) {
         (**self).record_span(phase, secs);
+    }
+    #[inline]
+    fn observe_resolution_at(&mut self, nav0: u64) {
+        (**self).observe_resolution_at(nav0);
+    }
+    #[inline]
+    fn observe_re_resolution_at(&mut self, nav0: u64) {
+        (**self).observe_re_resolution_at(nav0);
+    }
+    #[inline]
+    fn observe_insert_at(&mut self, nav0: u64) {
+        (**self).observe_insert_at(nav0);
+    }
+    #[inline]
+    fn observe_repair_hit_at(&mut self, nav0: u64) {
+        (**self).observe_repair_hit_at(nav0);
     }
 }
 
@@ -309,6 +761,166 @@ impl<T: ObsSink> ObsSink for Option<T> {
         if let Some(s) = self {
             s.record_span(phase, secs);
         }
+    }
+    #[inline]
+    fn observe_resolution_at(&mut self, nav0: u64) {
+        if let Some(s) = self {
+            s.observe_resolution_at(nav0);
+        }
+    }
+    #[inline]
+    fn observe_re_resolution_at(&mut self, nav0: u64) {
+        if let Some(s) = self {
+            s.observe_re_resolution_at(nav0);
+        }
+    }
+    #[inline]
+    fn observe_insert_at(&mut self, nav0: u64) {
+        if let Some(s) = self {
+            s.observe_insert_at(nav0);
+        }
+    }
+    #[inline]
+    fn observe_repair_hit_at(&mut self, nav0: u64) {
+        if let Some(s) = self {
+            s.observe_repair_hit_at(nav0);
+        }
+    }
+}
+
+pub mod chrome {
+    //! Chrome trace-event export of a [`Ledger`]'s spans.
+    //!
+    //! Produces the JSON-array flavour of the Chrome trace-event format
+    //! (loadable in `chrome://tracing` and Perfetto): one complete
+    //! (`"ph":"X"`) event per span, timestamps and durations in
+    //! microseconds. The ledger records span *durations*, not wall
+    //! offsets, so lanes are **tiled**: each lane lays its spans
+    //! end-to-end in recording order — proportions and counts are
+    //! faithful, absolute timestamps are synthetic.
+    //!
+    //! The emitted file puts one event object per line, so the bench
+    //! crate's flat-object JSONL parser can verify every event after
+    //! stripping the array punctuation (that round-trip is pinned by a
+    //! bench-side test).
+
+    use super::{Ledger, Phase};
+
+    /// One Chrome complete event (`"ph":"X"`).
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct ChromeEvent {
+        /// Event name (span label).
+        pub name: String,
+        /// Event category.
+        pub cat: &'static str,
+        /// Start timestamp in microseconds (synthetic, lane-tiled).
+        pub ts_us: u64,
+        /// Duration in microseconds.
+        pub dur_us: u64,
+        /// Process lane — one per exported run.
+        pub pid: u64,
+        /// Thread lane within the run (0 = phases, 1 = task frames).
+        pub tid: u64,
+    }
+
+    /// An accumulating Chrome trace: any number of runs, one `pid` each.
+    #[derive(Clone, Debug, Default)]
+    pub struct ChromeTrace {
+        events: Vec<ChromeEvent>,
+    }
+
+    const US: f64 = 1e6;
+
+    impl ChromeTrace {
+        /// An empty trace.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// The events accumulated so far.
+        pub fn events(&self) -> &[ChromeEvent] {
+            &self.events
+        }
+
+        /// Append one run's spans under process lane `pid`: Preload and
+        /// Solve tiled on `tid` 0, sampled task frames tiled on `tid` 1.
+        /// `name` prefixes every event so runs stay tellable apart.
+        pub fn push_run(&mut self, name: &str, ledger: &Ledger, pid: u64) {
+            let mut phase_ts = 0u64;
+            for (phase, label) in [(Phase::Preload, "preload"), (Phase::Solve, "solve")] {
+                let t = ledger.span(phase);
+                if t.count == 0 {
+                    continue;
+                }
+                let dur = (t.secs * US) as u64;
+                self.events.push(ChromeEvent {
+                    name: format!("{name}/{label}"),
+                    cat: "phase",
+                    ts_us: phase_ts,
+                    dur_us: dur,
+                    pid,
+                    tid: 0,
+                });
+                phase_ts += dur;
+            }
+            let mut task_ts = 0u64;
+            for (i, &(phase, secs)) in ledger.span_samples.iter().enumerate() {
+                if phase != Phase::Task {
+                    continue;
+                }
+                let dur = (secs * US) as u64;
+                self.events.push(ChromeEvent {
+                    name: format!("{name}/task{i}"),
+                    cat: "task",
+                    ts_us: task_ts,
+                    dur_us: dur,
+                    pid,
+                    tid: 1,
+                });
+                task_ts += dur;
+            }
+        }
+
+        /// Serialize as a Chrome trace-event JSON array, one event
+        /// object per line.
+        pub fn to_json(&self) -> String {
+            let mut out = String::from("[\n");
+            for (i, e) in self.events.iter().enumerate() {
+                let sep = if i + 1 == self.events.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}{sep}\n",
+                    json_string(&e.name),
+                    e.cat,
+                    e.ts_us,
+                    e.dur_us,
+                    e.pid,
+                    e.tid
+                ));
+            }
+            out.push_str("]\n");
+            out
+        }
+    }
+
+    /// RFC 8259 string escaping for event names (the only free-form
+    /// strings in the output; everything else is numeric or a fixed
+    /// ASCII category).
+    fn json_string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
     }
 }
 
@@ -412,6 +1024,163 @@ mod tests {
         let mut on: Option<Box<Ledger>> = Some(Box::default());
         on.observe_depth(9);
         assert_eq!(on.as_ref().unwrap().depth.total(), 1);
+    }
+
+    /// The navigation word of a bit string (test helper mirroring the
+    /// dyadic crate's encoding: sentinel 1 bit, then the string).
+    fn nav(bits: &str) -> u64 {
+        bits.chars()
+            .fold(1u64, |n, c| (n << 1) | u64::from(c == '1'))
+    }
+
+    #[test]
+    fn attribution_routes_by_prefix_and_spills_short_boxes() {
+        let mut a = AttributionLedger::with_prefix_bits(2);
+        assert_eq!(a.short_row(), 4);
+        // λ (nav 1), the invalid word 0, and 1-bit intervals all spill.
+        assert_eq!(a.row_of(nav("")), 4);
+        assert_eq!(a.row_of(0), 4);
+        assert_eq!(a.row_of(nav("1")), 4);
+        // Exactly k bits: the row is the value itself.
+        assert_eq!(a.row_of(nav("00")), 0);
+        assert_eq!(a.row_of(nav("10")), 2);
+        // Longer intervals key on their top k bits.
+        assert_eq!(a.row_of(nav("1011")), 2);
+        assert_eq!(a.row_of(nav("1111111")), 3);
+        a.count_resolution(nav("1011"));
+        a.count_resolution(nav("10"));
+        a.count_re_resolution(nav("10"));
+        a.count_insert(nav("01"));
+        a.count_repair_hit(nav("1"));
+        assert_eq!(a.rows()[2].resolutions, 2);
+        assert_eq!(a.rows()[2].re_resolutions, 1);
+        assert_eq!(a.rows()[1].inserts, 1);
+        assert_eq!(a.rows()[a.short_row()].repair_hits, 1);
+        assert_eq!(a.resolutions(), 2);
+        assert_eq!(a.label(2), "10");
+        assert_eq!(a.label(a.short_row()), "short");
+    }
+
+    #[test]
+    fn attribution_merge_and_csv_roundtrip() {
+        let mut a = AttributionLedger::new();
+        assert_eq!(a.to_csv(), "k8", "empty ledger is just the header");
+        a.count_resolution(nav("10110010"));
+        a.count_resolution(nav("101100101110"));
+        a.count_insert(nav("10110010"));
+        a.count_repair_hit(nav("0011"));
+        let mut b = AttributionLedger::new();
+        b.count_resolution(nav("10110010"));
+        b.count_re_resolution(nav("0011"));
+        a.absorb(&b);
+        assert_eq!(a.resolutions(), 3);
+        assert_eq!(a.re_resolutions(), 1);
+        // Both long boxes share the 8-bit prefix 10110010 = 178.
+        assert_eq!(a.rows()[178].resolutions, 3);
+        assert_eq!(a.rows()[a.short_row()].repair_hits, 1);
+        let csv = a.to_csv();
+        let back = AttributionLedger::from_csv(&csv).expect("roundtrip");
+        assert_eq!(back, a);
+        // top_k orders by resolutions, ties by row index.
+        let top = a.top_k(2);
+        assert_eq!(top[0].0, 178);
+        assert_eq!(top[0].1.resolutions, 3);
+        // Malformed cells are rejected.
+        assert!(AttributionLedger::from_csv("").is_none());
+        assert!(AttributionLedger::from_csv("k0").is_none());
+        assert!(AttributionLedger::from_csv("k99").is_none());
+        assert!(AttributionLedger::from_csv("k8|999:1,0,0,0").is_none());
+        assert!(AttributionLedger::from_csv("k8|3:1,0,0").is_none());
+        assert!(AttributionLedger::from_csv("k8|3:1,0,0,0,0").is_none());
+        assert!(AttributionLedger::from_csv("k8|3:x,0,0,0").is_none());
+    }
+
+    #[test]
+    fn flight_recorder_keeps_the_tail_and_counts_drops() {
+        let mut r: FlightRecorder<u64> = FlightRecorder::new(3);
+        for i in 0..7u64 {
+            assert!(r.record(0, 0, || i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 7);
+        assert_eq!(r.dropped(), 4);
+        assert_eq!(r.filtered(), 0);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(r.drain(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn flight_recorder_mask_and_floor_filter_without_building() {
+        let mut built = 0u32;
+        let mut r: FlightRecorder<u32> = FlightRecorder::with_policy(8, 0b10, 2);
+        // Wrong kind: rejected, constructor never runs.
+        assert!(!r.record(0, 5, || {
+            built += 1;
+            0
+        }));
+        // Right kind, below the depth floor: rejected.
+        assert!(!r.record(1, 1, || {
+            built += 1;
+            0
+        }));
+        // Right kind at the floor: accepted.
+        assert!(r.record(1, 2, || {
+            built += 1;
+            7
+        }));
+        assert_eq!(built, 1);
+        assert_eq!(r.filtered(), 2);
+        assert_eq!(r.recorded(), 1);
+        assert_eq!(r.drain(), vec![7]);
+    }
+
+    #[test]
+    fn ledger_attribution_and_span_samples_merge() {
+        let mut l = Ledger::new();
+        l.observe_resolution_at(nav("10110010"));
+        l.observe_re_resolution_at(nav("10110010"));
+        l.observe_insert_at(nav("0"));
+        l.observe_repair_hit_at(nav("11110000"));
+        l.record_span(Phase::Task, 0.5);
+        let mut m = Ledger::new();
+        m.observe_resolution_at(nav("10110010"));
+        m.record_span(Phase::Task, 0.25);
+        m.absorb(&l);
+        assert_eq!(m.attr.resolutions(), 2);
+        assert_eq!(m.attr.re_resolutions(), 1);
+        assert_eq!(m.attr.rows()[m.attr.short_row()].inserts, 1);
+        assert_eq!(m.attr.repair_hits(), 1);
+        assert_eq!(m.span_samples.len(), 2);
+        assert_eq!(m.span(Phase::Task).count, 2);
+    }
+
+    #[test]
+    fn chrome_trace_tiles_lanes_and_escapes_names() {
+        let mut l = Ledger::new();
+        l.record_span(Phase::Preload, 0.5);
+        l.record_span(Phase::Solve, 1.5);
+        l.record_span(Phase::Task, 0.25);
+        l.record_span(Phase::Task, 0.75);
+        let mut t = chrome::ChromeTrace::new();
+        t.push_run("smoke \"q\"", &l, 1);
+        let evs = t.events();
+        assert_eq!(evs.len(), 4);
+        // Phase lane tiles Preload then Solve.
+        assert_eq!((evs[0].ts_us, evs[0].dur_us, evs[0].tid), (0, 500_000, 0));
+        assert_eq!((evs[1].ts_us, evs[1].dur_us), (500_000, 1_500_000));
+        // Task lane tiles the two sampled frames.
+        assert_eq!((evs[2].ts_us, evs[2].tid), (0, 1));
+        assert_eq!(evs[3].ts_us, 250_000);
+        let json = t.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\\\"q\\\""), "names are escaped: {json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        // One object per line; all but the last end with a comma.
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].ends_with(','));
+        assert!(!lines[4].ends_with(','));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use obs::Phase;
 use tetris_join::prepared::PreparedJoin;
-use tetris_join::tetris::{Descent, Tetris, TetrisConfig, TetrisOutput};
+use tetris_join::tetris::{Backend, Descent, Tetris, TetrisConfig, TetrisOutput};
 use tetris_join::triangles::prepared_triangle_join;
 use tetris_join::workload::{graphs, triangle};
 
@@ -50,6 +50,25 @@ fn assert_ledger_balances(label: &str, out: &TetrisOutput) {
         l.donation.total(),
         s.par_donations,
         "{label}: donation histogram must observe every donation"
+    );
+    // The attribution ledger rides the same sites: its resolution column
+    // is exact in every mode, its companions bounded by their counters.
+    assert_eq!(
+        l.attr.resolutions(),
+        s.resolutions,
+        "{label}: Σ per-prefix resolutions must equal the resolution counter"
+    );
+    assert!(
+        l.attr.re_resolutions() <= s.resolutions,
+        "{label}: every re-resolution was first a resolution"
+    );
+    assert!(
+        l.attr.inserts() <= s.kb_inserts,
+        "{label}: attributed inserts exclude preload bulk construction"
+    );
+    assert!(
+        l.attr.repair_hits() <= s.probe_repairs,
+        "{label}: a repair hit is a repair whose window scan contained the probe"
     );
 }
 
@@ -173,6 +192,58 @@ fn parallel_ledger_merges_and_balances() {
             "{label}: one Task span per parallel task"
         );
         assert!(task.secs >= 0.0);
+    }
+}
+
+#[test]
+fn attribution_balances_across_backends_shards_and_threads() {
+    // The PR-10 wall: the SAO-prefix attribution ledger must balance in
+    // *every* execution mode — all three store backends, monolithic and
+    // sharded, sequential and work-stealing parallel — and turning the
+    // observer on must never change the answer (sequentially, not even
+    // a counter; in parallel, scheduling-dependent counters may move,
+    // the tuples may not). Width 10 > the 8-bit attribution prefix, so
+    // deep resolution sites spread across real prefix rows instead of
+    // all spilling into the short row (as the width-6 instances would).
+    let inst = triangle::skew_triangle(8, 10);
+    let join = PreparedJoin::builder(10)
+        .atom("R", &inst.r, &["A", "B"])
+        .atom("S", &inst.s, &["B", "C"])
+        .atom("T", &inst.t, &["A", "C"])
+        .build();
+    for backend in [Backend::Binary, Backend::Radix, Backend::Arena] {
+        for shards in [1usize, 4] {
+            for threads in [1usize, 2] {
+                let cfg = TetrisConfig {
+                    preload: true,
+                    backend,
+                    shards,
+                    descent: if threads == 1 {
+                        Descent::Incremental
+                    } else {
+                        Descent::Parallel { threads }
+                    },
+                    obs: true,
+                    ..Default::default()
+                };
+                let label = format!("skew(8) {backend} shards={shards} threads={threads}");
+                let run = join.execute(cfg);
+                let off = join.execute(TetrisConfig { obs: false, ..cfg });
+                assert_eq!(off.output.tuples, run.output.tuples, "{label}");
+                if threads == 1 {
+                    assert_eq!(off.output.stats, run.output.stats, "{label}");
+                }
+                assert_ledger_balances(&label, &run.output);
+                // The instance resolves under more than one dimension-0
+                // subtree, so the breakdown is a real distribution, not
+                // one catch-all row.
+                let attr = &run.output.obs.as_ref().unwrap().attr;
+                assert!(
+                    attr.top_k(2).len() >= 2,
+                    "{label}: attribution collapsed to one row"
+                );
+            }
+        }
     }
 }
 
